@@ -1,0 +1,136 @@
+// Ablation: change-frequency estimator accuracy vs. visit cadence.
+//
+// Systematises the methodology concerns of Figures 1 and 3: how well
+// can each estimator (naive / EP / EB / ratio / EL) recover a page's
+// true change rate when the visit interval ranges from much shorter to
+// much longer than the change interval? This is the statistic the
+// UpdateModule's scheduling quality rests on (Section 5.3).
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "estimator/change_estimator.h"
+#include "estimator/last_modified_estimator.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace webevo;
+using namespace webevo::estimator;
+
+// Feeds one simulated Poisson page (with Last-Modified support) to an
+// estimator; returns the final rate estimate.
+double SimulateOnePage(ChangeEstimator& est, double rate, double visit_gap,
+                       int visits, Rng& rng) {
+  auto* el = dynamic_cast<LastModifiedEstimator*>(&est);
+  for (int v = 0; v < visits; ++v) {
+    bool changed = rng.NextDouble() < 1.0 - std::exp(-rate * visit_gap);
+    if (el != nullptr) {
+      if (changed) {
+        // Quiet tail | >=1 change in gap: truncated exponential.
+        double tail;
+        do {
+          tail = rng.Exponential(rate);
+        } while (tail >= visit_gap);
+        el->RecordObservationWithTimestamp(visit_gap, true, tail);
+      } else {
+        el->RecordObservationWithTimestamp(visit_gap, false, visit_gap);
+      }
+    } else {
+      est.RecordObservation(visit_gap, changed);
+    }
+  }
+  return est.EstimatedRate();
+}
+
+// Median relative error of an estimator across many pages.
+double MedianRelativeError(EstimatorKind kind, double rate,
+                           double visit_gap, int visits, int pages,
+                           Rng& rng) {
+  std::vector<double> errors;
+  errors.reserve(static_cast<std::size_t>(pages));
+  for (int p = 0; p < pages; ++p) {
+    auto est = MakeEstimator(kind);
+    double estimate = SimulateOnePage(*est, rate, visit_gap, visits, rng);
+    errors.push_back(std::abs(estimate - rate) / rate);
+  }
+  std::nth_element(errors.begin(),
+                   errors.begin() + static_cast<long>(errors.size() / 2),
+                   errors.end());
+  return errors[errors.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Ablation: estimator accuracy vs visit cadence (Figures 1/3 "
+      "methodology, systematised)",
+      "checksum estimators are blind above the visit rate; "
+      "Last-Modified (EL) is not");
+
+  Rng rng(7);
+  const int pages = 200, visits = 120;
+  const double rate = 0.1;  // one change every 10 days
+
+  const EstimatorKind kinds[] = {
+      EstimatorKind::kNaive, EstimatorKind::kPoissonCi,
+      EstimatorKind::kBayesian, EstimatorKind::kRatio,
+      EstimatorKind::kLastModified};
+
+  std::printf("median relative error of the rate estimate; page changes "
+              "every %.0f days,\n%d visits per page, %d pages per cell\n\n",
+              1.0 / rate, visits, pages);
+  TablePrinter table({"visit gap", "regime", "naive", "EP", "EB", "ratio",
+                      "EL"});
+  struct Row {
+    double gap;
+    const char* regime;
+  } rows[] = {{1.0, "gap << interval"},
+              {5.0, "gap < interval"},
+              {10.0, "gap = interval"},
+              {30.0, "gap > interval"},
+              {80.0, "gap >> interval"}};
+  for (const Row& row : rows) {
+    std::vector<std::string> cells = {
+        TablePrinter::Fmt(row.gap, 0) + "d", row.regime};
+    for (EstimatorKind kind : kinds) {
+      cells.push_back(TablePrinter::Percent(
+          MedianRelativeError(kind, rate, row.gap, visits, pages, rng)));
+    }
+    table.AddRow(cells);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // The Figure 1(a) cliff: sweep the true rate at a fixed daily cadence.
+  std::printf("estimated/true rate at daily visits (the granularity "
+              "cliff of Figure 1a):\n");
+  TablePrinter cliff({"true interval", "naive", "EP", "EB", "ratio", "EL"});
+  for (double interval : {20.0, 5.0, 2.0, 1.0, 0.5, 0.1}) {
+    double true_rate = 1.0 / interval;
+    std::vector<std::string> cells = {TablePrinter::Fmt(interval, 1) +
+                                      "d"};
+    for (EstimatorKind kind : kinds) {
+      RunningStat ratio_stat;
+      for (int p = 0; p < 60; ++p) {
+        auto est = MakeEstimator(kind);
+        double estimate =
+            SimulateOnePage(*est, true_rate, 1.0, visits, rng);
+        ratio_stat.Add(estimate / true_rate);
+      }
+      cells.push_back(TablePrinter::Fmt(ratio_stat.mean(), 2));
+    }
+    cliff.AddRow(cells);
+  }
+  std::printf("%s\n", cliff.ToString().c_str());
+  std::printf(
+      "reading: 1.00 = unbiased. Checksum estimators collapse toward\n"
+      "gap-limited values once pages change faster than visits; EL\n"
+      "stays calibrated — the case for exploiting Last-Modified.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation: the UpdateModule's design choices from Section 5.3 —
+// estimator kind, site-level vs page-level statistics, importance
+// weighting, and exploration probes — each toggled on the same
+// incremental-crawler workload.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "crawler/incremental_crawler.h"
+#include "simweb/simulated_web.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace webevo;
+
+struct Variant {
+  std::string name;
+  crawler::UpdateModuleConfig update;
+};
+
+struct Outcome {
+  double freshness = 0.0;
+  double stale_age = 0.0;
+  uint64_t changes = 0;
+  bool ok = false;
+};
+
+Outcome Run(const Variant& variant) {
+  simweb::WebConfig wc = bench::StudyWeb(0.08, 777);
+  simweb::SimulatedWeb web(wc);
+  crawler::IncrementalCrawlerConfig config;
+  config.collection_capacity =
+      static_cast<std::size_t>(1200 * bench::ScaleFromEnv());
+  config.crawl_rate_pages_per_day =
+      static_cast<double>(config.collection_capacity) / 30.0;
+  config.update = variant.update;
+  crawler::IncrementalCrawler crawler(&web, config);
+  Outcome out;
+  out.ok = crawler.Bootstrap(0.0).ok() && crawler.RunUntil(120.0).ok();
+  if (!out.ok) return out;
+  out.freshness = crawler.tracker().TimeAverage(60.0, 120.0);
+  out.stale_age = crawler.MeasureNow().mean_stale_age_days;
+  out.changes = crawler.stats().changes_detected;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Ablation: UpdateModule design choices (Section 5.3)",
+      "estimator choice, site-level statistics, importance weighting "
+      "and exploration all shape freshness");
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"EB + probes (default)", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"EB, no exploration", {}};
+    v.update.probe_probability = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"ratio estimator", {}};
+    v.update.estimator_kind = estimator::EstimatorKind::kRatio;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"EL (Last-Modified)", {}};
+    v.update.estimator_kind = estimator::EstimatorKind::kLastModified;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"site-level statistics", {}};
+    v.update.site_level_stats = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"importance-weighted (exp=0.5)", {}};
+    v.update.importance_exponent = 0.5;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"uniform (fixed frequency)", {}};
+    v.update.policy = crawler::RevisitPolicy::kUniform;
+    variants.push_back(v);
+  }
+
+  TablePrinter table(
+      {"variant", "freshness (60-120d)", "mean stale age (d)",
+       "changes detected"});
+  for (const Variant& variant : variants) {
+    Outcome out = Run(variant);
+    table.AddRow({variant.name,
+                  out.ok ? TablePrinter::Fmt(out.freshness) : "failed",
+                  out.ok ? TablePrinter::Fmt(out.stale_age, 1) : "-",
+                  out.ok ? TablePrinter::Fmt(
+                               static_cast<int64_t>(out.changes))
+                         : "-"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "notes: the calibrated web mixes hopeless sub-daily pages with\n"
+      "slow ones, so absolute freshness is capped well below 1; the\n"
+      "interesting quantity is the spread across variants. Site-level\n"
+      "statistics help when sites are homogeneous (they are not fully,\n"
+      "here); EL prices rapid changers correctly from Last-Modified.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 7 — freshness evolution of (a) a batch-mode crawler and (b) a
+// steady crawler, from the analytic Poisson model (as in the paper) and
+// cross-checked against a full crawler simulation.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "crawler/periodic_crawler.h"
+#include "freshness/analytic.h"
+#include "simweb/simulated_web.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace webevo;
+
+// The paper plots the curves with "a high page change rate to more
+// clearly show the trends": lambda such that the shapes are visible.
+freshness::CurveSpec FigureSpec() {
+  freshness::CurveSpec spec;
+  spec.lambda = 2.0;          // changes per month (time unit: months)
+  spec.period = 1.0;          // revisit everything monthly
+  spec.crawl_window = 0.25;   // batch crawls the first week
+  spec.horizon = 3.0;
+  spec.samples = 721;
+  return spec;
+}
+
+double SimulateAverage(double window_days, bool* ok) {
+  simweb::WebConfig wc;
+  wc.seed = 7;
+  wc.sites_per_domain = {6, 4, 2, 2};
+  wc.min_site_size = 40;
+  wc.max_site_size = 90;
+  wc.uniform_change_interval_days = 15.0;  // lambda = 2/month
+  wc.uniform_lifespan_days = 1e7;
+  simweb::SimulatedWeb web(wc);
+  crawler::PeriodicCrawlerConfig config;
+  config.collection_capacity = 400;
+  config.cycle_days = 30.0;
+  config.crawl_window_days = window_days;
+  config.shadowing = false;
+  crawler::PeriodicCrawler crawler(&web, config);
+  *ok = crawler.Bootstrap(0.0).ok() && crawler.RunUntil(120.0).ok();
+  return crawler.tracker().TimeAverage(30.0, 120.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Figure 7: freshness evolution, batch-mode vs steady crawler",
+      "batch saws between crawls; steady is stable; equal averages at "
+      "equal average speed");
+
+  freshness::CurveSpec spec = FigureSpec();
+  auto batch = freshness::BatchInPlaceCurve(spec);
+  auto steady = freshness::SteadyInPlaceCurve(spec);
+  if (!batch.ok() || !steady.ok()) {
+    std::printf("curve generation failed\n");
+    return 1;
+  }
+
+  std::printf("Figure 7(a): batch-mode crawler (crawls the first week of "
+              "each month)\n%s\n",
+              AsciiChart(batch->time, batch->freshness, 0.0, 1.0).c_str());
+  std::printf("Figure 7(b): steady crawler\n%s\n",
+              AsciiChart(steady->time, steady->freshness, 0.0, 1.0)
+                  .c_str());
+
+  double analytic_batch = freshness::CurveTimeAverage(*batch, 1.0, 3.0);
+  double analytic_steady = freshness::CurveTimeAverage(*steady, 1.0, 3.0);
+  bool ok_batch = false, ok_steady = false;
+  double sim_batch = SimulateAverage(7.0, &ok_batch);
+  double sim_steady = SimulateAverage(30.0, &ok_steady);
+
+  TablePrinter table({"crawler", "analytic avg", "simulated avg"});
+  table.AddRow({"batch-mode", TablePrinter::Fmt(analytic_batch),
+                ok_batch ? TablePrinter::Fmt(sim_batch) : "failed"});
+  table.AddRow({"steady", TablePrinter::Fmt(analytic_steady),
+                ok_steady ? TablePrinter::Fmt(sim_steady) : "failed"});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper's claim: the two time-averages are equal "
+              "(difference here: %.4f)\n",
+              analytic_batch - analytic_steady);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Compares the crawler design choices of Section 4 head to head on one
+// evolving synthetic web: batch vs steady, shadowing vs in-place, and
+// the full incremental crawler — printing freshness, peak load and
+// new-page timeliness (the Figure 10 trade-off table).
+//
+//   ./build/examples/policy_comparison
+
+#include <cstdio>
+#include <string>
+
+#include "crawler/incremental_crawler.h"
+#include "crawler/periodic_crawler.h"
+#include "simweb/simulated_web.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace webevo;
+
+constexpr std::size_t kCapacity = 2000;
+constexpr double kHorizonDays = 120.0;
+constexpr double kCycleDays = 30.0;
+
+simweb::WebConfig MakeWeb() {
+  simweb::WebConfig c = simweb::WebConfig().Scaled(0.12);
+  c.seed = 1999;
+  return c;
+}
+
+struct Row {
+  std::string name;
+  double freshness = 0.0;
+  double peak = 0.0;
+  double average = 0.0;
+};
+
+Row RunPeriodic(const std::string& name, double window, bool shadowing) {
+  simweb::SimulatedWeb web(MakeWeb());
+  crawler::PeriodicCrawlerConfig config;
+  config.collection_capacity = kCapacity;
+  config.cycle_days = kCycleDays;
+  config.crawl_window_days = window;
+  config.shadowing = shadowing;
+  crawler::PeriodicCrawler crawler(&web, config);
+  if (!crawler.Bootstrap(0.0).ok() ||
+      !crawler.RunUntil(kHorizonDays).ok()) {
+    std::printf("%s failed\n", name.c_str());
+    return {name};
+  }
+  Row row{name};
+  row.freshness = crawler.tracker().TimeAverage(2 * kCycleDays,
+                                                kHorizonDays);
+  row.peak = crawler.crawl_module().PeakDailyRate();
+  row.average = crawler.crawl_module().AverageDailyRate();
+  return row;
+}
+
+Row RunIncremental(const std::string& name,
+                   crawler::RevisitPolicy policy) {
+  simweb::SimulatedWeb web(MakeWeb());
+  crawler::IncrementalCrawlerConfig config;
+  config.collection_capacity = kCapacity;
+  config.crawl_rate_pages_per_day = kCapacity / kCycleDays;
+  config.update.policy = policy;
+  crawler::IncrementalCrawler crawler(&web, config);
+  if (!crawler.Bootstrap(0.0).ok() ||
+      !crawler.RunUntil(kHorizonDays).ok()) {
+    std::printf("%s failed\n", name.c_str());
+    return {name};
+  }
+  Row row{name};
+  row.freshness = crawler.tracker().TimeAverage(2 * kCycleDays,
+                                                kHorizonDays);
+  row.peak = crawler.crawl_module().PeakDailyRate();
+  row.average = crawler.crawl_module().AverageDailyRate();
+  std::printf("  [%s] new-page latency: %.1f days avg over %lld pages\n",
+              name.c_str(),
+              crawler.stats().new_page_latency_days.count() > 0
+                  ? crawler.stats().new_page_latency_days.mean()
+                  : 0.0,
+              static_cast<long long>(
+                  crawler.stats().new_page_latency_days.count()));
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "all crawlers: %zu-page collection, one full sweep per %0.f days,"
+      " %.0f simulated days\n\n",
+      kCapacity, kCycleDays, kHorizonDays);
+
+  Row rows[] = {
+      RunPeriodic("batch + shadowing (periodic crawler)", 7.0, true),
+      RunPeriodic("batch + in-place", 7.0, false),
+      RunPeriodic("steady + shadowing", kCycleDays, true),
+      RunPeriodic("steady + in-place, fixed freq", kCycleDays, false),
+      RunIncremental("incremental (optimal revisit)",
+                     webevo::crawler::RevisitPolicy::kOptimal),
+      RunIncremental("incremental (uniform revisit)",
+                     webevo::crawler::RevisitPolicy::kUniform),
+  };
+
+  webevo::TablePrinter table(
+      {"crawler", "freshness", "peak pages/day", "avg pages/day"});
+  for (const Row& row : rows) {
+    table.AddRow({row.name, webevo::TablePrinter::Fmt(row.freshness),
+                  webevo::TablePrinter::Fmt(row.peak, 0),
+                  webevo::TablePrinter::Fmt(row.average, 0)});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  std::printf(
+      "\nexpected shape (paper, Section 4 / Figure 10): the incremental\n"
+      "crawler wins on freshness at a far lower peak load; shadowing\n"
+      "hurts the steady crawler much more than the batch crawler.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "crawler/all_urls.h"
+
+namespace webevo::crawler {
+
+bool AllUrls::Add(const simweb::Url& url, double time) {
+  auto [it, inserted] = info_.try_emplace(url);
+  if (inserted) it->second.first_seen = time;
+  return inserted;
+}
+
+void AllUrls::NoteInLink(const simweb::Url& url, double time) {
+  auto [it, inserted] = info_.try_emplace(url);
+  if (inserted) it->second.first_seen = time;
+  ++it->second.in_links;
+}
+
+Status AllUrls::MarkDead(const simweb::Url& url) {
+  auto it = info_.find(url);
+  if (it == info_.end()) return Status::NotFound("unknown url");
+  it->second.dead = true;
+  return Status::Ok();
+}
+
+const AllUrls::UrlInfo* AllUrls::Find(const simweb::Url& url) const {
+  auto it = info_.find(url);
+  return it == info_.end() ? nullptr : &it->second;
+}
+
+}  // namespace webevo::crawler

@@ -1,0 +1,58 @@
+#ifndef WEBEVO_CRAWLER_ALL_URLS_H_
+#define WEBEVO_CRAWLER_ALL_URLS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "simweb/url.h"
+#include "util/status.h"
+
+namespace webevo::crawler {
+
+/// The `AllUrls` structure of Figure 12: every URL the crawler has ever
+/// discovered, with the metadata the RankingModule needs to estimate
+/// the importance of pages *not* in the collection — the paper's
+/// footnote 2: "even if a page p does not exist in the Collection, the
+/// RankingModule can estimate PageRank of p based on how many pages in
+/// the Collection have a link to p".
+class AllUrls {
+ public:
+  struct UrlInfo {
+    double first_seen = 0.0;   ///< when the URL was first discovered
+    uint64_t in_links = 0;     ///< links seen pointing at it
+    bool dead = false;         ///< a crawl of it returned NotFound
+  };
+
+  /// Registers a URL discovered at `time`. Returns true if it was new.
+  bool Add(const simweb::Url& url, double time);
+
+  /// Registers that some crawled page links to `url` (discovering it at
+  /// `time` if new).
+  void NoteInLink(const simweb::Url& url, double time);
+
+  /// Marks a URL dead after a failed crawl; dead URLs stay recorded so
+  /// repeated discovery of a stale link does not resurrect them, but
+  /// they are skipped by candidate scans.
+  Status MarkDead(const simweb::Url& url);
+
+  bool Contains(const simweb::Url& url) const {
+    return info_.count(url) > 0;
+  }
+  const UrlInfo* Find(const simweb::Url& url) const;
+
+  std::size_t size() const { return info_.size(); }
+
+  /// Iterates (url, info) pairs in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [url, info] : info_) fn(url, info);
+  }
+
+ private:
+  std::unordered_map<simweb::Url, UrlInfo, simweb::UrlHash> info_;
+};
+
+}  // namespace webevo::crawler
+
+#endif  // WEBEVO_CRAWLER_ALL_URLS_H_

@@ -1,0 +1,50 @@
+#include "crawler/coll_urls.h"
+
+#include <algorithm>
+
+namespace webevo::crawler {
+
+void CollUrls::Schedule(const simweb::Url& url, double when) {
+  uint64_t seq = next_seq_++;
+  live_[url] = seq;  // supersedes any previous entry for this url
+  heap_.push(HeapEntry{when, seq, url});
+}
+
+void CollUrls::ScheduleFront(const simweb::Url& url) {
+  // Front keys live far below any simulation time and *increase* per
+  // insert, so successive front-inserts pop in FIFO order while still
+  // preceding everything scheduled normally.
+  front_when_ += 1e-6;
+  Schedule(url, kFrontBase + front_when_);
+}
+
+Status CollUrls::Remove(const simweb::Url& url) {
+  if (live_.erase(url) == 0) return Status::NotFound("url not queued");
+  return Status::Ok();  // heap entry expires lazily
+}
+
+void CollUrls::SkipStale() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    auto it = live_.find(top.url);
+    if (it != live_.end() && it->second == top.seq) return;
+    heap_.pop();
+  }
+}
+
+std::optional<ScheduledUrl> CollUrls::Pop() {
+  SkipStale();
+  if (heap_.empty()) return std::nullopt;
+  HeapEntry top = heap_.top();
+  heap_.pop();
+  live_.erase(top.url);
+  return ScheduledUrl{top.url, top.when};
+}
+
+std::optional<ScheduledUrl> CollUrls::Peek() {
+  SkipStale();
+  if (heap_.empty()) return std::nullopt;
+  return ScheduledUrl{heap_.top().url, heap_.top().when};
+}
+
+}  // namespace webevo::crawler

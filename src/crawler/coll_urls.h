@@ -1,0 +1,89 @@
+#ifndef WEBEVO_CRAWLER_COLL_URLS_H_
+#define WEBEVO_CRAWLER_COLL_URLS_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "simweb/url.h"
+#include "util/status.h"
+
+namespace webevo::crawler {
+
+/// A URL scheduled for crawling at (or after) a given time.
+struct ScheduledUrl {
+  simweb::Url url;
+  double when = 0.0;
+};
+
+/// The `CollUrls` priority queue of Figure 12: URLs that are (or will
+/// be) in the collection, ordered so "the URLs to be crawled early are
+/// placed in the front". The UpdateModule pops the head, crawls it, and
+/// pushes it back with a position derived from the page's estimated
+/// change frequency; the RankingModule inserts replacement pages at the
+/// very front so they are crawled immediately.
+///
+/// Implemented as a binary min-heap on the scheduled time with lazy
+/// deletion: rescheduling or removing a URL invalidates its previous
+/// heap entry via a sequence number, so all operations are O(log n)
+/// amortised — the property that lets the UpdateModule sustain the
+/// paper's "40 pages/second" style throughput independent of collection
+/// size.
+class CollUrls {
+ public:
+  /// Inserts `url` or moves it to position `when` if already present.
+  void Schedule(const simweb::Url& url, double when);
+
+  /// Schedules in front of everything currently queued (the
+  /// RankingModule's "crawl this new page immediately").
+  void ScheduleFront(const simweb::Url& url);
+
+  /// Removes a URL from the queue; NotFound if absent.
+  Status Remove(const simweb::Url& url);
+
+  /// Pops the earliest-scheduled URL; nullopt if empty.
+  std::optional<ScheduledUrl> Pop();
+
+  /// Earliest entry without removing it; nullopt if empty.
+  std::optional<ScheduledUrl> Peek();
+
+  bool Contains(const simweb::Url& url) const {
+    return live_.count(url) > 0;
+  }
+
+  /// Number of live (non-superseded) entries.
+  std::size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+ private:
+  struct HeapEntry {
+    double when;
+    uint64_t seq;  // tie-break and lazy-deletion token
+    simweb::Url url;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among equal times
+    }
+  };
+
+  /// Discards superseded heap heads.
+  void SkipStale();
+
+  /// Base key for front-of-queue inserts; far below any realistic
+  /// simulation time, so front entries always precede scheduled ones.
+  static constexpr double kFrontBase = -1e18;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  // url -> seq of its single live heap entry.
+  std::unordered_map<simweb::Url, uint64_t, simweb::UrlHash> live_;
+  uint64_t next_seq_ = 0;
+  double front_when_ = 0.0;  // increasing offset above kFrontBase
+};
+
+}  // namespace webevo::crawler
+
+#endif  // WEBEVO_CRAWLER_COLL_URLS_H_

@@ -1,0 +1,72 @@
+#include "crawler/collection.h"
+
+#include <utility>
+
+namespace webevo::crawler {
+
+Status Collection::Upsert(CollectionEntry entry) {
+  auto it = entries_.find(entry.url);
+  if (it != entries_.end()) {
+    it->second = std::move(entry);
+    return Status::Ok();
+  }
+  if (full()) {
+    return Status::ResourceExhausted("collection at capacity");
+  }
+  simweb::Url url = entry.url;
+  entries_.emplace(url, std::move(entry));
+  return Status::Ok();
+}
+
+Status Collection::Remove(const simweb::Url& url) {
+  if (entries_.erase(url) == 0) {
+    return Status::NotFound("url not in collection");
+  }
+  return Status::Ok();
+}
+
+const CollectionEntry* Collection::Find(const simweb::Url& url) const {
+  auto it = entries_.find(url);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+CollectionEntry* Collection::FindMutable(const simweb::Url& url) {
+  auto it = entries_.find(url);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Collection::ForEach(
+    const std::function<void(const CollectionEntry&)>& fn) const {
+  for (const auto& [url, entry] : entries_) fn(entry);
+}
+
+const CollectionEntry* Collection::LowestImportance() const {
+  const CollectionEntry* lowest = nullptr;
+  for (const auto& [url, entry] : entries_) {
+    if (lowest == nullptr || entry.importance < lowest->importance) {
+      lowest = &entry;
+    }
+  }
+  return lowest;
+}
+
+Status Collection::AbsorbAll(Collection& other) {
+  if (capacity_ < other.size()) {
+    return Status::ResourceExhausted("absorb exceeds capacity");
+  }
+  for (auto& [url, entry] : other.entries_) {
+    entries_[url] = std::move(entry);
+  }
+  other.entries_.clear();
+  return Status::Ok();
+}
+
+void ShadowedCollection::Swap() {
+  current_.Clear();
+  // The shadow becomes current; shadow space restarts empty.
+  Status st = current_.AbsorbAll(shadow_);
+  (void)st;  // capacities are equal by construction
+  ++swap_count_;
+}
+
+}  // namespace webevo::crawler

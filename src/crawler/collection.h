@@ -1,0 +1,110 @@
+#ifndef WEBEVO_CRAWLER_COLLECTION_H_
+#define WEBEVO_CRAWLER_COLLECTION_H_
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "simweb/page.h"
+#include "simweb/url.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace webevo::crawler {
+
+/// One stored page copy in the local collection, carrying exactly what
+/// the paper's architecture needs: the checksum the UpdateModule
+/// compares across crawls, the link structure the RankingModule scans,
+/// and the importance score it maintains.
+struct CollectionEntry {
+  simweb::Url url;
+  /// Ground-truth page identity from the fetch; used only by oracle
+  /// evaluation and tests, never by crawl policy.
+  simweb::PageId page = simweb::kInvalidPage;
+  /// Content version at crawl time (oracle evaluation only).
+  uint64_t version = 0;
+  Checksum128 checksum;
+  double crawled_at = 0.0;
+  double importance = 0.0;
+  /// Out-links extracted at crawl time.
+  std::vector<simweb::Url> links;
+};
+
+/// A bounded page store with in-place updates — the `Collection` box of
+/// Figure 12. The fixed capacity models the paper's fixed-size local
+/// collection (Section 5.2, Algorithm 5.1): inserting a new page into a
+/// full collection fails, forcing the caller to make a refinement
+/// decision (discard something) first.
+class Collection {
+ public:
+  explicit Collection(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Inserts a new entry or updates the existing one in place.
+  /// Returns ResourceExhausted if the entry is new and the collection
+  /// is at capacity.
+  Status Upsert(CollectionEntry entry);
+
+  /// Removes an entry; NotFound if absent.
+  Status Remove(const simweb::Url& url);
+
+  /// Looks up an entry; nullptr if absent. The pointer is invalidated
+  /// by Upsert/Remove/Clear.
+  const CollectionEntry* Find(const simweb::Url& url) const;
+  CollectionEntry* FindMutable(const simweb::Url& url);
+
+  bool Contains(const simweb::Url& url) const {
+    return entries_.count(url) > 0;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return entries_.size() >= capacity_; }
+
+  /// Applies `fn` to every entry (unspecified order).
+  void ForEach(const std::function<void(const CollectionEntry&)>& fn) const;
+
+  /// Entry with the lowest importance (nullptr if empty) — the default
+  /// victim of the refinement decision.
+  const CollectionEntry* LowestImportance() const;
+
+  void Clear() { entries_.clear(); }
+
+  /// Moves all entries out of `other` into *this (used by shadow swap);
+  /// requires *this to have enough capacity for other's size.
+  Status AbsorbAll(Collection& other);
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<simweb::Url, CollectionEntry, simweb::UrlHash> entries_;
+};
+
+/// A shadowed page store (Section 4, choice 2): the crawler writes into
+/// a private shadow space while users read a stable current collection;
+/// `Swap()` atomically publishes the shadow and empties it for the next
+/// crawl cycle — the instantaneous replacement the paper assumes.
+class ShadowedCollection {
+ public:
+  explicit ShadowedCollection(std::size_t capacity)
+      : current_(capacity), shadow_(capacity) {}
+
+  Collection& shadow() { return shadow_; }
+  const Collection& current() const { return current_; }
+  Collection& current_mutable() { return current_; }
+
+  /// Publishes the shadow as the current collection and clears the
+  /// shadow space.
+  void Swap();
+
+  /// Number of swaps performed (crawl cycles completed).
+  int64_t swap_count() const { return swap_count_; }
+
+ private:
+  Collection current_;
+  Collection shadow_;
+  int64_t swap_count_ = 0;
+};
+
+}  // namespace webevo::crawler
+
+#endif  // WEBEVO_CRAWLER_COLLECTION_H_

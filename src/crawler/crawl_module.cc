@@ -1,0 +1,59 @@
+#include "crawler/crawl_module.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace webevo::crawler {
+
+StatusOr<simweb::FetchResult> CrawlModule::Crawl(const simweb::Url& url,
+                                                 double t) {
+  if (config_.enforce_politeness && config_.per_site_delay_days > 0.0 &&
+      url.site < last_access_.size() &&
+      t < last_access_[url.site] + config_.per_site_delay_days) {
+    ++politeness_rejections_;
+    return Status::FailedPrecondition("politeness delay not elapsed");
+  }
+  if (url.site >= last_access_.size()) {
+    last_access_.resize(url.site + 1,
+                        -std::numeric_limits<double>::infinity());
+  }
+  last_access_[url.site] = t;
+
+  // Accounting (counts failures too: a 404 still costs a request).
+  ++fetch_count_;
+  if (!any_fetch_) {
+    first_fetch_time_ = t;
+    any_fetch_ = true;
+  }
+  last_fetch_time_ = std::max(last_fetch_time_, t);
+  auto day = static_cast<std::size_t>(
+      std::max(0.0, std::floor(t - first_fetch_time_)));
+  if (day >= fetches_per_day_.size()) fetches_per_day_.resize(day + 1, 0);
+  ++fetches_per_day_[day];
+
+  auto result = web_->Fetch(url, t);
+  if (!result.ok()) ++failure_count_;
+  return result;
+}
+
+double CrawlModule::NextAllowedTime(uint32_t site) const {
+  if (config_.per_site_delay_days <= 0.0 || site >= last_access_.size()) {
+    return 0.0;
+  }
+  return last_access_[site] + config_.per_site_delay_days;
+}
+
+double CrawlModule::PeakDailyRate() const {
+  uint64_t peak = 0;
+  for (uint64_t day : fetches_per_day_) peak = std::max(peak, day);
+  return static_cast<double>(peak);
+}
+
+double CrawlModule::AverageDailyRate() const {
+  if (!any_fetch_) return 0.0;
+  double span = std::max(1.0, last_fetch_time_ - first_fetch_time_);
+  return static_cast<double>(fetch_count_) / span;
+}
+
+}  // namespace webevo::crawler

@@ -1,0 +1,50 @@
+#include "crawler/crawl_module_pool.h"
+
+#include <algorithm>
+
+namespace webevo::crawler {
+
+CrawlModulePool::CrawlModulePool(simweb::SimulatedWeb* web,
+                                 const CrawlModuleConfig& config,
+                                 int parallelism) {
+  parallelism = std::max(1, parallelism);
+  modules_.reserve(static_cast<std::size_t>(parallelism));
+  for (int i = 0; i < parallelism; ++i) {
+    modules_.push_back(std::make_unique<CrawlModule>(web, config));
+  }
+}
+
+StatusOr<simweb::FetchResult> CrawlModulePool::Crawl(
+    const simweb::Url& url, double t) {
+  return modules_[ShardOf(url.site)]->Crawl(url, t);
+}
+
+double CrawlModulePool::NextAllowedTime(uint32_t site) const {
+  return modules_[ShardOf(site)]->NextAllowedTime(site);
+}
+
+uint64_t CrawlModulePool::fetch_count() const {
+  uint64_t total = 0;
+  for (const auto& m : modules_) total += m->fetch_count();
+  return total;
+}
+
+uint64_t CrawlModulePool::failure_count() const {
+  uint64_t total = 0;
+  for (const auto& m : modules_) total += m->failure_count();
+  return total;
+}
+
+uint64_t CrawlModulePool::politeness_rejections() const {
+  uint64_t total = 0;
+  for (const auto& m : modules_) total += m->politeness_rejections();
+  return total;
+}
+
+double CrawlModulePool::CombinedPeakDailyRate() const {
+  double total = 0.0;
+  for (const auto& m : modules_) total += m->PeakDailyRate();
+  return total;
+}
+
+}  // namespace webevo::crawler

@@ -1,0 +1,60 @@
+#ifndef WEBEVO_CRAWLER_CRAWL_MODULE_POOL_H_
+#define WEBEVO_CRAWLER_CRAWL_MODULE_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "crawler/crawl_module.h"
+
+namespace webevo::crawler {
+
+/// A pool of CrawlModules — the paper's note that "multiple
+/// CrawlModule's may run in parallel, depending on how fast we need to
+/// crawl pages" (Section 5.3).
+///
+/// Requests are sharded by *site*, so each site's politeness state is
+/// owned by exactly one module: parallelism multiplies aggregate
+/// throughput without ever letting two workers hit one site
+/// back-to-back. In this discrete-time simulation the pool models the
+/// capacity and isolation structure (who may fetch what, and the
+/// aggregate load profile); wall-clock concurrency is outside a
+/// deterministic simulation's scope.
+class CrawlModulePool {
+ public:
+  /// Creates `parallelism` modules (>= 1; clamped) sharing the web and
+  /// configuration.
+  CrawlModulePool(simweb::SimulatedWeb* web,
+                  const CrawlModuleConfig& config, int parallelism);
+
+  /// Routes the fetch to the module owning url.site.
+  StatusOr<simweb::FetchResult> Crawl(const simweb::Url& url, double t);
+
+  /// Earliest polite time for `site` (per the owning module).
+  double NextAllowedTime(uint32_t site) const;
+
+  int parallelism() const { return static_cast<int>(modules_.size()); }
+
+  /// The module that owns a site's politeness state.
+  const CrawlModule& module_for_site(uint32_t site) const {
+    return *modules_[ShardOf(site)];
+  }
+
+  /// Aggregate accounting across all modules.
+  uint64_t fetch_count() const;
+  uint64_t failure_count() const;
+  uint64_t politeness_rejections() const;
+  /// Sum of the per-module peaks: the pool's worst-case combined daily
+  /// load (an upper bound on the true combined peak).
+  double CombinedPeakDailyRate() const;
+
+ private:
+  std::size_t ShardOf(uint32_t site) const {
+    return site % modules_.size();
+  }
+
+  std::vector<std::unique_ptr<CrawlModule>> modules_;
+};
+
+}  // namespace webevo::crawler
+
+#endif  // WEBEVO_CRAWLER_CRAWL_MODULE_POOL_H_

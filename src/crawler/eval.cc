@@ -1,0 +1,37 @@
+#include "crawler/eval.h"
+
+namespace webevo::crawler {
+
+CollectionQuality MeasureCollection(simweb::SimulatedWeb& web,
+                                    const Collection& collection,
+                                    double t) {
+  CollectionQuality q;
+  q.size = collection.size();
+  if (q.size == 0) return q;
+  double stale_age_sum = 0.0;
+  std::size_t stale_with_age = 0;
+  collection.ForEach([&](const CollectionEntry& entry) {
+    auto version = web.OracleVersion(entry.url, t);
+    if (!version.ok()) {
+      ++q.dead;  // a dead page can never be fresh
+      return;
+    }
+    if (*version == entry.version) {
+      ++q.fresh;
+      return;
+    }
+    auto changed_at = web.OracleLastChangeTime(entry.url, t);
+    if (changed_at.ok()) {
+      stale_age_sum += t - *changed_at;
+      ++stale_with_age;
+    }
+  });
+  q.freshness = static_cast<double>(q.fresh) / static_cast<double>(q.size);
+  if (stale_with_age > 0) {
+    q.mean_stale_age_days =
+        stale_age_sum / static_cast<double>(stale_with_age);
+  }
+  return q;
+}
+
+}  // namespace webevo::crawler

@@ -1,0 +1,33 @@
+#ifndef WEBEVO_CRAWLER_EVAL_H_
+#define WEBEVO_CRAWLER_EVAL_H_
+
+#include <cstddef>
+
+#include "crawler/collection.h"
+#include "simweb/simulated_web.h"
+
+namespace webevo::crawler {
+
+/// Oracle-measured quality of a collection at one instant.
+struct CollectionQuality {
+  /// Fraction of entries that are up-to-date (page alive and unchanged
+  /// since the stored version) — the paper's freshness metric. 0 for an
+  /// empty collection.
+  double freshness = 0.0;
+  /// Mean age of the *stale* entries' staleness in days, measured from
+  /// each page's most recent change (a lower bound on the [CGM99b] age,
+  /// which counts from the first unseen change). 0 if nothing is stale.
+  double mean_stale_age_days = 0.0;
+  std::size_t size = 0;
+  std::size_t fresh = 0;
+  std::size_t dead = 0;  ///< entries whose page no longer exists
+};
+
+/// Measures `collection` against ground truth at time `t`. Uses the
+/// oracle API only — no crawl traffic is generated.
+CollectionQuality MeasureCollection(simweb::SimulatedWeb& web,
+                                    const Collection& collection, double t);
+
+}  // namespace webevo::crawler
+
+#endif  // WEBEVO_CRAWLER_EVAL_H_

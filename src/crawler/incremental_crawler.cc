@@ -1,0 +1,217 @@
+#include "crawler/incremental_crawler.h"
+
+#include <algorithm>
+
+namespace webevo::crawler {
+
+IncrementalCrawler::IncrementalCrawler(
+    simweb::SimulatedWeb* web, const IncrementalCrawlerConfig& config)
+    : web_(web),
+      config_(config),
+      collection_(config.collection_capacity),
+      crawl_module_(web, config.crawl),
+      update_module_([&] {
+        UpdateModuleConfig u = config.update;
+        u.crawl_budget_pages_per_day = config.crawl_rate_pages_per_day;
+        return u;
+      }()),
+      ranking_module_(config.ranking) {}
+
+Status IncrementalCrawler::Bootstrap(double t) {
+  if (bootstrapped_) {
+    return Status::FailedPrecondition("already bootstrapped");
+  }
+  if (config_.crawl_rate_pages_per_day <= 0.0) {
+    return Status::InvalidArgument("crawl rate must be positive");
+  }
+  now_ = t;
+  next_refine_ = t + config_.refine_interval_days;
+  next_rebalance_ = t + config_.rebalance_interval_days;
+  next_sample_ = t;
+  for (uint32_t s = 0; s < web_->num_sites(); ++s) {
+    simweb::Url root = web_->RootUrl(s);
+    all_urls_.Add(root, t);
+    coll_urls_.Schedule(root, t);
+  }
+  bootstrapped_ = true;
+  return Status::Ok();
+}
+
+void IncrementalCrawler::IngestLinks(
+    const std::vector<simweb::Url>& links) {
+  for (const simweb::Url& link : links) {
+    all_urls_.NoteInLink(link, now_);
+    // Greedy fill: while the collection is below capacity, admit
+    // discoveries directly instead of waiting for a refinement pass.
+    // pending_admissions_ tracks admitted-but-uncrawled URLs exactly,
+    // so admissions never overshoot capacity.
+    if (collection_.Contains(link) || coll_urls_.Contains(link)) continue;
+    const AllUrls::UrlInfo* info = all_urls_.Find(link);
+    if (info != nullptr && info->dead) continue;
+    if (collection_.size() + pending_admissions_.size() <
+        collection_.capacity()) {
+      coll_urls_.Schedule(link, now_);
+      pending_admissions_.insert(link);
+    }
+  }
+}
+
+void IncrementalCrawler::RunRefinement() {
+  RefinementResult refinement =
+      ranking_module_.Refine(all_urls_, collection_);
+  for (const simweb::Url& url : refinement.admissions) {
+    // The RankingModule only knows collection occupancy; respect the
+    // in-flight admissions too so the collection never over-admits.
+    if (collection_.size() + pending_admissions_.size() >=
+        collection_.capacity()) {
+      break;
+    }
+    if (!coll_urls_.Contains(url)) {
+      coll_urls_.ScheduleFront(url);
+      pending_admissions_.insert(url);
+    }
+  }
+  for (const Replacement& r : refinement.replacements) {
+    Status st = collection_.Remove(r.discard);
+    if (st.ok()) {
+      Status unqueue = coll_urls_.Remove(r.discard);
+      (void)unqueue;  // may already be popped
+      update_module_.Forget(r.discard);
+      coll_urls_.ScheduleFront(r.crawl);
+      ++stats_.replacements_executed;
+    }
+  }
+  // Refresh the importance hints the UpdateModule may weigh.
+  collection_.ForEach([&](const CollectionEntry& entry) {
+    update_module_.SetImportance(entry.url, entry.importance);
+  });
+}
+
+void IncrementalCrawler::CrawlOne(const simweb::Url& url) {
+  ++stats_.crawls;
+  pending_admissions_.erase(url);
+  auto result = crawl_module_.Crawl(url, now_);
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kFailedPrecondition) {
+      // Politeness rejection: the page is fine, the site just needs a
+      // breather; put it back for the earliest polite time.
+      ++stats_.politeness_retries;
+      coll_urls_.Schedule(url, crawl_module_.NextAllowedTime(url.site));
+      if (!collection_.Contains(url)) pending_admissions_.insert(url);
+      return;
+    }
+    // Dead page: purge it everywhere (Section 5.1 goal 2: pages are
+    // constantly removed; the collection must track that).
+    Status mark = all_urls_.MarkDead(url);
+    (void)mark;
+    if (collection_.Remove(url).ok()) {
+      update_module_.Forget(url);
+      ++stats_.dead_pages_removed;
+    }
+    return;
+  }
+
+  CollectionEntry* existing = collection_.FindMutable(url);
+  bool changed = false;
+  bool first_visit = existing == nullptr;
+  if (existing != nullptr) {
+    changed = !(existing->checksum == result->checksum);
+    if (changed) ++stats_.changes_detected;
+    existing->version = result->version;
+    existing->checksum = result->checksum;
+    existing->crawled_at = now_;
+    existing->links = result->links;
+    ++stats_.in_place_updates;
+  } else {
+    if (collection_.full()) {
+      // Refinement normally frees space before a new page is crawled;
+      // under races (e.g. a victim died first) evict the least
+      // important entry, per Algorithm 5.1 steps [7]-[8].
+      const CollectionEntry* victim = collection_.LowestImportance();
+      if (victim != nullptr) {
+        simweb::Url victim_url = victim->url;
+        Status unqueue = coll_urls_.Remove(victim_url);
+        (void)unqueue;
+        update_module_.Forget(victim_url);
+        Status removed = collection_.Remove(victim_url);
+        (void)removed;
+        ++stats_.pages_evicted;
+      }
+    }
+    CollectionEntry entry;
+    entry.url = url;
+    entry.page = result->page;
+    entry.version = result->version;
+    entry.checksum = result->checksum;
+    entry.crawled_at = now_;
+    entry.links = result->links;
+    Status st = collection_.Upsert(std::move(entry));
+    if (st.ok()) {
+      ++stats_.pages_added;
+      const AllUrls::UrlInfo* info = all_urls_.Find(url);
+      if (reached_capacity_once_ && info != nullptr &&
+          info->first_seen >= steady_since_) {
+        stats_.new_page_latency_days.Add(now_ - info->first_seen);
+      }
+      if (!reached_capacity_once_ && collection_.full()) {
+        reached_capacity_once_ = true;
+        steady_since_ = now_;
+      }
+    }
+  }
+
+  double next = update_module_.OnCrawled(
+      url, now_, changed, first_visit,
+      /*quiet_days=*/now_ - result->last_modified);
+  coll_urls_.Schedule(url, next);
+  IngestLinks(result->links);
+}
+
+Status IncrementalCrawler::RunUntil(double until) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("call Bootstrap first");
+  }
+  const double step = 1.0 / config_.crawl_rate_pages_per_day;
+  while (now_ < until) {
+    // Housekeeping due at the current time. All next_* end up > now_.
+    if (now_ >= next_sample_) {
+      tracker_.AddSample(now_, MeasureNow().freshness);
+      while (next_sample_ <= now_) {
+        next_sample_ += config_.freshness_sample_interval_days;
+      }
+    }
+    if (now_ >= next_refine_) {
+      RunRefinement();
+      while (next_refine_ <= now_) {
+        next_refine_ += config_.refine_interval_days;
+      }
+    }
+    if (now_ >= next_rebalance_) {
+      update_module_.Rebalance();
+      while (next_rebalance_ <= now_) {
+        next_rebalance_ += config_.rebalance_interval_days;
+      }
+    }
+
+    auto head = coll_urls_.Peek();
+    if (!head.has_value() || head->when > now_) {
+      // Nothing due: idle to the next scheduled crawl or housekeeping
+      // event (the steady crawler's spare capacity).
+      double target =
+          std::min({next_sample_, next_refine_, next_rebalance_});
+      if (head.has_value()) target = std::min(target, head->when);
+      now_ = std::min(until, target);
+      continue;
+    }
+    auto popped = coll_urls_.Pop();
+    if (popped.has_value()) CrawlOne(popped->url);
+    now_ += step;  // constant crawl speed: one fetch per slot
+  }
+  return Status::Ok();
+}
+
+CollectionQuality IncrementalCrawler::MeasureNow() {
+  return MeasureCollection(*web_, collection_, now_);
+}
+
+}  // namespace webevo::crawler

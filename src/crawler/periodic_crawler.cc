@@ -1,0 +1,164 @@
+#include "crawler/periodic_crawler.h"
+
+#include <algorithm>
+
+namespace webevo::crawler {
+
+PeriodicCrawler::PeriodicCrawler(simweb::SimulatedWeb* web,
+                                 const PeriodicCrawlerConfig& config)
+    : web_(web),
+      config_(config),
+      store_(config.collection_capacity),
+      inplace_(config.collection_capacity),
+      crawl_module_(web, config.crawl) {}
+
+const Collection& PeriodicCrawler::current_collection() const {
+  return config_.shadowing ? store_.current() : inplace_;
+}
+
+Collection& PeriodicCrawler::target_collection() {
+  return config_.shadowing ? store_.shadow() : inplace_;
+}
+
+Status PeriodicCrawler::Bootstrap(double t) {
+  if (bootstrapped_) {
+    return Status::FailedPrecondition("already bootstrapped");
+  }
+  if (config_.cycle_days <= 0.0 || config_.crawl_window_days <= 0.0 ||
+      config_.crawl_window_days > config_.cycle_days) {
+    return Status::InvalidArgument("need 0 < window <= cycle");
+  }
+  now_ = t;
+  next_sample_ = t;
+  StartCycle(t);
+  bootstrapped_ = true;
+  return Status::Ok();
+}
+
+void PeriodicCrawler::StartCycle(double t) {
+  cycle_start_ = t;
+  cycle_active_ = true;
+  stored_this_cycle_ = 0;
+  frontier_.clear();
+  seen_this_cycle_.clear();
+  for (uint32_t s = 0; s < web_->num_sites(); ++s) {
+    simweb::Url root = web_->RootUrl(s);
+    frontier_.push_back(root);
+    seen_this_cycle_.insert(root);
+  }
+  if (!config_.shadowing) {
+    // The paper's batch crawler updates *all pages in the collection*
+    // each crawl: with in-place updates the existing entries join the
+    // frontier, so vanished pages are re-fetched, detected dead, and
+    // purged (a shadowed cycle rebuilds from scratch instead).
+    inplace_.ForEach([&](const CollectionEntry& entry) {
+      if (seen_this_cycle_.insert(entry.url).second) {
+        frontier_.push_back(entry.url);
+      }
+    });
+  }
+}
+
+void PeriodicCrawler::FinishCycle() {
+  if (!cycle_active_) return;
+  cycle_active_ = false;
+  ++cycles_completed_;
+  if (config_.shadowing) {
+    store_.Swap();
+    ++stats_.swaps;
+  }
+}
+
+bool PeriodicCrawler::CrawlNext() {
+  while (!frontier_.empty()) {
+    simweb::Url url = frontier_.front();
+    frontier_.pop_front();
+    ++stats_.crawls;
+    auto result = crawl_module_.Crawl(url, now_);
+    if (!result.ok()) {
+      ++stats_.dead_fetches;
+      // With in-place updates a page that vanished must also leave the
+      // collection; a shadowed crawl simply never adds it.
+      if (!config_.shadowing) {
+        Status st = inplace_.Remove(url);
+        (void)st;
+      }
+      continue;  // costs a fetch slot? no: try the next URL immediately
+    }
+    CollectionEntry entry;
+    entry.url = url;
+    entry.page = result->page;
+    entry.version = result->version;
+    entry.checksum = result->checksum;
+    entry.crawled_at = now_;
+    entry.links = result->links;
+    Status st = target_collection().Upsert(std::move(entry));
+    if (st.ok()) {
+      ++stats_.pages_stored;
+      ++stored_this_cycle_;
+    }
+    // Breadth-first expansion. The crawl loop stops once `capacity`
+    // pages are stored; the frontier keeps a few extra discoveries so
+    // that URLs dying between discovery and fetch do not leave the
+    // collection under-filled. The 4x bound caps frontier memory.
+    if (seen_this_cycle_.size() < 4 * config_.collection_capacity) {
+      for (const simweb::Url& link : result->links) {
+        if (seen_this_cycle_.size() >= 4 * config_.collection_capacity) {
+          break;
+        }
+        if (seen_this_cycle_.insert(link).second) {
+          frontier_.push_back(link);
+        }
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+Status PeriodicCrawler::RunUntil(double until) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("call Bootstrap first");
+  }
+  const double rate = static_cast<double>(config_.collection_capacity) /
+                      config_.crawl_window_days;
+  const double step = 1.0 / rate;
+  while (now_ < until) {
+    if (now_ >= next_sample_) {
+      tracker_.AddSample(now_, MeasureNow().freshness);
+      while (next_sample_ <= now_) {
+        next_sample_ += config_.freshness_sample_interval_days;
+      }
+    }
+
+    double cycle_end = cycle_start_ + config_.cycle_days;
+    double window_end = cycle_start_ + config_.crawl_window_days;
+
+    if (cycle_active_) {
+      bool done = stored_this_cycle_ >= config_.collection_capacity ||
+                  now_ >= window_end;
+      if (!done) {
+        if (CrawlNext()) {
+          now_ += step;
+          continue;
+        }
+        done = true;  // frontier exhausted early
+      }
+      if (done) FinishCycle();
+    }
+    // Idle until the next cycle or housekeeping, whichever is earlier.
+    double target = std::min(next_sample_, cycle_end);
+    if (now_ >= cycle_end) {
+      StartCycle(cycle_end);
+      continue;
+    }
+    now_ = std::min(until, std::max(target, now_ + 1e-12));
+  }
+  return Status::Ok();
+}
+
+CollectionQuality PeriodicCrawler::MeasureNow() {
+  return MeasureCollection(*web_, current_collection(), now_);
+}
+
+}  // namespace webevo::crawler

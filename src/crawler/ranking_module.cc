@@ -1,0 +1,138 @@
+#include "crawler/ranking_module.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/hits.h"
+#include "graph/link_graph.h"
+#include "graph/pagerank.h"
+
+namespace webevo::crawler {
+
+const char* ImportanceMetricName(ImportanceMetric metric) {
+  switch (metric) {
+    case ImportanceMetric::kPageRank:
+      return "pagerank";
+    case ImportanceMetric::kHitsAuthority:
+      return "hits";
+    case ImportanceMetric::kInLinks:
+      return "inlinks";
+  }
+  return "?";
+}
+
+RankingModule::RankingModule(const RankingModuleConfig& config)
+    : config_(config) {}
+
+RefinementResult RankingModule::Refine(const AllUrls& all_urls,
+                                       Collection& collection) {
+  ++refinement_count_;
+  RefinementResult result;
+
+  // Node universe: collection pages first, then live uncollected
+  // candidates known to AllUrls.
+  std::unordered_map<simweb::Url, graph::NodeId, simweb::UrlHash> index;
+  std::vector<simweb::Url> urls;
+  auto intern = [&](const simweb::Url& url) {
+    auto [it, inserted] =
+        index.try_emplace(url, static_cast<graph::NodeId>(urls.size()));
+    if (inserted) urls.push_back(url);
+    return it->second;
+  };
+  std::vector<simweb::Url> member_urls;
+  collection.ForEach([&](const CollectionEntry& entry) {
+    intern(entry.url);
+    member_urls.push_back(entry.url);
+  });
+
+  std::vector<simweb::Url> candidates;
+  all_urls.ForEach([&](const simweb::Url& url,
+                       const AllUrls::UrlInfo& info) {
+    if (info.dead || collection.Contains(url)) return;
+    intern(url);
+    candidates.push_back(url);
+  });
+
+  // Edges from the link structure captured in the Collection. Links to
+  // URLs outside the universe (e.g. dead ones) are dropped.
+  graph::LinkGraph graph(static_cast<graph::NodeId>(urls.size()));
+  collection.ForEach([&](const CollectionEntry& entry) {
+    graph::NodeId from = index.at(entry.url);
+    for (const simweb::Url& to : entry.links) {
+      auto it = index.find(to);
+      if (it != index.end()) {
+        Status st = graph.AddEdge(from, it->second);
+        (void)st;
+      }
+    }
+  });
+  graph.Finalize();
+  result.graph_nodes = graph.num_nodes();
+  result.graph_edges = graph.num_edges();
+
+  // Score all nodes.
+  std::vector<double> score;
+  switch (config_.metric) {
+    case ImportanceMetric::kPageRank: {
+      graph::PageRankOptions options;
+      options.damping = config_.damping;
+      auto pr = graph::ComputePageRank(graph, options);
+      if (!pr.ok()) return result;  // empty graph: nothing to refine
+      score = std::move(pr->rank);
+      result.iterations = pr->iterations;
+      break;
+    }
+    case ImportanceMetric::kHitsAuthority: {
+      auto hits = graph::ComputeHits(graph);
+      if (!hits.ok()) return result;
+      score = std::move(hits->authority);
+      result.iterations = hits->iterations;
+      break;
+    }
+    case ImportanceMetric::kInLinks: {
+      score.resize(graph.num_nodes());
+      for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+        score[v] = static_cast<double>(graph.InDegree(v));
+      }
+      break;
+    }
+  }
+
+  // Write importance back into collection entries.
+  for (const simweb::Url& url : member_urls) {
+    CollectionEntry* entry = collection.FindMutable(url);
+    if (entry != nullptr) entry->importance = score[index.at(url)];
+  }
+
+  // Pair best candidates with worst members under hysteresis.
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const simweb::Url& a, const simweb::Url& b) {
+              return score[index.at(a)] > score[index.at(b)];
+            });
+  // Free space first: while below capacity, admit the best candidates
+  // outright (no victim needed).
+  std::size_t free_slots = collection.capacity() - collection.size();
+  std::size_t admitted = std::min(free_slots, candidates.size());
+  result.admissions.assign(candidates.begin(),
+                           candidates.begin() +
+                               static_cast<long>(admitted));
+  candidates.erase(candidates.begin(),
+                   candidates.begin() + static_cast<long>(admitted));
+  std::sort(member_urls.begin(), member_urls.end(),
+            [&](const simweb::Url& a, const simweb::Url& b) {
+              return score[index.at(a)] < score[index.at(b)];
+            });
+  std::size_t pairs =
+      std::min({candidates.size(), member_urls.size(),
+                config_.max_replacements});
+  for (std::size_t i = 0; i < pairs; ++i) {
+    double cand_score = score[index.at(candidates[i])];
+    double victim_score = score[index.at(member_urls[i])];
+    if (cand_score <= victim_score * config_.replacement_hysteresis) break;
+    result.replacements.push_back(Replacement{
+        member_urls[i], candidates[i], victim_score, cand_score});
+  }
+  return result;
+}
+
+}  // namespace webevo::crawler

@@ -1,0 +1,245 @@
+#include "crawler/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace webevo::crawler {
+namespace {
+
+constexpr const char* kCollectionMagic = "webevo-collection";
+constexpr const char* kAllUrlsMagic = "webevo-allurls";
+constexpr const char* kTrailerMagic = "webevo-checksum";
+constexpr int kFormatVersion = 1;
+
+// Accumulates payload lines and emits them with an integrity trailer.
+class TrailerWriter {
+ public:
+  explicit TrailerWriter(std::ostream& out) : out_(out) {}
+
+  void Line(const std::string& line) {
+    hash_ = Fnv1a64Seeded(line, hash_);
+    hash_ = Fnv1a64Seeded("\n", hash_);
+    out_ << line << '\n';
+  }
+
+  void Finish() { out_ << kTrailerMagic << ' ' << hash_ << '\n'; }
+
+ private:
+  std::ostream& out_;
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+// Reads payload lines, verifying the trailer at the end.
+class TrailerReader {
+ public:
+  explicit TrailerReader(std::istream& in) : in_(in) {}
+
+  /// Next payload line; NotFound past the payload (after the trailer
+  /// was consumed and verified), InvalidArgument on corruption.
+  StatusOr<std::string> Next() {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      return Status::InvalidArgument("snapshot truncated (no trailer)");
+    }
+    if (line.rfind(kTrailerMagic, 0) == 0) {
+      std::istringstream trailer(line);
+      std::string magic;
+      uint64_t stored = 0;
+      trailer >> magic >> stored;
+      if (trailer.fail() || stored != hash_) {
+        return Status::InvalidArgument("snapshot integrity check failed");
+      }
+      done_ = true;
+      return Status::NotFound("end of payload");
+    }
+    hash_ = Fnv1a64Seeded(line, hash_);
+    hash_ = Fnv1a64Seeded("\n", hash_);
+    return line;
+  }
+
+  bool done() const { return done_; }
+
+ private:
+  std::istream& in_;
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+  bool done_ = false;
+};
+
+std::string EntryLine(const CollectionEntry& e) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "E " << e.url.site << ' ' << e.url.slot << ' '
+     << e.url.incarnation << ' ' << e.page << ' ' << e.version << ' '
+     << e.checksum.lo << ' ' << e.checksum.hi << ' ' << e.crawled_at
+     << ' ' << e.importance << ' ' << e.links.size();
+  for (const simweb::Url& link : e.links) {
+    os << ' ' << link.site << ' ' << link.slot << ' ' << link.incarnation;
+  }
+  return os.str();
+}
+
+StatusOr<CollectionEntry> ParseEntry(const std::string& line) {
+  std::istringstream is(line);
+  std::string tag;
+  CollectionEntry e;
+  std::size_t nlinks = 0;
+  is >> tag >> e.url.site >> e.url.slot >> e.url.incarnation >> e.page >>
+      e.version >> e.checksum.lo >> e.checksum.hi >> e.crawled_at >>
+      e.importance >> nlinks;
+  if (is.fail() || tag != "E") {
+    return Status::InvalidArgument("malformed entry record");
+  }
+  e.links.reserve(nlinks);
+  for (std::size_t i = 0; i < nlinks; ++i) {
+    simweb::Url link;
+    is >> link.site >> link.slot >> link.incarnation;
+    if (is.fail()) {
+      return Status::InvalidArgument("malformed link list");
+    }
+    e.links.push_back(link);
+  }
+  return e;
+}
+
+}  // namespace
+
+Status SaveCollection(const Collection& collection, std::ostream& out) {
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kCollectionMagic << ' ' << kFormatVersion << ' '
+         << collection.capacity() << ' ' << collection.size();
+  writer.Line(header.str());
+  Status st = Status::Ok();
+  collection.ForEach([&](const CollectionEntry& e) {
+    writer.Line(EntryLine(e));
+  });
+  writer.Finish();
+  if (!out.good()) return Status::Internal("snapshot write failed");
+  return st;
+}
+
+StatusOr<Collection> LoadCollection(std::istream& in) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  std::size_t capacity = 0, count = 0;
+  hs >> magic >> version >> capacity >> count;
+  if (hs.fail() || magic != kCollectionMagic) {
+    return Status::InvalidArgument("not a collection snapshot");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  Collection collection(capacity);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("snapshot entry count mismatch");
+    }
+    auto entry = ParseEntry(*line);
+    if (!entry.ok()) return entry.status();
+    Status st = collection.Upsert(std::move(entry).value());
+    if (!st.ok()) return st;
+  }
+  // Consume and verify the trailer.
+  auto end = reader.Next();
+  if (end.ok() || !reader.done()) {
+    return end.ok()
+               ? Status::InvalidArgument("trailing data in snapshot")
+               : end.status();
+  }
+  return collection;
+}
+
+Status SaveAllUrls(const AllUrls& all_urls, std::ostream& out) {
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kAllUrlsMagic << ' ' << kFormatVersion << ' '
+         << all_urls.size();
+  writer.Line(header.str());
+  all_urls.ForEach([&](const simweb::Url& url,
+                       const AllUrls::UrlInfo& info) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "U " << url.site << ' ' << url.slot << ' ' << url.incarnation
+       << ' ' << info.first_seen << ' ' << info.in_links << ' '
+       << (info.dead ? 1 : 0);
+    writer.Line(os.str());
+  });
+  writer.Finish();
+  if (!out.good()) return Status::Internal("snapshot write failed");
+  return Status::Ok();
+}
+
+StatusOr<AllUrls> LoadAllUrls(std::istream& in) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  hs >> magic >> version >> count;
+  if (hs.fail() || magic != kAllUrlsMagic) {
+    return Status::InvalidArgument("not an AllUrls snapshot");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  AllUrls all;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("snapshot entry count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    simweb::Url url;
+    double first_seen = 0.0;
+    uint64_t in_links = 0;
+    int dead = 0;
+    is >> tag >> url.site >> url.slot >> url.incarnation >> first_seen >>
+        in_links >> dead;
+    if (is.fail() || tag != "U") {
+      return Status::InvalidArgument("malformed url record");
+    }
+    all.Add(url, first_seen);
+    for (uint64_t k = 0; k < in_links; ++k) all.NoteInLink(url, first_seen);
+    if (dead != 0) {
+      Status st = all.MarkDead(url);
+      if (!st.ok()) return st;
+    }
+  }
+  auto end = reader.Next();
+  if (end.ok() || !reader.done()) {
+    return end.ok()
+               ? Status::InvalidArgument("trailing data in snapshot")
+               : end.status();
+  }
+  return all;
+}
+
+Status SaveCollectionToFile(const Collection& collection,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  return SaveCollection(collection, out);
+}
+
+StatusOr<Collection> LoadCollectionFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return LoadCollection(in);
+}
+
+}  // namespace webevo::crawler

@@ -1,0 +1,54 @@
+#ifndef WEBEVO_CRAWLER_SNAPSHOT_H_
+#define WEBEVO_CRAWLER_SNAPSHOT_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "crawler/all_urls.h"
+#include "crawler/collection.h"
+#include "util/status.h"
+
+namespace webevo::crawler {
+
+/// Durable snapshots of the crawler's local state.
+///
+/// A crawler restart should resume from its stored collection rather
+/// than recrawl the web from scratch — the local collection is the
+/// asset the whole architecture exists to maintain. The format is a
+/// versioned, line-oriented text format with an FNV-1a integrity
+/// trailer, so truncated or corrupted snapshots are rejected rather
+/// than silently loaded.
+///
+/// Format (one record per line, space-separated):
+///   webevo-collection 1 <capacity> <count>
+///   E <site> <slot> <incarnation> <page> <version> <checksum.lo>
+///     <checksum.hi> <crawled_at> <importance> <nlinks> [<s> <p> <i>]*
+///   ... (count entries)
+///   webevo-checksum <fnv64 of everything above>
+///
+/// AllUrls snapshots are analogous with `U` records carrying
+/// (first_seen, in_links, dead).
+
+/// Writes `collection` to `out`.
+Status SaveCollection(const Collection& collection, std::ostream& out);
+
+/// Reads a collection snapshot. Fails with InvalidArgument on format
+/// or integrity errors; the returned collection carries the capacity
+/// stored in the snapshot.
+StatusOr<Collection> LoadCollection(std::istream& in);
+
+/// Writes `all_urls` to `out`.
+Status SaveAllUrls(const AllUrls& all_urls, std::ostream& out);
+
+/// Reads an AllUrls snapshot.
+StatusOr<AllUrls> LoadAllUrls(std::istream& in);
+
+/// Convenience file wrappers.
+Status SaveCollectionToFile(const Collection& collection,
+                            const std::string& path);
+StatusOr<Collection> LoadCollectionFromFile(const std::string& path);
+
+}  // namespace webevo::crawler
+
+#endif  // WEBEVO_CRAWLER_SNAPSHOT_H_

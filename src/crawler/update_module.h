@@ -1,0 +1,176 @@
+#ifndef WEBEVO_CRAWLER_UPDATE_MODULE_H_
+#define WEBEVO_CRAWLER_UPDATE_MODULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "estimator/change_estimator.h"
+#include "simweb/url.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace webevo::crawler {
+
+/// How revisit frequency is assigned to pages (Section 4, choice 3).
+enum class RevisitPolicy {
+  /// Every page at the same frequency (the fixed-frequency policy
+  /// natural for batch crawlers).
+  kUniform,
+  /// Frequency proportional to estimated change rate — the intuitive
+  /// policy the paper's p1/p2 example shows can *lose* to uniform.
+  kProportional,
+  /// Freshness-optimal allocation from [CGM99b] (the Figure 9 curve):
+  /// rises with change rate, then falls.
+  kOptimal,
+};
+
+const char* RevisitPolicyName(RevisitPolicy policy);
+
+/// Configuration of the UpdateModule.
+struct UpdateModuleConfig {
+  /// EB (Bayesian frequency classes) is the default because scheduling
+  /// needs *shrinkage*: a frequentist estimator reports rate 0 for any
+  /// page it has never seen change, and the optimal policy would then
+  /// abandon pages whose changes simply haven't been caught yet. EB's
+  /// posterior mean decays smoothly toward the slow classes instead.
+  /// The ratio estimator remains the best choice when only accuracy on
+  /// observed-change pages matters.
+  estimator::EstimatorKind estimator_kind =
+      estimator::EstimatorKind::kBayesian;
+  RevisitPolicy policy = RevisitPolicy::kOptimal;
+
+  /// Keep change statistics per site instead of per page — the paper's
+  /// Section 5.3 alternative: tighter estimates when a site's pages
+  /// change at similar rates, biased when they do not.
+  bool site_level_stats = false;
+
+  /// Total crawl budget in page visits per day; the crawler owner sets
+  /// this to its steady crawl speed.
+  double crawl_budget_pages_per_day = 100.0;
+
+  /// Fraction of the budget the optimal/proportional allocations may
+  /// plan for. Crucial headroom: scheduling overheads the allocation
+  /// cannot see (probes, the max-interval clamp on abandoned pages,
+  /// newly admitted pages) would otherwise push demand permanently
+  /// above the crawl speed — and a saturated queue degenerates into
+  /// round-robin, erasing the policy entirely.
+  double budget_utilization = 0.8;
+
+  /// Revisit intervals are clamped to this range. The lower bound
+  /// prevents a hot page from monopolising the crawler; the upper bound
+  /// guarantees that pages the optimal policy would abandon (f = 0) are
+  /// still re-checked occasionally so their rate estimates can recover.
+  double min_revisit_interval_days = 0.25;
+  double max_revisit_interval_days = 60.0;
+
+  /// Interval prior used before a page has enough visit history.
+  double default_interval_days = 7.0;
+
+  /// If > 0, multiply a page's revisit frequency by
+  /// (importance / mean importance)^importance_exponent — the paper's
+  /// note that a "highly important" page may deserve more frequent
+  /// visits than its change rate alone suggests.
+  double importance_exponent = 0.0;
+
+  /// Probability of turning a reschedule into a *probe*: an early
+  /// revisit at ~1/4 of the page's estimated change interval. A visit
+  /// that is all but certain to observe a change carries no rate
+  /// information (Figure 1(a)), so pages over-estimated as fast would
+  /// otherwise be abandoned forever — every sparse revisit confirms
+  /// "changed", a self-fulfilling misclassification. Probes are the
+  /// cheap exploration that lets such pages be rescued.
+  double probe_probability = 0.1;
+
+  /// Seed for the probe coin flips (scheduling stays deterministic).
+  uint64_t seed = 0x9e3779b9;
+};
+
+/// The `UpdateModule` of Figure 12: decides *when to revisit* each
+/// collection page (the update decision). It records checksum-change
+/// outcomes into a per-page (or per-site) ChangeEstimator and maps the
+/// estimated rate to a next-visit time through the configured policy.
+///
+/// The heavy lifting of the optimal policy — solving the budget-
+/// constrained allocation — happens in Rebalance(), which the owning
+/// crawler calls periodically (mirroring the paper's separation of the
+/// fast update path from expensive global computation); between calls
+/// every scheduling decision is O(1) via the stored Lagrange
+/// multiplier.
+class UpdateModule {
+ public:
+  explicit UpdateModule(const UpdateModuleConfig& config);
+
+  /// Records the outcome of crawling `url` at `now` and returns the
+  /// next time it should be visited. `changed` is whether the checksum
+  /// differed from the stored copy; `first_visit` marks pages just
+  /// added to the collection (no change information yet).
+  /// `quiet_days`, when >= 0, is the server-reported time since the
+  /// page last changed (Last-Modified); estimators that can exploit it
+  /// (EL) do, others ignore it.
+  double OnCrawled(const simweb::Url& url, double now, bool changed,
+                   bool first_visit, double quiet_days = -1.0);
+
+  /// Sets the importance hint used by importance-aware scheduling.
+  void SetImportance(const simweb::Url& url, double importance);
+
+  /// Drops all state for a page discarded from the collection. With
+  /// site-level statistics the site aggregate is retained.
+  void Forget(const simweb::Url& url);
+
+  /// Estimated change rate for a page (0 if unknown).
+  double EstimatedRate(const simweb::Url& url) const;
+
+  /// Recomputes the global quantities behind the per-page decision:
+  /// the optimal policy's Lagrange multiplier, the proportional
+  /// policy's normaliser, and the mean importance. Call on the order of
+  /// once per simulated day.
+  void Rebalance();
+
+  std::size_t tracked_pages() const { return pages_.size(); }
+  const UpdateModuleConfig& config() const { return config_; }
+  int64_t rebalance_count() const { return rebalance_count_; }
+  /// Last solved Lagrange multiplier (0 before the first optimal
+  /// rebalance); exposed for observability and tests.
+  double multiplier() const { return multiplier_; }
+
+ private:
+  struct PageState {
+    /// Owned when page-level stats; with site-level stats the
+    /// estimator lives in sites_ and this is null.
+    std::unique_ptr<estimator::ChangeEstimator> estimator;
+    double last_visit = 0.0;
+    bool visited = false;
+    double importance = 0.0;
+    /// Whether the page's pending visit is a verification probe of an
+    /// abandonment decision (see OnCrawled).
+    bool probing_abandonment = false;
+  };
+
+  estimator::ChangeEstimator* EstimatorFor(const simweb::Url& url,
+                                           PageState& state);
+  const estimator::ChangeEstimator* EstimatorFor(
+      const simweb::Url& url, const PageState& state) const;
+
+  /// Rate used for scheduling: the estimate when trustworthy, the
+  /// prior while history is thin.
+  double SchedulingRate(const estimator::ChangeEstimator* est) const;
+
+  /// Maps a rate (and importance) to a visit frequency per the policy.
+  double FrequencyFor(double rate, double importance) const;
+
+  UpdateModuleConfig config_;
+  Rng rng_;
+  std::unordered_map<simweb::Url, PageState, simweb::UrlHash> pages_;
+  std::unordered_map<uint32_t,
+                     std::unique_ptr<estimator::ChangeEstimator>>
+      sites_;  // site-level aggregates when enabled
+  double multiplier_ = 0.0;        // kOptimal; 0 = not yet rebalanced
+  double total_rate_ = 0.0;        // kProportional normaliser
+  double mean_importance_ = 0.0;   // importance boost normaliser
+  int64_t rebalance_count_ = 0;
+};
+
+}  // namespace webevo::crawler
+
+#endif  // WEBEVO_CRAWLER_UPDATE_MODULE_H_

@@ -1,0 +1,84 @@
+#include "estimator/bayesian_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace webevo::estimator {
+namespace {
+
+// Rates for "changes many times a day / several times a day / daily /
+// weekly / monthly / every 4 months / yearly". The sub-daily classes
+// matter: without them every rapid changer is pinned at the "daily"
+// rate, which badly *under*-estimates hopeless pages and misleads the
+// optimal revisit policy into spending budget on them.
+std::vector<double> DefaultClassRates() {
+  return {16.0,       4.0,        1.0,        1.0 / 7.0,
+          1.0 / 30.0, 1.0 / 120.0, 1.0 / 365.0};
+}
+
+}  // namespace
+
+BayesianEstimator::BayesianEstimator()
+    : BayesianEstimator(DefaultClassRates()) {}
+
+BayesianEstimator::BayesianEstimator(std::vector<double> class_rates,
+                                     std::vector<double> prior)
+    : class_rates_(std::move(class_rates)) {
+  assert(!class_rates_.empty());
+  for (double r : class_rates_) {
+    assert(r > 0.0);
+    (void)r;
+  }
+  if (prior.size() == class_rates_.size()) {
+    prior_ = std::move(prior);
+  } else {
+    prior_.assign(class_rates_.size(), 1.0 / class_rates_.size());
+  }
+  posterior_ = prior_;
+}
+
+void BayesianEstimator::RecordObservation(double interval_days,
+                                          bool changed) {
+  if (interval_days <= 0.0) return;
+  double total = 0.0;
+  for (size_t c = 0; c < class_rates_.size(); ++c) {
+    double p_unchanged = std::exp(-class_rates_[c] * interval_days);
+    double likelihood = changed ? 1.0 - p_unchanged : p_unchanged;
+    posterior_[c] *= likelihood;
+    total += posterior_[c];
+  }
+  if (total > 0.0) {
+    for (double& p : posterior_) p /= total;
+  } else {
+    // All likelihoods underflowed; restart from the prior rather than
+    // propagating NaNs.
+    posterior_ = prior_;
+  }
+  ++observations_;
+}
+
+double BayesianEstimator::EstimatedRate() const {
+  double rate = 0.0;
+  for (size_t c = 0; c < class_rates_.size(); ++c) {
+    rate += posterior_[c] * class_rates_[c];
+  }
+  return rate;
+}
+
+double BayesianEstimator::MapRate() const {
+  return class_rates_[MapClass()];
+}
+
+size_t BayesianEstimator::MapClass() const {
+  return static_cast<size_t>(
+      std::max_element(posterior_.begin(), posterior_.end()) -
+      posterior_.begin());
+}
+
+void BayesianEstimator::Reset() {
+  posterior_ = prior_;
+  observations_ = 0;
+}
+
+}  // namespace webevo::estimator

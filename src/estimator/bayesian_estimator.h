@@ -1,0 +1,62 @@
+#ifndef WEBEVO_ESTIMATOR_BAYESIAN_ESTIMATOR_H_
+#define WEBEVO_ESTIMATOR_BAYESIAN_ESTIMATOR_H_
+
+#include <vector>
+
+#include "estimator/change_estimator.h"
+
+namespace webevo::estimator {
+
+/// Estimator EB of Section 5.3 / [CGM99a]: Bayesian classification of a
+/// page into discrete *frequency classes* (e.g. "changes every week" —
+/// C_W — vs "changes every month" — C_M).
+///
+/// The estimator keeps P{page in class c} for each class and updates it
+/// on every visit with the Poisson likelihood of the observed outcome:
+/// a change within interval Δ has likelihood 1 - e^{-λ_c Δ} under class
+/// c, no change e^{-λ_c Δ}. Exactly the paper's example: learning that a
+/// page did not change for a month raises P{C_M} and lowers P{C_W}.
+class BayesianEstimator final : public ChangeEstimator {
+ public:
+  /// Default classes: changes every day / week / month / 4 months / year
+  /// — the paper's histogram buckets (Figure 2) reused as a prior grid.
+  BayesianEstimator();
+
+  /// Custom classes: `class_rates` are changes/day, strictly positive;
+  /// `prior`, if non-empty, must match in size and sum to ~1, otherwise
+  /// a uniform prior is used.
+  explicit BayesianEstimator(std::vector<double> class_rates,
+                             std::vector<double> prior = {});
+
+  void RecordObservation(double interval_days, bool changed) override;
+
+  /// Posterior-mean rate over the classes.
+  double EstimatedRate() const override;
+
+  /// Rate of the maximum a-posteriori class.
+  double MapRate() const;
+  /// Index of the MAP class.
+  size_t MapClass() const;
+
+  const std::vector<double>& class_rates() const { return class_rates_; }
+  const std::vector<double>& posterior() const { return posterior_; }
+
+  int64_t observation_count() const override { return observations_; }
+  void Reset() override;
+
+  std::unique_ptr<ChangeEstimator> Clone() const override {
+    return std::make_unique<BayesianEstimator>(*this);
+  }
+
+  std::string Name() const override { return "EB"; }
+
+ private:
+  std::vector<double> class_rates_;
+  std::vector<double> prior_;
+  std::vector<double> posterior_;
+  int64_t observations_ = 0;
+};
+
+}  // namespace webevo::estimator
+
+#endif  // WEBEVO_ESTIMATOR_BAYESIAN_ESTIMATOR_H_

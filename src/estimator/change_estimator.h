@@ -1,0 +1,69 @@
+#ifndef WEBEVO_ESTIMATOR_CHANGE_ESTIMATOR_H_
+#define WEBEVO_ESTIMATOR_CHANGE_ESTIMATOR_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+
+namespace webevo::estimator {
+
+/// Interface for estimating a page's Poisson change rate from repeated
+/// visits, the statistic the paper's UpdateModule maintains to decide
+/// revisit frequency (Section 5.3, [CGM99a]).
+///
+/// Estimators consume *observations*: "the page was visited
+/// `interval_days` after its previous visit, and its checksum
+/// did / did not differ". Keying observations on the inter-visit
+/// interval (rather than absolute time) lets one estimator instance
+/// aggregate statistics over any unit — a page, a directory, or a whole
+/// site, as the paper discusses for site-level statistics.
+class ChangeEstimator {
+ public:
+  virtual ~ChangeEstimator() = default;
+
+  /// Records one visit outcome. `interval_days` must be positive;
+  /// non-positive intervals are ignored (a repeat visit at the same
+  /// instant carries no rate information).
+  virtual void RecordObservation(double interval_days, bool changed) = 0;
+
+  /// Current point estimate of the change rate (changes per day).
+  /// 0 while no change has ever been detected.
+  virtual double EstimatedRate() const = 0;
+
+  /// Convenience: mean change interval in days (+infinity if the rate
+  /// estimate is 0).
+  double EstimatedInterval() const {
+    double r = EstimatedRate();
+    return r > 0.0 ? 1.0 / r : std::numeric_limits<double>::infinity();
+  }
+
+  /// Number of observations recorded since construction/Reset.
+  virtual int64_t observation_count() const = 0;
+
+  /// Clears all state.
+  virtual void Reset() = 0;
+
+  /// Deep copy (estimators are small value-like objects).
+  virtual std::unique_ptr<ChangeEstimator> Clone() const = 0;
+
+  /// Short name for tables ("naive", "EP", "EB", "ratio").
+  virtual std::string Name() const = 0;
+};
+
+/// Available estimator implementations.
+enum class EstimatorKind {
+  kNaive,      ///< X changes / T days of monitoring (Section 3.1)
+  kPoissonCi,  ///< EP: MLE with confidence interval (Section 5.3)
+  kBayesian,   ///< EB: posterior over frequency classes (Section 5.3)
+  kRatio,      ///< bias-corrected -log((n-X+.5)/(n+.5))/mean-interval
+  kLastModified,  ///< EL: quiet-tail MLE from Last-Modified headers
+};
+
+/// Creates a fresh estimator of the given kind with default parameters.
+std::unique_ptr<ChangeEstimator> MakeEstimator(EstimatorKind kind);
+
+const char* EstimatorKindName(EstimatorKind kind);
+
+}  // namespace webevo::estimator
+
+#endif  // WEBEVO_ESTIMATOR_CHANGE_ESTIMATOR_H_

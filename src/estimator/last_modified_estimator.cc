@@ -1,0 +1,56 @@
+#include "estimator/last_modified_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace webevo::estimator {
+
+void LastModifiedEstimator::RecordObservationWithTimestamp(
+    double interval_days, bool changed, double quiet_days) {
+  if (interval_days <= 0.0) return;
+  ++visits_;
+  if (changed) {
+    ++detections_;
+    // Only the part of the quiet tail inside this gap is new
+    // information; a reported modification *before* the previous visit
+    // would contradict `changed` and is clamped defensively.
+    quiet_days_ += std::clamp(quiet_days, 0.0, interval_days);
+  } else {
+    quiet_days_ += interval_days;
+  }
+}
+
+void LastModifiedEstimator::RecordObservation(double interval_days,
+                                              bool changed) {
+  if (interval_days <= 0.0) return;
+  if (!changed) {
+    RecordObservationWithTimestamp(interval_days, false, interval_days);
+    return;
+  }
+  // No timestamp: impute the expected quiet tail under the current
+  // estimate, E[q | >=1 change in delta] = 1/l - delta/(e^{l delta}-1).
+  double rate = EstimatedRate();
+  double imputed;
+  if (rate <= 0.0) {
+    imputed = interval_days / 2.0;  // uninformed prior: midpoint
+  } else {
+    double x = rate * interval_days;
+    imputed = x < 1e-6 ? interval_days / 2.0
+                       : 1.0 / rate - interval_days / std::expm1(x);
+  }
+  RecordObservationWithTimestamp(interval_days, true,
+                                 std::min(imputed, interval_days));
+}
+
+double LastModifiedEstimator::EstimatedRate() const {
+  if (detections_ == 0 || quiet_days_ <= 0.0) return 0.0;
+  return static_cast<double>(detections_) / quiet_days_;
+}
+
+void LastModifiedEstimator::Reset() {
+  quiet_days_ = 0.0;
+  visits_ = 0;
+  detections_ = 0;
+}
+
+}  // namespace webevo::estimator

@@ -1,0 +1,59 @@
+#ifndef WEBEVO_ESTIMATOR_LAST_MODIFIED_ESTIMATOR_H_
+#define WEBEVO_ESTIMATOR_LAST_MODIFIED_ESTIMATOR_H_
+
+#include "estimator/change_estimator.h"
+
+namespace webevo::estimator {
+
+/// Estimator exploiting Last-Modified timestamps ([CGM99a]'s "last date
+/// of change" setting): when a server reports *when* the page last
+/// changed, each visit reveals a known-quiet tail of the Poisson
+/// process, not just a changed/unchanged bit.
+///
+/// Likelihood per visit over a gap of delta days:
+///   - changed, last modification q days before the visit (q < delta):
+///     one event at the boundary and quiet since: lambda e^{-lambda q};
+///   - unchanged: quiet for the whole gap: e^{-lambda delta}.
+/// The MLE is therefore simply
+///   lambda = detections / total observed quiet time,
+/// which — unlike the checksum-only estimators — does *not* saturate
+/// when the page changes faster than the visit cadence: the quiet tail
+/// keeps shrinking as the true rate grows, so even one visit per month
+/// can identify a page that changes hourly. The Figure 1(a)
+/// identifiability limit is specific to checksum-only monitoring.
+///
+/// When a timestamp is unavailable (RecordObservation), a changed visit
+/// falls back to the conditional expectation of the quiet tail under
+/// the current rate estimate, E[q | changed in delta] =
+/// 1/lambda - delta / (e^{lambda delta} - 1), making the estimator
+/// usable — with checksum-only accuracy — in mixed fleets.
+class LastModifiedEstimator final : public ChangeEstimator {
+ public:
+  /// Records a visit with the server-reported quiet tail: the page
+  /// last changed `quiet_days` before this visit. For unchanged visits
+  /// pass quiet_days >= interval_days (only the gap portion counts).
+  void RecordObservationWithTimestamp(double interval_days, bool changed,
+                                      double quiet_days);
+
+  // ChangeEstimator interface (timestamp-free fallback).
+  void RecordObservation(double interval_days, bool changed) override;
+  double EstimatedRate() const override;
+  int64_t observation_count() const override { return visits_; }
+  void Reset() override;
+  std::unique_ptr<ChangeEstimator> Clone() const override {
+    return std::make_unique<LastModifiedEstimator>(*this);
+  }
+  std::string Name() const override { return "EL"; }
+
+  int64_t detections() const { return detections_; }
+  double total_quiet_days() const { return quiet_days_; }
+
+ private:
+  double quiet_days_ = 0.0;
+  int64_t visits_ = 0;
+  int64_t detections_ = 0;
+};
+
+}  // namespace webevo::estimator
+
+#endif  // WEBEVO_ESTIMATOR_LAST_MODIFIED_ESTIMATOR_H_

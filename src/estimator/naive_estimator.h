@@ -1,0 +1,54 @@
+#ifndef WEBEVO_ESTIMATOR_NAIVE_ESTIMATOR_H_
+#define WEBEVO_ESTIMATOR_NAIVE_ESTIMATOR_H_
+
+#include "estimator/change_estimator.h"
+
+namespace webevo::estimator {
+
+/// The paper's Section 3.1 estimator: if a page was monitored for T days
+/// and changed X times (at most one detection per visit), the average
+/// change interval is T / X, i.e. rate = X / T.
+///
+/// Simple but biased: with visits every Δ days it cannot see more than
+/// one change per visit, so it *underestimates* rates above 1/Δ
+/// (Figure 1a) — a bias the paper accepts and interprets as measuring
+/// "batches of changes". Tests quantify this against the ground truth.
+class NaiveEstimator final : public ChangeEstimator {
+ public:
+  void RecordObservation(double interval_days, bool changed) override {
+    if (interval_days <= 0.0) return;
+    monitored_days_ += interval_days;
+    if (changed) ++changes_;
+    ++observations_;
+  }
+
+  double EstimatedRate() const override {
+    if (monitored_days_ <= 0.0 || changes_ == 0) return 0.0;
+    return static_cast<double>(changes_) / monitored_days_;
+  }
+
+  int64_t observation_count() const override { return observations_; }
+  int64_t detected_changes() const { return changes_; }
+  double monitored_days() const { return monitored_days_; }
+
+  void Reset() override {
+    monitored_days_ = 0.0;
+    changes_ = 0;
+    observations_ = 0;
+  }
+
+  std::unique_ptr<ChangeEstimator> Clone() const override {
+    return std::make_unique<NaiveEstimator>(*this);
+  }
+
+  std::string Name() const override { return "naive"; }
+
+ private:
+  double monitored_days_ = 0.0;
+  int64_t changes_ = 0;
+  int64_t observations_ = 0;
+};
+
+}  // namespace webevo::estimator
+
+#endif  // WEBEVO_ESTIMATOR_NAIVE_ESTIMATOR_H_

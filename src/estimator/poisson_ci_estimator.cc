@@ -1,0 +1,43 @@
+#include "estimator/poisson_ci_estimator.h"
+
+#include <cmath>
+#include <limits>
+
+namespace webevo::estimator {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Maps a detection probability to a rate given the mean visit interval.
+double RateFromDetectionProb(double p, double mean_interval) {
+  if (mean_interval <= 0.0) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return kInfinity;
+  return -std::log(1.0 - p) / mean_interval;
+}
+
+}  // namespace
+
+double PoissonCiEstimator::EstimatedRate() const {
+  if (visits_ == 0 || detections_ == 0) return 0.0;
+  double n = static_cast<double>(visits_);
+  // At saturation (every visit changed) the MLE diverges; back off by
+  // half a detection, the standard continuity correction, so the point
+  // estimate stays finite and usable for scheduling.
+  double x = static_cast<double>(detections_);
+  if (detections_ == visits_) x -= 0.5;
+  return RateFromDetectionProb(x / n, mean_interval());
+}
+
+Interval PoissonCiEstimator::RateInterval(double confidence) const {
+  if (visits_ == 0) return {0.0, kInfinity};
+  Interval p = WilsonInterval(detections_, visits_, confidence);
+  double mi = mean_interval();
+  Interval out;
+  out.lo = RateFromDetectionProb(p.lo, mi);
+  out.hi = detections_ == visits_ ? kInfinity
+                                  : RateFromDetectionProb(p.hi, mi);
+  return out;
+}
+
+}  // namespace webevo::estimator

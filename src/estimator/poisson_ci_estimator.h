@@ -1,0 +1,64 @@
+#ifndef WEBEVO_ESTIMATOR_POISSON_CI_ESTIMATOR_H_
+#define WEBEVO_ESTIMATOR_POISSON_CI_ESTIMATOR_H_
+
+#include "estimator/change_estimator.h"
+#include "util/stats.h"
+
+namespace webevo::estimator {
+
+/// Estimator EP of Section 5.3 / [CGM99a]: assumes the page follows a
+/// Poisson process (validated by Section 3.4) and inverts the per-visit
+/// detection probability.
+///
+/// With visits every Δ days, each visit detects a change with
+/// probability p = 1 - e^{-λΔ}. Given X detections out of n visits, the
+/// maximum-likelihood rate is λ̂ = -ln(1 - X/n) / Δ̄ (Δ̄ = mean observed
+/// interval), which — unlike the naive X/T — remains consistent as λΔ
+/// grows, up to the saturation point X = n. A Wilson interval on p maps
+/// through the same transform to the confidence interval on λ that EP
+/// reports.
+class PoissonCiEstimator final : public ChangeEstimator {
+ public:
+  void RecordObservation(double interval_days, bool changed) override {
+    if (interval_days <= 0.0) return;
+    total_interval_ += interval_days;
+    ++visits_;
+    if (changed) ++detections_;
+  }
+
+  double EstimatedRate() const override;
+
+  /// Two-sided confidence interval on the rate; `confidence` in (0, 1).
+  /// When every visit detected a change the upper bound is infinite
+  /// (the data only lower-bounds the rate — Figure 1(a)).
+  Interval RateInterval(double confidence) const;
+
+  int64_t observation_count() const override { return visits_; }
+  int64_t detections() const { return detections_; }
+  /// Mean inter-visit interval (0 before any observation).
+  double mean_interval() const {
+    return visits_ > 0 ? total_interval_ / static_cast<double>(visits_)
+                       : 0.0;
+  }
+
+  void Reset() override {
+    total_interval_ = 0.0;
+    visits_ = 0;
+    detections_ = 0;
+  }
+
+  std::unique_ptr<ChangeEstimator> Clone() const override {
+    return std::make_unique<PoissonCiEstimator>(*this);
+  }
+
+  std::string Name() const override { return "EP"; }
+
+ private:
+  double total_interval_ = 0.0;
+  int64_t visits_ = 0;
+  int64_t detections_ = 0;
+};
+
+}  // namespace webevo::estimator
+
+#endif  // WEBEVO_ESTIMATOR_POISSON_CI_ESTIMATOR_H_

@@ -1,0 +1,16 @@
+#include "estimator/ratio_estimator.h"
+
+#include <cmath>
+
+namespace webevo::estimator {
+
+double RatioEstimator::EstimatedRate() const {
+  if (visits_ == 0 || detections_ == 0) return 0.0;
+  double n = static_cast<double>(visits_);
+  double x = static_cast<double>(detections_);
+  double mean_interval = total_interval_ / n;
+  if (mean_interval <= 0.0) return 0.0;
+  return -std::log((n - x + 0.5) / (n + 0.5)) / mean_interval;
+}
+
+}  // namespace webevo::estimator

@@ -1,0 +1,52 @@
+#ifndef WEBEVO_ESTIMATOR_RATIO_ESTIMATOR_H_
+#define WEBEVO_ESTIMATOR_RATIO_ESTIMATOR_H_
+
+#include "estimator/change_estimator.h"
+
+namespace webevo::estimator {
+
+/// Bias-corrected frequency estimator from Cho & Garcia-Molina's
+/// follow-up work on "Estimating frequency of change" ([CGM99a], in
+/// final form r̂ = -log((n - X + 0.5) / (n + 0.5)) / Δ̄): given n visits
+/// with X detected changes and mean inter-visit interval Δ̄.
+///
+/// Compared to EP's raw MLE it (a) stays finite at saturation X = n,
+/// (b) has markedly lower small-sample bias, and (c) needs no regular
+/// visit schedule — which is why the incremental crawler, whose
+/// variable-frequency policy visits pages at irregular intervals, uses
+/// it as the default UpdateModule estimator.
+class RatioEstimator final : public ChangeEstimator {
+ public:
+  void RecordObservation(double interval_days, bool changed) override {
+    if (interval_days <= 0.0) return;
+    total_interval_ += interval_days;
+    ++visits_;
+    if (changed) ++detections_;
+  }
+
+  double EstimatedRate() const override;
+
+  int64_t observation_count() const override { return visits_; }
+  int64_t detections() const { return detections_; }
+
+  void Reset() override {
+    total_interval_ = 0.0;
+    visits_ = 0;
+    detections_ = 0;
+  }
+
+  std::unique_ptr<ChangeEstimator> Clone() const override {
+    return std::make_unique<RatioEstimator>(*this);
+  }
+
+  std::string Name() const override { return "ratio"; }
+
+ private:
+  double total_interval_ = 0.0;
+  int64_t visits_ = 0;
+  int64_t detections_ = 0;
+};
+
+}  // namespace webevo::estimator
+
+#endif  // WEBEVO_ESTIMATOR_RATIO_ESTIMATOR_H_

@@ -1,0 +1,155 @@
+#include "experiment/analyzers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace webevo::experiment {
+namespace {
+
+int DomainIndex(simweb::Domain d) { return static_cast<int>(d); }
+
+}  // namespace
+
+ChangeIntervalResult AnalyzeChangeIntervals(const PageStatsTable& table) {
+  ChangeIntervalResult result;
+  table.ForEach([&](const simweb::Url& url, const PageStats& ps) {
+    (void)url;
+    if (ps.sightings < 2) return;  // no interval information
+    double interval = ps.EstimatedChangeIntervalDays();
+    // +infinity (never changed) lands in the overflow bucket, matching
+    // the paper's "did not change at all" fifth bar.
+    double value = std::isfinite(interval) ? interval : 1e9;
+    result.overall.Add(value);
+    result.by_domain[static_cast<std::size_t>(DomainIndex(ps.domain))].Add(
+        value);
+    ++result.pages_analyzed;
+  });
+  return result;
+}
+
+LifespanResult AnalyzeLifespans(const PageStatsTable& table, int num_days) {
+  LifespanResult result;
+  table.ForEach([&](const simweb::Url& url, const PageStats& ps) {
+    (void)url;
+    double s = ps.VisibleLifespanDays();
+    bool censored = ps.first_day == 0 || ps.last_day == num_days - 1;
+    double method2 = censored ? 2.0 * s : s;
+    auto d = static_cast<std::size_t>(DomainIndex(ps.domain));
+    result.method1.Add(s);
+    result.method2.Add(method2);
+    result.method1_by_domain[d].Add(s);
+    result.method2_by_domain[d].Add(method2);
+    ++result.pages_analyzed;
+  });
+  return result;
+}
+
+int SurvivalResult::DaysToReach(const std::vector<double>& series,
+                                double level) {
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] <= level) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+SurvivalResult AnalyzeSurvival(const PageStatsTable& table, int num_days) {
+  SurvivalResult result;
+  if (num_days <= 0) return result;
+  auto nd = static_cast<std::size_t>(num_days);
+  // events[d] = cohort pages that first changed or disappeared on day d.
+  std::vector<std::size_t> events(nd + 1, 0);
+  std::array<std::vector<std::size_t>, simweb::kNumDomains> events_by_domain;
+  for (auto& v : events_by_domain) v.assign(nd + 1, 0);
+
+  table.ForEach([&](const simweb::Url& url, const PageStats& ps) {
+    (void)url;
+    if (ps.first_day != 0) return;  // Figure 5 follows the day-0 cohort
+    auto d = static_cast<std::size_t>(DomainIndex(ps.domain));
+    ++result.cohort_size;
+    ++result.cohort_by_domain[d];
+    // The page "dies" for Figure 5 at its first change or its first
+    // absence from the window, whichever comes first.
+    int death = num_days;  // survives the horizon
+    if (ps.first_change_day >= 0) death = ps.first_change_day;
+    int gone = ps.first_gap_day >= 0 ? ps.first_gap_day : ps.last_day + 1;
+    if (gone < death && gone < num_days) death = gone;
+    if (death > num_days) death = num_days;
+    ++events[static_cast<std::size_t>(death)];
+    ++events_by_domain[d][static_cast<std::size_t>(death)];
+  });
+
+  result.day.resize(nd);
+  result.overall.resize(nd);
+  for (auto& v : result.by_domain) v.assign(nd, 1.0);
+  std::size_t dead = 0;
+  std::array<std::size_t, simweb::kNumDomains> dead_by_domain = {};
+  for (std::size_t day = 0; day < nd; ++day) {
+    dead += events[day];
+    result.day[day] = static_cast<double>(day);
+    result.overall[day] =
+        result.cohort_size > 0
+            ? 1.0 - static_cast<double>(dead) /
+                        static_cast<double>(result.cohort_size)
+            : 1.0;
+    for (int d = 0; d < simweb::kNumDomains; ++d) {
+      auto dd = static_cast<std::size_t>(d);
+      dead_by_domain[dd] += events_by_domain[dd][day];
+      result.by_domain[dd][day] =
+          result.cohort_by_domain[dd] > 0
+              ? 1.0 - static_cast<double>(dead_by_domain[dd]) /
+                          static_cast<double>(result.cohort_by_domain[dd])
+              : 1.0;
+    }
+  }
+  return result;
+}
+
+StatusOr<PoissonResult> AnalyzePoisson(const PageStatsTable& table,
+                                       double target_interval_days,
+                                       double tolerance_frac) {
+  if (target_interval_days <= 0.0) {
+    return Status::InvalidArgument("target interval must be positive");
+  }
+  PoissonResult result;
+  result.target_interval_days = target_interval_days;
+  const double lo = target_interval_days * (1.0 - tolerance_frac);
+  const double hi = target_interval_days * (1.0 + tolerance_frac);
+
+  std::vector<int> intervals;
+  table.ForEach([&](const simweb::Url& url, const PageStats& ps) {
+    (void)url;
+    if (ps.changes < 2) return;
+    double est = ps.EstimatedChangeIntervalDays();
+    if (!(est >= lo && est <= hi)) return;
+    ++result.pages_selected;
+    for (std::size_t i = 1; i < ps.change_days.size(); ++i) {
+      intervals.push_back(ps.change_days[i] - ps.change_days[i - 1]);
+    }
+  });
+  if (intervals.empty()) {
+    return Status::NotFound("no pages near the target interval");
+  }
+  result.intervals_collected = intervals.size();
+
+  int max_interval = *std::max_element(intervals.begin(), intervals.end());
+  std::vector<double> counts(static_cast<std::size_t>(max_interval) + 1,
+                             0.0);
+  for (int v : intervals) counts[static_cast<std::size_t>(v)] += 1.0;
+  const double total = static_cast<double>(intervals.size());
+  const double lambda = 1.0 / target_interval_days;
+  for (int t = 1; t <= max_interval; ++t) {
+    result.interval_days.push_back(static_cast<double>(t));
+    result.fraction.push_back(counts[static_cast<std::size_t>(t)] / total);
+    // Poisson prediction for day-granular detection: an interval of t
+    // days has probability integral over (t-1, t] of the exponential
+    // density = e^{-lambda (t-1)} - e^{-lambda t}.
+    result.predicted.push_back(std::exp(-lambda * (t - 1)) -
+                               std::exp(-lambda * t));
+  }
+  auto fit = FitExponential(result.interval_days, result.fraction);
+  if (!fit.ok()) return fit.status();
+  result.fit = *fit;
+  return result;
+}
+
+}  // namespace webevo::experiment

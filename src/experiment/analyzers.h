@@ -1,0 +1,85 @@
+#ifndef WEBEVO_EXPERIMENT_ANALYZERS_H_
+#define WEBEVO_EXPERIMENT_ANALYZERS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "experiment/page_stats.h"
+#include "simweb/domain.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace webevo::experiment {
+
+/// Figure 2 — fraction of pages with a given average change interval,
+/// overall and per domain. Pages sighted only once carry no interval
+/// information and are excluded; pages never seen to change fall in the
+/// "> 4 months" bucket (the paper's fifth bar).
+struct ChangeIntervalResult {
+  Histogram overall = Histogram::ChangeIntervalBuckets();
+  std::array<Histogram, simweb::kNumDomains> by_domain = {
+      Histogram::ChangeIntervalBuckets(), Histogram::ChangeIntervalBuckets(),
+      Histogram::ChangeIntervalBuckets(), Histogram::ChangeIntervalBuckets()};
+  std::size_t pages_analyzed = 0;
+};
+ChangeIntervalResult AnalyzeChangeIntervals(const PageStatsTable& table);
+
+/// Figure 4 — visible lifespan, with the paper's two censoring
+/// corrections: Method 1 uses the observed span s; Method 2 doubles s
+/// for pages touching the start or end of the experiment (cases (a),
+/// (c), (d) of Figure 3).
+struct LifespanResult {
+  Histogram method1 = Histogram::LifespanBuckets();
+  Histogram method2 = Histogram::LifespanBuckets();
+  std::array<Histogram, simweb::kNumDomains> method1_by_domain = {
+      Histogram::LifespanBuckets(), Histogram::LifespanBuckets(),
+      Histogram::LifespanBuckets(), Histogram::LifespanBuckets()};
+  std::array<Histogram, simweb::kNumDomains> method2_by_domain = {
+      Histogram::LifespanBuckets(), Histogram::LifespanBuckets(),
+      Histogram::LifespanBuckets(), Histogram::LifespanBuckets()};
+  std::size_t pages_analyzed = 0;
+};
+/// `num_days` is the experiment length (pages sighted on day 0 or day
+/// num_days - 1 are censored).
+LifespanResult AnalyzeLifespans(const PageStatsTable& table, int num_days);
+
+/// Figure 5 — survival of the day-0 cohort: the fraction of pages that
+/// had neither changed nor disappeared by each day.
+struct SurvivalResult {
+  std::vector<double> day;       ///< 0 .. num_days - 1
+  std::vector<double> overall;   ///< surviving fraction, all domains
+  std::array<std::vector<double>, simweb::kNumDomains> by_domain;
+  std::array<std::size_t, simweb::kNumDomains> cohort_by_domain = {};
+  std::size_t cohort_size = 0;
+
+  /// First day the series drops to or below `level` (e.g. 0.5 for the
+  /// paper's "how long until 50% of the web changed"); -1 if it never
+  /// does within the horizon.
+  static int DaysToReach(const std::vector<double>& series, double level);
+};
+SurvivalResult AnalyzeSurvival(const PageStatsTable& table, int num_days);
+
+/// Figure 6 — distribution of intervals between successive detected
+/// changes for pages whose estimated mean change interval is near
+/// `target_interval_days`, against the Poisson prediction
+/// lambda e^{-lambda t}.
+struct PoissonResult {
+  double target_interval_days = 0.0;
+  std::vector<double> interval_days;  ///< histogram bin centres (1 day wide)
+  std::vector<double> fraction;       ///< observed fraction per bin
+  std::vector<double> predicted;      ///< Poisson prediction per bin
+  ExponentialFit fit;                 ///< exponential fit to the observed tail
+  std::size_t pages_selected = 0;
+  std::size_t intervals_collected = 0;
+};
+/// Selects pages with estimated interval within +-`tolerance_frac` of
+/// the target. Fails if no page qualifies or the fit is degenerate.
+StatusOr<PoissonResult> AnalyzePoisson(const PageStatsTable& table,
+                                       double target_interval_days,
+                                       double tolerance_frac);
+
+}  // namespace webevo::experiment
+
+#endif  // WEBEVO_EXPERIMENT_ANALYZERS_H_

@@ -1,0 +1,58 @@
+#include "experiment/csv_export.h"
+
+#include <cmath>
+
+namespace webevo::experiment {
+
+Status WritePageStatsCsv(const PageStatsTable& table, std::ostream& out) {
+  out << "url,domain,first_day,last_day,sightings,changes,"
+         "first_change_day,first_gap_day,est_interval_days,"
+         "lifespan_days\n";
+  table.ForEach([&](const simweb::Url& url, const PageStats& ps) {
+    double interval = ps.EstimatedChangeIntervalDays();
+    out << url.ToString() << ',' << simweb::DomainName(ps.domain) << ','
+        << ps.first_day << ',' << ps.last_day << ',' << ps.sightings
+        << ',' << ps.changes << ',' << ps.first_change_day << ','
+        << ps.first_gap_day << ',';
+    if (std::isfinite(interval)) {
+      out << interval;
+    } else {
+      out << "inf";
+    }
+    out << ',' << ps.VisibleLifespanDays() << '\n';
+  });
+  if (!out.good()) return Status::Internal("csv write failed");
+  return Status::Ok();
+}
+
+Status WriteSurvivalCsv(const SurvivalResult& result, std::ostream& out) {
+  out << "day,overall,com,edu,netorg,gov\n";
+  for (std::size_t i = 0; i < result.day.size(); ++i) {
+    out << result.day[i] << ',' << result.overall[i];
+    for (int d = 0; d < simweb::kNumDomains; ++d) {
+      out << ',' << result.by_domain[static_cast<std::size_t>(d)][i];
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::Internal("csv write failed");
+  return Status::Ok();
+}
+
+Status WriteHistogramCsv(const Histogram& histogram, std::ostream& out) {
+  out << "label,upper_edge,count,fraction\n";
+  for (std::size_t b = 0; b < histogram.num_buckets(); ++b) {
+    double edge = histogram.bucket_upper_edge(b);
+    out << histogram.bucket_label(b) << ',';
+    if (std::isfinite(edge)) {
+      out << edge;
+    } else {
+      out << "inf";
+    }
+    out << ',' << histogram.bucket_count(b) << ','
+        << histogram.fraction(b) << '\n';
+  }
+  if (!out.good()) return Status::Internal("csv write failed");
+  return Status::Ok();
+}
+
+}  // namespace webevo::experiment

@@ -1,0 +1,29 @@
+#ifndef WEBEVO_EXPERIMENT_CSV_EXPORT_H_
+#define WEBEVO_EXPERIMENT_CSV_EXPORT_H_
+
+#include <ostream>
+
+#include "experiment/analyzers.h"
+#include "experiment/page_stats.h"
+#include "util/status.h"
+
+namespace webevo::experiment {
+
+/// Writes the per-URL statistics of a monitoring campaign as CSV
+/// (header + one row per sighted URL), for analysis outside the
+/// library (notebooks, gnuplot, spreadsheets).
+///
+/// Columns: url, domain, first_day, last_day, sightings, changes,
+/// first_change_day, first_gap_day, est_interval_days, lifespan_days.
+Status WritePageStatsCsv(const PageStatsTable& table, std::ostream& out);
+
+/// Writes a survival analysis as CSV: day, overall, com, edu, netorg,
+/// gov (the Figure 5 series).
+Status WriteSurvivalCsv(const SurvivalResult& result, std::ostream& out);
+
+/// Writes a histogram as CSV: label, upper_edge, count, fraction.
+Status WriteHistogramCsv(const Histogram& histogram, std::ostream& out);
+
+}  // namespace webevo::experiment
+
+#endif  // WEBEVO_EXPERIMENT_CSV_EXPORT_H_

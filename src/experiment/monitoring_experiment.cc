@@ -1,0 +1,53 @@
+#include "experiment/monitoring_experiment.h"
+
+namespace webevo::experiment {
+
+MonitoringExperiment::MonitoringExperiment(simweb::SimulatedWeb* web,
+                                           const MonitoringConfig& config)
+    : web_(web), config_(config) {
+  windows_.reserve(web->num_sites());
+  for (uint32_t s = 0; s < web->num_sites(); ++s) {
+    windows_.emplace_back(s, config.window_size);
+  }
+}
+
+Status MonitoringExperiment::RunDay(int day) {
+  if (day != days_completed_) {
+    return Status::FailedPrecondition("days must be run in order");
+  }
+  if (day >= config_.num_days) {
+    return Status::OutOfRange("past the configured campaign length");
+  }
+  double t = config_.start_time + static_cast<double>(day) +
+             config_.visit_hour_fraction;
+  for (PageWindow& window : windows_) {
+    simweb::Domain domain = web_->site_domain(window.site());
+    WindowVisit visit = window.Visit(*web_, t);
+    for (const Observation& obs : visit.pages) {
+      table_.Record(domain, day, obs);
+    }
+  }
+  ++days_completed_;
+  return Status::Ok();
+}
+
+Status MonitoringExperiment::Run() {
+  if (days_completed_ != 0) {
+    return Status::FailedPrecondition("experiment already ran");
+  }
+  for (int day = 0; day < config_.num_days; ++day) {
+    Status st = RunDay(day);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+uint64_t MonitoringExperiment::total_fetches() const {
+  uint64_t total = 0;
+  for (const PageWindow& window : windows_) {
+    total += window.total_fetches();
+  }
+  return total;
+}
+
+}  // namespace webevo::experiment

@@ -1,0 +1,36 @@
+#include "experiment/page_stats.h"
+
+#include <limits>
+
+namespace webevo::experiment {
+
+double PageStats::EstimatedChangeIntervalDays() const {
+  if (changes <= 0) return std::numeric_limits<double>::infinity();
+  int span = SpanDays();
+  if (span <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(span) / static_cast<double>(changes);
+}
+
+void PageStatsTable::Record(simweb::Domain domain, int day,
+                            const Observation& obs) {
+  PageStats& ps = stats_[obs.url];
+  if (ps.sightings == 0) {
+    ps.domain = domain;
+    ps.page = obs.page;
+    ps.first_day = day;
+  } else if (ps.first_gap_day < 0 && day > ps.last_day + 1) {
+    // The page skipped at least one daily visit: it left the window and
+    // came back. Record where the first absence began.
+    ps.first_gap_day = ps.last_day + 1;
+  }
+  ps.last_day = day;
+  ++ps.sightings;
+  if (obs.changed) {
+    ++ps.changes;
+    if (ps.first_change_day < 0) ps.first_change_day = day;
+    ps.change_days.push_back(day);
+  }
+  if (day > last_recorded_day_) last_recorded_day_ = day;
+}
+
+}  // namespace webevo::experiment

@@ -1,0 +1,69 @@
+#ifndef WEBEVO_EXPERIMENT_PAGE_STATS_H_
+#define WEBEVO_EXPERIMENT_PAGE_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "experiment/page_window.h"
+#include "simweb/domain.h"
+#include "simweb/url.h"
+
+namespace webevo::experiment {
+
+/// Everything the study's analyses need about one monitored URL,
+/// accumulated from daily window sightings.
+struct PageStats {
+  simweb::Domain domain = simweb::Domain::kCom;
+  simweb::PageId page = simweb::kInvalidPage;
+  int first_day = -1;        ///< day of the first sighting
+  int last_day = -1;         ///< day of the most recent sighting
+  int first_gap_day = -1;    ///< first day it went missing (-1 = never)
+  int sightings = 0;         ///< total days sighted
+  int changes = 0;           ///< sightings whose checksum differed
+  int first_change_day = -1; ///< day of the first detected change
+  /// Days on which a change was detected, in order (Figure 6 needs the
+  /// full sequence to histogram inter-change intervals).
+  std::vector<int> change_days;
+
+  /// Days between first and last sighting (the monitored span). 0 for a
+  /// single sighting.
+  int SpanDays() const { return last_day - first_day; }
+
+  /// The paper's Section 3.1 estimate: monitored span / changes, at
+  /// one-day granularity. Returns +infinity when no change was seen.
+  double EstimatedChangeIntervalDays() const;
+
+  /// Visible lifespan s (Figure 3): days from first to last sighting,
+  /// inclusive — what a user probing the window daily would perceive.
+  int VisibleLifespanDays() const { return SpanDays() + 1; }
+};
+
+/// Accumulates PageStats for every URL sighted by the monitoring
+/// experiment. Day indices are 0-based from the experiment start.
+class PageStatsTable {
+ public:
+  /// Records one sighting from a window visit on `day`.
+  void Record(simweb::Domain domain, int day, const Observation& obs);
+
+  const std::unordered_map<simweb::Url, PageStats, simweb::UrlHash>&
+  stats() const {
+    return stats_;
+  }
+  std::size_t num_pages() const { return stats_.size(); }
+  /// Highest day index recorded so far (-1 if none).
+  int last_recorded_day() const { return last_recorded_day_; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [url, ps] : stats_) fn(url, ps);
+  }
+
+ private:
+  std::unordered_map<simweb::Url, PageStats, simweb::UrlHash> stats_;
+  int last_recorded_day_ = -1;
+};
+
+}  // namespace webevo::experiment
+
+#endif  // WEBEVO_EXPERIMENT_PAGE_STATS_H_

@@ -1,0 +1,51 @@
+#include "experiment/page_window.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace webevo::experiment {
+
+WindowVisit PageWindow::Visit(simweb::SimulatedWeb& web, double t) {
+  WindowVisit visit;
+  visit.time = t;
+
+  std::deque<simweb::Url> frontier;
+  std::unordered_set<simweb::Url, simweb::UrlHash> enqueued;
+  std::unordered_set<simweb::Url, simweb::UrlHash> in_window;
+  simweb::Url root = web.RootUrl(site_);
+  frontier.push_back(root);
+  enqueued.insert(root);
+
+  while (!frontier.empty() && visit.pages.size() < window_size_) {
+    simweb::Url url = frontier.front();
+    frontier.pop_front();
+    ++total_fetches_;
+    auto result = web.Fetch(url, t);
+    if (!result.ok()) continue;  // vanished between discovery and fetch
+
+    Observation obs;
+    obs.url = url;
+    obs.page = result->page;
+    auto it = last_checksum_.find(url);
+    obs.first_sighting = it == last_checksum_.end();
+    obs.changed = !obs.first_sighting && !(it->second == result->checksum);
+    last_checksum_[url] = result->checksum;
+    in_window.insert(url);
+    visit.pages.push_back(obs);
+
+    for (const simweb::Url& link : result->links) {
+      // Windows are per-site: the paper crawled each selected site's own
+      // pages; cross-site links were used only for site selection.
+      if (link.site != site_) continue;
+      if (enqueued.insert(link).second) frontier.push_back(link);
+    }
+  }
+
+  for (const simweb::Url& url : previous_window_) {
+    if (in_window.count(url) == 0) visit.left.push_back(url);
+  }
+  previous_window_.assign(in_window.begin(), in_window.end());
+  return visit;
+}
+
+}  // namespace webevo::experiment

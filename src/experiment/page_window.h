@@ -1,0 +1,63 @@
+#ifndef WEBEVO_EXPERIMENT_PAGE_WINDOW_H_
+#define WEBEVO_EXPERIMENT_PAGE_WINDOW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "simweb/page.h"
+#include "simweb/simulated_web.h"
+#include "simweb/url.h"
+#include "util/hash.h"
+
+namespace webevo::experiment {
+
+/// One page observation from a daily window visit.
+struct Observation {
+  simweb::Url url;
+  simweb::PageId page = simweb::kInvalidPage;
+  bool changed = false;     ///< checksum differs from the previous sighting
+  bool first_sighting = false;  ///< never seen by this window before
+};
+
+/// The result of visiting one site's window on one day.
+struct WindowVisit {
+  double time = 0.0;
+  std::vector<Observation> pages;   ///< today's window, in BFS order
+  std::vector<simweb::Url> left;    ///< URLs in yesterday's window, gone today
+};
+
+/// The paper's *page window* monitoring scheme (Section 2.1): each day,
+/// start from a site's root page and follow links breadth-first, up to
+/// `window_size` pages. Pages enter the window as they are created or
+/// move closer to the root and leave it when deleted or buried deeper —
+/// so, unlike tracking a fixed URL set, the scheme captures new pages.
+///
+/// The window keeps the last checksum of every URL it has ever sighted
+/// (the paper's change-detection mechanism) and reports, per visit,
+/// which window pages changed since their previous sighting.
+class PageWindow {
+ public:
+  PageWindow(uint32_t site, std::size_t window_size)
+      : site_(site), window_size_(window_size) {}
+
+  /// Performs one BFS visit at time `t`. Fetches count as crawl traffic
+  /// on `web`.
+  WindowVisit Visit(simweb::SimulatedWeb& web, double t);
+
+  uint32_t site() const { return site_; }
+  std::size_t window_size() const { return window_size_; }
+  uint64_t total_fetches() const { return total_fetches_; }
+
+ private:
+  uint32_t site_;
+  std::size_t window_size_;
+  std::unordered_map<simweb::Url, Checksum128, simweb::UrlHash>
+      last_checksum_;
+  std::vector<simweb::Url> previous_window_;
+  uint64_t total_fetches_ = 0;
+};
+
+}  // namespace webevo::experiment
+
+#endif  // WEBEVO_EXPERIMENT_PAGE_WINDOW_H_

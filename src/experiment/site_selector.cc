@@ -1,0 +1,62 @@
+#include "experiment/site_selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/pagerank.h"
+#include "graph/site_graph.h"
+#include "util/random.h"
+
+namespace webevo::experiment {
+
+simweb::WebConfig MakeUniverseConfig(const SiteSelectorConfig& config) {
+  simweb::WebConfig web;
+  web.seed = config.seed;
+  double assigned = 0.0;
+  for (int d = 0; d < simweb::kNumDomains; ++d) {
+    auto dd = static_cast<std::size_t>(d);
+    double share = config.universe_domain_mix[dd];
+    web.sites_per_domain[dd] = std::max(
+        1, static_cast<int>(std::lround(share * config.universe_sites)));
+    assigned += share;
+  }
+  (void)assigned;
+  // Small sites keep the universe cheap; only the cross-site link
+  // structure matters for site-level PageRank.
+  web.min_site_size = 10;
+  web.max_site_size = 60;
+  return web;
+}
+
+StatusOr<SiteSelectionResult> SelectSites(
+    simweb::SimulatedWeb& universe, const SiteSelectorConfig& config) {
+  if (config.candidates <= 0) {
+    return Status::InvalidArgument("candidates must be positive");
+  }
+  if (config.permission_prob < 0.0 || config.permission_prob > 1.0) {
+    return Status::InvalidArgument("permission_prob not in [0,1]");
+  }
+  graph::SiteGraph site_graph =
+      graph::SiteGraph::FromWeb(universe, universe.now());
+  graph::PageRankOptions options;
+  options.damping = config.damping;
+  auto rank = site_graph.ComputeSiteRank(options);
+  if (!rank.ok()) return rank.status();
+
+  SiteSelectionResult result;
+  result.candidates = graph::TopKByRank(
+      rank->rank, static_cast<std::size_t>(config.candidates));
+
+  Rng rng(config.seed ^ 0x5157u);  // independent permission stream
+  for (uint32_t site : result.candidates) {
+    auto d = static_cast<std::size_t>(universe.site_domain(site));
+    ++result.candidates_by_domain[d];
+    if (rng.Bernoulli(config.permission_prob)) {
+      result.selected.push_back(site);
+      ++result.selected_by_domain[d];
+    }
+  }
+  return result;
+}
+
+}  // namespace webevo::experiment

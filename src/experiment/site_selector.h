@@ -1,0 +1,59 @@
+#ifndef WEBEVO_EXPERIMENT_SITE_SELECTOR_H_
+#define WEBEVO_EXPERIMENT_SITE_SELECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "simweb/simulated_web.h"
+#include "simweb/web_config.h"
+#include "util/status.h"
+
+namespace webevo::experiment {
+
+/// Parameters of the Table 1 site-selection pipeline (Section 2.2).
+struct SiteSelectorConfig {
+  /// Size of the site universe standing in for the paper's 25M-page
+  /// WebBase snapshot.
+  int universe_sites = 2000;
+
+  /// Domain mix of the universe (com, edu, netorg, gov). Calibrated so
+  /// the popularity-ranked top-400 resembles the paper's candidate set;
+  /// the true 1999 crawl is unavailable (see DESIGN.md).
+  std::array<double, simweb::kNumDomains> universe_domain_mix = {
+      0.49, 0.28, 0.12, 0.11};
+
+  /// Number of top-ranked candidate sites to contact (paper: 400).
+  int candidates = 400;
+
+  /// Probability a contacted webmaster grants permission
+  /// (paper: 270 of 400 agreed).
+  double permission_prob = 270.0 / 400.0;
+
+  /// PageRank damping for the site hypergraph (paper: 0.9).
+  double damping = 0.9;
+
+  uint64_t seed = 19990217;
+};
+
+/// Result of the selection pipeline.
+struct SiteSelectionResult {
+  std::vector<uint32_t> candidates;  ///< top sites by site PageRank
+  std::vector<uint32_t> selected;    ///< candidates that granted permission
+  std::array<int, simweb::kNumDomains> candidates_by_domain = {};
+  std::array<int, simweb::kNumDomains> selected_by_domain = {};
+};
+
+/// Builds a WebConfig for the selection universe: many small sites with
+/// the configured domain mix.
+simweb::WebConfig MakeUniverseConfig(const SiteSelectorConfig& config);
+
+/// Runs the pipeline against `universe`: compute the site-level
+/// hypergraph PageRank, take the top `candidates` sites, and keep each
+/// with `permission_prob`.
+StatusOr<SiteSelectionResult> SelectSites(simweb::SimulatedWeb& universe,
+                                          const SiteSelectorConfig& config);
+
+}  // namespace webevo::experiment
+
+#endif  // WEBEVO_EXPERIMENT_SITE_SELECTOR_H_

@@ -1,0 +1,61 @@
+#include "freshness/age.h"
+
+#include <cmath>
+
+#include "freshness/analytic.h"
+
+namespace webevo::freshness {
+namespace {
+
+// g(x) = 1 - e^{-x} - x e^{-x}, the shared marginal kernel.
+double G(double x) { return 1.0 - std::exp(-x) - x * std::exp(-x); }
+
+}  // namespace
+
+double InPlaceAgeOf(double lambda, double period) {
+  return InPlaceAge(lambda, period);
+}
+
+double ExpectedAgeAtCopyAge(double lambda, double age_of_copy) {
+  if (lambda <= 0.0 || age_of_copy <= 0.0) return 0.0;
+  double x = lambda * age_of_copy;
+  if (x < 1e-6) {
+    // a - (1 - e^{-x})/lambda ~ lambda a^2 / 2 - lambda^2 a^3 / 6.
+    return lambda * age_of_copy * age_of_copy *
+           (0.5 - x / 6.0);
+  }
+  return age_of_copy - (1.0 - std::exp(-x)) / lambda;
+}
+
+double BatchShadowingAge(double lambda, double period,
+                         double crawl_window) {
+  if (lambda <= 0.0 || period <= 0.0 || crawl_window <= 0.0) return 0.0;
+  const double t = period, w = crawl_window;
+  double xt = lambda * t, xw = lambda * w;
+  if (xt + xw < 1e-4) {
+    // Series: A ~ lambda ((T^2 + w^2)/6 + T w / 4).
+    return lambda * ((t * t + w * w) / 6.0 + t * w / 4.0);
+  }
+  // Closed form (derivation in tests/freshness_age_test.cc):
+  //   A = (T + w)/2 - 1/lambda
+  //       + (1 - e^{-lambda T})(1 - e^{-lambda w}) / (lambda^3 T w).
+  return (t + w) / 2.0 - 1.0 / lambda +
+         (-std::expm1(-xt)) * (-std::expm1(-xw)) /
+             (lambda * lambda * lambda * t * w);
+}
+
+double SteadyShadowingAge(double lambda, double period) {
+  return BatchShadowingAge(lambda, period, period);
+}
+
+double AgePeriodSensitivity(double lambda, double period) {
+  if (lambda <= 0.0 || period <= 0.0) return 0.0;
+  double x = lambda * period;
+  if (x < 1e-4) {
+    // 1/2 - g(x)/x^2 with g(x) ~ x^2/2 - x^3/3: sensitivity ~ x/3.
+    return x / 3.0;
+  }
+  return 0.5 - G(x) / (x * x);
+}
+
+}  // namespace webevo::freshness

@@ -1,0 +1,46 @@
+#ifndef WEBEVO_FRESHNESS_AGE_H_
+#define WEBEVO_FRESHNESS_AGE_H_
+
+#include "util/status.h"
+
+namespace webevo::freshness {
+
+/// The paper's *second* collection metric ([CGM99b], mentioned in
+/// Section 4): the age of a stored copy is 0 while it is up to date and
+/// otherwise the time since the page's first unseen change. Freshness
+/// counts *how many* copies are stale; age measures *how badly*.
+///
+/// All formulas assume the Poisson change model with rate `lambda`
+/// (changes/day) and one sync per `period` days, like analytic.h.
+
+/// Time-averaged age of an in-place-updated page (steady or batch):
+///   A = T/2 - 1/lambda + (1 - e^{-lambda T}) / (lambda^2 T),
+/// the integral of E[age at tau] = tau - (1 - e^{-lambda tau})/lambda
+/// over the sync period. -> 0 as lambda -> 0, -> T/2 as lambda -> inf.
+/// (Re-exported from analytic.h for locality; same implementation.)
+double InPlaceAgeOf(double lambda, double period);
+
+/// Time-averaged age of a page served from a *shadowed* collection that
+/// a steady crawler rebuilds each period: the copy enters service T - u
+/// days after its crawl at offset u and serves for a full period, so
+/// its age accrues over an effective staleness horizon of up to 2T.
+double SteadyShadowingAge(double lambda, double period);
+
+/// Time-averaged age with a batch crawler and shadowing (window w).
+double BatchShadowingAge(double lambda, double period, double crawl_window);
+
+/// Instantaneous expected age of one copy synced `age_of_copy` days ago:
+///   E[age] = a - (1 - e^{-lambda a}) / lambda    (a = age_of_copy).
+double ExpectedAgeAtCopyAge(double lambda, double age_of_copy);
+
+/// Age-optimal revisit frequency marginal: unlike freshness, the age
+/// metric's marginal value d(-A)/df is *increasing* in lambda without
+/// bound, so age-optimal allocations never abandon fast pages — a
+/// qualitative difference from Figure 9 that [CGM99b] works out.
+/// Returns dA/dT (the sensitivity of age to the sync period), used by
+/// tests to verify the monotonicity claim.
+double AgePeriodSensitivity(double lambda, double period);
+
+}  // namespace webevo::freshness
+
+#endif  // WEBEVO_FRESHNESS_AGE_H_

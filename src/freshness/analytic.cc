@@ -1,0 +1,202 @@
+#include "freshness/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace webevo::freshness {
+namespace {
+
+// (1 - e^{-x}) / x, numerically stable near 0.
+double OneMinusExpOverX(double x) {
+  if (x < 1e-8) return 1.0 - x / 2.0 + x * x / 6.0;
+  return (1.0 - std::exp(-x)) / x;
+}
+
+StatusOr<FreshnessCurve> SampleCurve(
+    const CurveSpec& spec, double (*point)(const CurveSpec&, double)) {
+  if (spec.lambda < 0.0) return Status::InvalidArgument("negative lambda");
+  if (spec.period <= 0.0) return Status::InvalidArgument("period <= 0");
+  if (spec.crawl_window <= 0.0 || spec.crawl_window > spec.period) {
+    return Status::InvalidArgument("crawl_window not in (0, period]");
+  }
+  if (spec.samples < 2 || spec.horizon <= 0.0) {
+    return Status::InvalidArgument("need horizon > 0 and >= 2 samples");
+  }
+  FreshnessCurve curve;
+  curve.time.reserve(static_cast<size_t>(spec.samples));
+  curve.freshness.reserve(static_cast<size_t>(spec.samples));
+  for (int i = 0; i < spec.samples; ++i) {
+    double t = spec.horizon * static_cast<double>(i) /
+               static_cast<double>(spec.samples - 1);
+    curve.time.push_back(t);
+    curve.freshness.push_back(point(spec, t));
+  }
+  return curve;
+}
+
+// Freshness contribution of pages synced uniformly over sync offsets
+// [a, b) within a window of width `width`, observed `elapsed_from_a`
+// days after offset a: (1/width) * integral_a^b e^{-lambda (t - u)} du
+// with t - a = elapsed_from_a.
+double UniformSyncSegment(double lambda, double width, double a, double b,
+                          double elapsed_from_a) {
+  if (b <= a || width <= 0.0) return 0.0;
+  if (lambda <= 0.0) return (b - a) / width;
+  // integral_a^b e^{-lambda (a + elapsed - u)} du
+  //   = (e^{-lambda (a + elapsed - b)} - e^{-lambda elapsed}) / lambda
+  double upper = std::exp(-lambda * (elapsed_from_a - (b - a)));
+  double lower = std::exp(-lambda * elapsed_from_a);
+  return (upper - lower) / (lambda * width);
+}
+
+// --- Point evaluators; all assume cold start at t = 0 -----------------
+
+double BatchInPlacePoint(const CurveSpec& s, double t) {
+  const double T = s.period, w = s.crawl_window, lambda = s.lambda;
+  const double cycle = std::floor(t / T);
+  const double tau = t - cycle * T;
+  double f = 0.0;
+  if (tau < w) {
+    // Pages already crawled this cycle, at offsets u in [0, tau].
+    f += UniformSyncSegment(lambda, w, 0.0, tau, tau);
+    // Pages pending this cycle: last synced in the previous cycle at
+    // offsets u in (tau, w), i.e. tau + T - u days ago (the earliest,
+    // u = tau, was synced exactly T days ago). Cold in cycle 0.
+    if (cycle >= 1.0) {
+      f += UniformSyncSegment(lambda, w, tau, w, /*elapsed_from_a=*/T);
+    }
+  } else {
+    // All pages synced this cycle at offsets [0, w).
+    f += UniformSyncSegment(lambda, w, 0.0, w, tau);
+  }
+  return f;
+}
+
+double SteadyInPlacePoint(const CurveSpec& s, double t) {
+  const double T = s.period, lambda = s.lambda;
+  const double cycle = std::floor(t / T);
+  const double tau = t - cycle * T;
+  double f = UniformSyncSegment(lambda, T, 0.0, tau, tau);
+  if (cycle >= 1.0) {
+    // Pending pages were synced in the previous sweep, tau + T - u ago.
+    f += UniformSyncSegment(lambda, T, tau, T, T);
+  }
+  return f;
+}
+
+double SteadyShadowCrawlerPoint(const CurveSpec& s, double t) {
+  const double T = s.period, lambda = s.lambda;
+  const double tau = t - std::floor(t / T) * T;
+  // Shadow space restarts from scratch each cycle.
+  return UniformSyncSegment(lambda, T, 0.0, tau, tau);
+}
+
+double SteadyShadowCurrentPoint(const CurveSpec& s, double t) {
+  const double T = s.period, lambda = s.lambda;
+  const double cycle = std::floor(t / T);
+  if (cycle < 1.0) return 0.0;  // nothing swapped in yet
+  const double tau = t - cycle * T;
+  // Serving the set crawled over the whole previous cycle: a page
+  // crawled at offset u is now tau + T - u old.
+  return UniformSyncSegment(lambda, T, 0.0, T, tau + T);
+}
+
+double BatchShadowCrawlerPoint(const CurveSpec& s, double t) {
+  const double T = s.period, w = s.crawl_window, lambda = s.lambda;
+  const double tau = t - std::floor(t / T) * T;
+  if (tau < w) return UniformSyncSegment(lambda, w, 0.0, tau, tau);
+  return UniformSyncSegment(lambda, w, 0.0, w, tau);
+}
+
+double BatchShadowCurrentPoint(const CurveSpec& s, double t) {
+  const double T = s.period, w = s.crawl_window, lambda = s.lambda;
+  const double cycle = std::floor(t / T);
+  const double tau = t - cycle * T;
+  if (tau >= w) {
+    // Swapped at offset w: serving this cycle's crawl.
+    return UniformSyncSegment(lambda, w, 0.0, w, tau);
+  }
+  if (cycle < 1.0) return 0.0;  // empty until the first swap
+  // Before the swap: still serving the previous cycle's crawl.
+  return UniformSyncSegment(lambda, w, 0.0, w, tau + T);
+}
+
+}  // namespace
+
+double InPlaceFreshness(double lambda, double period) {
+  if (lambda <= 0.0) return 1.0;
+  return OneMinusExpOverX(lambda * period);
+}
+
+double SteadyShadowingFreshness(double lambda, double period) {
+  double f = InPlaceFreshness(lambda, period);
+  return f * f;
+}
+
+double BatchShadowingFreshness(double lambda, double period,
+                               double crawl_window) {
+  if (lambda <= 0.0) return 1.0;
+  return OneMinusExpOverX(lambda * period) *
+         OneMinusExpOverX(lambda * crawl_window);
+}
+
+double InPlaceAge(double lambda, double period) {
+  if (lambda <= 0.0 || period <= 0.0) return 0.0;
+  double t = period;
+  double x = lambda * t;
+  if (x < 1e-4) {
+    // Series expansion: T/2 - 1/lambda + (1-e^{-x})/(lambda x)
+    //   = lambda T^2 / 6 - lambda^2 T^3 / 24 + ...
+    // avoids the catastrophic cancellation of the closed form.
+    return lambda * t * t / 6.0 - lambda * lambda * t * t * t / 24.0;
+  }
+  return t / 2.0 - 1.0 / lambda +
+         (1.0 - std::exp(-lambda * t)) / (lambda * lambda * t);
+}
+
+StatusOr<FreshnessCurve> BatchInPlaceCurve(const CurveSpec& spec) {
+  return SampleCurve(spec, &BatchInPlacePoint);
+}
+
+StatusOr<FreshnessCurve> SteadyInPlaceCurve(const CurveSpec& spec) {
+  return SampleCurve(spec, &SteadyInPlacePoint);
+}
+
+StatusOr<FreshnessCurve> SteadyShadowingCurve(const CurveSpec& spec,
+                                              CurveKind kind) {
+  return SampleCurve(spec, kind == CurveKind::kCrawlerCollection
+                               ? &SteadyShadowCrawlerPoint
+                               : &SteadyShadowCurrentPoint);
+}
+
+StatusOr<FreshnessCurve> BatchShadowingCurve(const CurveSpec& spec,
+                                             CurveKind kind) {
+  return SampleCurve(spec, kind == CurveKind::kCrawlerCollection
+                               ? &BatchShadowCrawlerPoint
+                               : &BatchShadowCurrentPoint);
+}
+
+double CurveTimeAverage(const FreshnessCurve& curve, double from,
+                        double to) {
+  if (curve.time.size() < 2 || to <= from) return 0.0;
+  double area = 0.0;
+  double span = 0.0;
+  for (size_t i = 1; i < curve.time.size(); ++i) {
+    double t0 = std::max(curve.time[i - 1], from);
+    double t1 = std::min(curve.time[i], to);
+    if (t1 <= t0) continue;
+    // Trapezoid over the clipped segment; endpoints interpolate.
+    double dt_full = curve.time[i] - curve.time[i - 1];
+    if (dt_full <= 0.0) continue;
+    auto at = [&](double t) {
+      double a = (t - curve.time[i - 1]) / dt_full;
+      return curve.freshness[i - 1] +
+             a * (curve.freshness[i] - curve.freshness[i - 1]);
+    };
+    area += 0.5 * (at(t0) + at(t1)) * (t1 - t0);
+    span += t1 - t0;
+  }
+  return span > 0.0 ? area / span : 0.0;
+}
+
+}  // namespace webevo::freshness

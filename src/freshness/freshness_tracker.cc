@@ -1,0 +1,52 @@
+#include "freshness/freshness_tracker.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace webevo::freshness {
+
+void FreshnessTracker::AddSample(double time, double value) {
+  if (!time_.empty() && time < time_.back()) return;
+  time_.push_back(time);
+  value_.push_back(value);
+}
+
+double FreshnessTracker::TimeAverage(double from, double to) const {
+  if (time_.size() < 2 || to <= from) return 0.0;
+  double area = 0.0, span = 0.0;
+  for (size_t i = 1; i < time_.size(); ++i) {
+    double t0 = std::max(time_[i - 1], from);
+    double t1 = std::min(time_[i], to);
+    double dt_full = time_[i] - time_[i - 1];
+    if (t1 <= t0 || dt_full <= 0.0) continue;
+    auto at = [&](double t) {
+      double a = (t - time_[i - 1]) / dt_full;
+      return value_[i - 1] + a * (value_[i] - value_[i - 1]);
+    };
+    area += 0.5 * (at(t0) + at(t1)) * (t1 - t0);
+    span += t1 - t0;
+  }
+  return span > 0.0 ? area / span : 0.0;
+}
+
+double FreshnessTracker::TimeAverage() const {
+  if (time_.size() < 2) return value_.empty() ? 0.0 : value_.front();
+  return TimeAverage(time_.front(), time_.back());
+}
+
+double FreshnessTracker::MinValue() const {
+  if (value_.empty()) return 0.0;
+  return *std::min_element(value_.begin(), value_.end());
+}
+
+double FreshnessTracker::MaxValue() const {
+  if (value_.empty()) return 0.0;
+  return *std::max_element(value_.begin(), value_.end());
+}
+
+void FreshnessTracker::Clear() {
+  time_.clear();
+  value_.clear();
+}
+
+}  // namespace webevo::freshness

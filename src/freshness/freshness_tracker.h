@@ -1,0 +1,45 @@
+#ifndef WEBEVO_FRESHNESS_FRESHNESS_TRACKER_H_
+#define WEBEVO_FRESHNESS_FRESHNESS_TRACKER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace webevo::freshness {
+
+/// Accumulates a (time, value) series during a simulation — typically
+/// the measured freshness of a crawler's collection — and reports
+/// time-weighted summaries, the quantities Table 2 and Figures 7/8
+/// compare.
+///
+/// Samples must be added with non-decreasing timestamps.
+class FreshnessTracker {
+ public:
+  /// Records `value` at `time`. Samples at non-monotonic times are
+  /// dropped (the simulation clock only moves forward).
+  void AddSample(double time, double value);
+
+  std::size_t size() const { return time_.size(); }
+  bool empty() const { return time_.empty(); }
+  const std::vector<double>& times() const { return time_; }
+  const std::vector<double>& values() const { return value_; }
+
+  /// Trapezoidal time-average over [from, to] intersected with the
+  /// sampled range; 0 if fewer than two samples overlap it.
+  double TimeAverage(double from, double to) const;
+
+  /// Time-average over the full sampled range.
+  double TimeAverage() const;
+
+  double MinValue() const;
+  double MaxValue() const;
+
+  void Clear();
+
+ private:
+  std::vector<double> time_;
+  std::vector<double> value_;
+};
+
+}  // namespace webevo::freshness
+
+#endif  // WEBEVO_FRESHNESS_FRESHNESS_TRACKER_H_

@@ -1,0 +1,83 @@
+#ifndef WEBEVO_FRESHNESS_REVISIT_OPTIMIZER_H_
+#define WEBEVO_FRESHNESS_REVISIT_OPTIMIZER_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace webevo::freshness {
+
+/// A group of pages sharing one change rate.
+struct RateGroup {
+  double rate = 0.0;    ///< changes per day (lambda)
+  double weight = 1.0;  ///< number of pages in the group
+};
+
+/// An assignment of revisit frequencies to rate groups.
+struct Allocation {
+  /// Visits per day for each group's pages (same order as the input).
+  std::vector<double> frequency;
+  /// Weighted average freshness achieved by the assignment.
+  double freshness = 0.0;
+  /// Lagrange multiplier at the optimum (0 for non-optimal policies).
+  double multiplier = 0.0;
+};
+
+/// Computes freshness-optimal revisit frequencies under a crawl budget —
+/// the variable-frequency policy of Section 4 (choice 3) whose shape is
+/// Figure 9, following [CGM99b].
+///
+/// Problem: maximize sum_i w_i F(lambda_i, f_i) subject to
+/// sum_i w_i f_i = budget, f_i >= 0, where F(lambda, f) =
+/// (1 - e^{-lambda/f}) * f / lambda is the time-averaged freshness of a
+/// Poisson page revisited every 1/f days.
+///
+/// F is concave and increasing in f with marginal value
+/// dF/df = (1 - e^{-x} - x e^{-x}) / lambda at x = lambda / f, which is
+/// bounded by 1/lambda: the faster a page changes, the *less* a visit
+/// can ever be worth. The KKT conditions therefore equalise marginal
+/// value across visited pages and give f = 0 to pages whose rate exceeds
+/// 1/multiplier — reproducing the paper's counter-intuitive result that
+/// beyond some change frequency the optimal revisit frequency *falls*
+/// (and eventually the crawler should give up on the page entirely, as
+/// in the p1/p2 example of Section 4).
+class RevisitOptimizer {
+ public:
+  /// Time-averaged freshness of one page: F(lambda, f). F = 1 for
+  /// lambda <= 0; F = 0 for f <= 0 (never synced) when lambda > 0.
+  static double FreshnessAt(double rate, double frequency);
+
+  /// Optimal allocation. `budget` is total visits/day over all pages
+  /// (sum of weights * frequency). Requires positive budget, positive
+  /// weights, non-negative rates, and at least one group.
+  static StatusOr<Allocation> Optimize(const std::vector<RateGroup>& groups,
+                                       double budget);
+
+  /// Baseline: every page visited at the same frequency
+  /// budget / total_weight (the fixed-frequency policy).
+  static StatusOr<Allocation> Uniform(const std::vector<RateGroup>& groups,
+                                      double budget);
+
+  /// Baseline: frequency proportional to change rate (the intuitive
+  /// policy the paper shows can lose to uniform).
+  static StatusOr<Allocation> Proportional(
+      const std::vector<RateGroup>& groups, double budget);
+
+  /// Weighted average freshness of an arbitrary assignment.
+  static StatusOr<double> EvaluateFreshness(
+      const std::vector<RateGroup>& groups,
+      const std::vector<double>& frequency);
+
+  /// Optimal frequency for a single page of change rate `rate` at
+  /// Lagrange multiplier `multiplier` (as returned in
+  /// Allocation::multiplier). Lets a crawler price *any* page against a
+  /// solved allocation without re-optimising: the UpdateModule stores
+  /// the multiplier and maps each page's estimated rate through this.
+  /// Returns 0 for pages not worth visiting (rate = 0, or rate >=
+  /// 1/multiplier).
+  static double FrequencyAtMultiplier(double rate, double multiplier);
+};
+
+}  // namespace webevo::freshness
+
+#endif  // WEBEVO_FRESHNESS_REVISIT_OPTIMIZER_H_

@@ -1,0 +1,67 @@
+#include "graph/hits.h"
+
+#include <cmath>
+
+namespace webevo::graph {
+namespace {
+
+// Normalises v to unit L2 norm; returns the prior norm (0 if all-zero).
+double NormalizeL2(std::vector<double>& v) {
+  double sq = 0.0;
+  for (double x : v) sq += x * x;
+  double norm = std::sqrt(sq);
+  if (norm > 0.0) {
+    for (double& x : v) x /= norm;
+  }
+  return norm;
+}
+
+}  // namespace
+
+StatusOr<HitsResult> ComputeHits(const LinkGraph& graph,
+                                 const HitsOptions& options) {
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("graph not finalized");
+  }
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+
+  HitsResult result;
+  result.hub.assign(n, 1.0);
+  result.authority.assign(n, 1.0);
+  NormalizeL2(result.hub);
+  NormalizeL2(result.authority);
+
+  std::vector<double> prev_auth = result.authority;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Authority from hubs pointing in.
+    for (NodeId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (NodeId u : graph.InNeighbors(v)) sum += result.hub[u];
+      result.authority[v] = sum;
+    }
+    NormalizeL2(result.authority);
+    // Hub from authorities pointed at.
+    for (NodeId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (NodeId w : graph.OutNeighbors(v)) sum += result.authority[w];
+      result.hub[v] = sum;
+    }
+    NormalizeL2(result.hub);
+
+    double delta_sq = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double d = result.authority[v] - prev_auth[v];
+      delta_sq += d * d;
+    }
+    prev_auth = result.authority;
+    result.iterations = iter + 1;
+    if (std::sqrt(delta_sq) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace webevo::graph

@@ -1,0 +1,35 @@
+#ifndef WEBEVO_GRAPH_HITS_H_
+#define WEBEVO_GRAPH_HITS_H_
+
+#include <vector>
+
+#include "graph/link_graph.h"
+#include "util/status.h"
+
+namespace webevo::graph {
+
+/// Options for the HITS (Hub & Authority) solver [Kle98], the paper's
+/// alternative importance metric for the RankingModule (Section 5.2).
+struct HitsOptions {
+  int max_iterations = 100;
+  /// L2 convergence threshold on the authority vector.
+  double tolerance = 1e-12;
+};
+
+/// Hub and authority scores, each normalised to unit L2 norm.
+struct HitsResult {
+  std::vector<double> hub;
+  std::vector<double> authority;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Computes HITS scores by mutual power iteration:
+/// authority(v) = sum of hub over in-neighbors, hub(v) = sum of
+/// authority over out-neighbors, renormalised each round.
+StatusOr<HitsResult> ComputeHits(const LinkGraph& graph,
+                                 const HitsOptions& options = {});
+
+}  // namespace webevo::graph
+
+#endif  // WEBEVO_GRAPH_HITS_H_

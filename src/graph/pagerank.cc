@@ -1,0 +1,67 @@
+#include "graph/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace webevo::graph {
+
+StatusOr<PageRankResult> ComputePageRank(const LinkGraph& graph,
+                                         const PageRankOptions& options) {
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("graph not finalized");
+  }
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0, 1)");
+  }
+  const double nd = static_cast<double>(n);
+  const double d = options.damping;
+
+  PageRankResult result;
+  std::vector<double> rank(n, 1.0);  // paper: start all PR at 1
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    if (options.redistribute_dangling) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (graph.OutDegree(v) == 0) dangling += rank[v];
+      }
+    }
+    const double base = (1.0 - d) + d * dangling / nd;
+    std::fill(next.begin(), next.end(), base);
+    for (NodeId v = 0; v < n; ++v) {
+      const uint32_t deg = graph.OutDegree(v);
+      if (deg == 0) continue;
+      const double share = d * rank[v] / static_cast<double>(deg);
+      for (NodeId to : graph.OutNeighbors(v)) next[to] += share;
+    }
+    double residual = 0.0;
+    for (NodeId v = 0; v < n; ++v) residual += std::abs(next[v] - rank[v]);
+    rank.swap(next);
+    result.iterations = iter + 1;
+    result.residual = residual;
+    if (residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.rank = std::move(rank);
+  return result;
+}
+
+std::vector<NodeId> TopKByRank(const std::vector<double>& rank, size_t k) {
+  std::vector<NodeId> order(rank.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&rank](NodeId a, NodeId b) {
+                      if (rank[a] != rank[b]) return rank[a] > rank[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace webevo::graph

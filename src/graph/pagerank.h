@@ -1,0 +1,50 @@
+#ifndef WEBEVO_GRAPH_PAGERANK_H_
+#define WEBEVO_GRAPH_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/link_graph.h"
+#include "util/status.h"
+
+namespace webevo::graph {
+
+/// Options for the power-iteration PageRank solver.
+struct PageRankOptions {
+  /// Probability of following a link (vs. jumping to a random page).
+  /// The paper's Section 2.2 formula PR(P) = d + (1-d)[sum PR(P_i)/c_i]
+  /// with "damping factor 0.9" corresponds to a random surfer who
+  /// follows links with probability 0.9, which is how we implement it
+  /// (the widely used formulation from [PB98]).
+  double damping = 0.9;
+  /// Power iteration converges like damping^k; 1e-10 L1 tolerance at
+  /// d = 0.9 needs a few hundred iterations.
+  int max_iterations = 600;
+  /// L1 convergence threshold on the rank vector between iterations.
+  double tolerance = 1e-10;
+  /// Dangling nodes (no out-links) redistribute their mass uniformly,
+  /// the standard fix; disable to drop their mass instead.
+  bool redistribute_dangling = true;
+};
+
+/// Result of a PageRank computation. `rank` sums to num_nodes (the
+/// paper's convention of starting "with all PR values equal to 1");
+/// divide by num_nodes for a probability vector.
+struct PageRankResult {
+  std::vector<double> rank;
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Computes PageRank by power iteration. The graph must be finalized
+/// and non-empty.
+StatusOr<PageRankResult> ComputePageRank(const LinkGraph& graph,
+                                         const PageRankOptions& options = {});
+
+/// Indices of the top `k` nodes by rank, ties broken by lower index
+/// (deterministic). `k` is clamped to the number of nodes.
+std::vector<NodeId> TopKByRank(const std::vector<double>& rank, size_t k);
+
+}  // namespace webevo::graph
+
+#endif  // WEBEVO_GRAPH_PAGERANK_H_

@@ -1,0 +1,23 @@
+#include "graph/site_graph.h"
+
+namespace webevo::graph {
+
+SiteGraph SiteGraph::FromWeb(simweb::SimulatedWeb& web, double t) {
+  LinkGraph graph(web.num_sites());
+  for (const auto& link : web.OracleSiteLinks(t)) {
+    for (uint64_t i = 0; i < link.count; ++i) {
+      // Endpoints come from the web itself, so AddEdge cannot fail here.
+      Status st = graph.AddEdge(link.from, link.to);
+      (void)st;
+    }
+  }
+  graph.Finalize();
+  return SiteGraph(std::move(graph));
+}
+
+StatusOr<PageRankResult> SiteGraph::ComputeSiteRank(
+    const PageRankOptions& options) const {
+  return ComputePageRank(graph_, options);
+}
+
+}  // namespace webevo::graph

@@ -1,0 +1,40 @@
+#ifndef WEBEVO_SIMWEB_DOMAIN_H_
+#define WEBEVO_SIMWEB_DOMAIN_H_
+
+#include <array>
+#include <string_view>
+
+namespace webevo::simweb {
+
+/// Top-level domain groups used throughout the paper's study (Table 1):
+/// `.com`; `.edu`; `netorg` = `.net` + `.org`; `gov` = `.gov` + `.mil`.
+enum class Domain : int {
+  kCom = 0,
+  kEdu = 1,
+  kNetOrg = 2,
+  kGov = 3,
+};
+
+inline constexpr int kNumDomains = 4;
+
+inline constexpr std::array<Domain, kNumDomains> kAllDomains = {
+    Domain::kCom, Domain::kEdu, Domain::kNetOrg, Domain::kGov};
+
+/// Human-readable name matching the paper's figures ("com", "edu", ...).
+constexpr std::string_view DomainName(Domain d) {
+  switch (d) {
+    case Domain::kCom:
+      return "com";
+    case Domain::kEdu:
+      return "edu";
+    case Domain::kNetOrg:
+      return "netorg";
+    case Domain::kGov:
+      return "gov";
+  }
+  return "?";
+}
+
+}  // namespace webevo::simweb
+
+#endif  // WEBEVO_SIMWEB_DOMAIN_H_

@@ -1,0 +1,41 @@
+#ifndef WEBEVO_SIMWEB_PAGE_H_
+#define WEBEVO_SIMWEB_PAGE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "simweb/url.h"
+#include "util/hash.h"
+
+namespace webevo::simweb {
+
+/// Stable identifier of one page for its whole life. PageIds are never
+/// reused; a slot's successive occupants get fresh ids (and fresh URLs).
+using PageId = uint64_t;
+
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+/// What a crawler gets back from a successful fetch: the page content
+/// digest (what the paper's UpdateModule records to detect changes) and
+/// the out-links (what feeds AllUrls).
+struct FetchResult {
+  Url url;
+  PageId page = kInvalidPage;
+  /// Content version; bumps by one on every change event of the page's
+  /// Poisson change process. The crawler must not peek at this directly
+  /// (a real crawler can't); it is used by tests and oracle-based
+  /// evaluation. Change detection uses `checksum`.
+  uint64_t version = 0;
+  Checksum128 checksum;
+  double fetched_at = 0.0;
+  /// Time of the page's most recent change (its birth time if it has
+  /// never changed) — the Last-Modified header most 1999-era servers
+  /// sent, which the richer estimators of [CGM99a] exploit.
+  double last_modified = 0.0;
+  std::vector<Url> links;
+};
+
+}  // namespace webevo::simweb
+
+#endif  // WEBEVO_SIMWEB_PAGE_H_

@@ -1,0 +1,344 @@
+#include "simweb/simulated_web.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace webevo::simweb {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+// Tolerance for "time moved backwards" checks; fetch schedules produced
+// by accumulating floating-point steps can jitter at this magnitude.
+constexpr double kTimeSlack = 1e-9;
+
+}  // namespace
+
+SimulatedWeb::SimulatedWeb(const WebConfig& config)
+    : config_(config), rng_(config.seed) {
+  Status st = config_.Validate();
+  assert(st.ok());
+  (void)st;
+
+  // Lay out sites domain by domain, then shuffle so site index (which
+  // Zipf popularity keys on) is not correlated with domain order.
+  std::vector<Domain> domains;
+  for (int d = 0; d < kNumDomains; ++d) {
+    for (int i = 0; i < config_.sites_per_domain[static_cast<size_t>(d)];
+         ++i) {
+      domains.push_back(static_cast<Domain>(d));
+    }
+  }
+  rng_.Shuffle(domains);
+
+  sites_.resize(domains.size());
+  site_fetches_.assign(domains.size(), 0);
+  const double log_lo = std::log(static_cast<double>(config_.min_site_size));
+  const double log_hi = std::log(static_cast<double>(config_.max_site_size));
+  for (uint32_t s = 0; s < sites_.size(); ++s) {
+    sites_[s].domain = domains[s];
+    auto size =
+        static_cast<uint32_t>(std::lround(std::exp(rng_.Uniform(log_lo,
+                                                                log_hi))));
+    if (size < config_.min_site_size) size = config_.min_site_size;
+    if (size > config_.max_site_size) size = config_.max_site_size;
+    sites_[s].slots.resize(size);
+    total_slots_ += size;
+  }
+  // Populate every slot with a stationary-age initial page.
+  for (uint32_t s = 0; s < sites_.size(); ++s) {
+    for (uint32_t j = 0; j < sites_[s].slots.size(); ++j) {
+      CreatePage(s, j, 0.0, /*stationary=*/true);
+    }
+  }
+}
+
+PageId SimulatedWeb::CreatePage(uint32_t site, uint32_t slot, double birth,
+                                bool stationary) {
+  const DomainProfile& profile =
+      DomainProfile::Calibrated(sites_[site].domain);
+  DomainProfile::PageDraw draw =
+      profile.SamplePage(rng_, config_.rate_lifespan_coupling);
+  if (stationary && config_.uniform_lifespan_days <= 0.0 && slot != 0) {
+    // A snapshot at a random instant sees a slot's occupant with
+    // probability proportional to its lifespan (length-biased renewal
+    // sampling), not with the birth distribution — long-lived stable
+    // pages dominate the standing population even when births are
+    // dominated by short-lived churners. Rejection-sample accordingly.
+    double max_lifespan = 0.0;
+    for (const auto& bucket : profile.lifespan_mixture()) {
+      max_lifespan = std::max(max_lifespan, bucket.max_value);
+    }
+    while (rng_.NextDouble() * max_lifespan > draw.lifespan_days) {
+      draw = profile.SamplePage(rng_, config_.rate_lifespan_coupling);
+    }
+  }
+  PageRecord page;
+  if (config_.uniform_change_interval_days > 0.0) {
+    page.change_rate = 1.0 / config_.uniform_change_interval_days;
+  } else if (!config_.custom_change_interval_mix.empty()) {
+    page.change_rate =
+        1.0 / DomainProfile::MixtureQuantile(
+                  config_.custom_change_interval_mix, rng_.NextDouble());
+  } else {
+    page.change_rate = 1.0 / draw.change_interval_days;
+  }
+  double lifespan = config_.uniform_lifespan_days > 0.0
+                        ? config_.uniform_lifespan_days
+                        : draw.lifespan_days;
+  if (slot == 0) {
+    // Site roots are immortal: the paper's monitored sites persist for
+    // the whole study, and killing a root would orphan the site.
+    page.birth_time = birth;
+    page.death_time = kInfinity;
+  } else if (stationary) {
+    // Draw the page mid-life so the initial population is in steady
+    // state: age uniform in [0, lifespan).
+    double age = rng_.NextDouble() * lifespan;
+    page.birth_time = birth - age;
+    page.death_time = page.birth_time + lifespan;
+  } else {
+    page.birth_time = birth;
+    page.death_time = birth + lifespan;
+  }
+  page.state_time = std::max(page.birth_time, 0.0);
+  page.last_change_time = page.state_time;
+
+  SlotState& slot_state = sites_[site].slots[slot];
+  page.url = Url{site, slot,
+                 static_cast<uint32_t>(slot_state.history.size())};
+
+  for (int k = 0; k < config_.cross_links_per_page; ++k) {
+    uint32_t target_site = site;
+    if (sites_.size() > 1 && rng_.Bernoulli(config_.cross_site_link_prob)) {
+      // Popular (low-index) sites attract more links.
+      target_site = static_cast<uint32_t>(
+          rng_.Zipf(sites_.size(), config_.site_popularity_zipf) - 1);
+    }
+    uint32_t target_slot = static_cast<uint32_t>(
+        rng_.NextBounded(sites_[target_site].slots.size()));
+    page.cross_links.emplace_back(target_site, target_slot);
+  }
+
+  PageId id = pages_.size();
+  pages_.push_back(std::move(page));
+  slot_state.history.push_back(id);
+  slot_state.current = id;
+  return id;
+}
+
+void SimulatedWeb::RollSlot(uint32_t site, uint32_t slot, double t) {
+  SlotState& state = sites_[site].slots[slot];
+  while (pages_[state.current].death_time <= t) {
+    double death = pages_[state.current].death_time;
+    CreatePage(site, slot, death, /*stationary=*/false);
+  }
+}
+
+void SimulatedWeb::AdvancePage(PageRecord& page, double t) {
+  if (t <= page.state_time) return;
+  double dt = t - page.state_time;
+  if (page.change_rate > 0.0) {
+    uint64_t k = rng_.Poisson(page.change_rate * dt);
+    if (k > 0) {
+      page.version += k;
+      // Conditioned on k Poisson events in (state_time, t], the latest
+      // event is distributed as state_time + dt * max(U_1..U_k), and
+      // max of k uniforms is U^(1/k).
+      double u = rng_.NextDouble();
+      page.last_change_time =
+          page.state_time + dt * std::pow(u, 1.0 / static_cast<double>(k));
+    }
+  }
+  page.state_time = t;
+}
+
+std::vector<Url> SimulatedWeb::CollectLinks(const PageRecord& page,
+                                            double t) {
+  std::vector<Url> links;
+  const uint32_t site = page.url.site;
+  const auto site_size = static_cast<uint64_t>(sites_[site].slots.size());
+  // Navigation-tree children of this slot.
+  uint64_t first_child =
+      static_cast<uint64_t>(page.url.slot) *
+          static_cast<uint64_t>(config_.tree_branching) +
+      1;
+  for (int b = 0; b < config_.tree_branching; ++b) {
+    uint64_t child = first_child + static_cast<uint64_t>(b);
+    if (child >= site_size) break;
+    auto child_slot = static_cast<uint32_t>(child);
+    RollSlot(site, child_slot, t);
+    links.push_back(pages_[sites_[site].slots[child_slot].current].url);
+  }
+  // Cross links, resolved to the targets' current occupants.
+  for (const auto& [ts, tslot] : page.cross_links) {
+    RollSlot(ts, tslot, t);
+    links.push_back(pages_[sites_[ts].slots[tslot].current].url);
+  }
+  return links;
+}
+
+StatusOr<FetchResult> SimulatedWeb::Fetch(const Url& url, double t) {
+  if (url.site >= sites_.size() ||
+      url.slot >= sites_[url.site].slots.size()) {
+    ++fetch_count_;
+    ++not_found_count_;
+    return Status::NotFound("no such site/slot: " + url.ToString());
+  }
+  if (t + kTimeSlack < now_) {
+    return Status::InvalidArgument("fetch time moved backwards");
+  }
+  now_ = std::max(now_, t);
+  ++fetch_count_;
+  ++site_fetches_[url.site];
+
+  RollSlot(url.site, url.slot, t);
+  SlotState& slot_state = sites_[url.site].slots[url.slot];
+  PageRecord& occupant = pages_[slot_state.current];
+  if (occupant.url != url) {
+    // The requested incarnation is dead (or, for a malformed URL, was
+    // never created) — a real crawler would see 404.
+    ++not_found_count_;
+    return Status::NotFound("page gone: " + url.ToString());
+  }
+  AdvancePage(occupant, t);
+
+  FetchResult result;
+  result.url = url;
+  result.page = slot_state.current;
+  result.version = occupant.version;
+  result.checksum = ChecksumOf(PageBody(result.page, result.version));
+  result.fetched_at = t;
+  result.last_modified = occupant.version > 0
+                             ? occupant.last_change_time
+                             : std::max(occupant.birth_time, 0.0);
+  result.links = CollectLinks(occupant, t);
+  return result;
+}
+
+Url SimulatedWeb::RootUrl(uint32_t site) const {
+  assert(site < sites_.size());
+  return Url{site, 0, 0};
+}
+
+std::string SimulatedWeb::PageBody(PageId page, uint64_t version) const {
+  // Deterministic pseudo-content: distinct per (page, version) so the
+  // checksum changes exactly when the page changes.
+  std::string body = "<html><head><title>page ";
+  body += std::to_string(page);
+  body += "</title></head><body>revision ";
+  body += std::to_string(version);
+  body += " token ";
+  body += std::to_string(HashCombine(page, version));
+  body += "</body></html>";
+  return body;
+}
+
+StatusOr<PageId> SimulatedWeb::OracleLookup(const Url& url) const {
+  if (url.site >= sites_.size() ||
+      url.slot >= sites_[url.site].slots.size()) {
+    return Status::NotFound("no such site/slot");
+  }
+  const auto& history = sites_[url.site].slots[url.slot].history;
+  if (url.incarnation >= history.size()) {
+    return Status::NotFound("incarnation never created");
+  }
+  return history[url.incarnation];
+}
+
+StatusOr<uint64_t> SimulatedWeb::OracleVersion(const Url& url, double t) {
+  auto id = OracleLookup(url);
+  if (!id.ok()) return id.status();
+  PageRecord& page = pages_[*id];
+  if (page.death_time <= t || page.birth_time > t) {
+    return Status::NotFound("page not alive");
+  }
+  now_ = std::max(now_, t);
+  AdvancePage(page, t);
+  return page.version;
+}
+
+bool SimulatedWeb::OracleAlive(const Url& url, double t) {
+  auto id = OracleLookup(url);
+  if (!id.ok()) return false;
+  const PageRecord& page = pages_[*id];
+  return page.birth_time <= t && t < page.death_time;
+}
+
+bool SimulatedWeb::OracleIsFresh(const Url& url, uint64_t stored_version,
+                                 double t) {
+  auto version = OracleVersion(url, t);
+  return version.ok() && *version == stored_version;
+}
+
+Url SimulatedWeb::OracleCurrentUrl(uint32_t site, uint32_t slot, double t) {
+  assert(site < sites_.size() && slot < sites_[site].slots.size());
+  now_ = std::max(now_, t);
+  RollSlot(site, slot, t);
+  return pages_[sites_[site].slots[slot].current].url;
+}
+
+StatusOr<double> SimulatedWeb::OracleLastChangeTime(const Url& url,
+                                                    double t) {
+  auto id = OracleLookup(url);
+  if (!id.ok()) return id.status();
+  PageRecord& page = pages_[*id];
+  if (page.death_time <= t || page.birth_time > t) {
+    return Status::NotFound("page not alive");
+  }
+  now_ = std::max(now_, t);
+  AdvancePage(page, t);
+  return page.last_change_time;
+}
+
+double SimulatedWeb::OracleChangeRate(PageId page) const {
+  assert(page < pages_.size());
+  return pages_[page].change_rate;
+}
+
+double SimulatedWeb::OracleBirthTime(PageId page) const {
+  assert(page < pages_.size());
+  return pages_[page].birth_time;
+}
+
+double SimulatedWeb::OracleDeathTime(PageId page) const {
+  assert(page < pages_.size());
+  return pages_[page].death_time;
+}
+
+Domain SimulatedWeb::OraclePageDomain(PageId page) const {
+  assert(page < pages_.size());
+  return sites_[pages_[page].url.site].domain;
+}
+
+Url SimulatedWeb::OraclePageUrl(PageId page) const {
+  assert(page < pages_.size());
+  return pages_[page].url;
+}
+
+std::vector<SimulatedWeb::SiteLink> SimulatedWeb::OracleSiteLinks(double t) {
+  now_ = std::max(now_, t);
+  // Dense accumulation per source site keeps this O(slots + edges).
+  std::vector<SiteLink> out;
+  std::vector<uint64_t> row(sites_.size(), 0);
+  for (uint32_t s = 0; s < sites_.size(); ++s) {
+    std::vector<uint32_t> touched;
+    for (uint32_t j = 0; j < sites_[s].slots.size(); ++j) {
+      RollSlot(s, j, t);
+      const PageRecord& page = pages_[sites_[s].slots[j].current];
+      for (const auto& [ts, tslot] : page.cross_links) {
+        (void)tslot;
+        if (ts == s) continue;
+        if (row[ts] == 0) touched.push_back(ts);
+        ++row[ts];
+      }
+    }
+    for (uint32_t ts : touched) {
+      out.push_back(SiteLink{s, ts, row[ts]});
+      row[ts] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace webevo::simweb

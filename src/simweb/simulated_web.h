@@ -1,0 +1,189 @@
+#ifndef WEBEVO_SIMWEB_SIMULATED_WEB_H_
+#define WEBEVO_SIMWEB_SIMULATED_WEB_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "simweb/domain.h"
+#include "simweb/domain_profile.h"
+#include "simweb/page.h"
+#include "simweb/url.h"
+#include "simweb/web_config.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace webevo::simweb {
+
+/// A synthetic evolving web: the experimental substrate replacing the
+/// live 1999 web of the paper's study (see DESIGN.md, Substitutions).
+///
+/// Structure: a fixed population of sites, each a tree of page *slots*
+/// (slot 0 = root, always alive) plus random cross links. Each slot is
+/// occupied by a succession of pages; when a page's lifespan ends, a new
+/// page with a fresh URL, change rate and lifespan replaces it, so the
+/// web exhibits exactly the page birth/death dynamics of Section 3.2.
+///
+/// Dynamics: each page changes according to a Poisson process with a
+/// per-page rate drawn from its domain's calibrated profile (the model
+/// the paper validates in Section 3.4). Time is continuous, measured in
+/// days. State advances *lazily*: a page's version is materialised only
+/// when it is observed, by sampling Poisson(rate * elapsed) — exact and
+/// O(1) per observation, which lets benches run months of virtual time
+/// over hundreds of thousands of pages in seconds.
+///
+/// Observation times must be non-decreasing overall (enforced); this is
+/// naturally true for any crawler driving a simulation clock.
+///
+/// The class distinguishes the *crawler-visible* API (`Fetch`, which
+/// counts as traffic and returns only what a real crawler could see)
+/// from the *oracle* API (ground truth for evaluation: true versions,
+/// change rates, liveness). Not thread-safe.
+class SimulatedWeb {
+ public:
+  /// Builds the initial web at time 0. Pages present at the start are
+  /// given stationary ages (uniform within their lifespan), so the
+  /// population starts in steady state rather than all-new. CHECK-fails
+  /// (assert) on invalid config; call config.Validate() first to handle
+  /// errors gracefully.
+  explicit SimulatedWeb(const WebConfig& config);
+
+  // Not copyable (large), movable by default semantics are fine but we
+  // keep it pinned for clarity.
+  SimulatedWeb(const SimulatedWeb&) = delete;
+  SimulatedWeb& operator=(const SimulatedWeb&) = delete;
+
+  /// Current simulation time (days); the max time observed so far.
+  double now() const { return now_; }
+
+  /// --- Crawler-visible API -------------------------------------------
+
+  /// Fetches `url` at time `t` (>= now() - epsilon). Returns NotFound if
+  /// the URL's page is dead or not yet born, InvalidArgument if `t`
+  /// moves backwards. Counts toward fetch statistics either way.
+  StatusOr<FetchResult> Fetch(const Url& url, double t);
+
+  /// Root URL of a site (the root page is immortal, like the paper's
+  /// monitored site roots).
+  Url RootUrl(uint32_t site) const;
+
+  /// Synthetic page body for a given page and version; the checksum in
+  /// FetchResult is the digest of exactly this string.
+  std::string PageBody(PageId page, uint64_t version) const;
+
+  uint32_t num_sites() const { return static_cast<uint32_t>(sites_.size()); }
+  Domain site_domain(uint32_t site) const { return sites_[site].domain; }
+  uint32_t site_size(uint32_t site) const {
+    return static_cast<uint32_t>(sites_[site].slots.size());
+  }
+  /// Total page slots across all sites (= live pages at any instant).
+  uint64_t TotalSlots() const { return total_slots_; }
+
+  uint64_t fetch_count() const { return fetch_count_; }
+  uint64_t not_found_count() const { return not_found_count_; }
+  uint64_t site_fetch_count(uint32_t site) const {
+    return site_fetches_[site];
+  }
+
+  /// --- Oracle API (evaluation only; does not count as traffic) -------
+
+  /// PageId for a URL, alive or dead. NotFound for a never-created URL.
+  StatusOr<PageId> OracleLookup(const Url& url) const;
+
+  /// True content version of `url` at time `t`; NotFound if dead/unborn.
+  StatusOr<uint64_t> OracleVersion(const Url& url, double t);
+
+  /// Whether `url`'s page is alive at `t`.
+  bool OracleAlive(const Url& url, double t);
+
+  /// Whether a stored copy (url, version) is fresh at `t`: the page is
+  /// alive and has not changed past the stored version. This is the
+  /// per-page freshness indicator of [CGM99b] that collection-level
+  /// freshness averages.
+  bool OracleIsFresh(const Url& url, uint64_t stored_version, double t);
+
+  /// URL currently occupying (site, slot) at time `t`.
+  Url OracleCurrentUrl(uint32_t site, uint32_t slot, double t);
+
+  /// The page's true Poisson change rate (per day).
+  double OracleChangeRate(PageId page) const;
+  /// Time of the page's most recent change at or before `t` (its birth
+  /// time if it has never changed). Advances the lazy change process.
+  StatusOr<double> OracleLastChangeTime(const Url& url, double t);
+  /// The page's birth time and death time (death may be +infinity).
+  double OracleBirthTime(PageId page) const;
+  double OracleDeathTime(PageId page) const;
+  Domain OraclePageDomain(PageId page) const;
+  Url OraclePageUrl(PageId page) const;
+
+  /// Total pages ever created (live + dead).
+  uint64_t OracleTotalPagesCreated() const { return pages_.size(); }
+
+  /// One directed site-to-site link with multiplicity.
+  struct SiteLink {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    uint64_t count = 0;
+  };
+
+  /// Aggregated cross-site links of all pages alive at time `t`; the
+  /// edge set of the paper's site-level hypergraph (Section 2.2), used
+  /// to compute site PageRank for the Table 1 selection pipeline.
+  std::vector<SiteLink> OracleSiteLinks(double t);
+
+ private:
+  struct PageRecord {
+    Url url;
+    double change_rate = 0.0;  // lambda, per day
+    double birth_time = 0.0;
+    double death_time = 0.0;  // +inf for immortal roots
+    uint64_t version = 0;
+    double state_time = 0.0;       // version is exact as of this time
+    double last_change_time = 0.0;
+    // Cross links as (site, slot); resolved to the slot's current
+    // occupant at fetch time.
+    std::vector<std::pair<uint32_t, uint32_t>> cross_links;
+  };
+
+  struct SlotState {
+    PageId current = kInvalidPage;
+    // History of occupants; index == incarnation of that occupant's URL.
+    std::vector<PageId> history;
+  };
+
+  struct SiteState {
+    Domain domain = Domain::kCom;
+    std::vector<SlotState> slots;
+  };
+
+  /// Creates a new page in (site, slot) born at `birth`. `stationary`
+  /// backdates the birth by a uniform fraction of the lifespan, for the
+  /// initial steady-state population.
+  PageId CreatePage(uint32_t site, uint32_t slot, double birth,
+                    bool stationary);
+
+  /// Replaces dead occupants of (site, slot) until the occupant is alive
+  /// at `t`.
+  void RollSlot(uint32_t site, uint32_t slot, double t);
+
+  /// Advances a page's lazily sampled change process to time `t`.
+  void AdvancePage(PageRecord& page, double t);
+
+  /// Collects the out-links of `page` as seen at time `t`.
+  std::vector<Url> CollectLinks(const PageRecord& page, double t);
+
+  WebConfig config_;
+  Rng rng_;
+  double now_ = 0.0;
+  std::vector<SiteState> sites_;
+  std::deque<PageRecord> pages_;  // deque: stable references on growth
+  uint64_t total_slots_ = 0;
+  uint64_t fetch_count_ = 0;
+  uint64_t not_found_count_ = 0;
+  std::vector<uint64_t> site_fetches_;
+};
+
+}  // namespace webevo::simweb
+
+#endif  // WEBEVO_SIMWEB_SIMULATED_WEB_H_

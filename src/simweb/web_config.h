@@ -1,0 +1,116 @@
+#ifndef WEBEVO_SIMWEB_WEB_CONFIG_H_
+#define WEBEVO_SIMWEB_WEB_CONFIG_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "simweb/domain.h"
+#include "simweb/domain_profile.h"
+#include "util/status.h"
+
+namespace webevo::simweb {
+
+/// Parameters of the synthetic web.
+///
+/// Defaults model the paper's study population: 270 sites with the
+/// Table 1 domain mix (com 132, edu 78, netorg 30, gov 30). Site sizes
+/// are drawn log-uniformly in [min_site_size, max_site_size]; the paper
+/// crawled a 3,000-page window per site, which our experiment layer
+/// reproduces with a configurable window.
+struct WebConfig {
+  /// Master seed; all web randomness derives from it deterministically.
+  uint64_t seed = 19990217;  // the experiment's start date
+
+  /// Sites per domain, Table 1 order: com, edu, netorg, gov.
+  std::array<int, kNumDomains> sites_per_domain = {132, 78, 30, 30};
+
+  /// Page-slot count per site, drawn log-uniformly in this range.
+  uint32_t min_site_size = 50;
+  uint32_t max_site_size = 400;
+
+  /// Fan-out of the intra-site navigation tree (slot j's children are
+  /// slots j*b+1 ... j*b+b).
+  int tree_branching = 5;
+
+  /// Extra random out-links per page, on top of the navigation tree.
+  int cross_links_per_page = 3;
+
+  /// Probability that a cross link points to another site (otherwise it
+  /// stays within the page's own site).
+  double cross_site_link_prob = 0.3;
+
+  /// Zipf exponent for choosing the target site of cross-site links;
+  /// produces the skewed popularity that site-level PageRank relies on.
+  double site_popularity_zipf = 1.05;
+
+  /// Probability that a new page's lifespan shares its change-interval
+  /// quantile (fast pages die young). See DomainProfile::SamplePage —
+  /// this is what lets the ever-seen population be churn-heavy (Fig 2)
+  /// while the day-0 snapshot decays slowly (Fig 5).
+  double rate_lifespan_coupling = 0.5;
+
+  /// If > 0, every page gets exactly this mean change interval (days)
+  /// instead of its domain's calibrated mixture. Used by the Table 2
+  /// policy-matrix simulation, which the paper computes under "all
+  /// pages change with an average 4 month interval".
+  double uniform_change_interval_days = 0.0;
+
+  /// If non-empty, page change intervals for *all* domains are drawn
+  /// from this mixture instead of the calibrated per-domain profiles
+  /// (lifespans still follow the domain profiles). Lets experiments
+  /// construct webs with specific rate structure, e.g. the bimodal mix
+  /// where variable-frequency crawling shines. Ignored when
+  /// uniform_change_interval_days > 0.
+  std::vector<MixtureBucket> custom_change_interval_mix;
+
+  /// If > 0, every non-root page gets exactly this lifespan (days)
+  /// instead of its domain's calibrated mixture. Set it far beyond the
+  /// simulation horizon to disable page birth/death.
+  double uniform_lifespan_days = 0.0;
+
+  /// Returns a copy with sites_per_domain scaled by `factor` (minimum
+  /// one site per domain), for quick tests and scaled-down benches.
+  WebConfig Scaled(double factor) const {
+    WebConfig c = *this;
+    for (auto& n : c.sites_per_domain) {
+      n = n > 0 ? static_cast<int>(n * factor) : 0;
+      if (n < 1) n = 1;
+    }
+    return c;
+  }
+
+  /// Validates ranges; construction of SimulatedWeb requires OK.
+  Status Validate() const {
+    for (int n : sites_per_domain) {
+      if (n < 0) return Status::InvalidArgument("negative site count");
+    }
+    int total = 0;
+    for (int n : sites_per_domain) total += n;
+    if (total == 0) return Status::InvalidArgument("no sites configured");
+    if (min_site_size < 1 || max_site_size < min_site_size) {
+      return Status::InvalidArgument("bad site size range");
+    }
+    if (tree_branching < 1) {
+      return Status::InvalidArgument("tree_branching must be >= 1");
+    }
+    if (cross_links_per_page < 0) {
+      return Status::InvalidArgument("cross_links_per_page must be >= 0");
+    }
+    if (cross_site_link_prob < 0.0 || cross_site_link_prob > 1.0) {
+      return Status::InvalidArgument("cross_site_link_prob not in [0,1]");
+    }
+    if (site_popularity_zipf < 0.0) {
+      return Status::InvalidArgument("site_popularity_zipf must be >= 0");
+    }
+    if (rate_lifespan_coupling < 0.0 || rate_lifespan_coupling > 1.0) {
+      return Status::InvalidArgument(
+          "rate_lifespan_coupling not in [0,1]");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace webevo::simweb
+
+#endif  // WEBEVO_SIMWEB_WEB_CONFIG_H_

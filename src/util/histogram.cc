@@ -1,0 +1,122 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace webevo {
+
+Histogram::Histogram(std::vector<double> edges,
+                     std::vector<std::string> labels)
+    : edges_(std::move(edges)),
+      labels_(std::move(labels)),
+      counts_(edges_.size() + 1, 0.0) {}
+
+StatusOr<Histogram> Histogram::Make(std::vector<double> upper_edges,
+                                    std::vector<std::string> labels) {
+  if (upper_edges.empty()) {
+    return Status::InvalidArgument("histogram needs at least one edge");
+  }
+  for (size_t i = 1; i < upper_edges.size(); ++i) {
+    if (upper_edges[i] <= upper_edges[i - 1]) {
+      return Status::InvalidArgument("edges must be strictly increasing");
+    }
+  }
+  if (labels.empty()) {
+    for (double e : upper_edges) {
+      std::ostringstream os;
+      os << "<= " << e;
+      labels.push_back(os.str());
+    }
+    std::ostringstream os;
+    os << "> " << upper_edges.back();
+    labels.push_back(os.str());
+  } else if (labels.size() != upper_edges.size() + 1) {
+    return Status::InvalidArgument(
+        "labels must cover every bucket including overflow");
+  }
+  return Histogram(std::move(upper_edges), std::move(labels));
+}
+
+Histogram Histogram::ChangeIntervalBuckets() {
+  auto h = Make({1.0, 7.0, 30.0, 120.0},
+                {"<=1day", "<=1week", "<=1month", "<=4months", ">4months"});
+  return std::move(h).value();
+}
+
+Histogram Histogram::LifespanBuckets() {
+  auto h = Make({7.0, 30.0, 120.0},
+                {"<=1week", "<=1month", "<=4months", ">4months"});
+  return std::move(h).value();
+}
+
+void Histogram::Add(double value, double weight) {
+  auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  size_t idx = static_cast<size_t>(it - edges_.begin());
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+Status Histogram::Merge(const Histogram& other) {
+  if (other.edges_ != edges_) {
+    return Status::InvalidArgument("histogram edges differ");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  return Status::Ok();
+}
+
+double Histogram::bucket_upper_edge(size_t i) const {
+  if (i < edges_.size()) return edges_[i];
+  return std::numeric_limits<double>::infinity();
+}
+
+double Histogram::fraction(size_t i) const {
+  if (total_ <= 0.0) return 0.0;
+  return counts_[i] / total_;
+}
+
+std::vector<double> Histogram::fractions() const {
+  std::vector<double> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) out[i] = fraction(i);
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ <= 0.0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * total_;
+  double acc = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (acc + counts_[i] >= target) {
+      double lo = i == 0 ? 0.0 : edges_[i - 1];
+      double hi = bucket_upper_edge(i);
+      if (!std::isfinite(hi)) return edges_.back();
+      double within = counts_[i] > 0.0 ? (target - acc) / counts_[i] : 0.0;
+      return lo + within * (hi - lo);
+    }
+    acc += counts_[i];
+  }
+  return edges_.back();
+}
+
+std::string Histogram::ToString(int bar_width) const {
+  size_t label_width = 0;
+  for (const auto& l : labels_) label_width = std::max(label_width, l.size());
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double f = fraction(i);
+    os << labels_[i] << std::string(label_width - labels_[i].size(), ' ')
+       << "  ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%6.3f", f);
+    os << buf << "  ";
+    int bars = static_cast<int>(std::lround(f * bar_width));
+    for (int b = 0; b < bars; ++b) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace webevo

@@ -1,0 +1,75 @@
+#ifndef WEBEVO_UTIL_HISTOGRAM_H_
+#define WEBEVO_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace webevo {
+
+/// Histogram over explicit, strictly increasing upper bucket edges plus a
+/// trailing overflow bucket, matching the paper's presentation of change
+/// intervals and lifespans ("<= 1 day", "<= 1 week", ..., "> 4 months").
+///
+/// A sample x lands in the first bucket whose upper edge satisfies
+/// x <= edge; samples above the last edge land in the overflow bucket.
+class Histogram {
+ public:
+  /// Creates a histogram. `upper_edges` must be non-empty and strictly
+  /// increasing; `labels`, if non-empty, must have upper_edges.size() + 1
+  /// entries (one per bucket including overflow).
+  static StatusOr<Histogram> Make(std::vector<double> upper_edges,
+                                  std::vector<std::string> labels = {});
+
+  /// Buckets at day granularity for the paper's change-interval figures:
+  /// <=1 day, <=1 week, <=1 month (30 d), <=4 months (120 d), >4 months.
+  static Histogram ChangeIntervalBuckets();
+
+  /// Buckets for the paper's lifespan figures (Figure 4):
+  /// <=1 week, <=1 month, <=4 months, >4 months.
+  static Histogram LifespanBuckets();
+
+  /// Adds one observation with the given weight (default 1).
+  void Add(double value, double weight = 1.0);
+
+  /// Adds all counts of `other`, which must have identical edges.
+  Status Merge(const Histogram& other);
+
+  size_t num_buckets() const { return counts_.size(); }
+  double bucket_count(size_t i) const { return counts_[i]; }
+  const std::string& bucket_label(size_t i) const { return labels_[i]; }
+  /// Upper edge of bucket i; the overflow bucket has edge +infinity.
+  double bucket_upper_edge(size_t i) const;
+
+  /// Total weight added so far.
+  double total() const { return total_; }
+
+  /// Fraction of total weight in bucket i (0 if the histogram is empty).
+  double fraction(size_t i) const;
+
+  /// All bucket fractions in order.
+  std::vector<double> fractions() const;
+
+  /// Smallest value v such that at least quantile `q` in [0,1] of the
+  /// weight lies in buckets with upper edge <= v, interpolating linearly
+  /// within a bucket. Returns the last finite edge if q falls in the
+  /// overflow bucket, and 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Renders "label: fraction" lines with ASCII bars for benches.
+  std::string ToString(int bar_width = 40) const;
+
+ private:
+  Histogram(std::vector<double> edges, std::vector<std::string> labels);
+
+  std::vector<double> edges_;         // strictly increasing upper edges
+  std::vector<std::string> labels_;   // edges_.size() + 1 labels
+  std::vector<double> counts_;        // edges_.size() + 1 buckets
+  double total_ = 0.0;
+};
+
+}  // namespace webevo
+
+#endif  // WEBEVO_UTIL_HISTOGRAM_H_

@@ -1,0 +1,175 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace webevo {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double InverseNormalCdf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+Interval MeanConfidenceInterval(double mean, double stddev, int64_t n,
+                                double confidence) {
+  if (n <= 0) return {mean, mean};
+  double z = InverseNormalCdf(0.5 + confidence / 2.0);
+  double half = z * stddev / std::sqrt(static_cast<double>(n));
+  return {mean - half, mean + half};
+}
+
+Interval WilsonInterval(int64_t successes, int64_t n, double confidence) {
+  if (n <= 0) return {0.0, 1.0};
+  double z = InverseNormalCdf(0.5 + confidence / 2.0);
+  double nd = static_cast<double>(n);
+  double p = static_cast<double>(successes) / nd;
+  double z2 = z * z;
+  double denom = 1.0 + z2 / nd;
+  double center = (p + z2 / (2.0 * nd)) / denom;
+  double half =
+      z * std::sqrt(p * (1.0 - p) / nd + z2 / (4.0 * nd * nd)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+Interval PoissonRateInterval(int64_t events, double exposure,
+                             double confidence) {
+  if (exposure <= 0.0) return {0.0, 0.0};
+  // sqrt(X) is approximately Normal(sqrt(mu), 1/2); invert and square.
+  double z = InverseNormalCdf(0.5 + confidence / 2.0);
+  double s = std::sqrt(static_cast<double>(events));
+  double lo = std::max(0.0, s - z / 2.0);
+  double hi = s + z / 2.0;
+  return {lo * lo / exposure, hi * hi / exposure};
+}
+
+StatusOr<LinearFit> FitLine(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x and y sizes differ");
+  }
+  size_t n = x.size();
+  if (n < 2) return Status::InvalidArgument("need at least two points");
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  double mx = sx / static_cast<double>(n);
+  double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0) {
+    return Status::InvalidArgument("all x values identical");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+StatusOr<ExponentialFit> FitExponential(const std::vector<double>& x,
+                                        const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x and y sizes differ");
+  }
+  std::vector<double> xs, logys;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (y[i] > 0.0) {
+      xs.push_back(x[i]);
+      logys.push_back(std::log(y[i]));
+    }
+  }
+  auto line = FitLine(xs, logys);
+  if (!line.ok()) return line.status();
+  ExponentialFit fit;
+  fit.rate = -line->slope;
+  fit.amplitude = std::exp(line->intercept);
+  fit.r2 = line->r2;
+  return fit;
+}
+
+StatusOr<double> KsStatisticExponential(std::vector<double> samples,
+                                        double rate) {
+  if (samples.empty()) return Status::InvalidArgument("empty sample");
+  if (rate <= 0.0) return Status::InvalidArgument("rate must be positive");
+  std::sort(samples.begin(), samples.end());
+  double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    double cdf = 1.0 - std::exp(-rate * samples[i]);
+    double lo = static_cast<double>(i) / n;
+    double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(cdf - lo), std::abs(hi - cdf)));
+  }
+  return d;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  auto fit = FitLine(x, y);
+  if (!fit.ok()) return 0.0;
+  double r = std::sqrt(fit->r2);
+  return fit->slope < 0 ? -r : r;
+}
+
+}  // namespace webevo

@@ -1,0 +1,100 @@
+#ifndef WEBEVO_UTIL_STATS_H_
+#define WEBEVO_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace webevo {
+
+/// Online accumulator for mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided confidence interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double x) const { return lo <= x && x <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Normal-approximation confidence interval for a mean given sample
+/// statistics. `confidence` in (0, 1), e.g. 0.95.
+Interval MeanConfidenceInterval(double mean, double stddev, int64_t n,
+                                double confidence);
+
+/// Wilson score interval for a binomial proportion with `successes` out
+/// of `n` trials. Well-behaved near 0 and 1, unlike the Wald interval.
+Interval WilsonInterval(int64_t successes, int64_t n, double confidence);
+
+/// Confidence interval for a Poisson rate given `events` observed over
+/// `exposure` time units, via the normal approximation on the square-root
+/// scale (variance-stabilising); this is the interval estimator EP of the
+/// paper's UpdateModule uses (Section 5.3 / [CGM99a]).
+Interval PoissonRateInterval(int64_t events, double exposure,
+                             double confidence);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.2e-9). `p` must be in (0, 1).
+double InverseNormalCdf(double p);
+
+/// Result of a least-squares line fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination in [0, 1]
+};
+
+/// Fits a line to (x, y) pairs. Requires at least two distinct x values.
+StatusOr<LinearFit> FitLine(const std::vector<double>& x,
+                            const std::vector<double>& y);
+
+/// Result of fitting y = amplitude * exp(-rate * x).
+struct ExponentialFit {
+  double rate = 0.0;       ///< decay rate (lambda)
+  double amplitude = 0.0;  ///< value at x = 0
+  double r2 = 0.0;         ///< R^2 of the log-linear fit
+};
+
+/// Fits an exponential decay by least squares on (x, log y), ignoring
+/// non-positive y values (they carry no information on a log scale).
+/// Used to verify the Poisson model in Figure 6: change intervals of a
+/// Poisson page must fit amplitude * exp(-rate * t) with rate near the
+/// page's change rate. Requires at least two usable points.
+StatusOr<ExponentialFit> FitExponential(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+/// Kolmogorov-Smirnov statistic of `samples` against the exponential
+/// distribution with the given rate: sup_t |F_empirical(t) - F_exp(t)|.
+/// Requires a non-empty sample and rate > 0.
+StatusOr<double> KsStatisticExponential(std::vector<double> samples,
+                                        double rate);
+
+/// Pearson correlation of two equal-length vectors (0 if degenerate).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace webevo
+
+#endif  // WEBEVO_UTIL_STATS_H_

@@ -1,0 +1,136 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace webevo {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::Percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < headers_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+
+void Plot(std::vector<std::string>& grid, const std::vector<double>& xs,
+          const std::vector<double>& ys, double x_min, double x_max,
+          double y_min, double y_max, char mark, char overlap) {
+  const int height = static_cast<int>(grid.size());
+  const int width = static_cast<int>(grid[0].size());
+  for (size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    double xf = x_max > x_min ? (xs[i] - x_min) / (x_max - x_min) : 0.0;
+    double yf =
+        y_max > y_min
+            ? (std::clamp(ys[i], y_min, y_max) - y_min) / (y_max - y_min)
+            : 0.0;
+    int col = std::clamp(static_cast<int>(std::lround(xf * (width - 1))), 0,
+                         width - 1);
+    int row = std::clamp(
+        height - 1 - static_cast<int>(std::lround(yf * (height - 1))), 0,
+        height - 1);
+    char& cell = grid[static_cast<size_t>(row)][static_cast<size_t>(col)];
+    if (cell == ' ' || cell == mark) {
+      cell = mark;
+    } else {
+      cell = overlap;
+    }
+  }
+}
+
+std::string Render(const std::vector<std::string>& grid, double y_min,
+                   double y_max) {
+  std::ostringstream os;
+  char buf[32];
+  for (size_t r = 0; r < grid.size(); ++r) {
+    if (r == 0) {
+      std::snprintf(buf, sizeof(buf), "%7.3f |", y_max);
+    } else if (r + 1 == grid.size()) {
+      std::snprintf(buf, sizeof(buf), "%7.3f |", y_min);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%7s |", "");
+    }
+    os << buf << grid[r] << '\n';
+  }
+  os << std::string(9, ' ') << std::string(grid[0].size(), '-') << '\n';
+  return os.str();
+}
+
+}  // namespace
+
+std::string AsciiChart(const std::vector<double>& xs,
+                       const std::vector<double>& ys, double y_min,
+                       double y_max, int height, int width) {
+  if (xs.empty() || ys.empty() || height < 2 || width < 2) return "";
+  double x_min = *std::min_element(xs.begin(), xs.end());
+  double x_max = *std::max_element(xs.begin(), xs.end());
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  Plot(grid, xs, ys, x_min, x_max, y_min, y_max, '*', '*');
+  return Render(grid, y_min, y_max);
+}
+
+std::string AsciiChart2(const std::vector<double>& xs,
+                        const std::vector<double>& ys1,
+                        const std::vector<double>& ys2, double y_min,
+                        double y_max, int height, int width) {
+  if (xs.empty() || height < 2 || width < 2) return "";
+  double x_min = *std::min_element(xs.begin(), xs.end());
+  double x_max = *std::max_element(xs.begin(), xs.end());
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  Plot(grid, xs, ys1, x_min, x_max, y_min, y_max, '*', '@');
+  Plot(grid, xs, ys2, x_min, x_max, y_min, y_max, 'o', '@');
+  return Render(grid, y_min, y_max);
+}
+
+}  // namespace webevo

@@ -1,0 +1,52 @@
+#ifndef WEBEVO_UTIL_TABLE_H_
+#define WEBEVO_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace webevo {
+
+/// Formats rows of mixed text/numeric cells into an aligned ASCII table,
+/// the output format every bench binary uses to print the paper's tables
+/// and figure series.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(int64_t v);
+  static std::string Percent(double fraction, int precision = 1);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an (x, y) series as a fixed-height ASCII chart, used by the
+/// figure benches to show curve *shapes* (e.g. the sawtooth freshness of
+/// a batch crawler) directly in terminal output.
+///
+/// y values are clipped to [y_min, y_max]; x samples map left to right.
+std::string AsciiChart(const std::vector<double>& xs,
+                       const std::vector<double>& ys, double y_min,
+                       double y_max, int height = 12, int width = 72);
+
+/// Overlays two series on one chart ('*' for the first, 'o' for the
+/// second, '@' where they coincide).
+std::string AsciiChart2(const std::vector<double>& xs,
+                        const std::vector<double>& ys1,
+                        const std::vector<double>& ys2, double y_min,
+                        double y_max, int height = 12, int width = 72);
+
+}  // namespace webevo
+
+#endif  // WEBEVO_UTIL_TABLE_H_

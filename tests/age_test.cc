@@ -1,0 +1,149 @@
+// Tests for the age metric (Section 4's second metric, [CGM99b]).
+//
+// Derivation behind BatchShadowingAge: a page crawled at offset u
+// (uniform in [0, w)) serves from the swap at w until the next swap at
+// T + w; its expected age t' days after its snapshot is
+// g(t') = t' - (1 - e^{-lambda t'})/lambda. Integrating g over the
+// service window and the crawl offset and simplifying telescoping
+// exponentials yields
+//   A = (T + w)/2 - 1/lambda
+//       + (1 - e^{-lambda T})(1 - e^{-lambda w}) / (lambda^3 T w),
+// which the Monte-Carlo test below validates independently.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "freshness/age.h"
+#include "freshness/analytic.h"
+#include "util/random.h"
+
+namespace webevo::freshness {
+namespace {
+
+TEST(AgeTest, ZeroForStaticPages) {
+  EXPECT_DOUBLE_EQ(InPlaceAgeOf(0.0, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(SteadyShadowingAge(0.0, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(BatchShadowingAge(0.0, 30.0, 7.0), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedAgeAtCopyAge(0.0, 100.0), 0.0);
+}
+
+TEST(AgeTest, LimitsAtExtremeRates) {
+  // lambda -> inf: the copy is stale from the instant it is taken.
+  EXPECT_NEAR(InPlaceAgeOf(1e6, 30.0), 15.0, 1e-3);
+  // Shadowed steady copy: mean time since snapshot is T/2 + T/2 = T.
+  EXPECT_NEAR(SteadyShadowingAge(1e6, 30.0), 30.0, 1e-3);
+  // Batch: T/2 + w/2.
+  EXPECT_NEAR(BatchShadowingAge(1e6, 30.0, 7.0), 18.5, 1e-3);
+}
+
+TEST(AgeTest, SmallLambdaSeriesIsStable) {
+  for (double lambda : {1e-12, 1e-9, 1e-6}) {
+    double age = BatchShadowingAge(lambda, 30.0, 7.0);
+    EXPECT_GT(age, 0.0);
+    EXPECT_LT(age, 1.0);
+    // Series: lambda ((T^2+w^2)/6 + Tw/4).
+    EXPECT_NEAR(age,
+                lambda * ((900.0 + 49.0) / 6.0 + 210.0 / 4.0),
+                age * 1e-3);
+  }
+}
+
+TEST(AgeTest, ShadowingAgesWorseThanInPlace) {
+  for (double lambda : {0.01, 0.05, 0.2, 1.0}) {
+    EXPECT_GT(SteadyShadowingAge(lambda, 30.0),
+              InPlaceAgeOf(lambda, 30.0));
+    EXPECT_GT(BatchShadowingAge(lambda, 30.0, 7.0),
+              InPlaceAgeOf(lambda, 30.0));
+    // Batch shadowing (short window) ages less than steady shadowing.
+    EXPECT_LT(BatchShadowingAge(lambda, 30.0, 7.0),
+              SteadyShadowingAge(lambda, 30.0));
+  }
+}
+
+TEST(AgeTest, AgeIncreasesWithRateAndPeriod) {
+  double prev = 0.0;
+  for (double lambda : {0.01, 0.05, 0.2, 1.0}) {
+    double a = InPlaceAgeOf(lambda, 30.0);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+  EXPECT_GT(InPlaceAgeOf(0.1, 60.0), InPlaceAgeOf(0.1, 30.0));
+}
+
+TEST(AgeTest, ExpectedAgeAtCopyAgeMonotone) {
+  double prev = -1.0;
+  for (double a : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+    double age = ExpectedAgeAtCopyAge(0.1, a);
+    EXPECT_GT(age, prev);
+    EXPECT_LT(age, a);  // age cannot exceed time since sync
+    prev = age;
+  }
+}
+
+TEST(AgeTest, MonteCarloValidatesBatchShadowingClosedForm) {
+  // Independent validation: simulate Poisson pages under the batch +
+  // shadowing service pattern and average the realised age.
+  Rng rng(77);
+  const double lambda = 0.08, T = 30.0, w = 7.0;
+  const int pages = 3000;
+  double age_sum = 0.0, time_sum = 0.0;
+  for (int p = 0; p < pages; ++p) {
+    double u = rng.NextDouble() * w;  // crawl offset
+    // First change after the snapshot:
+    double first_change = u + rng.Exponential(lambda);
+    // Serve from w to T + w; age(t) = max(0, t - first_change).
+    const int samples = 200;
+    for (int s = 0; s < samples; ++s) {
+      double t = w + (T) * (s + 0.5) / samples;
+      double age = t > first_change ? t - first_change : 0.0;
+      age_sum += age;
+      time_sum += 1.0;
+    }
+  }
+  double simulated = age_sum / time_sum;
+  EXPECT_NEAR(simulated, BatchShadowingAge(lambda, T, w),
+              0.03 * BatchShadowingAge(lambda, T, w) + 0.02);
+}
+
+TEST(AgeTest, MonteCarloValidatesInPlaceAge) {
+  Rng rng(78);
+  const double lambda = 0.12, T = 30.0;
+  const int pages = 3000;
+  double age_sum = 0.0, time_sum = 0.0;
+  for (int p = 0; p < pages; ++p) {
+    double first_change = rng.Exponential(lambda);
+    const int samples = 200;
+    for (int s = 0; s < samples; ++s) {
+      double t = T * (s + 0.5) / samples;  // within one sync period
+      age_sum += t > first_change ? t - first_change : 0.0;
+      time_sum += 1.0;
+    }
+  }
+  EXPECT_NEAR(age_sum / time_sum, InPlaceAgeOf(lambda, T),
+              0.03 * InPlaceAgeOf(lambda, T) + 0.01);
+}
+
+TEST(AgeTest, PeriodSensitivityPositiveAndBounded) {
+  // dA/dT in (0, 1/2): age worsens with a longer sync period but never
+  // faster than half a day per day.
+  for (double lambda : {0.01, 0.1, 1.0, 10.0}) {
+    double s = AgePeriodSensitivity(lambda, 30.0);
+    EXPECT_GT(s, 0.0) << lambda;
+    EXPECT_LE(s, 0.5) << lambda;
+  }
+  // Approaches 1/2 for fast pages, 0 for static ones.
+  EXPECT_GT(AgePeriodSensitivity(10.0, 30.0), 0.49);
+  EXPECT_LT(AgePeriodSensitivity(1e-6, 30.0), 1e-4);
+}
+
+TEST(AgeTest, SensitivityMatchesNumericalDerivative) {
+  const double lambda = 0.2, T = 20.0, h = 1e-4;
+  double numeric =
+      (InPlaceAgeOf(lambda, T + h) - InPlaceAgeOf(lambda, T - h)) /
+      (2.0 * h);
+  EXPECT_NEAR(AgePeriodSensitivity(lambda, T), numeric, 1e-6);
+}
+
+}  // namespace
+}  // namespace webevo::freshness

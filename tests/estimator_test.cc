@@ -1,0 +1,400 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "estimator/bayesian_estimator.h"
+#include "estimator/change_estimator.h"
+#include "estimator/last_modified_estimator.h"
+#include "estimator/naive_estimator.h"
+#include "estimator/poisson_ci_estimator.h"
+#include "estimator/ratio_estimator.h"
+#include "util/random.h"
+
+namespace webevo::estimator {
+namespace {
+
+// Simulates `visits` daily observations of a Poisson page with the given
+// true rate and feeds them to the estimator.
+void FeedPoissonPage(ChangeEstimator& est, double true_rate, int visits,
+                     double interval_days, Rng& rng) {
+  for (int i = 0; i < visits; ++i) {
+    bool changed = rng.NextDouble() <
+                   1.0 - std::exp(-true_rate * interval_days);
+    est.RecordObservation(interval_days, changed);
+  }
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(EstimatorFactoryTest, MakesEveryKind) {
+  for (EstimatorKind kind :
+       {EstimatorKind::kNaive, EstimatorKind::kPoissonCi,
+        EstimatorKind::kBayesian, EstimatorKind::kRatio}) {
+    auto est = MakeEstimator(kind);
+    ASSERT_NE(est, nullptr);
+    EXPECT_EQ(est->observation_count(), 0);
+    if (kind == EstimatorKind::kBayesian) {
+      // EB starts from its prior, so its rate estimate is the prior
+      // mean rather than 0.
+      EXPECT_GT(est->EstimatedRate(), 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(est->EstimatedRate(), 0.0);
+    }
+    EXPECT_EQ(est->Name(), EstimatorKindName(kind));
+  }
+}
+
+TEST(EstimatorFactoryTest, CloneIsIndependent) {
+  auto est = MakeEstimator(EstimatorKind::kRatio);
+  est->RecordObservation(1.0, true);
+  auto clone = est->Clone();
+  EXPECT_EQ(clone->observation_count(), 1);
+  clone->RecordObservation(1.0, true);
+  EXPECT_EQ(est->observation_count(), 1);
+  EXPECT_EQ(clone->observation_count(), 2);
+}
+
+// ------------------------------------------------------------------ naive
+
+TEST(NaiveEstimatorTest, MatchesPaperExample) {
+  // Section 3.1: page in the window for 50 days, changed 5 times ->
+  // average change interval 10 days.
+  NaiveEstimator est;
+  for (int day = 0; day < 50; ++day) {
+    est.RecordObservation(1.0, day % 10 == 9);
+  }
+  EXPECT_EQ(est.detected_changes(), 5);
+  EXPECT_DOUBLE_EQ(est.monitored_days(), 50.0);
+  EXPECT_DOUBLE_EQ(est.EstimatedInterval(), 10.0);
+  EXPECT_DOUBLE_EQ(est.EstimatedRate(), 0.1);
+}
+
+TEST(NaiveEstimatorTest, NoChangesMeansZeroRate) {
+  NaiveEstimator est;
+  for (int i = 0; i < 30; ++i) est.RecordObservation(1.0, false);
+  EXPECT_DOUBLE_EQ(est.EstimatedRate(), 0.0);
+  EXPECT_TRUE(std::isinf(est.EstimatedInterval()));
+}
+
+TEST(NaiveEstimatorTest, IgnoresNonPositiveIntervals) {
+  NaiveEstimator est;
+  est.RecordObservation(0.0, true);
+  est.RecordObservation(-1.0, true);
+  EXPECT_EQ(est.observation_count(), 0);
+}
+
+TEST(NaiveEstimatorTest, ResetClearsState) {
+  NaiveEstimator est;
+  est.RecordObservation(1.0, true);
+  est.Reset();
+  EXPECT_EQ(est.observation_count(), 0);
+  EXPECT_DOUBLE_EQ(est.EstimatedRate(), 0.0);
+}
+
+TEST(NaiveEstimatorTest, SaturatesAtOneChangePerVisit) {
+  // Figure 1(a): a page changing 4x/day monitored daily looks like a
+  // daily changer — the naive estimate cannot exceed 1/interval.
+  Rng rng(5);
+  NaiveEstimator est;
+  FeedPoissonPage(est, 4.0, 200, 1.0, rng);
+  EXPECT_LE(est.EstimatedRate(), 1.0);
+  EXPECT_GT(est.EstimatedRate(), 0.9);
+}
+
+// --------------------------------------------------------------------- EP
+
+TEST(PoissonCiEstimatorTest, RecoverSlowRate) {
+  Rng rng(6);
+  PoissonCiEstimator est;
+  FeedPoissonPage(est, 0.1, 2000, 1.0, rng);
+  EXPECT_NEAR(est.EstimatedRate(), 0.1, 0.015);
+}
+
+TEST(PoissonCiEstimatorTest, OutperformsNaiveAtHighRates) {
+  // True rate 2/day with daily visits: naive caps at 1; EP's MLE
+  // through -ln(1-p) recovers more (until saturation).
+  Rng rng(7);
+  PoissonCiEstimator ep;
+  NaiveEstimator naive;
+  for (int i = 0; i < 3000; ++i) {
+    bool changed = rng.NextDouble() < 1.0 - std::exp(-2.0);
+    ep.RecordObservation(1.0, changed);
+    naive.RecordObservation(1.0, changed);
+  }
+  EXPECT_LE(naive.EstimatedRate(), 1.0);
+  EXPECT_GT(ep.EstimatedRate(), 1.6);
+}
+
+TEST(PoissonCiEstimatorTest, ConfidenceIntervalCoversTruth) {
+  Rng rng(8);
+  PoissonCiEstimator est;
+  FeedPoissonPage(est, 0.2, 500, 1.0, rng);
+  Interval ci = est.RateInterval(0.99);
+  EXPECT_LE(ci.lo, 0.2);
+  EXPECT_GE(ci.hi, 0.2);
+}
+
+TEST(PoissonCiEstimatorTest, IntervalShrinksWithData) {
+  Rng rng(9);
+  PoissonCiEstimator small, large;
+  FeedPoissonPage(small, 0.2, 30, 1.0, rng);
+  FeedPoissonPage(large, 0.2, 3000, 1.0, rng);
+  EXPECT_GT(small.RateInterval(0.95).width(),
+            large.RateInterval(0.95).width());
+}
+
+TEST(PoissonCiEstimatorTest, SaturationGivesFinitePointInfiniteUpper) {
+  PoissonCiEstimator est;
+  for (int i = 0; i < 10; ++i) est.RecordObservation(1.0, true);
+  EXPECT_TRUE(std::isfinite(est.EstimatedRate()));
+  EXPECT_GT(est.EstimatedRate(), 1.0);
+  EXPECT_TRUE(std::isinf(est.RateInterval(0.95).hi));
+}
+
+TEST(PoissonCiEstimatorTest, NoDataInterval) {
+  PoissonCiEstimator est;
+  Interval ci = est.RateInterval(0.95);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_TRUE(std::isinf(ci.hi));
+}
+
+// --------------------------------------------------------------------- EB
+
+TEST(BayesianEstimatorTest, DefaultClassesSpanPaperBuckets) {
+  BayesianEstimator est;
+  ASSERT_EQ(est.class_rates().size(), 7u);
+  // Sub-daily classes down to yearly, strictly decreasing.
+  EXPECT_GT(est.class_rates().front(), 1.0);
+  EXPECT_DOUBLE_EQ(est.class_rates().back(), 1.0 / 365.0);
+  for (std::size_t i = 1; i < est.class_rates().size(); ++i) {
+    EXPECT_LT(est.class_rates()[i], est.class_rates()[i - 1]);
+  }
+  double sum = 0.0;
+  for (double p : est.posterior()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(BayesianEstimatorTest, PaperExampleUnchangedMonthShiftsToMonthly) {
+  // Section 5.3: "if the UpdateModule learns that page p1 did not
+  // change for one month, it increases P{p1 in C_M} and decreases
+  // P{p1 in C_W}".
+  BayesianEstimator est({1.0 / 7.0, 1.0 / 30.0});  // C_W, C_M
+  double before_week = est.posterior()[0];
+  double before_month = est.posterior()[1];
+  est.RecordObservation(30.0, false);
+  EXPECT_LT(est.posterior()[0], before_week);
+  EXPECT_GT(est.posterior()[1], before_month);
+}
+
+TEST(BayesianEstimatorTest, ConvergesToTrueClass) {
+  Rng rng(10);
+  BayesianEstimator est;  // classes: daily/weekly/monthly/4mo/yearly
+  FeedPoissonPage(est, 1.0 / 30.0, 400, 1.0, rng);
+  EXPECT_NEAR(est.MapRate(), 1.0 / 30.0, 1e-12);
+  EXPECT_GT(est.posterior()[est.MapClass()], 0.5);
+}
+
+TEST(BayesianEstimatorTest, PosteriorMeanBetweenClassRates) {
+  BayesianEstimator est;
+  est.RecordObservation(7.0, true);
+  double rate = est.EstimatedRate();
+  EXPECT_GT(rate, est.class_rates().back());
+  EXPECT_LT(rate, est.class_rates().front());
+}
+
+TEST(BayesianEstimatorTest, CustomPriorUsed) {
+  BayesianEstimator est({0.5, 0.01}, {0.9, 0.1});
+  EXPECT_DOUBLE_EQ(est.posterior()[0], 0.9);
+  est.Reset();
+  EXPECT_DOUBLE_EQ(est.posterior()[0], 0.9);
+}
+
+TEST(BayesianEstimatorTest, MismatchedPriorFallsBackToUniform) {
+  BayesianEstimator est({0.5, 0.01}, {1.0});
+  EXPECT_DOUBLE_EQ(est.posterior()[0], 0.5);
+}
+
+TEST(BayesianEstimatorTest, SurvivesExtremeEvidence) {
+  // Massive unchanged evidence must not underflow to NaN.
+  BayesianEstimator est;
+  for (int i = 0; i < 10000; ++i) est.RecordObservation(30.0, false);
+  EXPECT_FALSE(std::isnan(est.EstimatedRate()));
+  EXPECT_LT(est.EstimatedRate(), 0.01);
+}
+
+// ------------------------------------------------------------------ ratio
+
+TEST(RatioEstimatorTest, FiniteAtSaturation) {
+  RatioEstimator est;
+  for (int i = 0; i < 20; ++i) est.RecordObservation(1.0, true);
+  EXPECT_TRUE(std::isfinite(est.EstimatedRate()));
+  // -log(0.5/20.5) ~ 3.71 changes/day
+  EXPECT_NEAR(est.EstimatedRate(), std::log(20.5 / 0.5), 1e-9);
+}
+
+TEST(RatioEstimatorTest, RecoverRateUnderIrregularVisits) {
+  // The ratio estimator only sees the mean interval; with mildly
+  // irregular schedules it should still land near the truth.
+  Rng rng(11);
+  RatioEstimator est;
+  const double rate = 0.25;
+  for (int i = 0; i < 4000; ++i) {
+    double interval = rng.Uniform(0.5, 1.5);
+    bool changed = rng.NextDouble() < 1.0 - std::exp(-rate * interval);
+    est.RecordObservation(interval, changed);
+  }
+  EXPECT_NEAR(est.EstimatedRate(), rate, 0.03);
+}
+
+TEST(RatioEstimatorTest, LessBiasedThanNaiveSmallSample) {
+  // Average estimates over many small samples: the ratio estimator's
+  // bias should be smaller than the naive estimator's at rate ~ 1/day.
+  Rng rng(12);
+  const double rate = 1.2;
+  const int pages = 3000, visits = 15;
+  double naive_sum = 0.0, ratio_sum = 0.0;
+  for (int p = 0; p < pages; ++p) {
+    NaiveEstimator naive;
+    RatioEstimator ratio;
+    for (int v = 0; v < visits; ++v) {
+      bool changed = rng.NextDouble() < 1.0 - std::exp(-rate);
+      naive.RecordObservation(1.0, changed);
+      ratio.RecordObservation(1.0, changed);
+    }
+    naive_sum += naive.EstimatedRate();
+    ratio_sum += ratio.EstimatedRate();
+  }
+  double naive_bias = std::abs(naive_sum / pages - rate);
+  double ratio_bias = std::abs(ratio_sum / pages - rate);
+  EXPECT_LT(ratio_bias, naive_bias);
+}
+
+
+// ------------------------------------------------------------------- EL
+
+TEST(LastModifiedEstimatorTest, ExactTimestampsRecoverRate) {
+  // Simulate a Poisson page exposing Last-Modified: at each visit we
+  // know the exact time of the most recent change.
+  Rng rng(42);
+  LastModifiedEstimator est;
+  const double rate = 0.3;
+  double last_change = -1.0;  // relative position within the gap
+  for (int v = 0; v < 3000; ++v) {
+    const double gap = 1.0;
+    // Sample the process over the gap: time of last change, if any.
+    bool changed = rng.NextDouble() < 1.0 - std::exp(-rate * gap);
+    if (changed) {
+      // Last event in (0, gap] given >=1 event: gap - Exp truncated.
+      double tail;
+      do {
+        tail = rng.Exponential(rate);
+      } while (tail >= gap);
+      last_change = tail;  // quiet tail length
+      est.RecordObservationWithTimestamp(gap, true, last_change);
+    } else {
+      est.RecordObservationWithTimestamp(gap, false, gap);
+    }
+  }
+  EXPECT_NEAR(est.EstimatedRate(), rate, 0.03);
+}
+
+TEST(LastModifiedEstimatorTest, DoesNotSaturateAboveVisitRate) {
+  // The whole point of Last-Modified: a page changing 5x per visit
+  // interval is still identifiable, unlike with checksum-only data.
+  Rng rng(43);
+  LastModifiedEstimator el;
+  PoissonCiEstimator ep;
+  const double rate = 5.0;  // 5 changes/day, visited daily
+  for (int v = 0; v < 5000; ++v) {
+    double tail;
+    do {
+      tail = rng.Exponential(rate);
+    } while (tail >= 1.0);  // a change within the day is ~certain
+    el.RecordObservationWithTimestamp(1.0, true, tail);
+    ep.RecordObservation(1.0, true);
+  }
+  EXPECT_NEAR(el.EstimatedRate(), rate, 0.25);
+  // EP's point estimate is unusable at saturation (the continuity
+  // correction makes it grow like log n, here ~9/day); EL is far more
+  // accurate.
+  EXPECT_GT(std::abs(ep.EstimatedRate() - rate),
+            4.0 * std::abs(el.EstimatedRate() - rate));
+}
+
+TEST(LastModifiedEstimatorTest, TimestampClampedToGap) {
+  LastModifiedEstimator est;
+  // A "changed" visit reporting a modification before the previous
+  // visit contradicts the change detection; the quiet tail is clamped.
+  est.RecordObservationWithTimestamp(1.0, true, 10.0);
+  EXPECT_DOUBLE_EQ(est.total_quiet_days(), 1.0);
+  EXPECT_DOUBLE_EQ(est.EstimatedRate(), 1.0);
+}
+
+TEST(LastModifiedEstimatorTest, FallbackWithoutTimestampsIsSane) {
+  Rng rng(44);
+  LastModifiedEstimator est;
+  const double rate = 0.1;
+  for (int v = 0; v < 4000; ++v) {
+    bool changed = rng.NextDouble() < 1.0 - std::exp(-rate);
+    est.RecordObservation(1.0, changed);
+  }
+  EXPECT_NEAR(est.EstimatedRate(), rate, 0.03);
+}
+
+TEST(LastModifiedEstimatorTest, ResetAndClone) {
+  LastModifiedEstimator est;
+  est.RecordObservationWithTimestamp(1.0, true, 0.5);
+  auto clone = est.Clone();
+  EXPECT_DOUBLE_EQ(clone->EstimatedRate(), est.EstimatedRate());
+  est.Reset();
+  EXPECT_EQ(est.observation_count(), 0);
+  EXPECT_DOUBLE_EQ(est.EstimatedRate(), 0.0);
+  EXPECT_GT(clone->EstimatedRate(), 0.0);
+}
+
+TEST(LastModifiedEstimatorTest, FactoryProducesEl) {
+  auto est = MakeEstimator(EstimatorKind::kLastModified);
+  EXPECT_EQ(est->Name(), "EL");
+  EXPECT_EQ(EstimatorKindName(EstimatorKind::kLastModified),
+            std::string("EL"));
+}
+
+// ------------------------------------------- parameterized rate recovery
+
+struct RateCase {
+  EstimatorKind kind;
+  double true_rate;
+  double tolerance_frac;
+};
+
+class RateRecoveryTest : public ::testing::TestWithParam<RateCase> {};
+
+TEST_P(RateRecoveryTest, ConvergesNearTruth) {
+  const RateCase& c = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(c.true_rate * 100) +
+          static_cast<uint64_t>(c.kind));
+  auto est = MakeEstimator(c.kind);
+  FeedPoissonPage(*est, c.true_rate, 5000, 1.0, rng);
+  EXPECT_NEAR(est->EstimatedRate(), c.true_rate,
+              c.true_rate * c.tolerance_frac)
+      << est->Name() << " at rate " << c.true_rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlowAndModerateRates, RateRecoveryTest,
+    ::testing::Values(
+        // All estimators handle slow pages (lambda << 1/visit interval).
+        RateCase{EstimatorKind::kNaive, 0.02, 0.25},
+        RateCase{EstimatorKind::kPoissonCi, 0.02, 0.25},
+        RateCase{EstimatorKind::kRatio, 0.02, 0.25},
+        RateCase{EstimatorKind::kNaive, 0.1, 0.20},
+        RateCase{EstimatorKind::kPoissonCi, 0.1, 0.20},
+        RateCase{EstimatorKind::kRatio, 0.1, 0.20},
+        // Near the sampling rate only the inverting estimators stay
+        // accurate.
+        RateCase{EstimatorKind::kPoissonCi, 0.7, 0.15},
+        RateCase{EstimatorKind::kRatio, 0.7, 0.15}));
+
+}  // namespace
+}  // namespace webevo::estimator

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace webevo {
+namespace {
+
+FlagParser Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = Parse({"--days=42", "--scale=0.5"});
+  EXPECT_EQ(flags.GetInt("days", 0), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 0.0), 0.5);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser flags = Parse({"--days", "42", "--name", "webevo"});
+  EXPECT_EQ(flags.GetInt("days", 0), 42);
+  EXPECT_EQ(flags.GetString("name", ""), "webevo");
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  FlagParser flags = Parse({"--verbose", "--also=false"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("also", true));
+}
+
+TEST(FlagParserTest, BareFlagFollowedByFlagStaysBoolean) {
+  FlagParser flags = Parse({"--a", "--b=1"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_EQ(flags.GetInt("b", 0), 1);
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags = Parse({"study", "--days=3", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "study");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagParserTest, MalformedNumbersFallBack) {
+  FlagParser flags = Parse({"--days=abc", "--scale=1.5x"});
+  EXPECT_EQ(flags.GetInt("days", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 2.0), 2.0);
+}
+
+TEST(FlagParserTest, MissingFlagsUseFallbacks) {
+  FlagParser flags = Parse({});
+  EXPECT_FALSE(flags.Has("days"));
+  EXPECT_EQ(flags.GetInt("days", -1), -1);
+  EXPECT_EQ(flags.GetString("mode", "x"), "x");
+  EXPECT_TRUE(flags.GetBool("on", true));
+}
+
+TEST(FlagParserTest, LaterDuplicateWins) {
+  FlagParser flags = Parse({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  FlagParser flags =
+      Parse({"--a=yes", "--b=no", "--c=on", "--d=off", "--e=garbage"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_TRUE(flags.GetBool("e", true));  // fallback on garbage
+}
+
+TEST(FlagParserTest, ValidateCatchesUnknown) {
+  FlagParser flags = Parse({"--days=1", "--capasity=2"});
+  Status st = flags.Validate({"days", "capacity"});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("capasity"), std::string::npos);
+  EXPECT_TRUE(Parse({"--days=1"}).Validate({"days"}).ok());
+}
+
+TEST(FlagParserTest, NegativeNumbers) {
+  FlagParser flags = Parse({"--offset=-5", "--temp=-1.5"});
+  EXPECT_EQ(flags.GetInt("offset", 0), -5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("temp", 0.0), -1.5);
+}
+
+}  // namespace
+}  // namespace webevo

@@ -1,0 +1,374 @@
+// Property-based and model-based tests: invariants that must hold
+// across randomly generated inputs, and reference-model comparisons.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crawler/coll_urls.h"
+#include "freshness/analytic.h"
+#include "freshness/revisit_optimizer.h"
+#include "graph/link_graph.h"
+#include "graph/pagerank.h"
+#include "simweb/simulated_web.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace webevo {
+namespace {
+
+// ------------------------ CollUrls vs a reference model ----------------
+
+// Reference implementation: a sorted multimap plus a liveness map.
+class ReferenceQueue {
+ public:
+  void Schedule(const simweb::Url& url, double when) {
+    Remove(url);
+    auto [it, inserted] =
+        items_.emplace(std::make_pair(when, seq_++), url);
+    live_[url] = it;
+    (void)inserted;
+  }
+  bool Remove(const simweb::Url& url) {
+    auto it = live_.find(url);
+    if (it == live_.end()) return false;
+    items_.erase(it->second);
+    live_.erase(it);
+    return true;
+  }
+  std::optional<crawler::ScheduledUrl> Pop() {
+    if (items_.empty()) return std::nullopt;
+    auto it = items_.begin();
+    crawler::ScheduledUrl out{it->second, it->first.first};
+    live_.erase(it->second);
+    items_.erase(it);
+    return out;
+  }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  using Key = std::pair<double, uint64_t>;  // (when, fifo tie-break)
+  std::map<Key, simweb::Url> items_;
+  std::map<simweb::Url, std::map<Key, simweb::Url>::iterator,
+           decltype([](const simweb::Url& a, const simweb::Url& b) {
+             return std::tuple(a.site, a.slot, a.incarnation) <
+                    std::tuple(b.site, b.slot, b.incarnation);
+           })>
+      live_;
+  uint64_t seq_ = 0;
+};
+
+TEST(CollUrlsModelTest, RandomOpsMatchReference) {
+  Rng rng(1234);
+  crawler::CollUrls queue;
+  ReferenceQueue reference;
+  for (int op = 0; op < 20000; ++op) {
+    simweb::Url url{0, static_cast<uint32_t>(rng.NextBounded(40)), 0};
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {  // schedule / reschedule
+        double when = std::floor(rng.NextDouble() * 50.0);
+        queue.Schedule(url, when);
+        reference.Schedule(url, when);
+        break;
+      }
+      case 2: {  // remove
+        Status st = queue.Remove(url);
+        bool existed = reference.Remove(url);
+        EXPECT_EQ(st.ok(), existed);
+        break;
+      }
+      case 3: {  // pop
+        auto got = queue.Pop();
+        auto want = reference.Pop();
+        ASSERT_EQ(got.has_value(), want.has_value());
+        if (got.has_value()) {
+          // Times must agree; URLs may differ only on exact ties, and
+          // both structures break ties FIFO, so they agree exactly.
+          EXPECT_DOUBLE_EQ(got->when, want->when);
+          EXPECT_EQ(got->url, want->url);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+  }
+}
+
+TEST(CollUrlsModelTest, PopDrainIsSorted) {
+  Rng rng(99);
+  crawler::CollUrls queue;
+  for (uint32_t i = 0; i < 500; ++i) {
+    queue.Schedule(simweb::Url{0, i, 0}, rng.NextDouble() * 100.0);
+  }
+  double prev = -1e300;
+  while (auto item = queue.Pop()) {
+    ASSERT_GE(item->when, prev);
+    prev = item->when;
+  }
+}
+
+// ------------------- analytic freshness vs simulation ------------------
+
+struct FreshnessCase {
+  double interval_days;  // mean change interval
+  double cycle_days;
+  double window_days;
+  bool shadowing;
+};
+
+class FreshnessAgreementTest
+    : public ::testing::TestWithParam<FreshnessCase> {};
+
+TEST_P(FreshnessAgreementTest, ClosedFormMatchesEventSimulation) {
+  const FreshnessCase& c = GetParam();
+  // Direct event-level simulation of N independent pages, no crawler
+  // machinery: pages are synced on the configured schedule; freshness
+  // sampled densely; compare with the closed form.
+  Rng rng(static_cast<uint64_t>(c.interval_days * 1000 + c.window_days));
+  const int pages = 1500;
+  const double lambda = 1.0 / c.interval_days;
+  const double horizon = 8.0 * c.cycle_days;
+
+  // Page i is crawled at offset (i/pages) * window within each cycle.
+  // In-place: visible immediately; shadowing: visible at window end.
+  double fresh_time = 0.0, total_time = 0.0;
+  for (int i = 0; i < pages; ++i) {
+    double offset =
+        (static_cast<double>(i) + 0.5) / pages * c.window_days;
+    // Change times of this page over the horizon.
+    std::vector<double> changes;
+    for (double t = rng.Exponential(lambda); t < horizon;
+         t += rng.Exponential(lambda)) {
+      changes.push_back(t);
+    }
+    auto changed_between = [&](double a, double b) {
+      auto lo = std::lower_bound(changes.begin(), changes.end(), a);
+      return lo != changes.end() && *lo < b;
+    };
+    // Walk cycles starting from the second (warm-up skipped).
+    for (int cycle = 2; (cycle + 1) * c.cycle_days <= horizon; ++cycle) {
+      double crawl = cycle * c.cycle_days + offset;
+      double visible = c.shadowing
+                           ? cycle * c.cycle_days + c.window_days
+                           : crawl;
+      double next_visible =
+          c.shadowing ? (cycle + 1) * c.cycle_days + c.window_days
+                      : (cycle + 1) * c.cycle_days + offset;
+      // Sample this page's freshness on a fine grid.
+      const int samples = 64;
+      for (int s = 0; s < samples; ++s) {
+        double t = visible +
+                   (next_visible - visible) *
+                       (static_cast<double>(s) + 0.5) / samples;
+        bool fresh = !changed_between(crawl, t);
+        fresh_time += fresh ? (next_visible - visible) / samples : 0.0;
+        total_time += (next_visible - visible) / samples;
+      }
+    }
+  }
+  double simulated = fresh_time / total_time;
+  double analytic =
+      c.shadowing
+          ? (c.window_days == c.cycle_days
+                 ? freshness::SteadyShadowingFreshness(lambda,
+                                                       c.cycle_days)
+                 : freshness::BatchShadowingFreshness(
+                       lambda, c.cycle_days, c.window_days))
+          : freshness::InPlaceFreshness(lambda, c.cycle_days);
+  EXPECT_NEAR(simulated, analytic, 0.025)
+      << "interval=" << c.interval_days << " window=" << c.window_days
+      << " shadowing=" << c.shadowing;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FreshnessAgreementTest,
+    ::testing::Values(
+        // The paper's Table 2 parameters and variations around them.
+        FreshnessCase{120.0, 30.0, 30.0, false},
+        FreshnessCase{120.0, 30.0, 7.0, false},
+        FreshnessCase{120.0, 30.0, 30.0, true},
+        FreshnessCase{120.0, 30.0, 7.0, true},
+        FreshnessCase{30.0, 30.0, 15.0, false},
+        FreshnessCase{30.0, 30.0, 15.0, true},
+        FreshnessCase{15.0, 30.0, 7.0, true},
+        FreshnessCase{60.0, 30.0, 10.0, true},
+        FreshnessCase{240.0, 30.0, 7.0, false}));
+
+// --------------------- optimizer invariants under sweep ----------------
+
+class OptimizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerPropertyTest, OptimalDominatesBaselinesAndSpendsBudget) {
+  Rng rng(GetParam());
+  // Random rate mix, random budget.
+  std::vector<freshness::RateGroup> groups;
+  int n = 2 + static_cast<int>(rng.NextBounded(8));
+  for (int i = 0; i < n; ++i) {
+    groups.push_back({rng.Exponential(1.0) * 0.2,
+                      1.0 + static_cast<double>(rng.NextBounded(100))});
+  }
+  double total_weight = 0.0;
+  for (const auto& g : groups) total_weight += g.weight;
+  double budget = total_weight * rng.Uniform(0.005, 0.2);
+
+  auto optimal = freshness::RevisitOptimizer::Optimize(groups, budget);
+  auto uniform = freshness::RevisitOptimizer::Uniform(groups, budget);
+  auto proportional =
+      freshness::RevisitOptimizer::Proportional(groups, budget);
+  ASSERT_TRUE(optimal.ok());
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(proportional.ok());
+
+  // Optimality: never worse than either baseline (up to solver slack).
+  EXPECT_GE(optimal->freshness, uniform->freshness - 1e-6);
+  EXPECT_GE(optimal->freshness, proportional->freshness - 1e-6);
+
+  // Budget: spent to within 2%. Exactness is unattainable when a
+  // group sits at its exclusion boundary — its frequency swings
+  // steeply with the multiplier there (the marginal value of those
+  // visits is negligible, so the objective is unaffected).
+  double spent = 0.0;
+  bool any_rate = false;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    spent += groups[i].weight * optimal->frequency[i];
+    any_rate |= groups[i].rate > 0.0;
+  }
+  if (any_rate) {
+    EXPECT_NEAR(spent, budget, budget * 0.02);
+  }
+
+  // Frequencies non-negative; freshness in [0, 1].
+  for (double f : optimal->frequency) EXPECT_GE(f, 0.0);
+  EXPECT_GE(optimal->freshness, 0.0);
+  EXPECT_LE(optimal->freshness, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixes, OptimizerPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// ------------------------ simweb conservation laws ---------------------
+
+class SimWebPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimWebPropertyTest, SlotAlwaysOccupiedAndHistoryConsistent) {
+  simweb::WebConfig config;
+  config.seed = GetParam();
+  config.sites_per_domain = {2, 1, 1, 1};
+  config.min_site_size = 10;
+  config.max_site_size = 25;
+  config.uniform_lifespan_days = 15.0;  // fast churn
+  simweb::SimulatedWeb web(config);
+  Rng rng(GetParam() * 7 + 1);
+  double t = 0.0;
+  for (int step = 0; step < 500; ++step) {
+    t += rng.NextDouble() * 2.0;
+    uint32_t site = static_cast<uint32_t>(rng.NextBounded(web.num_sites()));
+    uint32_t slot =
+        static_cast<uint32_t>(rng.NextBounded(web.site_size(site)));
+    simweb::Url current = web.OracleCurrentUrl(site, slot, t);
+    // The occupant is always alive at the query time...
+    EXPECT_TRUE(web.OracleAlive(current, t)) << current.ToString();
+    // ...its URL matches its coordinates...
+    EXPECT_EQ(current.site, site);
+    EXPECT_EQ(current.slot, slot);
+    // ...every earlier incarnation is dead...
+    if (current.incarnation > 0) {
+      simweb::Url prev{site, slot, current.incarnation - 1};
+      EXPECT_FALSE(web.OracleAlive(prev, t));
+      // ...and incarnations tile time: prev dies no later than the
+      // current one is born.
+      auto prev_id = web.OracleLookup(prev);
+      auto cur_id = web.OracleLookup(current);
+      ASSERT_TRUE(prev_id.ok());
+      ASSERT_TRUE(cur_id.ok());
+      EXPECT_LE(web.OracleDeathTime(*prev_id),
+                web.OracleBirthTime(*cur_id) + 1e-9);
+    }
+  }
+}
+
+TEST_P(SimWebPropertyTest, FetchAgreesWithOracle) {
+  simweb::WebConfig config;
+  config.seed = GetParam() + 100;
+  config.sites_per_domain = {2, 1, 1, 1};
+  config.min_site_size = 10;
+  config.max_site_size = 30;
+  simweb::SimulatedWeb web(config);
+  Rng rng(GetParam() * 13 + 5);
+  double t = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    t += rng.NextDouble();
+    uint32_t site = static_cast<uint32_t>(rng.NextBounded(web.num_sites()));
+    uint32_t slot =
+        static_cast<uint32_t>(rng.NextBounded(web.site_size(site)));
+    simweb::Url url = web.OracleCurrentUrl(site, slot, t);
+    auto fetched = web.Fetch(url, t);
+    ASSERT_TRUE(fetched.ok());
+    auto version = web.OracleVersion(url, t);
+    ASSERT_TRUE(version.ok());
+    EXPECT_EQ(fetched->version, *version);
+    // Last-Modified is consistent: in the past, and after the birth.
+    EXPECT_LE(fetched->last_modified, t + 1e-9);
+    auto id = web.OracleLookup(url);
+    ASSERT_TRUE(id.ok());
+    EXPECT_GE(fetched->last_modified,
+              std::min(web.OracleBirthTime(*id), t) - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimWebPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------- histogram/stat mini-properties ------------------
+
+TEST(HistogramPropertyTest, QuantileMonotoneInQ) {
+  Rng rng(5);
+  Histogram h = *Histogram::Make({1.0, 5.0, 20.0, 100.0});
+  for (int i = 0; i < 2000; ++i) h.Add(rng.Exponential(0.1));
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(StatsPropertyTest, WilsonIntervalCoverage) {
+  // ~95% of Wilson 95% intervals must contain the true p.
+  Rng rng(6);
+  const double p = 0.3;
+  int covered = 0;
+  const int trials = 400, n = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    int successes = 0;
+    for (int i = 0; i < n; ++i) successes += rng.Bernoulli(p);
+    if (WilsonInterval(successes, n, 0.95).Contains(p)) ++covered;
+  }
+  double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(StatsPropertyTest, PoissonRateIntervalCoverage) {
+  Rng rng(7);
+  const double rate = 0.4, exposure = 60.0;
+  int covered = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto events = static_cast<int64_t>(rng.Poisson(rate * exposure));
+    if (PoissonRateInterval(events, exposure, 0.95).Contains(rate)) {
+      ++covered;
+    }
+  }
+  EXPECT_GT(static_cast<double>(covered) / trials, 0.90);
+}
+
+}  // namespace
+}  // namespace webevo

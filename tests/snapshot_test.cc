@@ -1,0 +1,139 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "crawler/snapshot.h"
+
+namespace webevo::crawler {
+namespace {
+
+using simweb::Url;
+
+Collection MakeCollection() {
+  Collection c(10);
+  for (uint32_t i = 0; i < 4; ++i) {
+    CollectionEntry e;
+    e.url = Url{i, i * 2, 1};
+    e.page = 100 + i;
+    e.version = 7 * i;
+    e.checksum = {0x1234 + i, 0x5678 + i};
+    e.crawled_at = 3.14159 * i;
+    e.importance = 0.25 * i;
+    e.links = {Url{0, 1, 0}, Url{2, 3, 4}};
+    EXPECT_TRUE(c.Upsert(e).ok());
+  }
+  return c;
+}
+
+TEST(SnapshotTest, CollectionRoundTrip) {
+  Collection original = MakeCollection();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCollection(original, buffer).ok());
+  auto loaded = LoadCollection(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->capacity(), original.capacity());
+  EXPECT_EQ(loaded->size(), original.size());
+  original.ForEach([&](const CollectionEntry& e) {
+    const CollectionEntry* got = loaded->Find(e.url);
+    ASSERT_NE(got, nullptr) << e.url.ToString();
+    EXPECT_EQ(got->page, e.page);
+    EXPECT_EQ(got->version, e.version);
+    EXPECT_EQ(got->checksum, e.checksum);
+    EXPECT_DOUBLE_EQ(got->crawled_at, e.crawled_at);
+    EXPECT_DOUBLE_EQ(got->importance, e.importance);
+    ASSERT_EQ(got->links.size(), e.links.size());
+    for (std::size_t i = 0; i < e.links.size(); ++i) {
+      EXPECT_EQ(got->links[i], e.links[i]);
+    }
+  });
+}
+
+TEST(SnapshotTest, EmptyCollectionRoundTrip) {
+  Collection empty(5);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCollection(empty, buffer).ok());
+  auto loaded = LoadCollection(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->capacity(), 5u);
+}
+
+TEST(SnapshotTest, DetectsCorruption) {
+  Collection original = MakeCollection();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCollection(original, buffer).ok());
+  std::string payload = buffer.str();
+  // Flip one digit somewhere in the middle of the payload.
+  std::size_t pos = payload.size() / 2;
+  payload[pos] = payload[pos] == '1' ? '2' : '1';
+  std::istringstream corrupted(payload);
+  EXPECT_FALSE(LoadCollection(corrupted).ok());
+}
+
+TEST(SnapshotTest, DetectsTruncation) {
+  Collection original = MakeCollection();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCollection(original, buffer).ok());
+  std::string payload = buffer.str();
+  std::istringstream truncated(payload.substr(0, payload.size() / 2));
+  EXPECT_FALSE(LoadCollection(truncated).ok());
+}
+
+TEST(SnapshotTest, RejectsWrongMagicAndVersion) {
+  std::istringstream wrong("webevo-allurls 1 0\nwebevo-checksum 0\n");
+  EXPECT_FALSE(LoadCollection(wrong).ok());
+  std::istringstream versioned("webevo-collection 99 10 0\n");
+  EXPECT_FALSE(LoadCollection(versioned).ok());
+}
+
+TEST(SnapshotTest, AllUrlsRoundTrip) {
+  AllUrls original;
+  original.Add(Url{1, 2, 3}, 4.5);
+  original.NoteInLink(Url{1, 2, 3}, 5.0);
+  original.NoteInLink(Url{1, 2, 3}, 5.5);
+  original.Add(Url{9, 0, 0}, 1.0);
+  ASSERT_TRUE(original.MarkDead(Url{9, 0, 0}).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveAllUrls(original, buffer).ok());
+  auto loaded = LoadAllUrls(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+  const AllUrls::UrlInfo* a = loaded->Find(Url{1, 2, 3});
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->first_seen, 4.5);
+  EXPECT_EQ(a->in_links, 2u);
+  EXPECT_FALSE(a->dead);
+  const AllUrls::UrlInfo* b = loaded->Find(Url{9, 0, 0});
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->dead);
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  Collection original = MakeCollection();
+  std::string path = ::testing::TempDir() + "/webevo_snapshot_test.snap";
+  ASSERT_TRUE(SaveCollectionToFile(original, path).ok());
+  auto loaded = LoadCollectionFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_FALSE(LoadCollectionFromFile("/nonexistent/nope.snap").ok());
+}
+
+TEST(SnapshotTest, DoublePrecisionPreserved) {
+  Collection c(2);
+  CollectionEntry e;
+  e.url = Url{0, 0, 0};
+  e.crawled_at = 123.456789012345678;
+  e.importance = 1e-17;
+  ASSERT_TRUE(c.Upsert(e).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCollection(c, buffer).ok());
+  auto loaded = LoadCollection(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->Find(Url{0, 0, 0})->crawled_at,
+                   e.crawled_at);
+  EXPECT_DOUBLE_EQ(loaded->Find(Url{0, 0, 0})->importance, e.importance);
+}
+
+}  // namespace
+}  // namespace webevo::crawler

@@ -1,0 +1,260 @@
+// webevo_sim — command-line driver for the webevo library.
+//
+// Three modes:
+//   study    re-run the paper's Sections 2-3 measurement campaign and
+//            print the Figure 2/4/5 statistics
+//   crawl    run one crawler (incremental or periodic) and report its
+//            freshness trajectory and load profile
+//   compare  run the incremental and the periodic crawler side by side
+//            on identical webs (the Figure 10 shoot-out)
+//
+// Examples:
+//   webevo_sim study --days=128 --scale=0.2
+//   webevo_sim crawl --crawler=incremental --policy=optimal --days=120
+//   webevo_sim crawl --crawler=periodic --window=7 --no-shadowing
+//   webevo_sim compare --capacity=2000 --days=150 --csv=out.csv
+//
+// All runs are deterministic for a given --seed.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "crawler/incremental_crawler.h"
+#include "crawler/periodic_crawler.h"
+#include "experiment/analyzers.h"
+#include "experiment/csv_export.h"
+#include "experiment/monitoring_experiment.h"
+#include "simweb/simulated_web.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace webevo;
+
+constexpr const char* kUsage = R"(usage: webevo_sim <mode> [flags]
+
+modes:
+  study     re-run the web-evolution measurement campaign
+  crawl     run one crawler and report freshness/load
+  compare   incremental vs periodic on identical webs
+
+common flags:
+  --seed=<n>        master seed               (default 19990217)
+  --scale=<f>       web size multiplier       (default 0.15)
+  --days=<n>        simulated days            (default 120)
+  --capacity=<n>    collection capacity       (default 2000)
+  --csv=<path>      also write the freshness series as CSV
+
+study flags:
+  --window=<n>      page window per site      (default 300)
+
+crawl flags:
+  --crawler=incremental|periodic              (default incremental)
+  --policy=optimal|uniform|proportional       (incremental only)
+  --estimator=EB|EP|ratio|naive|EL            (incremental only)
+  --cycle=<days>    revisit cycle             (default 30)
+  --window=<days>   batch window              (default 7; periodic only)
+  --no-shadowing    periodic crawler updates in place
+)";
+
+simweb::WebConfig WebFromFlags(const FlagParser& flags) {
+  simweb::WebConfig config =
+      simweb::WebConfig().Scaled(flags.GetDouble("scale", 0.15));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 19990217));
+  config.max_site_size = 250;
+  return config;
+}
+
+void MaybeWriteCsv(const FlagParser& flags,
+                   const freshness::FreshnessTracker& tracker,
+                   const std::string& label) {
+  std::string path = flags.GetString("csv", "");
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::app);
+  for (std::size_t i = 0; i < tracker.size(); ++i) {
+    out << label << ',' << tracker.times()[i] << ','
+        << tracker.values()[i] << '\n';
+  }
+  std::printf("appended %zu samples to %s\n", tracker.size(),
+              path.c_str());
+}
+
+int RunStudy(const FlagParser& flags) {
+  simweb::SimulatedWeb web(WebFromFlags(flags));
+  experiment::MonitoringConfig config;
+  config.num_days = static_cast<int>(flags.GetInt("days", 120));
+  config.window_size =
+      static_cast<std::size_t>(flags.GetInt("window", 300));
+  experiment::MonitoringExperiment experiment(&web, config);
+  std::printf("monitoring %u sites for %d days (window %zu)...\n",
+              web.num_sites(), config.num_days, config.window_size);
+  Status st = experiment.Run();
+  if (!st.ok()) {
+    std::printf("failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto change = experiment::AnalyzeChangeIntervals(experiment.table());
+  std::printf("\naverage change interval (Figure 2a):\n%s\n",
+              change.overall.ToString().c_str());
+  auto life =
+      experiment::AnalyzeLifespans(experiment.table(), config.num_days);
+  std::printf("visible lifespan, Method 1 (Figure 4a):\n%s\n",
+              life.method1.ToString().c_str());
+  auto survival =
+      experiment::AnalyzeSurvival(experiment.table(), config.num_days);
+  int half = experiment::SurvivalResult::DaysToReach(survival.overall,
+                                                     0.5);
+  std::printf("50%% of the day-0 cohort changed/disappeared by day: %d\n",
+              half);
+  std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    Status csv = experiment::WritePageStatsCsv(experiment.table(), out);
+    std::printf("%s page stats to %s\n",
+                csv.ok() ? "wrote" : "FAILED writing", csv_path.c_str());
+  }
+  return 0;
+}
+
+int RunCrawl(const FlagParser& flags) {
+  simweb::SimulatedWeb web(WebFromFlags(flags));
+  const double days = flags.GetDouble("days", 120);
+  const auto capacity =
+      static_cast<std::size_t>(flags.GetInt("capacity", 2000));
+  const double cycle = flags.GetDouble("cycle", 30.0);
+  std::string kind = flags.GetString("crawler", "incremental");
+
+  const freshness::FreshnessTracker* tracker = nullptr;
+  const crawler::CrawlModule* module = nullptr;
+  crawler::IncrementalCrawler incremental(
+      &web, [&] {
+        crawler::IncrementalCrawlerConfig c;
+        c.collection_capacity = capacity;
+        c.crawl_rate_pages_per_day = static_cast<double>(capacity) / cycle;
+        std::string policy = flags.GetString("policy", "optimal");
+        c.update.policy = policy == "uniform"
+                              ? crawler::RevisitPolicy::kUniform
+                          : policy == "proportional"
+                              ? crawler::RevisitPolicy::kProportional
+                              : crawler::RevisitPolicy::kOptimal;
+        std::string est = flags.GetString("estimator", "EB");
+        c.update.estimator_kind =
+            est == "EP"      ? estimator::EstimatorKind::kPoissonCi
+            : est == "ratio" ? estimator::EstimatorKind::kRatio
+            : est == "naive" ? estimator::EstimatorKind::kNaive
+            : est == "EL"    ? estimator::EstimatorKind::kLastModified
+                             : estimator::EstimatorKind::kBayesian;
+        return c;
+      }());
+  crawler::PeriodicCrawler periodic(&web, [&] {
+    crawler::PeriodicCrawlerConfig c;
+    c.collection_capacity = capacity;
+    c.cycle_days = cycle;
+    c.crawl_window_days = flags.GetDouble("window", 7.0);
+    c.shadowing = !flags.GetBool("no-shadowing", false);
+    return c;
+  }());
+
+  Status st;
+  if (kind == "periodic") {
+    st = periodic.Bootstrap(0.0);
+    if (st.ok()) st = periodic.RunUntil(days);
+    tracker = &periodic.tracker();
+    module = &periodic.crawl_module();
+  } else {
+    st = incremental.Bootstrap(0.0);
+    if (st.ok()) st = incremental.RunUntil(days);
+    tracker = &incremental.tracker();
+    module = &incremental.crawl_module();
+  }
+  if (!st.ok()) {
+    std::printf("failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("freshness over %0.f days (%s crawler):\n%s\n", days,
+              kind.c_str(),
+              AsciiChart(tracker->times(), tracker->values(), 0.0, 1.0)
+                  .c_str());
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"time-avg freshness (2nd half)",
+                TablePrinter::Fmt(tracker->TimeAverage(days / 2, days))});
+  table.AddRow({"peak load (pages/day)",
+                TablePrinter::Fmt(module->PeakDailyRate(), 0)});
+  table.AddRow({"avg load (pages/day)",
+                TablePrinter::Fmt(module->AverageDailyRate(), 0)});
+  table.AddRow({"fetches", TablePrinter::Fmt(static_cast<int64_t>(
+                               module->fetch_count()))});
+  std::printf("%s", table.ToString().c_str());
+  MaybeWriteCsv(flags, *tracker, kind);
+  return 0;
+}
+
+int RunCompare(const FlagParser& flags) {
+  const double days = flags.GetDouble("days", 120);
+  const auto capacity =
+      static_cast<std::size_t>(flags.GetInt("capacity", 2000));
+  const double cycle = flags.GetDouble("cycle", 30.0);
+
+  simweb::SimulatedWeb web_a(WebFromFlags(flags));
+  crawler::IncrementalCrawlerConfig inc_config;
+  inc_config.collection_capacity = capacity;
+  inc_config.crawl_rate_pages_per_day =
+      static_cast<double>(capacity) / cycle;
+  crawler::IncrementalCrawler inc(&web_a, inc_config);
+
+  simweb::SimulatedWeb web_b(WebFromFlags(flags));
+  crawler::PeriodicCrawlerConfig per_config;
+  per_config.collection_capacity = capacity;
+  per_config.cycle_days = cycle;
+  per_config.crawl_window_days = flags.GetDouble("window", 7.0);
+  crawler::PeriodicCrawler per(&web_b, per_config);
+
+  if (!inc.Bootstrap(0.0).ok() || !inc.RunUntil(days).ok() ||
+      !per.Bootstrap(0.0).ok() || !per.RunUntil(days).ok()) {
+    std::printf("simulation failed\n");
+    return 1;
+  }
+  TablePrinter table({"metric", "incremental", "periodic"});
+  table.AddRow(
+      {"freshness (2nd half)",
+       TablePrinter::Fmt(inc.tracker().TimeAverage(days / 2, days)),
+       TablePrinter::Fmt(per.tracker().TimeAverage(days / 2, days))});
+  table.AddRow({"peak load",
+                TablePrinter::Fmt(inc.crawl_module().PeakDailyRate(), 0),
+                TablePrinter::Fmt(per.crawl_module().PeakDailyRate(), 0)});
+  table.AddRow({"avg load",
+                TablePrinter::Fmt(inc.crawl_module().AverageDailyRate(),
+                                  0),
+                TablePrinter::Fmt(per.crawl_module().AverageDailyRate(),
+                                  0)});
+  std::printf("%s", table.ToString().c_str());
+  MaybeWriteCsv(flags, inc.tracker(), "incremental");
+  MaybeWriteCsv(flags, per.tracker(), "periodic");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  Status valid = flags.Validate(
+      {"seed", "scale", "days", "capacity", "csv", "window", "crawler",
+       "policy", "estimator", "cycle", "no-shadowing", "help"});
+  if (!valid.ok()) {
+    std::printf("%s\n%s", valid.ToString().c_str(), kUsage);
+    return 2;
+  }
+  if (flags.GetBool("help", false) || flags.positional().empty()) {
+    std::printf("%s", kUsage);
+    return flags.positional().empty() ? 2 : 0;
+  }
+  const std::string& mode = flags.positional().front();
+  if (mode == "study") return RunStudy(flags);
+  if (mode == "crawl") return RunCrawl(flags);
+  if (mode == "compare") return RunCompare(flags);
+  std::printf("unknown mode '%s'\n%s", mode.c_str(), kUsage);
+  return 2;
+}
