@@ -1,0 +1,198 @@
+// Scaling bench for the ShardedCrawlEngine: aggregate crawl throughput
+// (pages/sec of wall time) of the incremental crawler at 1/2/4/8
+// shards over one synthetic web, plus the engine's headline guarantee —
+// the *simulation* output is bit-identical at every shard count.
+//
+// Usage:
+//   bench_sharded_scaling [shards...]       (default: 1 2 4 8)
+// Env:
+//   WEBEVO_SCALE            workload multiplier (default 1.0)
+//   WEBEVO_BODY_BYTES       synthetic page body size (default 16384)
+//   WEBEVO_DAYS             virtual days to crawl (default 20)
+//   WEBEVO_REQUIRE_SPEEDUP  if set, exit non-zero unless the best
+//                           multi-shard speedup reaches this factor
+//
+// Exits non-zero on any cross-shard-count determinism mismatch, which
+// is what the CI smoke check (`bench_sharded_scaling 1 4`) relies on.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "crawler/incremental_crawler.h"
+#include "simweb/simulated_web.h"
+#include "simweb/web_config.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace webevo;
+
+double EnvOr(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  double value = std::atof(raw);
+  return value > 0.0 ? value : fallback;
+}
+
+struct RunResult {
+  int shards = 0;
+  double wall_seconds = 0.0;
+  uint64_t crawls = 0;
+  // Determinism fingerprint: every field must match across shard counts
+  // bit for bit.
+  crawler::CollectionQuality quality;
+  uint64_t pages_added = 0;
+  uint64_t dead_pages_removed = 0;
+  uint64_t changes_detected = 0;
+  uint64_t politeness_retries = 0;
+  uint64_t web_fetches = 0;
+  uint64_t pages_created = 0;
+};
+
+RunResult RunOnce(int shards, double scale, double days,
+                  uint32_t body_bytes) {
+  simweb::WebConfig wc = simweb::WebConfig().Scaled(0.15 * scale);
+  wc.seed = 19990217;
+  wc.max_site_size = 250;
+  wc.page_body_bytes = body_bytes;
+  simweb::SimulatedWeb web(wc);
+
+  crawler::IncrementalCrawlerConfig config;
+  config.collection_capacity =
+      static_cast<std::size_t>(4000 * scale);
+  // Fast steady crawl: ~half the collection per day keeps every
+  // rebalance-interval batch a few thousand fetches wide.
+  config.crawl_rate_pages_per_day =
+      static_cast<double>(config.collection_capacity) / 2.0;
+  config.freshness_sample_interval_days = 1.0;
+  config.crawl_parallelism = shards;
+  config.crawl.per_site_delay_days = 1e-4;  // the paper's ~10 seconds
+  config.crawl.enforce_politeness = true;
+
+  crawler::IncrementalCrawler crawl(&web, config);
+  if (!crawl.Bootstrap(0.0).ok()) {
+    std::fprintf(stderr, "bootstrap failed\n");
+    std::exit(2);
+  }
+  auto start = std::chrono::steady_clock::now();
+  if (!crawl.RunUntil(days).ok()) {
+    std::fprintf(stderr, "run failed\n");
+    std::exit(2);
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.shards = shards;
+  r.wall_seconds = std::chrono::duration<double>(end - start).count();
+  r.crawls = crawl.stats().crawls;
+  r.quality = crawl.MeasureNow();
+  r.pages_added = crawl.stats().pages_added;
+  r.dead_pages_removed = crawl.stats().dead_pages_removed;
+  r.changes_detected = crawl.stats().changes_detected;
+  r.politeness_retries = crawl.stats().politeness_retries;
+  r.web_fetches = web.fetch_count();
+  r.pages_created = web.OracleTotalPagesCreated();
+  return r;
+}
+
+bool SameSimulation(const RunResult& a, const RunResult& b) {
+  return a.crawls == b.crawls && a.quality.freshness == b.quality.freshness &&
+         a.quality.mean_stale_age_days == b.quality.mean_stale_age_days &&
+         a.quality.size == b.quality.size &&
+         a.quality.fresh == b.quality.fresh &&
+         a.quality.dead == b.quality.dead &&
+         a.pages_added == b.pages_added &&
+         a.dead_pages_removed == b.dead_pages_removed &&
+         a.changes_detected == b.changes_detected &&
+         a.politeness_retries == b.politeness_retries &&
+         a.web_fetches == b.web_fetches &&
+         a.pages_created == b.pages_created;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner(
+      "Sharded crawl engine: throughput scaling",
+      "multiple CrawlModule's may run in parallel, depending on how "
+      "fast we need to crawl pages (Section 5.3)");
+
+  std::vector<int> shard_counts;
+  for (int i = 1; i < argc; ++i) {
+    int n = std::atoi(argv[i]);
+    if (n > 0) shard_counts.push_back(n);
+  }
+  if (shard_counts.empty()) shard_counts = {1, 2, 4, 8};
+
+  const double scale = bench::ScaleFromEnv();
+  const double days = EnvOr("WEBEVO_DAYS", 20.0);
+  const auto body_bytes =
+      static_cast<uint32_t>(EnvOr("WEBEVO_BODY_BYTES", 16384.0));
+  std::printf("scale %.2f, %.0f virtual days, %u-byte bodies, %u cores\n\n",
+              scale, days, body_bytes,
+              std::thread::hardware_concurrency());
+
+  std::vector<RunResult> results;
+  results.reserve(shard_counts.size());
+  for (int shards : shard_counts) {
+    results.push_back(RunOnce(shards, scale, days, body_bytes));
+  }
+
+  const RunResult& base = results.front();
+  TablePrinter table({"shards", "crawled pages", "wall s", "pages/s",
+                      "speedup", "identical sim"});
+  bool all_identical = true;
+  double best_speedup = 1.0;
+  for (const RunResult& r : results) {
+    bool identical = SameSimulation(base, r);
+    all_identical = all_identical && identical;
+    double pages_per_sec =
+        r.wall_seconds > 0.0 ? static_cast<double>(r.crawls) / r.wall_seconds
+                             : 0.0;
+    double base_rate = base.wall_seconds > 0.0
+                           ? static_cast<double>(base.crawls) /
+                                 base.wall_seconds
+                           : 0.0;
+    double speedup = base_rate > 0.0 ? pages_per_sec / base_rate : 1.0;
+    if (r.shards != base.shards) best_speedup = std::max(best_speedup,
+                                                         speedup);
+    table.AddRow({std::to_string(r.shards),
+                  TablePrinter::Fmt(static_cast<int64_t>(r.crawls)),
+                  TablePrinter::Fmt(r.wall_seconds),
+                  TablePrinter::Fmt(pages_per_sec, 0),
+                  TablePrinter::Fmt(speedup, 2),
+                  identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "collection %zu pages, freshness %.4f, %llu pages created\n",
+      base.quality.size, base.quality.freshness,
+      static_cast<unsigned long long>(base.pages_created));
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: simulation output varies with shard count\n");
+    return 1;
+  }
+  std::printf("determinism: identical simulation at every shard count\n");
+
+  const char* require = std::getenv("WEBEVO_REQUIRE_SPEEDUP");
+  if (require != nullptr) {
+    double target = std::atof(require);
+    if (best_speedup + 1e-9 < target) {
+      std::fprintf(stderr, "FAIL: best speedup %.2f < required %.2f\n",
+                   best_speedup, target);
+      return 1;
+    }
+  }
+  if (std::thread::hardware_concurrency() < 2) {
+    std::printf(
+        "note: single-core host; wall-clock speedup needs >= 2 cores\n");
+  }
+  return 0;
+}

@@ -15,10 +15,10 @@ namespace webevo::crawler {
 /// Requests are sharded by *site*, so each site's politeness state is
 /// owned by exactly one module: parallelism multiplies aggregate
 /// throughput without ever letting two workers hit one site
-/// back-to-back. In this discrete-time simulation the pool models the
-/// capacity and isolation structure (who may fetch what, and the
-/// aggregate load profile); wall-clock concurrency is outside a
-/// deterministic simulation's scope.
+/// back-to-back. The pool itself is routing + accounting; the
+/// ShardedCrawlEngine drives the modules from real worker threads,
+/// partitioning each fetch batch with the same ShardOf mapping so a
+/// module is only ever touched by its own shard's thread.
 class CrawlModulePool {
  public:
   /// Creates `parallelism` modules (>= 1; clamped) sharing the web and
@@ -34,9 +34,21 @@ class CrawlModulePool {
 
   int parallelism() const { return static_cast<int>(modules_.size()); }
 
+  /// Shard index owning `site` — the same mapping the
+  /// ShardedCrawlEngine partitions fetch batches with, so one worker
+  /// thread is the sole caller of each module.
+  std::size_t ShardOf(uint32_t site) const {
+    return site % modules_.size();
+  }
+
   /// The module that owns a site's politeness state.
   const CrawlModule& module_for_site(uint32_t site) const {
     return *modules_[ShardOf(site)];
+  }
+
+  /// Module by shard index (for per-shard accounting).
+  const CrawlModule& module(std::size_t shard) const {
+    return *modules_[shard];
   }
 
   /// Aggregate accounting across all modules.
@@ -48,10 +60,6 @@ class CrawlModulePool {
   double CombinedPeakDailyRate() const;
 
  private:
-  std::size_t ShardOf(uint32_t site) const {
-    return site % modules_.size();
-  }
-
   std::vector<std::unique_ptr<CrawlModule>> modules_;
 };
 

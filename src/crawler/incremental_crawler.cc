@@ -1,6 +1,8 @@
 #include "crawler/incremental_crawler.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace webevo::crawler {
 
@@ -9,7 +11,7 @@ IncrementalCrawler::IncrementalCrawler(
     : web_(web),
       config_(config),
       collection_(config.collection_capacity),
-      crawl_module_(web, config.crawl),
+      engine_(web, config.crawl, config.crawl_parallelism),
       update_module_([&] {
         UpdateModuleConfig u = config.update;
         u.crawl_budget_pages_per_day = config.crawl_rate_pages_per_day;
@@ -87,16 +89,18 @@ void IncrementalCrawler::RunRefinement() {
   });
 }
 
-void IncrementalCrawler::CrawlOne(const simweb::Url& url) {
+void IncrementalCrawler::ApplyOutcome(const simweb::Url& url,
+                                      StatusOr<simweb::FetchResult> result) {
   ++stats_.crawls;
   pending_admissions_.erase(url);
-  auto result = crawl_module_.Crawl(url, now_);
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kFailedPrecondition) {
       // Politeness rejection: the page is fine, the site just needs a
-      // breather; put it back for the earliest polite time.
+      // breather; put it back for the earliest polite time (as of the
+      // end of the batch — later same-site fetches may have pushed it
+      // out further).
       ++stats_.politeness_retries;
-      coll_urls_.Schedule(url, crawl_module_.NextAllowedTime(url.site));
+      coll_urls_.Schedule(url, engine_.pool().NextAllowedTime(url.site));
       if (!collection_.Contains(url)) pending_admissions_.insert(url);
       return;
     }
@@ -193,19 +197,39 @@ Status IncrementalCrawler::RunUntil(double until) {
       }
     }
 
-    auto head = coll_urls_.Peek();
-    if (!head.has_value() || head->when > now_) {
-      // Nothing due: idle to the next scheduled crawl or housekeeping
-      // event (the steady crawler's spare capacity).
-      double target =
-          std::min({next_sample_, next_refine_, next_rebalance_});
-      if (head.has_value()) target = std::min(target, head->when);
-      now_ = std::min(until, target);
-      continue;
+    // Plan one engine batch of crawl slots, bounded by the next
+    // housekeeping event so refinement/rebalance/sampling always see a
+    // fully applied collection.
+    const double horizon =
+        std::min({next_sample_, next_refine_, next_rebalance_, until});
+    std::vector<PlannedFetch> plan;
+    double t = now_;
+    while (t < horizon) {
+      auto head = coll_urls_.Peek();
+      if (!head.has_value()) {
+        t = horizon;  // nothing scheduled: idle to the horizon
+        break;
+      }
+      if (head->when > t) {
+        if (head->when >= horizon) {
+          t = horizon;  // next URL is due beyond this batch
+          break;
+        }
+        t = head->when;  // idle to the next due URL (spare capacity)
+        continue;
+      }
+      auto popped = coll_urls_.Pop();
+      plan.push_back(PlannedFetch{popped->url, t});
+      t += step;  // constant crawl speed: one fetch per slot
     }
-    auto popped = coll_urls_.Pop();
-    if (popped.has_value()) CrawlOne(popped->url);
-    now_ += step;  // constant crawl speed: one fetch per slot
+
+    std::vector<StatusOr<simweb::FetchResult>> outcomes =
+        engine_.ExecuteBatch(plan);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      now_ = plan[i].at;
+      ApplyOutcome(plan[i].url, std::move(outcomes[i]));
+    }
+    now_ = t;
   }
   return Status::Ok();
 }

@@ -10,6 +10,7 @@
 #include "crawler/crawl_module.h"
 #include "crawler/eval.h"
 #include "crawler/ranking_module.h"
+#include "crawler/sharded_crawl_engine.h"
 #include "crawler/update_module.h"
 #include "freshness/freshness_tracker.h"
 #include "simweb/simulated_web.h"
@@ -37,6 +38,11 @@ struct IncrementalCrawlerConfig {
   /// How often freshness is sampled into the tracker (oracle only).
   double freshness_sample_interval_days = 0.5;
 
+  /// Number of ShardedCrawlEngine shards (parallel CrawlModules).
+  /// Results are bit-identical for any value; > 1 spreads each batch's
+  /// fetches across that many worker threads.
+  int crawl_parallelism = 1;
+
   UpdateModuleConfig update;
   RankingModuleConfig ranking;
   CrawlModuleConfig crawl;
@@ -46,18 +52,25 @@ struct IncrementalCrawlerConfig {
 /// *steady* crawler with *in-place* updates and *variable* revisit
 /// frequency — the left-hand column of Figure 10.
 ///
-/// Control loop per crawl slot (one slot every 1/crawl_rate days):
-///   1. if due, run the RankingModule refinement and execute its
-///      replacement decisions (discard victim, schedule candidate at
-///      the front of CollUrls);
-///   2. if due, Rebalance() the UpdateModule;
-///   3. pop the head of CollUrls, crawl it via the CrawlModule:
+/// The crawl loop runs in engine batches bounded by the next
+/// housekeeping event (refine / rebalance / freshness sample):
+///   1. *plan*: pop due URLs off CollUrls, one per crawl slot (one slot
+///      every 1/crawl_rate days);
+///   2. *fetch*: the ShardedCrawlEngine executes the batch, shards in
+///      parallel;
+///   3. *apply*: walk outcomes in slot order —
 ///        - success on a collection page: in-place update, feed the
 ///          checksum comparison to the UpdateModule, reschedule;
 ///        - success on a new page: insert (evicting the least-important
 ///          entry only if refinement hasn't already made room);
 ///        - NotFound: drop the page everywhere and mark the URL dead;
+///        - politeness rejection: reschedule at the earliest polite
+///          time;
 ///      extracted links feed AllUrls either way.
+/// URLs crawled or discovered within a batch become eligible for
+/// (re)scheduling at the next batch — the batch is the engine's unit
+/// of feedback, which is what keeps N-shard runs identical to serial
+/// runs.
 ///
 /// While the collection is below capacity, newly discovered URLs are
 /// scheduled immediately (greedy fill); once full, admission is the
@@ -79,7 +92,11 @@ class IncrementalCrawler {
   const Collection& collection() const { return collection_; }
   const AllUrls& all_urls() const { return all_urls_; }
   const CollUrls& coll_urls() const { return coll_urls_; }
-  const CrawlModule& crawl_module() const { return crawl_module_; }
+  /// Module 0 — the only module at crawl_parallelism == 1; per-shard
+  /// accounting for wider pools lives on crawl_pool().
+  const CrawlModule& crawl_module() const { return engine_.pool().module(0); }
+  const CrawlModulePool& crawl_pool() const { return engine_.pool(); }
+  const ShardedCrawlEngine& engine() const { return engine_; }
   const UpdateModule& update_module() const { return update_module_; }
   const RankingModule& ranking_module() const { return ranking_module_; }
   const freshness::FreshnessTracker& tracker() const { return tracker_; }
@@ -116,15 +133,16 @@ class IncrementalCrawler {
   /// Handles the links extracted from a crawled page.
   void IngestLinks(const std::vector<simweb::Url>& links);
 
-  /// Crawls one URL at now_ and processes the outcome.
-  void CrawlOne(const simweb::Url& url);
+  /// Applies one fetch outcome at now_ (the serial step 3 above).
+  void ApplyOutcome(const simweb::Url& url,
+                    StatusOr<simweb::FetchResult> result);
 
   simweb::SimulatedWeb* web_;  // not owned
   IncrementalCrawlerConfig config_;
   Collection collection_;
   AllUrls all_urls_;
   CollUrls coll_urls_;
-  CrawlModule crawl_module_;
+  ShardedCrawlEngine engine_;
   UpdateModule update_module_;
   RankingModule ranking_module_;
   freshness::FreshnessTracker tracker_;

@@ -1,6 +1,8 @@
 #include "crawler/periodic_crawler.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace webevo::crawler {
 
@@ -10,7 +12,7 @@ PeriodicCrawler::PeriodicCrawler(simweb::SimulatedWeb* web,
       config_(config),
       store_(config.collection_capacity),
       inplace_(config.collection_capacity),
-      crawl_module_(web, config.crawl) {}
+      engine_(web, config.crawl, config.crawl_parallelism) {}
 
 const Collection& PeriodicCrawler::current_collection() const {
   return config_.shadowing ? store_.current() : inplace_;
@@ -69,51 +71,52 @@ void PeriodicCrawler::FinishCycle() {
   }
 }
 
-bool PeriodicCrawler::CrawlNext() {
-  while (!frontier_.empty()) {
-    simweb::Url url = frontier_.front();
-    frontier_.pop_front();
-    ++stats_.crawls;
-    auto result = crawl_module_.Crawl(url, now_);
-    if (!result.ok()) {
-      ++stats_.dead_fetches;
-      // With in-place updates a page that vanished must also leave the
-      // collection; a shadowed crawl simply never adds it.
-      if (!config_.shadowing) {
-        Status st = inplace_.Remove(url);
-        (void)st;
-      }
-      continue;  // costs a fetch slot? no: try the next URL immediately
+void PeriodicCrawler::ApplyOutcome(const simweb::Url& url,
+                                   StatusOr<simweb::FetchResult> result) {
+  ++stats_.crawls;
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kFailedPrecondition) {
+      // Politeness rejection: the page is alive, this cycle just
+      // skips it (the fixed-frequency crawler has no retry queue).
+      // It must *not* be purged like a dead page.
+      ++stats_.politeness_rejections;
+      return;
     }
-    CollectionEntry entry;
-    entry.url = url;
-    entry.page = result->page;
-    entry.version = result->version;
-    entry.checksum = result->checksum;
-    entry.crawled_at = now_;
-    entry.links = result->links;
-    Status st = target_collection().Upsert(std::move(entry));
-    if (st.ok()) {
-      ++stats_.pages_stored;
-      ++stored_this_cycle_;
+    ++stats_.dead_fetches;
+    // With in-place updates a page that vanished must also leave the
+    // collection; a shadowed crawl simply never adds it.
+    if (!config_.shadowing) {
+      Status st = inplace_.Remove(url);
+      (void)st;
     }
-    // Breadth-first expansion. The crawl loop stops once `capacity`
-    // pages are stored; the frontier keeps a few extra discoveries so
-    // that URLs dying between discovery and fetch do not leave the
-    // collection under-filled. The 4x bound caps frontier memory.
-    if (seen_this_cycle_.size() < 4 * config_.collection_capacity) {
-      for (const simweb::Url& link : result->links) {
-        if (seen_this_cycle_.size() >= 4 * config_.collection_capacity) {
-          break;
-        }
-        if (seen_this_cycle_.insert(link).second) {
-          frontier_.push_back(link);
-        }
-      }
-    }
-    return true;
+    return;
   }
-  return false;
+  CollectionEntry entry;
+  entry.url = url;
+  entry.page = result->page;
+  entry.version = result->version;
+  entry.checksum = result->checksum;
+  entry.crawled_at = now_;
+  entry.links = result->links;
+  Status st = target_collection().Upsert(std::move(entry));
+  if (st.ok()) {
+    ++stats_.pages_stored;
+    ++stored_this_cycle_;
+  }
+  // Breadth-first expansion. The crawl loop stops once `capacity`
+  // pages are stored; the frontier keeps a few extra discoveries so
+  // that URLs dying between discovery and fetch do not leave the
+  // collection under-filled. The 4x bound caps frontier memory.
+  if (seen_this_cycle_.size() < 4 * config_.collection_capacity) {
+    for (const simweb::Url& link : result->links) {
+      if (seen_this_cycle_.size() >= 4 * config_.collection_capacity) {
+        break;
+      }
+      if (seen_this_cycle_.insert(link).second) {
+        frontier_.push_back(link);
+      }
+    }
+  }
 }
 
 Status PeriodicCrawler::RunUntil(double until) {
@@ -135,16 +138,44 @@ Status PeriodicCrawler::RunUntil(double until) {
     double window_end = cycle_start_ + config_.crawl_window_days;
 
     if (cycle_active_) {
-      bool done = stored_this_cycle_ >= config_.collection_capacity ||
-                  now_ >= window_end;
-      if (!done) {
-        if (CrawlNext()) {
-          now_ += step;
+      if (stored_this_cycle_ >= config_.collection_capacity ||
+          now_ >= window_end) {
+        FinishCycle();
+      } else {
+        // Plan one engine batch: one frontier URL per crawl slot, at
+        // most the remaining storage budget, bounded by the next
+        // sample and the window end.
+        const double horizon = std::min({next_sample_, window_end, until});
+        const std::size_t budget = static_cast<std::size_t>(
+            config_.collection_capacity - stored_this_cycle_);
+        const double batch_start = now_;
+        std::vector<PlannedFetch> plan;
+        double t = now_;
+        while (t < horizon && plan.size() < budget && !frontier_.empty()) {
+          plan.push_back(PlannedFetch{frontier_.front(), t});
+          frontier_.pop_front();
+          t += step;
+        }
+        if (plan.empty()) {
+          FinishCycle();  // frontier exhausted before the window closed
+        } else {
+          std::vector<StatusOr<simweb::FetchResult>> outcomes =
+              engine_.ExecuteBatch(plan);
+          uint64_t successes = 0;
+          for (std::size_t i = 0; i < plan.size(); ++i) {
+            now_ = plan[i].at;
+            if (outcomes[i].ok()) ++successes;
+            ApplyOutcome(plan[i].url, std::move(outcomes[i]));
+          }
+          // Failed fetches refund their slots — the serial crawler
+          // tried the next URL immediately — so the slot clock
+          // advances only by the successful fetches (which consume a
+          // slot even when the store is refused, e.g. a full in-place
+          // collection, exactly like the serial crawler did).
+          now_ = batch_start + static_cast<double>(successes) * step;
           continue;
         }
-        done = true;  // frontier exhausted early
       }
-      if (done) FinishCycle();
     }
     // Idle until the next cycle or housekeeping, whichever is earlier.
     double target = std::min(next_sample_, cycle_end);

@@ -8,6 +8,7 @@
 #include "crawler/collection.h"
 #include "crawler/crawl_module.h"
 #include "crawler/eval.h"
+#include "crawler/sharded_crawl_engine.h"
 #include "freshness/freshness_tracker.h"
 #include "simweb/simulated_web.h"
 #include "util/status.h"
@@ -37,6 +38,11 @@ struct PeriodicCrawlerConfig {
   /// How often freshness is sampled into the tracker.
   double freshness_sample_interval_days = 0.25;
 
+  /// Number of ShardedCrawlEngine shards (parallel CrawlModules).
+  /// Results are bit-identical for any value; > 1 spreads each batch's
+  /// fetches across that many worker threads.
+  int crawl_parallelism = 1;
+
   CrawlModuleConfig crawl;
 };
 
@@ -47,6 +53,15 @@ struct PeriodicCrawlerConfig {
 /// page. With in-place updates pages become visible as they are
 /// fetched; with shadowing the current collection is replaced
 /// atomically when the crawl finishes (or its window closes).
+///
+/// The crawl loop runs in engine batches bounded by the next freshness
+/// sample and the window end: *plan* pops the BFS frontier one URL per
+/// crawl slot, *fetch* executes the batch across shards, *apply* stores
+/// pages and expands the frontier in slot order. Fetches that fail
+/// (dead URLs) refund their slots at the batch boundary — the serial
+/// crawler's "try the next URL immediately" — so a cycle still stores
+/// exactly `collection_capacity` pages whenever frontier and window
+/// allow.
 ///
 /// The BFS order is deterministic, so each page is revisited at the
 /// same offset in every cycle — matching the assumptions behind the
@@ -68,7 +83,11 @@ class PeriodicCrawler {
   /// shadowing; the single collection otherwise).
   const Collection& current_collection() const;
 
-  const CrawlModule& crawl_module() const { return crawl_module_; }
+  /// Module 0 — the only module at crawl_parallelism == 1; per-shard
+  /// accounting for wider pools lives on crawl_pool().
+  const CrawlModule& crawl_module() const { return engine_.pool().module(0); }
+  const CrawlModulePool& crawl_pool() const { return engine_.pool(); }
+  const ShardedCrawlEngine& engine() const { return engine_; }
   const freshness::FreshnessTracker& tracker() const { return tracker_; }
   int64_t cycles_completed() const { return cycles_completed_; }
 
@@ -79,6 +98,9 @@ class PeriodicCrawler {
     uint64_t crawls = 0;
     uint64_t pages_stored = 0;
     uint64_t dead_fetches = 0;
+    /// Fetches skipped for this cycle by an enforced per-site delay;
+    /// unlike dead fetches they never purge an in-place entry.
+    uint64_t politeness_rejections = 0;
     uint64_t swaps = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -90,9 +112,10 @@ class PeriodicCrawler {
   /// Finishes the active cycle (swap under shadowing).
   void FinishCycle();
 
-  /// Crawls the next frontier URL at now_; returns false if the
-  /// frontier is exhausted.
-  bool CrawlNext();
+  /// Applies one fetch outcome at now_: store / purge, then expand the
+  /// frontier with the extracted links.
+  void ApplyOutcome(const simweb::Url& url,
+                    StatusOr<simweb::FetchResult> result);
 
   Collection& target_collection();
 
@@ -100,7 +123,7 @@ class PeriodicCrawler {
   PeriodicCrawlerConfig config_;
   ShadowedCollection store_;
   Collection inplace_;  // used when shadowing is off
-  CrawlModule crawl_module_;
+  ShardedCrawlEngine engine_;
   freshness::FreshnessTracker tracker_;
   Stats stats_;
 

@@ -1,8 +1,12 @@
 #include "simweb/simulated_web.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
+
+#include "util/hash.h"
 
 namespace webevo::simweb {
 namespace {
@@ -11,6 +15,9 @@ constexpr double kInfinity = std::numeric_limits<double>::infinity();
 // Tolerance for "time moved backwards" checks; fetch schedules produced
 // by accumulating floating-point steps can jitter at this magnitude.
 constexpr double kTimeSlack = 1e-9;
+// Salt separating the per-page streams from the construction-time
+// layout stream derived from the same seed.
+constexpr uint64_t kPageStreamSalt = 0x9E3779B97F4A7C15ull;
 
 }  // namespace
 
@@ -32,7 +39,10 @@ SimulatedWeb::SimulatedWeb(const WebConfig& config)
   rng_.Shuffle(domains);
 
   sites_.resize(domains.size());
-  site_fetches_.assign(domains.size(), 0);
+  site_mu_ = std::make_unique<std::mutex[]>(domains.size());
+  site_fetches_ =
+      std::make_unique<std::atomic<uint64_t>[]>(domains.size());
+  for (std::size_t s = 0; s < domains.size(); ++s) site_fetches_[s] = 0;
   const double log_lo = std::log(static_cast<double>(config_.min_site_size));
   const double log_hi = std::log(static_cast<double>(config_.max_site_size));
   for (uint32_t s = 0; s < sites_.size(); ++s) {
@@ -45,20 +55,36 @@ SimulatedWeb::SimulatedWeb(const WebConfig& config)
     sites_[s].slots.resize(size);
     total_slots_ += size;
   }
-  // Populate every slot with a stationary-age initial page.
+  // Populate every slot with a stationary-age initial page. Serial, so
+  // no locking; every draw comes from the slot's own incarnation-0
+  // stream, keeping the standing population independent of site order.
   for (uint32_t s = 0; s < sites_.size(); ++s) {
     for (uint32_t j = 0; j < sites_[s].slots.size(); ++j) {
-      CreatePage(s, j, 0.0, /*stationary=*/true);
+      CreatePageLocked(s, j, 0.0, /*stationary=*/true);
     }
   }
 }
 
-PageId SimulatedWeb::CreatePage(uint32_t site, uint32_t slot, double birth,
-                                bool stationary) {
+Rng SimulatedWeb::PageStream(PageId id) const {
+  return Rng(HashCombine(config_.seed ^ kPageStreamSalt, id));
+}
+
+SimulatedWeb::PageRecord& SimulatedWeb::CreatePageLocked(uint32_t site,
+                                                         uint32_t slot,
+                                                         double birth,
+                                                         bool stationary) {
+  SlotState& slot_state = sites_[site].slots[slot];
+  auto incarnation = static_cast<uint32_t>(slot_state.history.size());
+  assert(incarnation < kMaxIncarnationsPerSlot);
+
+  PageRecord page;
+  page.url = Url{site, slot, incarnation};
+  page.rng = PageStream(MakePageId(site, slot, incarnation));
+
   const DomainProfile& profile =
       DomainProfile::Calibrated(sites_[site].domain);
   DomainProfile::PageDraw draw =
-      profile.SamplePage(rng_, config_.rate_lifespan_coupling);
+      profile.SamplePage(page.rng, config_.rate_lifespan_coupling);
   if (stationary && config_.uniform_lifespan_days <= 0.0 && slot != 0) {
     // A snapshot at a random instant sees a slot's occupant with
     // probability proportional to its lifespan (length-biased renewal
@@ -69,17 +95,16 @@ PageId SimulatedWeb::CreatePage(uint32_t site, uint32_t slot, double birth,
     for (const auto& bucket : profile.lifespan_mixture()) {
       max_lifespan = std::max(max_lifespan, bucket.max_value);
     }
-    while (rng_.NextDouble() * max_lifespan > draw.lifespan_days) {
-      draw = profile.SamplePage(rng_, config_.rate_lifespan_coupling);
+    while (page.rng.NextDouble() * max_lifespan > draw.lifespan_days) {
+      draw = profile.SamplePage(page.rng, config_.rate_lifespan_coupling);
     }
   }
-  PageRecord page;
   if (config_.uniform_change_interval_days > 0.0) {
     page.change_rate = 1.0 / config_.uniform_change_interval_days;
   } else if (!config_.custom_change_interval_mix.empty()) {
     page.change_rate =
         1.0 / DomainProfile::MixtureQuantile(
-                  config_.custom_change_interval_mix, rng_.NextDouble());
+                  config_.custom_change_interval_mix, page.rng.NextDouble());
   } else {
     page.change_rate = 1.0 / draw.change_interval_days;
   }
@@ -94,7 +119,7 @@ PageId SimulatedWeb::CreatePage(uint32_t site, uint32_t slot, double birth,
   } else if (stationary) {
     // Draw the page mid-life so the initial population is in steady
     // state: age uniform in [0, lifespan).
-    double age = rng_.NextDouble() * lifespan;
+    double age = page.rng.NextDouble() * lifespan;
     page.birth_time = birth - age;
     page.death_time = page.birth_time + lifespan;
   } else {
@@ -104,48 +129,82 @@ PageId SimulatedWeb::CreatePage(uint32_t site, uint32_t slot, double birth,
   page.state_time = std::max(page.birth_time, 0.0);
   page.last_change_time = page.state_time;
 
-  SlotState& slot_state = sites_[site].slots[slot];
-  page.url = Url{site, slot,
-                 static_cast<uint32_t>(slot_state.history.size())};
-
   for (int k = 0; k < config_.cross_links_per_page; ++k) {
     uint32_t target_site = site;
-    if (sites_.size() > 1 && rng_.Bernoulli(config_.cross_site_link_prob)) {
+    if (sites_.size() > 1 &&
+        page.rng.Bernoulli(config_.cross_site_link_prob)) {
       // Popular (low-index) sites attract more links.
       target_site = static_cast<uint32_t>(
-          rng_.Zipf(sites_.size(), config_.site_popularity_zipf) - 1);
+          page.rng.Zipf(sites_.size(), config_.site_popularity_zipf) - 1);
     }
+    // Slot counts are immutable after construction, so reading another
+    // site's size here needs no lock.
     uint32_t target_slot = static_cast<uint32_t>(
-        rng_.NextBounded(sites_[target_site].slots.size()));
+        page.rng.NextBounded(sites_[target_site].slots.size()));
     page.cross_links.emplace_back(target_site, target_slot);
   }
 
-  PageId id = pages_.size();
-  pages_.push_back(std::move(page));
-  slot_state.history.push_back(id);
-  slot_state.current = id;
-  return id;
+  slot_state.history.push_back(std::move(page));
+  pages_created_.fetch_add(1, std::memory_order_relaxed);
+  return slot_state.history.back();
 }
 
-void SimulatedWeb::RollSlot(uint32_t site, uint32_t slot, double t) {
-  SlotState& state = sites_[site].slots[slot];
-  while (pages_[state.current].death_time <= t) {
-    double death = pages_[state.current].death_time;
-    CreatePage(site, slot, death, /*stationary=*/false);
+void SimulatedWeb::EnsureCoverageLocked(uint32_t site, uint32_t slot,
+                                        double t) {
+  SlotState& slot_state = sites_[site].slots[slot];
+  while (slot_state.history.back().death_time <= t) {
+    double death = slot_state.history.back().death_time;
+    CreatePageLocked(site, slot, death, /*stationary=*/false);
   }
+}
+
+SimulatedWeb::PageRecord& SimulatedWeb::OccupantAtLocked(uint32_t site,
+                                                         uint32_t slot,
+                                                         double t) {
+  std::vector<PageRecord>& history = sites_[site].slots[slot].history;
+  // Occupant lifetimes partition time, so the occupant at `t` is the
+  // first record whose death lies beyond `t`. Indexing by time instead
+  // of a mutable "current occupant" pointer keeps lookups at earlier
+  // times correct even after another shard has observed the slot at a
+  // later time.
+  auto it = std::upper_bound(
+      history.begin(), history.end(), t,
+      [](double value, const PageRecord& r) { return value < r.death_time; });
+  assert(it != history.end());
+  return *it;
+}
+
+SimulatedWeb::PageRecord& SimulatedWeb::RecordOf(PageId id) {
+  assert(PageIdSite(id) < sites_.size());
+  assert(PageIdSlot(id) < sites_[PageIdSite(id)].slots.size());
+  assert(PageIdIncarnation(id) <
+         sites_[PageIdSite(id)].slots[PageIdSlot(id)].history.size());
+  return sites_[PageIdSite(id)]
+      .slots[PageIdSlot(id)]
+      .history[PageIdIncarnation(id)];
+}
+
+const SimulatedWeb::PageRecord& SimulatedWeb::RecordOf(PageId id) const {
+  assert(PageIdSite(id) < sites_.size());
+  assert(PageIdSlot(id) < sites_[PageIdSite(id)].slots.size());
+  assert(PageIdIncarnation(id) <
+         sites_[PageIdSite(id)].slots[PageIdSlot(id)].history.size());
+  return sites_[PageIdSite(id)]
+      .slots[PageIdSlot(id)]
+      .history[PageIdIncarnation(id)];
 }
 
 void SimulatedWeb::AdvancePage(PageRecord& page, double t) {
   if (t <= page.state_time) return;
   double dt = t - page.state_time;
   if (page.change_rate > 0.0) {
-    uint64_t k = rng_.Poisson(page.change_rate * dt);
+    uint64_t k = page.rng.Poisson(page.change_rate * dt);
     if (k > 0) {
       page.version += k;
       // Conditioned on k Poisson events in (state_time, t], the latest
       // event is distributed as state_time + dt * max(U_1..U_k), and
       // max of k uniforms is U^(1/k).
-      double u = rng_.NextDouble();
+      double u = page.rng.NextDouble();
       page.last_change_time =
           page.state_time + dt * std::pow(u, 1.0 / static_cast<double>(k));
     }
@@ -153,66 +212,123 @@ void SimulatedWeb::AdvancePage(PageRecord& page, double t) {
   page.state_time = t;
 }
 
-std::vector<Url> SimulatedWeb::CollectLinks(const PageRecord& page,
-                                            double t) {
-  std::vector<Url> links;
-  const uint32_t site = page.url.site;
-  const auto site_size = static_cast<uint64_t>(sites_[site].slots.size());
-  // Navigation-tree children of this slot.
-  uint64_t first_child =
-      static_cast<uint64_t>(page.url.slot) *
-          static_cast<uint64_t>(config_.tree_branching) +
-      1;
-  for (int b = 0; b < config_.tree_branching; ++b) {
-    uint64_t child = first_child + static_cast<uint64_t>(b);
-    if (child >= site_size) break;
-    auto child_slot = static_cast<uint32_t>(child);
-    RollSlot(site, child_slot, t);
-    links.push_back(pages_[sites_[site].slots[child_slot].current].url);
+void SimulatedWeb::BumpNow(double t) {
+  double observed = now_.load(std::memory_order_relaxed);
+  while (t > observed &&
+         !now_.compare_exchange_weak(observed, t,
+                                     std::memory_order_relaxed)) {
   }
-  // Cross links, resolved to the targets' current occupants.
-  for (const auto& [ts, tslot] : page.cross_links) {
-    RollSlot(ts, tslot, t);
-    links.push_back(pages_[sites_[ts].slots[tslot].current].url);
-  }
-  return links;
+}
+
+double SimulatedWeb::TimeFloor() const {
+  return concurrent_batch_ ? batch_floor_
+                           : now_.load(std::memory_order_relaxed);
+}
+
+void SimulatedWeb::BeginConcurrentBatch(double floor) {
+  assert(!concurrent_batch_);
+  concurrent_batch_ = true;
+  batch_floor_ = floor;
+}
+
+void SimulatedWeb::EndConcurrentBatch() {
+  assert(concurrent_batch_);
+  concurrent_batch_ = false;
+}
+
+Url SimulatedWeb::ResolveOccupantUrl(uint32_t site, uint32_t slot,
+                                     double t) {
+  std::lock_guard<std::mutex> lock(site_mu_[site]);
+  EnsureCoverageLocked(site, slot, t);
+  return OccupantAtLocked(site, slot, t).url;
 }
 
 StatusOr<FetchResult> SimulatedWeb::Fetch(const Url& url, double t) {
   if (url.site >= sites_.size() ||
       url.slot >= sites_[url.site].slots.size()) {
-    ++fetch_count_;
-    ++not_found_count_;
+    fetch_count_.fetch_add(1, std::memory_order_relaxed);
+    not_found_count_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("no such site/slot: " + url.ToString());
   }
-  if (t + kTimeSlack < now_) {
+  if (t + kTimeSlack < TimeFloor()) {
     return Status::InvalidArgument("fetch time moved backwards");
   }
-  now_ = std::max(now_, t);
-  ++fetch_count_;
-  ++site_fetches_[url.site];
-
-  RollSlot(url.site, url.slot, t);
-  SlotState& slot_state = sites_[url.site].slots[url.slot];
-  PageRecord& occupant = pages_[slot_state.current];
-  if (occupant.url != url) {
-    // The requested incarnation is dead (or, for a malformed URL, was
-    // never created) — a real crawler would see 404.
-    ++not_found_count_;
-    return Status::NotFound("page gone: " + url.ToString());
-  }
-  AdvancePage(occupant, t);
+  BumpNow(t);
+  fetch_count_.fetch_add(1, std::memory_order_relaxed);
+  site_fetches_[url.site].fetch_add(1, std::memory_order_relaxed);
 
   FetchResult result;
-  result.url = url;
-  result.page = slot_state.current;
-  result.version = occupant.version;
+  // Cross-site link targets resolve after our own site's lock is
+  // dropped: lock acquisition stays one-at-a-time (no nesting), so
+  // shards can never deadlock on each other. Own-site targets — all
+  // tree children and most cross links — resolve while the lock is
+  // already held. `remote` records (index into links, target) pairs
+  // so link order is preserved.
+  std::vector<std::pair<std::size_t, std::pair<uint32_t, uint32_t>>> remote;
+  {
+    std::lock_guard<std::mutex> lock(site_mu_[url.site]);
+    EnsureCoverageLocked(url.site, url.slot, t);
+    SlotState& slot_state = sites_[url.site].slots[url.slot];
+    if (url.incarnation >= slot_state.history.size()) {
+      // Requested incarnation was never born by time t.
+      not_found_count_.fetch_add(1, std::memory_order_relaxed);
+      return Status::NotFound("page gone: " + url.ToString());
+    }
+    PageRecord& page = slot_state.history[url.incarnation];
+    if (page.death_time <= t || page.birth_time > t) {
+      // The requested incarnation is dead (or unborn) — a real crawler
+      // would see 404.
+      not_found_count_.fetch_add(1, std::memory_order_relaxed);
+      return Status::NotFound("page gone: " + url.ToString());
+    }
+    AdvancePage(page, t);
+
+    result.url = url;
+    result.page = PageIdOf(url);
+    result.version = page.version;
+    result.fetched_at = t;
+    result.last_modified = page.version > 0
+                               ? page.last_change_time
+                               : std::max(page.birth_time, 0.0);
+
+    // Navigation-tree children of this slot (own-site), then cross
+    // links.
+    const auto site_size = static_cast<uint64_t>(
+        sites_[url.site].slots.size());
+    uint64_t first_child =
+        static_cast<uint64_t>(url.slot) *
+            static_cast<uint64_t>(config_.tree_branching) +
+        1;
+    result.links.reserve(static_cast<std::size_t>(config_.tree_branching) +
+                         page.cross_links.size());
+    for (int b = 0; b < config_.tree_branching; ++b) {
+      uint64_t child = first_child + static_cast<uint64_t>(b);
+      if (child >= site_size) break;
+      auto child_slot = static_cast<uint32_t>(child);
+      EnsureCoverageLocked(url.site, child_slot, t);
+      result.links.push_back(OccupantAtLocked(url.site, child_slot, t).url);
+    }
+    // Resolving an own-site target can grow that slot's history, but
+    // never this slot's (`page` is alive at t, so its slot already
+    // covers t) — the `page` reference stays valid throughout.
+    for (const auto& [target_site, target_slot] : page.cross_links) {
+      if (target_site == url.site) {
+        EnsureCoverageLocked(url.site, target_slot, t);
+        result.links.push_back(
+            OccupantAtLocked(url.site, target_slot, t).url);
+      } else {
+        remote.emplace_back(result.links.size(),
+                            std::make_pair(target_site, target_slot));
+        result.links.push_back(Url{});  // placeholder, filled below
+      }
+    }
+  }
+
+  for (const auto& [index, target] : remote) {
+    result.links[index] = ResolveOccupantUrl(target.first, target.second, t);
+  }
+  // Body synthesis + checksum are pure; do them outside the lock.
   result.checksum = ChecksumOf(PageBody(result.page, result.version));
-  result.fetched_at = t;
-  result.last_modified = occupant.version > 0
-                             ? occupant.last_change_time
-                             : std::max(occupant.birth_time, 0.0);
-  result.links = CollectLinks(occupant, t);
   return result;
 }
 
@@ -230,6 +346,20 @@ std::string SimulatedWeb::PageBody(PageId page, uint64_t version) const {
   body += std::to_string(version);
   body += " token ";
   body += std::to_string(HashCombine(page, version));
+  if (config_.page_body_bytes > 0) {
+    // Deterministic filler stream so per-fetch work scales with the
+    // configured body size.
+    const std::size_t target = body.size() + config_.page_body_bytes;
+    body.reserve(target + sizeof(uint64_t) + 14);
+    uint64_t x = HashCombine(HashCombine(page, version), 0x626f6479ull);
+    while (body.size() < target) {
+      x = HashCombine(x, body.size());
+      char chunk[sizeof(uint64_t)];
+      std::memcpy(chunk, &x, sizeof(chunk));
+      body.append(chunk, sizeof(chunk));
+    }
+    body.resize(target);
+  }
   body += "</body></html>";
   return body;
 }
@@ -239,29 +369,42 @@ StatusOr<PageId> SimulatedWeb::OracleLookup(const Url& url) const {
       url.slot >= sites_[url.site].slots.size()) {
     return Status::NotFound("no such site/slot");
   }
+  std::lock_guard<std::mutex> lock(site_mu_[url.site]);
   const auto& history = sites_[url.site].slots[url.slot].history;
   if (url.incarnation >= history.size()) {
     return Status::NotFound("incarnation never created");
   }
-  return history[url.incarnation];
+  return PageIdOf(url);
 }
 
 StatusOr<uint64_t> SimulatedWeb::OracleVersion(const Url& url, double t) {
-  auto id = OracleLookup(url);
-  if (!id.ok()) return id.status();
-  PageRecord& page = pages_[*id];
+  if (url.site >= sites_.size() ||
+      url.slot >= sites_[url.site].slots.size()) {
+    return Status::NotFound("no such site/slot");
+  }
+  BumpNow(t);
+  std::lock_guard<std::mutex> lock(site_mu_[url.site]);
+  auto& history = sites_[url.site].slots[url.slot].history;
+  if (url.incarnation >= history.size()) {
+    return Status::NotFound("incarnation never created");
+  }
+  PageRecord& page = history[url.incarnation];
   if (page.death_time <= t || page.birth_time > t) {
     return Status::NotFound("page not alive");
   }
-  now_ = std::max(now_, t);
   AdvancePage(page, t);
   return page.version;
 }
 
-bool SimulatedWeb::OracleAlive(const Url& url, double t) {
-  auto id = OracleLookup(url);
-  if (!id.ok()) return false;
-  const PageRecord& page = pages_[*id];
+bool SimulatedWeb::OracleAlive(const Url& url, double t) const {
+  if (url.site >= sites_.size() ||
+      url.slot >= sites_[url.site].slots.size()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(site_mu_[url.site]);
+  const auto& history = sites_[url.site].slots[url.slot].history;
+  if (url.incarnation >= history.size()) return false;
+  const PageRecord& page = history[url.incarnation];
   return page.birth_time <= t && t < page.death_time;
 }
 
@@ -273,59 +416,66 @@ bool SimulatedWeb::OracleIsFresh(const Url& url, uint64_t stored_version,
 
 Url SimulatedWeb::OracleCurrentUrl(uint32_t site, uint32_t slot, double t) {
   assert(site < sites_.size() && slot < sites_[site].slots.size());
-  now_ = std::max(now_, t);
-  RollSlot(site, slot, t);
-  return pages_[sites_[site].slots[slot].current].url;
+  BumpNow(t);
+  return ResolveOccupantUrl(site, slot, t);
 }
 
 StatusOr<double> SimulatedWeb::OracleLastChangeTime(const Url& url,
                                                     double t) {
-  auto id = OracleLookup(url);
-  if (!id.ok()) return id.status();
-  PageRecord& page = pages_[*id];
+  if (url.site >= sites_.size() ||
+      url.slot >= sites_[url.site].slots.size()) {
+    return Status::NotFound("no such site/slot");
+  }
+  BumpNow(t);
+  std::lock_guard<std::mutex> lock(site_mu_[url.site]);
+  auto& history = sites_[url.site].slots[url.slot].history;
+  if (url.incarnation >= history.size()) {
+    return Status::NotFound("incarnation never created");
+  }
+  PageRecord& page = history[url.incarnation];
   if (page.death_time <= t || page.birth_time > t) {
     return Status::NotFound("page not alive");
   }
-  now_ = std::max(now_, t);
   AdvancePage(page, t);
   return page.last_change_time;
 }
 
 double SimulatedWeb::OracleChangeRate(PageId page) const {
-  assert(page < pages_.size());
-  return pages_[page].change_rate;
+  std::lock_guard<std::mutex> lock(site_mu_[PageIdSite(page)]);
+  return RecordOf(page).change_rate;
 }
 
 double SimulatedWeb::OracleBirthTime(PageId page) const {
-  assert(page < pages_.size());
-  return pages_[page].birth_time;
+  std::lock_guard<std::mutex> lock(site_mu_[PageIdSite(page)]);
+  return RecordOf(page).birth_time;
 }
 
 double SimulatedWeb::OracleDeathTime(PageId page) const {
-  assert(page < pages_.size());
-  return pages_[page].death_time;
+  std::lock_guard<std::mutex> lock(site_mu_[PageIdSite(page)]);
+  return RecordOf(page).death_time;
 }
 
 Domain SimulatedWeb::OraclePageDomain(PageId page) const {
-  assert(page < pages_.size());
-  return sites_[pages_[page].url.site].domain;
+  assert(PageIdSite(page) < sites_.size());
+  return sites_[PageIdSite(page)].domain;
 }
 
 Url SimulatedWeb::OraclePageUrl(PageId page) const {
-  assert(page < pages_.size());
-  return pages_[page].url;
+  // Identity is the id itself; no lookup needed.
+  return Url{PageIdSite(page), PageIdSlot(page), PageIdIncarnation(page)};
 }
 
 std::vector<SimulatedWeb::SiteLink> SimulatedWeb::OracleSiteLinks(double t) {
-  now_ = std::max(now_, t);
+  BumpNow(t);
   // Dense accumulation per source site keeps this O(slots + edges).
   std::vector<SiteLink> out;
   std::vector<uint64_t> row(sites_.size(), 0);
   for (uint32_t s = 0; s < sites_.size(); ++s) {
     std::vector<uint32_t> touched;
+    std::lock_guard<std::mutex> lock(site_mu_[s]);
     for (uint32_t j = 0; j < sites_[s].slots.size(); ++j) {
-      RollSlot(s, j, t);
-      const PageRecord& page = pages_[sites_[s].slots[j].current];
+      EnsureCoverageLocked(s, j, t);
+      const PageRecord& page = OccupantAtLocked(s, j, t);
       for (const auto& [ts, tslot] : page.cross_links) {
         (void)tslot;
         if (ts == s) continue;

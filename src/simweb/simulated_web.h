@@ -1,8 +1,10 @@
 #ifndef WEBEVO_SIMWEB_SIMULATED_WEB_H_
 #define WEBEVO_SIMWEB_SIMULATED_WEB_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,13 +35,28 @@ namespace webevo::simweb {
 /// O(1) per observation, which lets benches run months of virtual time
 /// over hundreds of thousands of pages in seconds.
 ///
-/// Observation times must be non-decreasing overall (enforced); this is
-/// naturally true for any crawler driving a simulation clock.
+/// Determinism and concurrency: every page owns a private RNG stream
+/// seeded from (web seed, site, slot, incarnation), and PageIds are a
+/// pure function of the URL, so a page's evolution is independent of
+/// the order in which *other* pages are observed. Shared structures are
+/// guarded by one mutex per site plus atomic counters, which makes the
+/// fetch and oracle paths safe for concurrent crawl shards — and, with
+/// per-page streams, bit-identical across shard counts as long as each
+/// individual page is observed at the same times. The only ordering
+/// requirement is per page: one page's observation times must be
+/// non-decreasing (naturally true for a crawler driving a simulation
+/// clock, and preserved by the ShardedCrawlEngine's per-site shard
+/// ownership).
+///
+/// Serial callers keep the historical contract that global fetch times
+/// never move backwards. A concurrent batch relaxes it: between
+/// BeginConcurrentBatch(floor) and EndConcurrentBatch(), shard threads
+/// may interleave fetches with non-monotonic times >= floor.
 ///
 /// The class distinguishes the *crawler-visible* API (`Fetch`, which
 /// counts as traffic and returns only what a real crawler could see)
 /// from the *oracle* API (ground truth for evaluation: true versions,
-/// change rates, liveness). Not thread-safe.
+/// change rates, liveness).
 class SimulatedWeb {
  public:
   /// Builds the initial web at time 0. Pages present at the start are
@@ -49,19 +66,31 @@ class SimulatedWeb {
   /// errors gracefully.
   explicit SimulatedWeb(const WebConfig& config);
 
-  // Not copyable (large), movable by default semantics are fine but we
-  // keep it pinned for clarity.
+  // Not copyable (large, and it owns mutexes).
   SimulatedWeb(const SimulatedWeb&) = delete;
   SimulatedWeb& operator=(const SimulatedWeb&) = delete;
 
   /// Current simulation time (days); the max time observed so far.
-  double now() const { return now_; }
+  double now() const { return now_.load(std::memory_order_relaxed); }
+
+  /// --- Concurrent batch window ---------------------------------------
+
+  /// Enters a concurrent fetch window: until EndConcurrentBatch, Fetch
+  /// may be called from multiple shard threads with non-monotonic times,
+  /// provided every time is >= `floor`. Called by the engine's serial
+  /// driver thread, never concurrently with fetches.
+  void BeginConcurrentBatch(double floor);
+
+  /// Leaves the concurrent fetch window and restores the serial
+  /// monotonic-time contract.
+  void EndConcurrentBatch();
 
   /// --- Crawler-visible API -------------------------------------------
 
-  /// Fetches `url` at time `t` (>= now() - epsilon). Returns NotFound if
-  /// the URL's page is dead or not yet born, InvalidArgument if `t`
-  /// moves backwards. Counts toward fetch statistics either way.
+  /// Fetches `url` at time `t`. Returns NotFound if the URL's page is
+  /// dead or not yet born, InvalidArgument if `t` moves backwards
+  /// (before the current time outside a batch; before the batch floor
+  /// inside one). Counts toward fetch statistics either way.
   StatusOr<FetchResult> Fetch(const Url& url, double t);
 
   /// Root URL of a site (the root page is immortal, like the paper's
@@ -69,7 +98,9 @@ class SimulatedWeb {
   Url RootUrl(uint32_t site) const;
 
   /// Synthetic page body for a given page and version; the checksum in
-  /// FetchResult is the digest of exactly this string.
+  /// FetchResult is the digest of exactly this string. Pure function of
+  /// (page, version, config), so bodies are reproducible across runs
+  /// and shard counts.
   std::string PageBody(PageId page, uint64_t version) const;
 
   uint32_t num_sites() const { return static_cast<uint32_t>(sites_.size()); }
@@ -80,10 +111,14 @@ class SimulatedWeb {
   /// Total page slots across all sites (= live pages at any instant).
   uint64_t TotalSlots() const { return total_slots_; }
 
-  uint64_t fetch_count() const { return fetch_count_; }
-  uint64_t not_found_count() const { return not_found_count_; }
+  uint64_t fetch_count() const {
+    return fetch_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t not_found_count() const {
+    return not_found_count_.load(std::memory_order_relaxed);
+  }
   uint64_t site_fetch_count(uint32_t site) const {
-    return site_fetches_[site];
+    return site_fetches_[site].load(std::memory_order_relaxed);
   }
 
   /// --- Oracle API (evaluation only; does not count as traffic) -------
@@ -95,7 +130,7 @@ class SimulatedWeb {
   StatusOr<uint64_t> OracleVersion(const Url& url, double t);
 
   /// Whether `url`'s page is alive at `t`.
-  bool OracleAlive(const Url& url, double t);
+  bool OracleAlive(const Url& url, double t) const;
 
   /// Whether a stored copy (url, version) is fresh at `t`: the page is
   /// alive and has not changed past the stored version. This is the
@@ -118,7 +153,9 @@ class SimulatedWeb {
   Url OraclePageUrl(PageId page) const;
 
   /// Total pages ever created (live + dead).
-  uint64_t OracleTotalPagesCreated() const { return pages_.size(); }
+  uint64_t OracleTotalPagesCreated() const {
+    return pages_created_.load(std::memory_order_relaxed);
+  }
 
   /// One directed site-to-site link with multiplicity.
   struct SiteLink {
@@ -144,12 +181,17 @@ class SimulatedWeb {
     // Cross links as (site, slot); resolved to the slot's current
     // occupant at fetch time.
     std::vector<std::pair<uint32_t, uint32_t>> cross_links;
+    // Private stream driving this page's change process, seeded from
+    // (web seed, page identity): evolution is a pure function of the
+    // page's own observation times, never of global observation order.
+    Rng rng{0};
   };
 
   struct SlotState {
-    PageId current = kInvalidPage;
-    // History of occupants; index == incarnation of that occupant's URL.
-    std::vector<PageId> history;
+    // Successive occupants; index == incarnation. Their lifetimes
+    // partition time: history[i] covers [birth_i, death_i) with
+    // death_i == birth_{i+1}.
+    std::vector<PageRecord> history;
   };
 
   struct SiteState {
@@ -157,31 +199,55 @@ class SimulatedWeb {
     std::vector<SlotState> slots;
   };
 
-  /// Creates a new page in (site, slot) born at `birth`. `stationary`
-  /// backdates the birth by a uniform fraction of the lifespan, for the
-  /// initial steady-state population.
-  PageId CreatePage(uint32_t site, uint32_t slot, double birth,
-                    bool stationary);
+  /// Fresh deterministic RNG stream for one page identity.
+  Rng PageStream(PageId id) const;
 
-  /// Replaces dead occupants of (site, slot) until the occupant is alive
-  /// at `t`.
-  void RollSlot(uint32_t site, uint32_t slot, double t);
+  /// Appends a new page to (site, slot)'s history, born at `birth`.
+  /// `stationary` backdates the birth by a uniform fraction of the
+  /// lifespan, for the initial steady-state population. Caller holds
+  /// the site mutex (or is the constructor).
+  PageRecord& CreatePageLocked(uint32_t site, uint32_t slot, double birth,
+                               bool stationary);
+
+  /// Extends (site, slot)'s history with successor pages until it
+  /// covers time `t`. Caller holds the site mutex.
+  void EnsureCoverageLocked(uint32_t site, uint32_t slot, double t);
+
+  /// The record occupying (site, slot) at time `t`; requires coverage.
+  /// Caller holds the site mutex.
+  PageRecord& OccupantAtLocked(uint32_t site, uint32_t slot, double t);
+
+  /// Record for a PageId known to exist. Caller holds the site mutex.
+  PageRecord& RecordOf(PageId id);
+  const PageRecord& RecordOf(PageId id) const;
+
+  /// Locks a slot's site, ensures coverage, and returns the occupant's
+  /// URL at `t` — the link-resolution primitive.
+  Url ResolveOccupantUrl(uint32_t site, uint32_t slot, double t);
 
   /// Advances a page's lazily sampled change process to time `t`.
-  void AdvancePage(PageRecord& page, double t);
+  /// Caller holds the page's site mutex.
+  static void AdvancePage(PageRecord& page, double t);
 
-  /// Collects the out-links of `page` as seen at time `t`.
-  std::vector<Url> CollectLinks(const PageRecord& page, double t);
+  /// Raises now() to at least `t` (atomic max).
+  void BumpNow(double t);
+
+  /// The earliest admissible fetch time right now.
+  double TimeFloor() const;
 
   WebConfig config_;
-  Rng rng_;
-  double now_ = 0.0;
+  Rng rng_;  // construction-time layout draws only (site sizes, shuffle)
+  std::atomic<double> now_{0.0};
+  bool concurrent_batch_ = false;
+  double batch_floor_ = 0.0;
   std::vector<SiteState> sites_;
-  std::deque<PageRecord> pages_;  // deque: stable references on growth
+  // One mutex per site, guarding that site's slot histories.
+  std::unique_ptr<std::mutex[]> site_mu_;
   uint64_t total_slots_ = 0;
-  uint64_t fetch_count_ = 0;
-  uint64_t not_found_count_ = 0;
-  std::vector<uint64_t> site_fetches_;
+  std::atomic<uint64_t> fetch_count_{0};
+  std::atomic<uint64_t> not_found_count_{0};
+  std::atomic<uint64_t> pages_created_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> site_fetches_;
 };
 
 }  // namespace webevo::simweb

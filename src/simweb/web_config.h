@@ -7,6 +7,7 @@
 
 #include "simweb/domain.h"
 #include "simweb/domain_profile.h"
+#include "simweb/page.h"
 #include "util/status.h"
 
 namespace webevo::simweb {
@@ -69,6 +70,12 @@ struct WebConfig {
   /// simulation horizon to disable page birth/death.
   double uniform_lifespan_days = 0.0;
 
+  /// Extra deterministic filler appended to every synthetic page body,
+  /// in bytes. 0 keeps bodies minimal (fast unit tests); scaling
+  /// benches set a few KiB so the per-fetch body-generation + checksum
+  /// work resembles fetching and digesting a real page.
+  uint32_t page_body_bytes = 0;
+
   /// Returns a copy with sites_per_domain scaled by `factor` (minimum
   /// one site per domain), for quick tests and scaled-down benches.
   WebConfig Scaled(double factor) const {
@@ -85,11 +92,17 @@ struct WebConfig {
     for (int n : sites_per_domain) {
       if (n < 0) return Status::InvalidArgument("negative site count");
     }
-    int total = 0;
+    int64_t total = 0;
     for (int n : sites_per_domain) total += n;
     if (total == 0) return Status::InvalidArgument("no sites configured");
+    if (total > static_cast<int64_t>(kMaxSites)) {
+      return Status::InvalidArgument("site count exceeds PageId site cap");
+    }
     if (min_site_size < 1 || max_site_size < min_site_size) {
       return Status::InvalidArgument("bad site size range");
+    }
+    if (max_site_size > kMaxSlotsPerSite) {
+      return Status::InvalidArgument("max_site_size exceeds PageId slot cap");
     }
     if (tree_branching < 1) {
       return Status::InvalidArgument("tree_branching must be >= 1");

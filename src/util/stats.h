@@ -13,6 +13,13 @@ class RunningStat {
  public:
   void Add(double x);
 
+  /// Folds another accumulator into this one (Chan et al.'s parallel
+  /// combine), as if every sample of `other` had been Add()ed here.
+  /// Lets per-shard accumulators merge deterministically at the
+  /// ShardedCrawlEngine's batch barriers: merging in a fixed shard
+  /// order yields a fixed result regardless of thread scheduling.
+  void Merge(const RunningStat& other);
+
   int64_t count() const { return count_; }
   double mean() const { return mean_; }
   /// Unbiased sample variance; 0 with fewer than two samples.

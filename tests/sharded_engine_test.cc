@@ -1,0 +1,286 @@
+// Coverage for the sharded crawl engine stack: ThreadPool semantics,
+// RunningStat::Merge, CrawlModulePool politeness isolation under the
+// engine's shard partitioning, and the headline guarantee — simulation
+// results are bit-identical no matter how many shards execute the
+// fetches.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crawler/crawl_module_pool.h"
+#include "crawler/incremental_crawler.h"
+#include "crawler/periodic_crawler.h"
+#include "crawler/sharded_crawl_engine.h"
+#include "simweb/simulated_web.h"
+#include "simweb/web_config.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace webevo::crawler {
+namespace {
+
+simweb::WebConfig SmallWeb(uint64_t seed) {
+  simweb::WebConfig c;
+  c.seed = seed;
+  c.sites_per_domain = {5, 4, 2, 2};
+  c.min_site_size = 20;
+  c.max_site_size = 80;
+  return c;
+}
+
+// --------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunAndWaitExecutesEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] { ++counter; });
+  }
+  pool.RunAndWait(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, RunAndWaitIsABarrier) {
+  // Tasks of very different durations: RunAndWait must not return until
+  // the slowest has finished.
+  ThreadPool pool(3);
+  std::atomic<int> finished{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back([&finished, i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(i * 3));
+      ++finished;
+    });
+  }
+  pool.RunAndWait(std::move(tasks));
+  EXPECT_EQ(finished.load(), 6);
+}
+
+TEST(ThreadPoolTest, SubmitRunsAsynchronouslyAndDrainsOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<bool> ran{false};
+  pool.RunAndWait({[&ran] { ran = true; }});
+  EXPECT_TRUE(ran.load());
+}
+
+// --------------------------------------------------------- RunningStat merge
+
+TEST(RunningStatMergeTest, MatchesSequentialAccumulation) {
+  Rng rng(17);
+  RunningStat sequential;
+  RunningStat shard_a, shard_b, shard_c;
+  for (int i = 0; i < 3000; ++i) {
+    double x = rng.Normal(3.0, 2.0);
+    sequential.Add(x);
+    (i % 3 == 0 ? shard_a : i % 3 == 1 ? shard_b : shard_c).Add(x);
+  }
+  RunningStat merged;
+  merged.Merge(shard_a);
+  merged.Merge(shard_b);
+  merged.Merge(shard_c);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(merged.max(), sequential.max());
+}
+
+TEST(RunningStatMergeTest, MergingEmptyIsIdentity) {
+  RunningStat stat;
+  stat.Add(1.0);
+  stat.Add(5.0);
+  RunningStat empty;
+  stat.Merge(empty);
+  EXPECT_EQ(stat.count(), 2);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+  empty.Merge(stat);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+// ------------------------------------------------------ politeness isolation
+
+TEST(ShardedEngineTest, SameSiteFetchesStayPoliteWithinOneBatch) {
+  // Two fetches of one site inside a single parallel batch: the site's
+  // owning module must serialise them and reject the second, for every
+  // shard count.
+  for (int shards : {1, 2, 8}) {
+    simweb::SimulatedWeb web(SmallWeb(31));
+    CrawlModuleConfig config;
+    config.per_site_delay_days = 0.5;
+    config.enforce_politeness = true;
+    ShardedCrawlEngine engine(&web, config, shards);
+    std::vector<PlannedFetch> batch;
+    for (uint32_t s = 0; s < web.num_sites(); ++s) {
+      batch.push_back({web.RootUrl(s), 0.0});
+      batch.push_back({web.RootUrl(s), 0.1});  // within the delay
+    }
+    auto outcomes = engine.ExecuteBatch(batch);
+    ASSERT_EQ(outcomes.size(), batch.size());
+    for (std::size_t i = 0; i < outcomes.size(); i += 2) {
+      EXPECT_TRUE(outcomes[i].ok()) << "shards=" << shards << " i=" << i;
+      ASSERT_FALSE(outcomes[i + 1].ok());
+      EXPECT_EQ(outcomes[i + 1].status().code(),
+                StatusCode::kFailedPrecondition);
+    }
+    EXPECT_EQ(engine.pool().politeness_rejections(), web.num_sites());
+  }
+}
+
+TEST(ShardedEngineTest, SiteOwnershipIsStableUnderTheShardMapping) {
+  simweb::SimulatedWeb web(SmallWeb(32));
+  CrawlModulePool pool(&web, {}, 5);
+  for (uint32_t site = 0; site < web.num_sites(); ++site) {
+    // Same module every time — politeness state has a single owner.
+    const CrawlModule* owner = &pool.module_for_site(site);
+    EXPECT_EQ(owner, &pool.module(pool.ShardOf(site)));
+    EXPECT_EQ(pool.ShardOf(site), site % 5u);
+  }
+}
+
+TEST(ShardedEngineTest, OutcomesComeBackInPlanOrder) {
+  simweb::SimulatedWeb web(SmallWeb(33));
+  ShardedCrawlEngine engine(&web, {}, 4);
+  std::vector<PlannedFetch> batch;
+  for (uint32_t s = 0; s < web.num_sites(); ++s) {
+    batch.push_back({web.RootUrl(s), 0.25});
+  }
+  auto outcomes = engine.ExecuteBatch(batch);
+  ASSERT_EQ(outcomes.size(), batch.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok());
+    EXPECT_EQ(outcomes[i]->url, batch[i].url);
+  }
+  EXPECT_EQ(engine.stats().batches, 1u);
+  EXPECT_EQ(engine.stats().fetches, batch.size());
+  EXPECT_GT(engine.stats().busiest_shard_fetches.max(), 0.0);
+  // Per-shard latency accumulators merged at the barrier: one sample
+  // per fetch.
+  EXPECT_EQ(engine.stats().fetch_latency_seconds.count(),
+            static_cast<int64_t>(batch.size()));
+  EXPECT_GE(engine.stats().fetch_latency_seconds.min(), 0.0);
+}
+
+// ------------------------------------------------------ engine determinism
+
+struct IncrementalFingerprint {
+  CollectionQuality quality;
+  IncrementalCrawler::Stats stats;
+  std::size_t collection_size = 0;
+  uint64_t web_fetches = 0;
+  uint64_t web_not_found = 0;
+  uint64_t pages_created = 0;
+};
+
+IncrementalFingerprint RunIncremental(int parallelism, uint64_t seed) {
+  simweb::WebConfig wc = SmallWeb(seed);
+  wc.uniform_lifespan_days = 25.0;  // churn exercises the dead-page path
+  simweb::SimulatedWeb web(wc);
+  IncrementalCrawlerConfig config;
+  config.collection_capacity = 150;
+  config.crawl_rate_pages_per_day = 60.0;
+  config.crawl_parallelism = parallelism;
+  // Longer than one crawl slot (1/60 day), so back-to-back same-site
+  // slots — common during greedy fill — get rejected and retried.
+  config.crawl.per_site_delay_days = 0.02;
+  config.crawl.enforce_politeness = true;
+  IncrementalCrawler crawler(&web, config);
+  EXPECT_TRUE(crawler.Bootstrap(0.0).ok());
+  EXPECT_TRUE(crawler.RunUntil(30.0).ok());
+  IncrementalFingerprint fp;
+  fp.quality = crawler.MeasureNow();
+  fp.stats = crawler.stats();
+  fp.collection_size = crawler.collection().size();
+  fp.web_fetches = web.fetch_count();
+  fp.web_not_found = web.not_found_count();
+  fp.pages_created = web.OracleTotalPagesCreated();
+  return fp;
+}
+
+void ExpectIdentical(const IncrementalFingerprint& a,
+                     const IncrementalFingerprint& b) {
+  // Bit-identical, not approximately equal: every double must match
+  // exactly.
+  EXPECT_EQ(a.quality.freshness, b.quality.freshness);
+  EXPECT_EQ(a.quality.mean_stale_age_days, b.quality.mean_stale_age_days);
+  EXPECT_EQ(a.quality.size, b.quality.size);
+  EXPECT_EQ(a.quality.fresh, b.quality.fresh);
+  EXPECT_EQ(a.quality.dead, b.quality.dead);
+  EXPECT_EQ(a.stats.crawls, b.stats.crawls);
+  EXPECT_EQ(a.stats.in_place_updates, b.stats.in_place_updates);
+  EXPECT_EQ(a.stats.pages_added, b.stats.pages_added);
+  EXPECT_EQ(a.stats.pages_evicted, b.stats.pages_evicted);
+  EXPECT_EQ(a.stats.replacements_executed, b.stats.replacements_executed);
+  EXPECT_EQ(a.stats.dead_pages_removed, b.stats.dead_pages_removed);
+  EXPECT_EQ(a.stats.changes_detected, b.stats.changes_detected);
+  EXPECT_EQ(a.stats.politeness_retries, b.stats.politeness_retries);
+  EXPECT_EQ(a.stats.new_page_latency_days.count(),
+            b.stats.new_page_latency_days.count());
+  EXPECT_EQ(a.stats.new_page_latency_days.mean(),
+            b.stats.new_page_latency_days.mean());
+  EXPECT_EQ(a.stats.new_page_latency_days.min(),
+            b.stats.new_page_latency_days.min());
+  EXPECT_EQ(a.stats.new_page_latency_days.max(),
+            b.stats.new_page_latency_days.max());
+  EXPECT_EQ(a.collection_size, b.collection_size);
+  EXPECT_EQ(a.web_fetches, b.web_fetches);
+  EXPECT_EQ(a.web_not_found, b.web_not_found);
+  EXPECT_EQ(a.pages_created, b.pages_created);
+}
+
+TEST(ShardedEngineTest, IncrementalCrawlIsIdenticalAcrossShardCounts) {
+  IncrementalFingerprint serial = RunIncremental(1, 41);
+  ASSERT_GT(serial.stats.crawls, 500u);
+  ASSERT_GT(serial.stats.politeness_retries, 0u);  // contention exercised
+  ExpectIdentical(serial, RunIncremental(8, 41));
+  ExpectIdentical(serial, RunIncremental(3, 41));
+}
+
+TEST(ShardedEngineTest, PeriodicCrawlIsIdenticalAcrossShardCounts) {
+  auto run = [](int parallelism) {
+    simweb::WebConfig wc = SmallWeb(42);
+    simweb::SimulatedWeb web(wc);
+    PeriodicCrawlerConfig config;
+    config.collection_capacity = 120;
+    config.cycle_days = 10.0;
+    config.crawl_window_days = 3.0;
+    config.crawl_parallelism = parallelism;
+    PeriodicCrawler crawler(&web, config);
+    EXPECT_TRUE(crawler.Bootstrap(0.0).ok());
+    EXPECT_TRUE(crawler.RunUntil(25.0).ok());
+    return std::tuple{crawler.MeasureNow().freshness,
+                      crawler.MeasureNow().size,
+                      crawler.stats().crawls,
+                      crawler.stats().pages_stored,
+                      crawler.stats().dead_fetches,
+                      crawler.cycles_completed(),
+                      web.fetch_count(),
+                      web.OracleTotalPagesCreated()};
+  };
+  auto serial = run(1);
+  EXPECT_GT(std::get<2>(serial), 200u);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(8));
+}
+
+}  // namespace
+}  // namespace webevo::crawler
