@@ -4,7 +4,12 @@
 // the *simulation* output is bit-identical at every shard count.
 //
 // Usage:
-//   bench_sharded_scaling [shards...]       (default: 1 2 4 8)
+//   bench_sharded_scaling [--phase-breakdown] [shards...]
+//                                           (default shards: 1 2 4 8)
+// --phase-breakdown additionally prints per-phase wall-clock totals
+// (plan / fetch / apply / measure) per shard count — the Amdahl ledger
+// showing the previously serial plan and measure phases shrinking as
+// shards grow.
 // Env:
 //   WEBEVO_SCALE            workload multiplier (default 1.0)
 //   WEBEVO_BODY_BYTES       synthetic page body size (default 16384)
@@ -43,6 +48,12 @@ struct RunResult {
   int shards = 0;
   double wall_seconds = 0.0;
   uint64_t crawls = 0;
+  uint64_t batches = 0;
+  // Per-phase wall-clock totals over the whole run.
+  double plan_seconds = 0.0;
+  double fetch_seconds = 0.0;
+  double apply_seconds = 0.0;
+  double measure_seconds = 0.0;
   // Determinism fingerprint: every field must match across shard counts
   // bit for bit.
   crawler::CollectionQuality quality;
@@ -90,6 +101,12 @@ RunResult RunOnce(int shards, double scale, double days,
   r.shards = shards;
   r.wall_seconds = std::chrono::duration<double>(end - start).count();
   r.crawls = crawl.stats().crawls;
+  const crawler::ShardedCrawlEngine::Stats& es = crawl.engine().stats();
+  r.batches = es.batches;
+  r.plan_seconds = es.plan_seconds.sum();
+  r.fetch_seconds = es.fetch_seconds.sum();
+  r.apply_seconds = es.apply_seconds.sum();
+  r.measure_seconds = es.measure_seconds.sum();
   r.quality = crawl.MeasureNow();
   r.pages_added = crawl.stats().pages_added;
   r.dead_pages_removed = crawl.stats().dead_pages_removed;
@@ -123,7 +140,12 @@ int main(int argc, char** argv) {
       "fast we need to crawl pages (Section 5.3)");
 
   std::vector<int> shard_counts;
+  bool phase_breakdown = false;
   for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--phase-breakdown") {
+      phase_breakdown = true;
+      continue;
+    }
     int n = std::atoi(argv[i]);
     if (n > 0) shard_counts.push_back(n);
   }
@@ -173,6 +195,31 @@ int main(int argc, char** argv) {
       "collection %zu pages, freshness %.4f, %llu pages created\n",
       base.quality.size, base.quality.freshness,
       static_cast<unsigned long long>(base.pages_created));
+
+  if (phase_breakdown) {
+    // The Amdahl ledger: plan and measure were fully serial before the
+    // ShardedFrontier / sharded measurement; their totals (and their
+    // per-batch means) should fall as shards grow, while fetch stays
+    // the dominant, already-parallel phase.
+    std::printf("\nper-phase wall-clock totals (seconds over the run)\n");
+    TablePrinter phases({"shards", "batches", "plan s", "fetch s",
+                         "apply s", "measure s", "plan+measure ms/batch"});
+    for (const RunResult& r : results) {
+      double per_batch_ms =
+          r.batches > 0
+              ? 1e3 * (r.plan_seconds + r.measure_seconds) /
+                    static_cast<double>(r.batches)
+              : 0.0;
+      phases.AddRow({std::to_string(r.shards),
+                     TablePrinter::Fmt(static_cast<int64_t>(r.batches)),
+                     TablePrinter::Fmt(r.plan_seconds),
+                     TablePrinter::Fmt(r.fetch_seconds),
+                     TablePrinter::Fmt(r.apply_seconds),
+                     TablePrinter::Fmt(r.measure_seconds),
+                     TablePrinter::Fmt(per_batch_ms, 3)});
+    }
+    std::printf("%s\n", phases.ToString().c_str());
+  }
 
   if (!all_identical) {
     std::fprintf(stderr,

@@ -4,10 +4,10 @@
 
 namespace webevo::crawler {
 
-void CollUrls::Schedule(const simweb::Url& url, double when) {
-  uint64_t seq = next_seq_++;
+void CollUrls::ScheduleAt(const simweb::Url& url, double when,
+                          uint64_t seq) {
   live_[url] = seq;  // supersedes any previous entry for this url
-  heap_.push(HeapEntry{when, seq, url});
+  heap_.push(Entry{when, seq, url});
 }
 
 void CollUrls::ScheduleFront(const simweb::Url& url) {
@@ -25,26 +25,38 @@ Status CollUrls::Remove(const simweb::Url& url) {
 
 void CollUrls::SkipStale() {
   while (!heap_.empty()) {
-    const HeapEntry& top = heap_.top();
+    const Entry& top = heap_.top();
     auto it = live_.find(top.url);
     if (it != live_.end() && it->second == top.seq) return;
     heap_.pop();
   }
 }
 
-std::optional<ScheduledUrl> CollUrls::Pop() {
+std::optional<CollUrls::Entry> CollUrls::PopEntry() {
   SkipStale();
   if (heap_.empty()) return std::nullopt;
-  HeapEntry top = heap_.top();
+  Entry top = heap_.top();
   heap_.pop();
   live_.erase(top.url);
-  return ScheduledUrl{top.url, top.when};
+  return top;
+}
+
+std::optional<CollUrls::Entry> CollUrls::PeekEntry() {
+  SkipStale();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top();
+}
+
+std::optional<ScheduledUrl> CollUrls::Pop() {
+  auto entry = PopEntry();
+  if (!entry.has_value()) return std::nullopt;
+  return ScheduledUrl{entry->url, entry->when};
 }
 
 std::optional<ScheduledUrl> CollUrls::Peek() {
-  SkipStale();
-  if (heap_.empty()) return std::nullopt;
-  return ScheduledUrl{heap_.top().url, heap_.top().when};
+  auto entry = PeekEntry();
+  if (!entry.has_value()) return std::nullopt;
+  return ScheduledUrl{entry->url, entry->when};
 }
 
 }  // namespace webevo::crawler

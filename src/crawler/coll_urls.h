@@ -31,14 +31,42 @@ struct ScheduledUrl {
 /// amortised — the property that lets the UpdateModule sustain the
 /// paper's "40 pages/second" style throughput independent of collection
 /// size.
+///
+/// The sequence number doubles as the FIFO tie-break among equal
+/// scheduled times. ShardedFrontier splits one logical queue across
+/// per-shard CollUrls instances by assigning sequence numbers from a
+/// single global counter via ScheduleAt, which is what makes its k-way
+/// merge over shard heads reproduce this class's pop order exactly.
 class CollUrls {
  public:
+  /// One live queue position: the scheduled time plus the sequence
+  /// number that tie-breaks equal times (smaller pops first) and tokens
+  /// lazy deletion.
+  struct Entry {
+    double when = 0.0;
+    uint64_t seq = 0;
+    simweb::Url url;
+  };
+
+  /// Base key for front-of-queue inserts; far below any realistic
+  /// simulation time, so front entries always precede scheduled ones.
+  static constexpr double kFrontBase = -1e18;
+
   /// Inserts `url` or moves it to position `when` if already present.
-  void Schedule(const simweb::Url& url, double when);
+  void Schedule(const simweb::Url& url, double when) {
+    ScheduleAt(url, when, next_seq_++);
+  }
 
   /// Schedules in front of everything currently queued (the
   /// RankingModule's "crawl this new page immediately").
   void ScheduleFront(const simweb::Url& url);
+
+  /// Schedule with an externally assigned sequence number — the
+  /// ShardedFrontier's primitive for keeping one global FIFO order
+  /// across shard-local heaps, and for restoring entries extracted but
+  /// not consumed by a planning pass. Callers must never mix external
+  /// sequence numbers with this instance's own counter.
+  void ScheduleAt(const simweb::Url& url, double when, uint64_t seq);
 
   /// Removes a URL from the queue; NotFound if absent.
   Status Remove(const simweb::Url& url);
@@ -49,6 +77,11 @@ class CollUrls {
   /// Earliest entry without removing it; nullopt if empty.
   std::optional<ScheduledUrl> Peek();
 
+  /// Pop/Peek variants exposing the tie-break sequence number, for the
+  /// ShardedFrontier's deterministic k-way merge.
+  std::optional<Entry> PopEntry();
+  std::optional<Entry> PeekEntry();
+
   bool Contains(const simweb::Url& url) const {
     return live_.count(url) > 0;
   }
@@ -58,13 +91,8 @@ class CollUrls {
   bool empty() const { return live_.empty(); }
 
  private:
-  struct HeapEntry {
-    double when;
-    uint64_t seq;  // tie-break and lazy-deletion token
-    simweb::Url url;
-  };
   struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;  // FIFO among equal times
     }
@@ -73,11 +101,7 @@ class CollUrls {
   /// Discards superseded heap heads.
   void SkipStale();
 
-  /// Base key for front-of-queue inserts; far below any realistic
-  /// simulation time, so front entries always precede scheduled ones.
-  static constexpr double kFrontBase = -1e18;
-
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   // url -> seq of its single live heap entry.
   std::unordered_map<simweb::Url, uint64_t, simweb::UrlHash> live_;
   uint64_t next_seq_ = 0;

@@ -5,6 +5,7 @@
 
 #include "crawler/collection.h"
 #include "simweb/simulated_web.h"
+#include "util/thread_pool.h"
 
 namespace webevo::crawler {
 
@@ -25,8 +26,25 @@ struct CollectionQuality {
 
 /// Measures `collection` against ground truth at time `t`. Uses the
 /// oracle API only — no crawl traffic is generated.
+///
+/// Accumulation is *canonical*: entries are grouped by site, ordered by
+/// (slot, incarnation) within each site, and per-site partial sums are
+/// reduced in ascending site order. The canonical order makes the
+/// floating-point sums independent of hash-map iteration order and of
+/// how the work is split, so the serial and sharded measurements below
+/// are bit-identical to each other at every shard count.
 CollectionQuality MeasureCollection(simweb::SimulatedWeb& web,
                                     const Collection& collection, double t);
+
+/// MeasureCollection with the per-site oracle walks fanned out over
+/// `threads`, sites partitioned site % num_shards (the engine's shard
+/// ownership, so each site's lazy page evolution is advanced by exactly
+/// one worker). Integer counts and the canonical reduction order make
+/// the result bit-identical to the serial MeasureCollection.
+CollectionQuality MeasureCollectionSharded(simweb::SimulatedWeb& web,
+                                           const Collection& collection,
+                                           double t, ThreadPool& threads,
+                                           int num_shards);
 
 }  // namespace webevo::crawler
 

@@ -1,6 +1,7 @@
 #include "crawler/incremental_crawler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,7 @@ IncrementalCrawler::IncrementalCrawler(
     : web_(web),
       config_(config),
       collection_(config.collection_capacity),
+      coll_urls_(config.crawl_parallelism),
       engine_(web, config.crawl, config.crawl_parallelism),
       update_module_([&] {
         UpdateModuleConfig u = config.update;
@@ -90,17 +92,19 @@ void IncrementalCrawler::RunRefinement() {
 }
 
 void IncrementalCrawler::ApplyOutcome(const simweb::Url& url,
-                                      StatusOr<simweb::FetchResult> result) {
+                                      StatusOr<simweb::FetchResult> result,
+                                      double retry_at) {
   ++stats_.crawls;
   pending_admissions_.erase(url);
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kFailedPrecondition) {
       // Politeness rejection: the page is fine, the site just needs a
-      // breather; put it back for the earliest polite time (as of the
-      // end of the batch — later same-site fetches may have pushed it
-      // out further).
+      // breather. The per-shard retry lane captured the earliest
+      // polite time at the attempt itself, so the retry is not pushed
+      // out by later same-site fetches in the same batch (which the
+      // old batch-end NextAllowedTime reschedule did).
       ++stats_.politeness_retries;
-      coll_urls_.Schedule(url, engine_.pool().NextAllowedTime(url.site));
+      coll_urls_.Schedule(url, retry_at);
       if (!collection_.Contains(url)) pending_admissions_.insert(url);
       return;
     }
@@ -199,43 +203,44 @@ Status IncrementalCrawler::RunUntil(double until) {
 
     // Plan one engine batch of crawl slots, bounded by the next
     // housekeeping event so refinement/rebalance/sampling always see a
-    // fully applied collection.
+    // fully applied collection. The frontier extracts candidates
+    // shard-parallel on the engine's worker pool and merges them
+    // deterministically into slot order.
     const double horizon =
         std::min({next_sample_, next_refine_, next_rebalance_, until});
+    auto plan_begin = std::chrono::steady_clock::now();
+    ShardedFrontier::SlotPlan slot_plan =
+        coll_urls_.PlanSlots(now_, horizon, step, &engine_.threads());
     std::vector<PlannedFetch> plan;
-    double t = now_;
-    while (t < horizon) {
-      auto head = coll_urls_.Peek();
-      if (!head.has_value()) {
-        t = horizon;  // nothing scheduled: idle to the horizon
-        break;
-      }
-      if (head->when > t) {
-        if (head->when >= horizon) {
-          t = horizon;  // next URL is due beyond this batch
-          break;
-        }
-        t = head->when;  // idle to the next due URL (spare capacity)
-        continue;
-      }
-      auto popped = coll_urls_.Pop();
-      plan.push_back(PlannedFetch{popped->url, t});
-      t += step;  // constant crawl speed: one fetch per slot
+    plan.reserve(slot_plan.slots.size());
+    for (const ScheduledUrl& slot : slot_plan.slots) {
+      plan.push_back(PlannedFetch{slot.url, slot.when});
     }
+    // Only batches the engine also counts, so per-batch phase ratios
+    // divide like for like (idle planning passes are ~free anyway).
+    if (!plan.empty()) engine_.RecordPlanSeconds(SecondsSince(plan_begin));
 
+    std::vector<double> retry_at;
     std::vector<StatusOr<simweb::FetchResult>> outcomes =
-        engine_.ExecuteBatch(plan);
+        engine_.ExecuteBatch(plan, &retry_at);
+
+    auto apply_begin = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < plan.size(); ++i) {
       now_ = plan[i].at;
-      ApplyOutcome(plan[i].url, std::move(outcomes[i]));
+      ApplyOutcome(plan[i].url, std::move(outcomes[i]), retry_at[i]);
     }
-    now_ = t;
+    if (!plan.empty()) engine_.RecordApplySeconds(SecondsSince(apply_begin));
+    now_ = slot_plan.end_time;
   }
   return Status::Ok();
 }
 
 CollectionQuality IncrementalCrawler::MeasureNow() {
-  return MeasureCollection(*web_, collection_, now_);
+  auto measure_begin = std::chrono::steady_clock::now();
+  CollectionQuality q = MeasureCollectionSharded(
+      *web_, collection_, now_, engine_.threads(), engine_.num_shards());
+  engine_.RecordMeasureSeconds(SecondsSince(measure_begin));
+  return q;
 }
 
 }  // namespace webevo::crawler

@@ -5,12 +5,12 @@
 #include <unordered_set>
 
 #include "crawler/all_urls.h"
-#include "crawler/coll_urls.h"
 #include "crawler/collection.h"
 #include "crawler/crawl_module.h"
 #include "crawler/eval.h"
 #include "crawler/ranking_module.h"
 #include "crawler/sharded_crawl_engine.h"
+#include "crawler/sharded_frontier.h"
 #include "crawler/update_module.h"
 #include "freshness/freshness_tracker.h"
 #include "simweb/simulated_web.h"
@@ -54,8 +54,10 @@ struct IncrementalCrawlerConfig {
 ///
 /// The crawl loop runs in engine batches bounded by the next
 /// housekeeping event (refine / rebalance / freshness sample):
-///   1. *plan*: pop due URLs off CollUrls, one per crawl slot (one slot
-///      every 1/crawl_rate days);
+///   1. *plan*: pop due URLs off the ShardedFrontier, one per crawl
+///      slot (one slot every 1/crawl_rate days) — shard-local heaps
+///      extract candidates in parallel, a deterministic k-way merge
+///      assigns the slots;
 ///   2. *fetch*: the ShardedCrawlEngine executes the batch, shards in
 ///      parallel;
 ///   3. *apply*: walk outcomes in slot order —
@@ -91,7 +93,7 @@ class IncrementalCrawler {
   double now() const { return now_; }
   const Collection& collection() const { return collection_; }
   const AllUrls& all_urls() const { return all_urls_; }
-  const CollUrls& coll_urls() const { return coll_urls_; }
+  const ShardedFrontier& coll_urls() const { return coll_urls_; }
   /// Module 0 — the only module at crawl_parallelism == 1; per-shard
   /// accounting for wider pools lives on crawl_pool().
   const CrawlModule& crawl_module() const { return engine_.pool().module(0); }
@@ -134,14 +136,17 @@ class IncrementalCrawler {
   void IngestLinks(const std::vector<simweb::Url>& links);
 
   /// Applies one fetch outcome at now_ (the serial step 3 above).
+  /// `retry_at` is the site's earliest polite fetch time captured at
+  /// the attempt inside the owning shard — the reschedule target for
+  /// politeness rejections.
   void ApplyOutcome(const simweb::Url& url,
-                    StatusOr<simweb::FetchResult> result);
+                    StatusOr<simweb::FetchResult> result, double retry_at);
 
   simweb::SimulatedWeb* web_;  // not owned
   IncrementalCrawlerConfig config_;
   Collection collection_;
   AllUrls all_urls_;
-  CollUrls coll_urls_;
+  ShardedFrontier coll_urls_;
   ShardedCrawlEngine engine_;
   UpdateModule update_module_;
   RankingModule ranking_module_;

@@ -1,6 +1,7 @@
 #include "crawler/periodic_crawler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -149,6 +150,7 @@ Status PeriodicCrawler::RunUntil(double until) {
         const std::size_t budget = static_cast<std::size_t>(
             config_.collection_capacity - stored_this_cycle_);
         const double batch_start = now_;
+        auto plan_begin = std::chrono::steady_clock::now();
         std::vector<PlannedFetch> plan;
         double t = now_;
         while (t < horizon && plan.size() < budget && !frontier_.empty()) {
@@ -156,17 +158,22 @@ Status PeriodicCrawler::RunUntil(double until) {
           frontier_.pop_front();
           t += step;
         }
+        if (!plan.empty()) {
+          engine_.RecordPlanSeconds(SecondsSince(plan_begin));
+        }
         if (plan.empty()) {
           FinishCycle();  // frontier exhausted before the window closed
         } else {
           std::vector<StatusOr<simweb::FetchResult>> outcomes =
               engine_.ExecuteBatch(plan);
+          auto apply_begin = std::chrono::steady_clock::now();
           uint64_t successes = 0;
           for (std::size_t i = 0; i < plan.size(); ++i) {
             now_ = plan[i].at;
             if (outcomes[i].ok()) ++successes;
             ApplyOutcome(plan[i].url, std::move(outcomes[i]));
           }
+          engine_.RecordApplySeconds(SecondsSince(apply_begin));
           // Failed fetches refund their slots — the serial crawler
           // tried the next URL immediately — so the slot clock
           // advances only by the successful fetches (which consume a
@@ -189,7 +196,12 @@ Status PeriodicCrawler::RunUntil(double until) {
 }
 
 CollectionQuality PeriodicCrawler::MeasureNow() {
-  return MeasureCollection(*web_, current_collection(), now_);
+  auto measure_begin = std::chrono::steady_clock::now();
+  CollectionQuality q =
+      MeasureCollectionSharded(*web_, current_collection(), now_,
+                               engine_.threads(), engine_.num_shards());
+  engine_.RecordMeasureSeconds(SecondsSince(measure_begin));
+  return q;
 }
 
 }  // namespace webevo::crawler

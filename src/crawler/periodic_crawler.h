@@ -56,8 +56,10 @@ struct PeriodicCrawlerConfig {
 ///
 /// The crawl loop runs in engine batches bounded by the next freshness
 /// sample and the window end: *plan* pops the BFS frontier one URL per
-/// crawl slot, *fetch* executes the batch across shards, *apply* stores
-/// pages and expands the frontier in slot order. Fetches that fail
+/// crawl slot (a deque pop — O(1), nothing to shard), *fetch* executes
+/// the batch across shards, *apply* stores pages and expands the
+/// frontier in slot order, and the freshness *measure* at each sample
+/// fans out across the engine's worker pool. Fetches that fail
 /// (dead URLs) refund their slots at the batch boundary — the serial
 /// crawler's "try the next URL immediately" — so a cycle still stores
 /// exactly `collection_capacity` pages whenever frontier and window

@@ -8,6 +8,12 @@
 
 namespace webevo::crawler {
 
+double SecondsSince(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
 ShardedCrawlEngine::ShardedCrawlEngine(simweb::SimulatedWeb* web,
                                        const CrawlModuleConfig& config,
                                        int num_shards)
@@ -16,10 +22,13 @@ ShardedCrawlEngine::ShardedCrawlEngine(simweb::SimulatedWeb* web,
       threads_(pool_.parallelism()) {}
 
 std::vector<StatusOr<simweb::FetchResult>> ShardedCrawlEngine::ExecuteBatch(
-    const std::vector<PlannedFetch>& batch) {
+    const std::vector<PlannedFetch>& batch,
+    std::vector<double>* retry_at) {
   std::vector<StatusOr<simweb::FetchResult>> out;
   out.reserve(batch.size());
+  if (retry_at != nullptr) retry_at->assign(batch.size(), 0.0);
   if (batch.empty()) return out;
+  auto batch_begin = std::chrono::steady_clock::now();
 
   const auto shards = static_cast<std::size_t>(num_shards());
   std::vector<std::vector<std::size_t>> by_shard(shards);
@@ -41,15 +50,20 @@ std::vector<StatusOr<simweb::FetchResult>> ShardedCrawlEngine::ExecuteBatch(
 
   web_->BeginConcurrentBatch(floor);
   std::vector<RunningStat> shard_latency(shards);
-  auto run_shard = [this, &batch, &staged](const std::vector<std::size_t>&
-                                               indices,
-                                           RunningStat& latency) {
+  auto run_shard = [this, &batch, &staged,
+                    retry_at](const std::vector<std::size_t>& indices,
+                              RunningStat& latency) {
     for (std::size_t i : indices) {
       auto begin = std::chrono::steady_clock::now();
       staged[i].emplace(pool_.Crawl(batch[i].url, batch[i].at));
-      latency.Add(std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - begin)
-                      .count());
+      if (retry_at != nullptr) {
+        // Captured right after the attempt, inside the site's owning
+        // shard: the same value at every shard count, because only
+        // this shard's plan-ordered fetches touch the site's
+        // politeness state.
+        (*retry_at)[i] = pool_.NextAllowedTime(batch[i].url.site);
+      }
+      latency.Add(SecondsSince(begin));
     }
   };
   std::vector<std::size_t> busy_shards;
@@ -88,6 +102,7 @@ std::vector<StatusOr<simweb::FetchResult>> ShardedCrawlEngine::ExecuteBatch(
   for (const RunningStat& latency : shard_latency) {
     stats_.fetch_latency_seconds.Merge(latency);
   }
+  stats_.fetch_seconds.Add(SecondsSince(batch_begin));
 
   for (auto& staged_outcome : staged) {
     out.push_back(std::move(*staged_outcome));

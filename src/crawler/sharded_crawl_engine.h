@@ -1,6 +1,7 @@
 #ifndef WEBEVO_CRAWLER_SHARDED_CRAWL_ENGINE_H_
 #define WEBEVO_CRAWLER_SHARDED_CRAWL_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +21,10 @@ struct PlannedFetch {
   simweb::Url url;
   double at = 0.0;
 };
+
+/// Wall-clock seconds elapsed since `begin` — the timing source for
+/// the engine's phase accounting (Record*Seconds below).
+double SecondsSince(std::chrono::steady_clock::time_point begin);
 
 /// The sharded fetch engine behind the paper's "multiple CrawlModule's
 /// may run in parallel" (Section 5.3): sites are partitioned across the
@@ -55,12 +60,27 @@ class ShardedCrawlEngine {
   /// non-monotonic across sites (shards interleave), but each single
   /// site's planned times must be non-decreasing — true for any
   /// batch planned by a forward-moving crawl clock.
+  ///
+  /// When `retry_at` is non-null it is resized to the batch and
+  /// retry_at[i] receives the site's earliest polite fetch time *as of
+  /// attempt i* — captured inside the owning shard immediately after
+  /// the attempt, in plan order, so it is deterministic at every shard
+  /// count. For politeness rejections this is the per-shard retry
+  /// lane's reschedule time (earlier than the batch-end
+  /// NextAllowedTime whenever later same-site fetches follow in the
+  /// batch); for other outcomes it is merely the site's next polite
+  /// time after the fetch.
   std::vector<StatusOr<simweb::FetchResult>> ExecuteBatch(
-      const std::vector<PlannedFetch>& batch);
+      const std::vector<PlannedFetch>& batch,
+      std::vector<double>* retry_at = nullptr);
 
   CrawlModulePool& pool() { return pool_; }
   const CrawlModulePool& pool() const { return pool_; }
   int num_shards() const { return pool_.parallelism(); }
+
+  /// The engine's worker pool, idle between batches; crawlers borrow it
+  /// for the shard-parallel plan and measure phases.
+  ThreadPool& threads() { return threads_; }
 
   /// Barrier-merged engine accounting.
   struct Stats {
@@ -76,8 +96,24 @@ class ShardedCrawlEngine {
     /// *values* are wall-clock (not reproducible); the merge structure
     /// is, so shard count never reorders the accumulation.
     RunningStat fetch_latency_seconds;
+    /// Wall-clock seconds per plan / fetch / apply / measure phase —
+    /// the Amdahl ledger behind bench_sharded_scaling's per-phase
+    /// breakdown. Fetch is recorded by ExecuteBatch; the other phases
+    /// are reported by the owning crawler via RecordPlanSeconds and
+    /// friends. Plan, fetch and apply each carry one sample per
+    /// *non-empty* batch (matching `batches`), measure one per
+    /// freshness sample. Values are wall-clock and not reproducible;
+    /// the sample structure is.
+    RunningStat plan_seconds;
+    RunningStat fetch_seconds;
+    RunningStat apply_seconds;
+    RunningStat measure_seconds;
   };
   const Stats& stats() const { return stats_; }
+
+  void RecordPlanSeconds(double s) { stats_.plan_seconds.Add(s); }
+  void RecordApplySeconds(double s) { stats_.apply_seconds.Add(s); }
+  void RecordMeasureSeconds(double s) { stats_.measure_seconds.Add(s); }
 
  private:
   simweb::SimulatedWeb* web_;  // not owned

@@ -1,0 +1,163 @@
+#include "crawler/sharded_frontier.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <utility>
+
+namespace webevo::crawler {
+namespace {
+
+// The one definition of the global pop order — earliest `when`, ties
+// broken by the global sequence number (the inverse of CollUrls::Later)
+// — shared by Pop, Peek and the PlanSlots merge so the three can never
+// drift apart and break the bit-identical contract.
+bool Earlier(const CollUrls::Entry& a, const CollUrls::Entry& b) {
+  if (a.when != b.when) return a.when < b.when;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+ShardedFrontier::ShardedFrontier(int num_shards)
+    : shards_(static_cast<std::size_t>(std::max(1, num_shards))) {}
+
+void ShardedFrontier::Schedule(const simweb::Url& url, double when) {
+  shards_[ShardOf(url.site)].ScheduleAt(url, when, next_seq_++);
+}
+
+void ShardedFrontier::ScheduleFront(const simweb::Url& url) {
+  // Identical arithmetic to CollUrls::ScheduleFront, with the offset
+  // global to the frontier so front-inserts stay FIFO across shards.
+  front_when_ += 1e-6;
+  shards_[ShardOf(url.site)].ScheduleAt(url, CollUrls::kFrontBase + front_when_,
+                                        next_seq_++);
+}
+
+Status ShardedFrontier::Remove(const simweb::Url& url) {
+  return shards_[ShardOf(url.site)].Remove(url);
+}
+
+std::optional<ScheduledUrl> ShardedFrontier::Pop() {
+  CollUrls* best = nullptr;
+  CollUrls::Entry best_head;
+  for (CollUrls& shard : shards_) {
+    auto head = shard.PeekEntry();
+    if (!head.has_value()) continue;
+    if (best == nullptr || Earlier(*head, best_head)) {
+      best = &shard;
+      best_head = *head;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  auto popped = best->PopEntry();
+  return ScheduledUrl{popped->url, popped->when};
+}
+
+std::optional<ScheduledUrl> ShardedFrontier::Peek() {
+  bool found = false;
+  CollUrls::Entry best_head;
+  for (CollUrls& shard : shards_) {
+    auto head = shard.PeekEntry();
+    if (!head.has_value()) continue;
+    if (!found || Earlier(*head, best_head)) {
+      best_head = *head;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return ScheduledUrl{best_head.url, best_head.when};
+}
+
+std::size_t ShardedFrontier::size() const {
+  std::size_t total = 0;
+  for (const CollUrls& shard : shards_) total += shard.size();
+  return total;
+}
+
+ShardedFrontier::SlotPlan ShardedFrontier::PlanSlots(double start,
+                                                     double horizon,
+                                                     double step,
+                                                     ThreadPool* threads) {
+  SlotPlan plan;
+  plan.end_time = start;
+  if (!(step > 0.0) || start >= horizon) return plan;
+
+  // Each consumed candidate advances the slot clock by `step`, so a
+  // batch can never hold more than this many fetches — the per-shard
+  // extraction bound.
+  const double cap = (horizon - start) / step + 2.0;
+  const std::size_t max_slots =
+      cap < 1e18 ? static_cast<std::size_t>(cap)
+                 : std::numeric_limits<std::size_t>::max();
+
+  // Stage 1: per-shard candidate extraction, shard-parallel. Each task
+  // touches only its own heap and its own output vector; the pops come
+  // out sorted by (when, seq) because each shard heap is one CollUrls.
+  const std::size_t num_shards = shards_.size();
+  std::vector<std::vector<CollUrls::Entry>> extracted(num_shards);
+  auto extract = [this, horizon, max_slots, &extracted](std::size_t s) {
+    std::vector<CollUrls::Entry>& out = extracted[s];
+    while (out.size() < max_slots) {
+      auto head = shards_[s].PeekEntry();
+      if (!head.has_value() || head->when >= horizon) break;
+      out.push_back(*shards_[s].PopEntry());
+    }
+  };
+  std::vector<std::size_t> busy;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (!shards_[s].empty()) busy.push_back(s);
+  }
+  if (threads != nullptr && busy.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(busy.size());
+    for (std::size_t s : busy) {
+      tasks.push_back([&extract, s] { extract(s); });
+    }
+    threads->RunAndWait(std::move(tasks));
+  } else {
+    for (std::size_t s : busy) extract(s);
+  }
+
+  // Stage 2: deterministic k-way merge driving the slot clock — the
+  // serial CollUrls plan loop, with the global (when, seq) order
+  // reassembled from the shard heads.
+  double t = start;
+  std::vector<std::size_t> next(num_shards, 0);
+  while (t < horizon) {
+    std::size_t best = num_shards;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (next[s] >= extracted[s].size()) continue;
+      if (best == num_shards ||
+          Earlier(extracted[s][next[s]], extracted[best][next[best]])) {
+        best = s;
+      }
+    }
+    if (best == num_shards) {
+      t = horizon;  // nothing scheduled before the horizon: idle to it
+      break;
+    }
+    const CollUrls::Entry& head = extracted[best][next[best]];
+    if (head.when > t) {
+      t = head.when;  // idle to the next due URL (spare capacity)
+      continue;
+    }
+    plan.slots.push_back(ScheduledUrl{head.url, t});
+    ++next[best];
+    t += step;  // constant crawl speed: one fetch per slot
+  }
+  plan.end_time = t;
+
+  // Stage 3: restore extracted-but-unplanned candidates with their
+  // original keys, so the frontier state equals "only the planned URLs
+  // were popped".
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    for (std::size_t i = next[s]; i < extracted[s].size(); ++i) {
+      const CollUrls::Entry& e = extracted[s][i];
+      shards_[s].ScheduleAt(e.url, e.when, e.seq);
+    }
+  }
+  return plan;
+}
+
+}  // namespace webevo::crawler

@@ -1,0 +1,107 @@
+#ifndef WEBEVO_CRAWLER_SHARDED_FRONTIER_H_
+#define WEBEVO_CRAWLER_SHARDED_FRONTIER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crawler/coll_urls.h"
+#include "simweb/url.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace webevo::crawler {
+
+/// A CollUrls frontier split into N shard-local heaps (mithril-style
+/// per-shard UrlFrontier), one per CrawlModule shard, with sites
+/// partitioned site % N — the same ownership mapping the
+/// ShardedCrawlEngine fetches under.
+///
+/// Behavioural contract: *bit-identical to a single CollUrls* at every
+/// shard count. Sequence numbers (the FIFO tie-break) and the
+/// front-of-queue key both come from counters global to the frontier,
+/// so the merge order over shard heads — earliest `when`, ties broken
+/// by global sequence number — is exactly the pop order the one-heap
+/// queue would produce. Pop/Peek are a k-way merge over the N shard
+/// heads (O(N + log(n/N)) per pop); Schedule/Remove route to the
+/// owning shard (O(log(n/N))).
+///
+/// The point of the split is PlanSlots: each shard extracts its own
+/// due-before-horizon candidates in parallel on the engine's
+/// ThreadPool — the heap work that used to serialise the plan phase —
+/// and a cheap serial merge then assigns crawl slots deterministically.
+/// Push-back rescheduling between batches (Schedule from ApplyOutcome)
+/// lands directly in the owning shard's heap.
+class ShardedFrontier {
+ public:
+  /// Creates `num_shards` shard heaps (>= 1; clamped, matching
+  /// CrawlModulePool).
+  explicit ShardedFrontier(int num_shards);
+
+  /// Inserts `url` or moves it to position `when` if already present.
+  void Schedule(const simweb::Url& url, double when);
+
+  /// Schedules in front of everything currently queued, FIFO among
+  /// front-inserts across all shards.
+  void ScheduleFront(const simweb::Url& url);
+
+  /// Removes a URL from the frontier; NotFound if absent.
+  Status Remove(const simweb::Url& url);
+
+  /// Pops the globally earliest-scheduled URL; nullopt if empty.
+  std::optional<ScheduledUrl> Pop();
+
+  /// Globally earliest entry without removing it; nullopt if empty.
+  std::optional<ScheduledUrl> Peek();
+
+  bool Contains(const simweb::Url& url) const {
+    return shards_[ShardOf(url.site)].Contains(url);
+  }
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::size_t ShardOf(uint32_t site) const { return site % shards_.size(); }
+  const CollUrls& shard(std::size_t i) const { return shards_[i]; }
+
+  /// One batch of crawl slots planned at a constant crawl speed.
+  struct SlotPlan {
+    /// Planned fetches in slot order; `when` is the assigned slot time.
+    std::vector<ScheduledUrl> slots;
+    /// The crawl clock after the batch: `horizon` unless planning
+    /// stopped early (never happens at a constant rate — idle periods
+    /// also advance to the horizon).
+    double end_time = 0.0;
+  };
+
+  /// Plans one engine batch: starting the slot clock at `start`, pops
+  /// due URLs one per crawl slot (one slot every `step` days), idling
+  /// forward when the next URL is due later, until the clock reaches
+  /// `horizon`. Reproduces the serial CollUrls plan loop bit for bit:
+  ///
+  ///   1. *extract* (parallel over `threads` when > 1 shard has work):
+  ///      each shard pops its own due-before-horizon candidates, at
+  ///      most the batch's slot capacity, into a sorted per-shard list;
+  ///   2. *merge* (serial, cheap): a deterministic k-way merge over the
+  ///      per-shard lists — earliest `when`, ties by global sequence
+  ///      number — drives the slot clock and assigns slot times;
+  ///   3. *restore*: candidates the clock never reached go back to
+  ///      their shard heaps with their original (when, seq) keys.
+  ///
+  /// `threads` may be null (serial extraction); results are identical.
+  SlotPlan PlanSlots(double start, double horizon, double step,
+                     ThreadPool* threads);
+
+ private:
+  std::vector<CollUrls> shards_;
+  // Global counters shared by all shards: the FIFO tie-break sequence
+  // and the front-of-queue key offset. Keeping them global is what
+  // makes the k-way merge order equal to the single-heap pop order.
+  uint64_t next_seq_ = 0;
+  double front_when_ = 0.0;
+};
+
+}  // namespace webevo::crawler
+
+#endif  // WEBEVO_CRAWLER_SHARDED_FRONTIER_H_

@@ -1,9 +1,15 @@
 #include "crawler/snapshot.h"
 
+#include <algorithm>
+#include <array>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "estimator/change_estimator.h"
 #include "util/hash.h"
 
 namespace webevo::crawler {
@@ -11,8 +17,13 @@ namespace {
 
 constexpr const char* kCollectionMagic = "webevo-collection";
 constexpr const char* kAllUrlsMagic = "webevo-allurls";
+constexpr const char* kUpdateModuleMagic = "webevo-update";
 constexpr const char* kTrailerMagic = "webevo-checksum";
 constexpr int kFormatVersion = 1;
+// Sanity bound on a flattened estimator-state vector. Integrity is only
+// verified at the trailer, so parsed counts must be range-checked
+// before they size an allocation.
+constexpr std::size_t kMaxEstimatorState = 1 << 20;
 
 // Accumulates payload lines and emits them with an integrity trailer.
 class TrailerWriter {
@@ -223,6 +234,182 @@ StatusOr<AllUrls> LoadAllUrls(std::istream& in) {
                : end.status();
   }
   return all;
+}
+
+Status SaveUpdateModule(const UpdateModule& module, std::ostream& out) {
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kUpdateModuleMagic << ' ' << kFormatVersion << ' '
+         << estimator::EstimatorKindName(module.config_.estimator_kind)
+         << ' ' << module.pages_.size() << ' ' << module.sites_.size();
+  writer.Line(header.str());
+
+  {
+    std::ostringstream os;
+    os.precision(17);
+    os << "G " << module.multiplier_ << ' ' << module.total_rate_ << ' '
+       << module.mean_importance_ << ' ' << module.rebalance_count_;
+    for (uint64_t lane : module.rng_.State()) os << ' ' << lane;
+    writer.Line(os.str());
+  }
+
+  // Records sorted by identity, so equal modules produce equal bytes
+  // regardless of hash-map iteration order.
+  std::vector<std::pair<simweb::Url, const UpdateModule::PageState*>> pages;
+  pages.reserve(module.pages_.size());
+  for (const auto& [url, state] : module.pages_) {
+    pages.emplace_back(url, &state);
+  }
+  std::sort(pages.begin(), pages.end(), [](const auto& a, const auto& b) {
+    return std::tuple(a.first.site, a.first.slot, a.first.incarnation) <
+           std::tuple(b.first.site, b.first.slot, b.first.incarnation);
+  });
+  for (const auto& [url, state] : pages) {
+    std::ostringstream os;
+    os.precision(17);
+    std::vector<double> est_state;
+    if (state->estimator != nullptr) {
+      est_state = state->estimator->SaveState();
+    }
+    os << "P " << url.site << ' ' << url.slot << ' ' << url.incarnation
+       << ' ' << state->last_visit << ' ' << (state->visited ? 1 : 0)
+       << ' ' << state->importance << ' '
+       << (state->probing_abandonment ? 1 : 0) << ' ' << est_state.size();
+    for (double v : est_state) os << ' ' << v;
+    writer.Line(os.str());
+  }
+
+  std::vector<uint32_t> site_ids;
+  site_ids.reserve(module.sites_.size());
+  for (const auto& [site, est] : module.sites_) site_ids.push_back(site);
+  std::sort(site_ids.begin(), site_ids.end());
+  for (uint32_t site : site_ids) {
+    std::ostringstream os;
+    os.precision(17);
+    std::vector<double> est_state = module.sites_.at(site)->SaveState();
+    os << "S " << site << ' ' << est_state.size();
+    for (double v : est_state) os << ' ' << v;
+    writer.Line(os.str());
+  }
+
+  writer.Finish();
+  if (!out.good()) return Status::Internal("snapshot write failed");
+  return Status::Ok();
+}
+
+Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic, kind;
+  int version = 0;
+  std::size_t npages = 0, nsites = 0;
+  hs >> magic >> version >> kind >> npages >> nsites;
+  if (hs.fail() || magic != kUpdateModuleMagic) {
+    return Status::InvalidArgument("not an UpdateModule snapshot");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  if (kind !=
+      estimator::EstimatorKindName(module->config_.estimator_kind)) {
+    return Status::InvalidArgument(
+        "snapshot estimator kind '" + kind +
+        "' does not match the module's configuration");
+  }
+
+  // Restore into a staging module and swap in only after the trailer
+  // verifies, so a corrupt snapshot never leaves `module` half-loaded.
+  UpdateModule staged(module->config_);
+
+  auto g_line = reader.Next();
+  if (!g_line.ok()) return Status::InvalidArgument("missing G record");
+  {
+    std::istringstream is(*g_line);
+    std::string tag;
+    std::array<uint64_t, 4> lanes{};
+    double multiplier = 0.0, total_rate = 0.0, mean_importance = 0.0;
+    int64_t rebalance_count = 0;
+    is >> tag >> multiplier >> total_rate >> mean_importance >>
+        rebalance_count >> lanes[0] >> lanes[1] >> lanes[2] >> lanes[3];
+    if (is.fail() || tag != "G") {
+      return Status::InvalidArgument("malformed G record");
+    }
+    staged.multiplier_ = multiplier;
+    staged.total_rate_ = total_rate;
+    staged.mean_importance_ = mean_importance;
+    staged.rebalance_count_ = rebalance_count;
+    staged.rng_.SetState(lanes);
+  }
+
+  for (std::size_t i = 0; i < npages; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("snapshot page count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    simweb::Url url;
+    double last_visit = 0.0, importance = 0.0;
+    int visited = 0, probing = 0;
+    std::size_t nstate = 0;
+    is >> tag >> url.site >> url.slot >> url.incarnation >> last_visit >>
+        visited >> importance >> probing >> nstate;
+    if (is.fail() || tag != "P" || nstate > kMaxEstimatorState) {
+      return Status::InvalidArgument("malformed page record");
+    }
+    std::vector<double> est_state(nstate);
+    for (double& v : est_state) is >> v;
+    if (is.fail()) {
+      return Status::InvalidArgument("malformed page estimator state");
+    }
+    UpdateModule::PageState state;
+    state.last_visit = last_visit;
+    state.visited = visited != 0;
+    state.importance = importance;
+    state.probing_abandonment = probing != 0;
+    if (!est_state.empty()) {
+      state.estimator =
+          estimator::MakeEstimator(staged.config_.estimator_kind);
+      Status st = state.estimator->RestoreState(est_state);
+      if (!st.ok()) return st;
+    }
+    staged.pages_[url] = std::move(state);
+  }
+  for (std::size_t i = 0; i < nsites; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("snapshot site count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    std::size_t nstate = 0;
+    is >> tag >> site >> nstate;
+    if (is.fail() || tag != "S" || nstate > kMaxEstimatorState) {
+      return Status::InvalidArgument("malformed site record");
+    }
+    std::vector<double> est_state(nstate);
+    for (double& v : est_state) is >> v;
+    if (is.fail()) {
+      return Status::InvalidArgument("malformed site estimator state");
+    }
+    auto estimator =
+        estimator::MakeEstimator(staged.config_.estimator_kind);
+    Status st = estimator->RestoreState(est_state);
+    if (!st.ok()) return st;
+    staged.sites_[site] = std::move(estimator);
+  }
+
+  auto end = reader.Next();
+  if (end.ok() || !reader.done()) {
+    return end.ok()
+               ? Status::InvalidArgument("trailing data in snapshot")
+               : end.status();
+  }
+  *module = std::move(staged);
+  return Status::Ok();
 }
 
 Status SaveCollectionToFile(const Collection& collection,

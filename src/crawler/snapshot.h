@@ -7,6 +7,7 @@
 
 #include "crawler/all_urls.h"
 #include "crawler/collection.h"
+#include "crawler/update_module.h"
 #include "util/status.h"
 
 namespace webevo::crawler {
@@ -29,6 +30,13 @@ namespace webevo::crawler {
 ///
 /// AllUrls snapshots are analogous with `U` records carrying
 /// (first_seen, in_links, dead).
+///
+/// UpdateModule snapshots carry the estimator kind in the header, one
+/// `G` record with the global scheduling state (Lagrange multiplier,
+/// proportional normaliser, mean importance, rebalance count, probe
+/// RNG lanes), one `P` record per tracked page (visit history, flags,
+/// flattened estimator state) and one `S` record per site aggregate
+/// (site-level statistics mode).
 
 /// Writes `collection` to `out`.
 Status SaveCollection(const Collection& collection, std::ostream& out);
@@ -43,6 +51,17 @@ Status SaveAllUrls(const AllUrls& all_urls, std::ostream& out);
 
 /// Reads an AllUrls snapshot.
 StatusOr<AllUrls> LoadAllUrls(std::istream& in);
+
+/// Writes `module`'s learned state (estimator statistics, per-page
+/// visit history, rebalance outputs, probe RNG) to `out`. The paper's
+/// change-rate estimates are the incremental crawler's slowest-won
+/// asset — a restart that drops them recrawls near-blind for weeks.
+Status SaveUpdateModule(const UpdateModule& module, std::ostream& out);
+
+/// Restores a SaveUpdateModule snapshot into `module`, replacing its
+/// learned state. `module` must have been constructed with the same
+/// configuration; the estimator kind is validated against the header.
+Status LoadUpdateModule(std::istream& in, UpdateModule* module);
 
 /// Convenience file wrappers.
 Status SaveCollectionToFile(const Collection& collection,

@@ -2,6 +2,7 @@
 #define WEBEVO_CRAWLER_UPDATE_MODULE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
 
@@ -129,6 +130,15 @@ class UpdateModule {
 
   std::size_t tracked_pages() const { return pages_.size(); }
   const UpdateModuleConfig& config() const { return config_; }
+
+  /// Snapshot/restore of the module's *learned* state — estimator
+  /// statistics, per-page visit history, rebalance outputs, and the
+  /// probe RNG — implemented in crawler/snapshot.cc. Persisting this is
+  /// what lets a restarted incremental crawler keep its change-rate
+  /// knowledge instead of relearning it from scratch.
+  friend Status SaveUpdateModule(const UpdateModule& module,
+                                 std::ostream& out);
+  friend Status LoadUpdateModule(std::istream& in, UpdateModule* module);
   int64_t rebalance_count() const { return rebalance_count_; }
   /// Last solved Lagrange multiplier (0 before the first optimal
   /// rebalance); exposed for observability and tests.

@@ -81,4 +81,41 @@ void BayesianEstimator::Reset() {
   observations_ = 0;
 }
 
+std::vector<double> BayesianEstimator::SaveState() const {
+  std::vector<double> state;
+  state.reserve(2 + 3 * class_rates_.size());
+  state.push_back(static_cast<double>(observations_));
+  state.push_back(static_cast<double>(class_rates_.size()));
+  state.insert(state.end(), class_rates_.begin(), class_rates_.end());
+  state.insert(state.end(), prior_.begin(), prior_.end());
+  state.insert(state.end(), posterior_.begin(), posterior_.end());
+  return state;
+}
+
+Status BayesianEstimator::RestoreState(const std::vector<double>& state) {
+  if (state.size() < 2) {
+    return Status::InvalidArgument("EB estimator state truncated");
+  }
+  if (!ValidStoredCount(state[0])) {
+    return Status::InvalidArgument("EB observation count out of range");
+  }
+  if (!(state[1] >= 1.0 && state[1] <= 1e6)) {
+    return Status::InvalidArgument("EB class count out of range");
+  }
+  auto k = static_cast<std::size_t>(state[1]);
+  if (state.size() != 2 + 3 * k) {
+    return Status::InvalidArgument("EB estimator state size mismatch");
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (state[2 + c] <= 0.0) {
+      return Status::InvalidArgument("EB class rates must be positive");
+    }
+  }
+  observations_ = static_cast<int64_t>(state[0]);
+  class_rates_.assign(state.begin() + 2, state.begin() + 2 + k);
+  prior_.assign(state.begin() + 2 + k, state.begin() + 2 + 2 * k);
+  posterior_.assign(state.begin() + 2 + 2 * k, state.end());
+  return Status::Ok();
+}
+
 }  // namespace webevo::estimator

@@ -50,6 +50,10 @@ class BayesianEstimator final : public ChangeEstimator {
 
   std::string Name() const override { return "EB"; }
 
+  /// Layout: {observations, K, rates[K], prior[K], posterior[K]}.
+  std::vector<double> SaveState() const override;
+  Status RestoreState(const std::vector<double>& state) override;
+
  private:
   std::vector<double> class_rates_;
   std::vector<double> prior_;

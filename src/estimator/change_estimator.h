@@ -4,6 +4,9 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "util/status.h"
 
 namespace webevo::estimator {
 
@@ -48,6 +51,15 @@ class ChangeEstimator {
 
   /// Short name for tables ("naive", "EP", "EB", "ratio").
   virtual std::string Name() const = 0;
+
+  /// Flat numeric snapshot of the estimator's state, for durable
+  /// checkpoints (see crawler/snapshot.h). Integer counts are stored as
+  /// doubles — exact, since observation counts stay far below 2^53.
+  virtual std::vector<double> SaveState() const = 0;
+
+  /// Restores a SaveState() snapshot taken from an estimator of the
+  /// same concrete type; InvalidArgument if the vector does not match.
+  virtual Status RestoreState(const std::vector<double>& state) = 0;
 };
 
 /// Available estimator implementations.
@@ -58,6 +70,16 @@ enum class EstimatorKind {
   kRatio,      ///< bias-corrected -log((n-X+.5)/(n+.5))/mean-interval
   kLastModified,  ///< EL: quiet-tail MLE from Last-Modified headers
 };
+
+/// True when a SaveState double is a valid stored count: finite,
+/// non-negative, and exactly representable (<= 2^53). RestoreState
+/// implementations must check this before casting to an integer —
+/// snapshot integrity is only verified after the state is parsed, so
+/// corrupt values (negative, huge, NaN) reach these casts, and an
+/// out-of-range double-to-int conversion is undefined behaviour.
+inline bool ValidStoredCount(double v) {
+  return v >= 0.0 && v <= 9007199254740992.0;  // 2^53; rejects NaN too
+}
 
 /// Creates a fresh estimator of the given kind with default parameters.
 std::unique_ptr<ChangeEstimator> MakeEstimator(EstimatorKind kind);

@@ -48,6 +48,22 @@ class LastModifiedEstimator final : public ChangeEstimator {
   int64_t detections() const { return detections_; }
   double total_quiet_days() const { return quiet_days_; }
 
+  std::vector<double> SaveState() const override {
+    return {quiet_days_, static_cast<double>(visits_),
+            static_cast<double>(detections_)};
+  }
+
+  Status RestoreState(const std::vector<double>& state) override {
+    if (state.size() != 3 || !ValidStoredCount(state[1]) ||
+        !ValidStoredCount(state[2])) {
+      return Status::InvalidArgument("invalid EL estimator state");
+    }
+    quiet_days_ = state[0];
+    visits_ = static_cast<int64_t>(state[1]);
+    detections_ = static_cast<int64_t>(state[2]);
+    return Status::Ok();
+  }
+
  private:
   double quiet_days_ = 0.0;
   int64_t visits_ = 0;

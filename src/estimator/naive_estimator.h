@@ -43,6 +43,22 @@ class NaiveEstimator final : public ChangeEstimator {
 
   std::string Name() const override { return "naive"; }
 
+  std::vector<double> SaveState() const override {
+    return {monitored_days_, static_cast<double>(changes_),
+            static_cast<double>(observations_)};
+  }
+
+  Status RestoreState(const std::vector<double>& state) override {
+    if (state.size() != 3 || !ValidStoredCount(state[1]) ||
+        !ValidStoredCount(state[2])) {
+      return Status::InvalidArgument("invalid naive estimator state");
+    }
+    monitored_days_ = state[0];
+    changes_ = static_cast<int64_t>(state[1]);
+    observations_ = static_cast<int64_t>(state[2]);
+    return Status::Ok();
+  }
+
  private:
   double monitored_days_ = 0.0;
   int64_t changes_ = 0;

@@ -53,6 +53,22 @@ class PoissonCiEstimator final : public ChangeEstimator {
 
   std::string Name() const override { return "EP"; }
 
+  std::vector<double> SaveState() const override {
+    return {total_interval_, static_cast<double>(visits_),
+            static_cast<double>(detections_)};
+  }
+
+  Status RestoreState(const std::vector<double>& state) override {
+    if (state.size() != 3 || !ValidStoredCount(state[1]) ||
+        !ValidStoredCount(state[2])) {
+      return Status::InvalidArgument("invalid EP estimator state");
+    }
+    total_interval_ = state[0];
+    visits_ = static_cast<int64_t>(state[1]);
+    detections_ = static_cast<int64_t>(state[2]);
+    return Status::Ok();
+  }
+
  private:
   double total_interval_ = 0.0;
   int64_t visits_ = 0;

@@ -1,6 +1,7 @@
 #ifndef WEBEVO_UTIL_RANDOM_H_
 #define WEBEVO_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -83,6 +84,20 @@ class Rng {
   /// `stream` values are statistically independent of the parent and of
   /// each other.
   Rng Fork(uint64_t stream);
+
+  /// Raw 256-bit generator state, for checkpoint/restore. A state
+  /// captured here and fed back through SetState resumes the exact
+  /// output stream.
+  std::array<uint64_t, 4> State() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Restores a State() snapshot. The state must come from a seeded
+  /// generator (all-zero is degenerate for xoshiro and never produced
+  /// by the SplitMix64 seeding).
+  void SetState(const std::array<uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
  private:
   uint64_t s_[4];

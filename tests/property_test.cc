@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "crawler/coll_urls.h"
+#include "crawler/sharded_frontier.h"
 #include "freshness/analytic.h"
 #include "freshness/revisit_optimizer.h"
 #include "graph/link_graph.h"
@@ -98,6 +99,145 @@ TEST(CollUrlsModelTest, RandomOpsMatchReference) {
       }
     }
     ASSERT_EQ(queue.size(), reference.size());
+  }
+}
+
+// ---------------- ShardedFrontier vs a single CollUrls -----------------
+
+// The headline contract of the sharded frontier: at every shard count it
+// is *bit-identical* to one global CollUrls — same pop order, same pop
+// times (including the synthetic front-of-queue keys), same sizes —
+// because sequence numbers and the front offset are global and the
+// k-way merge uses the same (when, seq) order as the single heap.
+TEST(ShardedFrontierModelTest, RandomOpsMatchPlainCollUrls) {
+  for (int shards : {1, 3, 4, 8}) {
+    Rng rng(4242);  // same op stream for every shard count
+    crawler::CollUrls plain;
+    crawler::ShardedFrontier sharded(shards);
+    for (int op = 0; op < 20000; ++op) {
+      simweb::Url url{static_cast<uint32_t>(rng.NextBounded(13)),
+                      static_cast<uint32_t>(rng.NextBounded(9)), 0};
+      switch (rng.NextBounded(6)) {
+        case 0:
+        case 1: {  // schedule / reschedule
+          double when = std::floor(rng.NextDouble() * 40.0);
+          plain.Schedule(url, when);
+          sharded.Schedule(url, when);
+          break;
+        }
+        case 2: {  // front insert
+          plain.ScheduleFront(url);
+          sharded.ScheduleFront(url);
+          break;
+        }
+        case 3: {  // remove
+          Status a = plain.Remove(url);
+          Status b = sharded.Remove(url);
+          EXPECT_EQ(a.ok(), b.ok());
+          break;
+        }
+        case 4: {  // pop
+          auto a = plain.Pop();
+          auto b = sharded.Pop();
+          ASSERT_EQ(a.has_value(), b.has_value()) << "shards=" << shards;
+          if (a.has_value()) {
+            EXPECT_EQ(a->url, b->url) << "shards=" << shards;
+            EXPECT_EQ(a->when, b->when);  // bit-identical, front keys too
+          }
+          break;
+        }
+        case 5: {  // peek
+          auto a = plain.Peek();
+          auto b = sharded.Peek();
+          ASSERT_EQ(a.has_value(), b.has_value());
+          if (a.has_value()) {
+            EXPECT_EQ(a->url, b->url);
+            EXPECT_EQ(a->when, b->when);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(plain.size(), sharded.size());
+      ASSERT_EQ(plain.Contains(url), sharded.Contains(url));
+    }
+    // Drain completely: the full remaining pop sequences must agree.
+    while (true) {
+      auto a = plain.Pop();
+      auto b = sharded.Pop();
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (!a.has_value()) break;
+      EXPECT_EQ(a->url, b->url);
+      EXPECT_EQ(a->when, b->when);
+    }
+  }
+}
+
+// PlanSlots must reproduce the serial peek/pop slot loop exactly: same
+// slots, same assigned times, same final clock, and the same frontier
+// state afterwards (extracted-but-unplanned entries restored intact).
+TEST(ShardedFrontierModelTest, PlanSlotsMatchesTheSerialSlotLoop) {
+  Rng rng(99173);
+  for (int shards : {1, 4, 8}) {
+    for (int round = 0; round < 40; ++round) {
+      crawler::ShardedFrontier frontier(shards);
+      const int urls = 1 + static_cast<int>(rng.NextBounded(60));
+      for (int i = 0; i < urls; ++i) {
+        simweb::Url url{static_cast<uint32_t>(rng.NextBounded(11)),
+                        static_cast<uint32_t>(i), 0};
+        if (rng.NextBounded(8) == 0) {
+          frontier.ScheduleFront(url);
+        } else {
+          frontier.Schedule(url, rng.NextDouble() * 10.0);
+        }
+      }
+      crawler::ShardedFrontier reference = frontier;  // deep copy
+
+      const double start = rng.NextDouble() * 2.0;
+      const double horizon = start + rng.NextDouble() * 6.0;
+      const double step = 0.05 + rng.NextDouble() * 0.3;
+      ThreadPool threads(4);
+      auto plan = frontier.PlanSlots(start, horizon, step, &threads);
+
+      // Serial reference: the pre-ShardedFrontier plan loop.
+      std::vector<crawler::ScheduledUrl> want;
+      double t = start;
+      while (t < horizon) {
+        auto head = reference.Peek();
+        if (!head.has_value()) {
+          t = horizon;
+          break;
+        }
+        if (head->when > t) {
+          if (head->when >= horizon) {
+            t = horizon;
+            break;
+          }
+          t = head->when;
+          continue;
+        }
+        auto popped = reference.Pop();
+        want.push_back(crawler::ScheduledUrl{popped->url, t});
+        t += step;
+      }
+
+      EXPECT_EQ(plan.end_time, t);
+      ASSERT_EQ(plan.slots.size(), want.size())
+          << "shards=" << shards << " round=" << round;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(plan.slots[i].url, want[i].url);
+        EXPECT_EQ(plan.slots[i].when, want[i].when);
+      }
+      // Post-plan frontier state: both must drain identically.
+      ASSERT_EQ(frontier.size(), reference.size());
+      while (true) {
+        auto a = frontier.Pop();
+        auto b = reference.Pop();
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (!a.has_value()) break;
+        EXPECT_EQ(a->url, b->url);
+        EXPECT_EQ(a->when, b->when);
+      }
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "crawler/crawl_module_pool.h"
+#include "crawler/eval.h"
 #include "crawler/incremental_crawler.h"
 #include "crawler/periodic_crawler.h"
 #include "crawler/sharded_crawl_engine.h"
@@ -180,6 +181,86 @@ TEST(ShardedEngineTest, OutcomesComeBackInPlanOrder) {
   EXPECT_GE(engine.stats().fetch_latency_seconds.min(), 0.0);
 }
 
+// ------------------------------------------------------- per-shard retry lane
+
+TEST(ShardedEngineTest, RetryTimeIsCapturedAtTheAttemptNotBatchEnd) {
+  // One site, three planned fetches: t=0 succeeds, t=0.1 is rejected
+  // (within the 0.5-day delay), t=0.7 succeeds and pushes the site's
+  // NextAllowedTime to 1.2. The retry lane must report 0.5 for the
+  // rejected fetch — the polite time as of the attempt — not the
+  // batch-end 1.2, at every shard count.
+  for (int shards : {1, 4}) {
+    simweb::SimulatedWeb web(SmallWeb(51));
+    CrawlModuleConfig config;
+    config.per_site_delay_days = 0.5;
+    config.enforce_politeness = true;
+    ShardedCrawlEngine engine(&web, config, shards);
+    simweb::Url root = web.RootUrl(0);
+    std::vector<PlannedFetch> batch = {
+        {root, 0.0}, {root, 0.1}, {root, 0.7}};
+    std::vector<double> retry_at;
+    auto outcomes = engine.ExecuteBatch(batch, &retry_at);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].ok());
+    ASSERT_FALSE(outcomes[1].ok());
+    EXPECT_EQ(outcomes[1].status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_TRUE(outcomes[2].ok());
+    ASSERT_EQ(retry_at.size(), 3u);
+    EXPECT_DOUBLE_EQ(retry_at[1], 0.5) << "shards=" << shards;
+    EXPECT_DOUBLE_EQ(retry_at[2], 1.2);
+    EXPECT_DOUBLE_EQ(engine.pool().NextAllowedTime(root.site), 1.2);
+  }
+}
+
+// --------------------------------------------- sharded freshness measurement
+
+TEST(ShardedEngineTest, ShardedMeasureIsBitIdenticalToSerialMeasure) {
+  // Build a collection by fetching real pages, then let the web churn so
+  // the measurement sees fresh, stale and dead entries.
+  simweb::WebConfig wc = SmallWeb(61);
+  wc.uniform_lifespan_days = 40.0;
+  simweb::SimulatedWeb web(wc);
+  Collection collection(10000);
+  ShardedCrawlEngine engine(&web, {}, 1);
+  std::vector<PlannedFetch> batch;
+  for (uint32_t s = 0; s < web.num_sites(); ++s) {
+    for (uint32_t slot = 0; slot < web.site_size(s); ++slot) {
+      batch.push_back({simweb::Url{s, slot, 0}, 0.5});
+    }
+  }
+  auto outcomes = engine.ExecuteBatch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!outcomes[i].ok()) continue;
+    CollectionEntry entry;
+    entry.url = batch[i].url;
+    entry.page = outcomes[i]->page;
+    entry.version = outcomes[i]->version;
+    entry.checksum = outcomes[i]->checksum;
+    entry.crawled_at = 0.5;
+    ASSERT_TRUE(collection.Upsert(std::move(entry)).ok());
+  }
+  ASSERT_GT(collection.size(), 100u);
+
+  const double t = 30.0;  // well past many change/death events
+  CollectionQuality serial = MeasureCollection(web, collection, t);
+  EXPECT_GT(serial.size, 0u);
+  EXPECT_GT(serial.dead, 0u);  // churn exercised the dead path
+  EXPECT_GT(serial.fresh, 0u);
+  EXPECT_GT(serial.mean_stale_age_days, 0.0);
+  for (int shards : {2, 3, 8}) {
+    ThreadPool threads(shards);
+    CollectionQuality sharded =
+        MeasureCollectionSharded(web, collection, t, threads, shards);
+    // Bit-identical, doubles included: the canonical site-ordered
+    // reduction makes the split invisible to the floating-point sums.
+    EXPECT_EQ(sharded.freshness, serial.freshness) << "shards=" << shards;
+    EXPECT_EQ(sharded.mean_stale_age_days, serial.mean_stale_age_days);
+    EXPECT_EQ(sharded.size, serial.size);
+    EXPECT_EQ(sharded.fresh, serial.fresh);
+    EXPECT_EQ(sharded.dead, serial.dead);
+  }
+}
+
 // ------------------------------------------------------ engine determinism
 
 struct IncrementalFingerprint {
@@ -245,6 +326,30 @@ void ExpectIdentical(const IncrementalFingerprint& a,
   EXPECT_EQ(a.web_fetches, b.web_fetches);
   EXPECT_EQ(a.web_not_found, b.web_not_found);
   EXPECT_EQ(a.pages_created, b.pages_created);
+}
+
+TEST(ShardedEngineTest, PhaseTimingsCoverTheWholeBatchCycle) {
+  simweb::SimulatedWeb web(SmallWeb(71));
+  IncrementalCrawlerConfig config;
+  config.collection_capacity = 100;
+  config.crawl_rate_pages_per_day = 50.0;
+  config.crawl_parallelism = 4;
+  IncrementalCrawler crawler(&web, config);
+  ASSERT_TRUE(crawler.Bootstrap(0.0).ok());
+  ASSERT_TRUE(crawler.RunUntil(5.0).ok());
+  const ShardedCrawlEngine::Stats& stats = crawler.engine().stats();
+  // Plan, fetch and apply carry one sample per non-empty batch; the
+  // measure phase one per freshness sample.
+  EXPECT_EQ(stats.plan_seconds.count(),
+            static_cast<int64_t>(stats.batches));
+  EXPECT_EQ(stats.fetch_seconds.count(),
+            static_cast<int64_t>(stats.batches));
+  EXPECT_EQ(stats.apply_seconds.count(),
+            static_cast<int64_t>(stats.batches));
+  EXPECT_GT(stats.fetch_seconds.count(), 0);
+  EXPECT_GT(stats.measure_seconds.count(), 0);
+  EXPECT_GE(stats.plan_seconds.min(), 0.0);
+  EXPECT_GE(stats.measure_seconds.min(), 0.0);
 }
 
 TEST(ShardedEngineTest, IncrementalCrawlIsIdenticalAcrossShardCounts) {

@@ -119,6 +119,104 @@ TEST(SnapshotTest, FileRoundTrip) {
   EXPECT_FALSE(LoadCollectionFromFile("/nonexistent/nope.snap").ok());
 }
 
+// ------------------------------------------------ UpdateModule snapshots
+
+// Drives a module through a deterministic visit history with a few
+// detected changes, so estimators, probe flags, and the RNG all leave
+// their default state.
+UpdateModule MakeTrainedModule(const UpdateModuleConfig& config) {
+  UpdateModule module(config);
+  for (uint32_t i = 0; i < 12; ++i) {
+    Url url{i % 3, i, 0};
+    double t = 0.0;
+    module.OnCrawled(url, t, false, /*first_visit=*/true);
+    for (int visit = 1; visit <= 6; ++visit) {
+      t += 1.0 + 0.25 * static_cast<double>(i % 4);
+      bool changed = (visit + i) % 3 == 0;
+      module.OnCrawled(url, t, changed, false);
+    }
+    module.SetImportance(url, 0.1 * static_cast<double>(i));
+  }
+  module.Rebalance();
+  return module;
+}
+
+TEST(SnapshotTest, UpdateModuleRoundTrip) {
+  UpdateModuleConfig config;
+  UpdateModule original = MakeTrainedModule(config);
+  ASSERT_GT(original.tracked_pages(), 0u);
+  ASSERT_GT(original.multiplier(), 0.0);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveUpdateModule(original, buffer).ok());
+  UpdateModule restored(config);
+  ASSERT_TRUE(LoadUpdateModule(buffer, &restored).ok());
+
+  EXPECT_EQ(restored.tracked_pages(), original.tracked_pages());
+  EXPECT_EQ(restored.rebalance_count(), original.rebalance_count());
+  EXPECT_EQ(restored.multiplier(), original.multiplier());
+  for (uint32_t i = 0; i < 12; ++i) {
+    Url url{i % 3, i, 0};
+    EXPECT_EQ(restored.EstimatedRate(url), original.EstimatedRate(url))
+        << url.ToString();
+  }
+  // The restored module must *continue* exactly like the original —
+  // same schedules, same probe coin flips — which is the "no relearning
+  // after restart" property the snapshot exists for.
+  for (int visit = 0; visit < 20; ++visit) {
+    Url url{static_cast<uint32_t>(visit) % 3,
+            static_cast<uint32_t>(visit) % 12, 0};
+    double t = 10.0 + static_cast<double>(visit);
+    bool changed = visit % 4 == 0;
+    EXPECT_EQ(original.OnCrawled(url, t, changed, false),
+              restored.OnCrawled(url, t, changed, false))
+        << "visit " << visit;
+  }
+}
+
+TEST(SnapshotTest, UpdateModuleSiteLevelRoundTrip) {
+  UpdateModuleConfig config;
+  config.site_level_stats = true;
+  config.estimator_kind = estimator::EstimatorKind::kRatio;
+  UpdateModule original = MakeTrainedModule(config);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveUpdateModule(original, buffer).ok());
+  UpdateModule restored(config);
+  ASSERT_TRUE(LoadUpdateModule(buffer, &restored).ok());
+  for (uint32_t i = 0; i < 12; ++i) {
+    Url url{i % 3, i, 0};
+    EXPECT_EQ(restored.EstimatedRate(url), original.EstimatedRate(url));
+  }
+}
+
+TEST(SnapshotTest, UpdateModuleRejectsEstimatorKindMismatch) {
+  UpdateModuleConfig bayes;  // default kind: EB
+  UpdateModule original = MakeTrainedModule(bayes);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveUpdateModule(original, buffer).ok());
+
+  UpdateModuleConfig ratio = bayes;
+  ratio.estimator_kind = estimator::EstimatorKind::kRatio;
+  UpdateModule wrong_kind(ratio);
+  Status st = LoadUpdateModule(buffer, &wrong_kind);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, UpdateModuleDetectsCorruption) {
+  UpdateModuleConfig config;
+  UpdateModule original = MakeTrainedModule(config);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveUpdateModule(original, buffer).ok());
+  std::string payload = buffer.str();
+  std::size_t pos = payload.size() / 2;
+  payload[pos] = payload[pos] == '3' ? '4' : '3';
+  std::istringstream corrupted(payload);
+  UpdateModule restored(config);
+  EXPECT_FALSE(LoadUpdateModule(corrupted, &restored).ok());
+}
+
 TEST(SnapshotTest, DoublePrecisionPreserved) {
   Collection c(2);
   CollectionEntry e;
