@@ -53,6 +53,7 @@ struct RunResult {
   double plan_seconds = 0.0;
   double fetch_seconds = 0.0;
   double apply_seconds = 0.0;
+  double apply_barrier_seconds = 0.0;
   double measure_seconds = 0.0;
   // Determinism fingerprint: every field must match across shard counts
   // bit for bit.
@@ -61,6 +62,7 @@ struct RunResult {
   uint64_t dead_pages_removed = 0;
   uint64_t changes_detected = 0;
   uint64_t politeness_retries = 0;
+  uint64_t in_batch_retries = 0;
   uint64_t web_fetches = 0;
   uint64_t pages_created = 0;
 };
@@ -106,12 +108,14 @@ RunResult RunOnce(int shards, double scale, double days,
   r.plan_seconds = es.plan_seconds.sum();
   r.fetch_seconds = es.fetch_seconds.sum();
   r.apply_seconds = es.apply_seconds.sum();
+  r.apply_barrier_seconds = es.apply_barrier_seconds.sum();
   r.measure_seconds = es.measure_seconds.sum();
   r.quality = crawl.MeasureNow();
   r.pages_added = crawl.stats().pages_added;
   r.dead_pages_removed = crawl.stats().dead_pages_removed;
   r.changes_detected = crawl.stats().changes_detected;
   r.politeness_retries = crawl.stats().politeness_retries;
+  r.in_batch_retries = crawl.stats().in_batch_retries;
   r.web_fetches = web.fetch_count();
   r.pages_created = web.OracleTotalPagesCreated();
   return r;
@@ -127,6 +131,7 @@ bool SameSimulation(const RunResult& a, const RunResult& b) {
          a.dead_pages_removed == b.dead_pages_removed &&
          a.changes_detected == b.changes_detected &&
          a.politeness_retries == b.politeness_retries &&
+         a.in_batch_retries == b.in_batch_retries &&
          a.web_fetches == b.web_fetches &&
          a.pages_created == b.pages_created;
 }
@@ -197,17 +202,22 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(base.pages_created));
 
   if (phase_breakdown) {
-    // The Amdahl ledger: plan and measure were fully serial before the
-    // ShardedFrontier / sharded measurement; their totals (and their
-    // per-batch means) should fall as shards grow, while fetch stays
-    // the dominant, already-parallel phase.
+    // The Amdahl ledger: every phase is shard-parallel now — plan and
+    // measure since the ShardedFrontier / sharded measurement, apply
+    // since the sharded Collection/UpdateModule two-phase apply. The
+    // "barrier s" column is the apply phase's remaining serial
+    // fraction (slot-ordered cross-shard reduction); it should be the
+    // only part of apply that does not shrink with shards.
     std::printf("\nper-phase wall-clock totals (seconds over the run)\n");
     TablePrinter phases({"shards", "batches", "plan s", "fetch s",
-                         "apply s", "measure s", "plan+measure ms/batch"});
+                         "apply s", "barrier s", "measure s",
+                         "serial ms/batch"});
     for (const RunResult& r : results) {
       double per_batch_ms =
           r.batches > 0
-              ? 1e3 * (r.plan_seconds + r.measure_seconds) /
+              ? 1e3 *
+                    (r.plan_seconds + r.measure_seconds +
+                     r.apply_barrier_seconds) /
                     static_cast<double>(r.batches)
               : 0.0;
       phases.AddRow({std::to_string(r.shards),
@@ -215,6 +225,7 @@ int main(int argc, char** argv) {
                      TablePrinter::Fmt(r.plan_seconds),
                      TablePrinter::Fmt(r.fetch_seconds),
                      TablePrinter::Fmt(r.apply_seconds),
+                     TablePrinter::Fmt(r.apply_barrier_seconds),
                      TablePrinter::Fmt(r.measure_seconds),
                      TablePrinter::Fmt(per_batch_ms, 3)});
     }

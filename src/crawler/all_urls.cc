@@ -1,29 +1,42 @@
 #include "crawler/all_urls.h"
 
+#include <algorithm>
+
 namespace webevo::crawler {
 
+AllUrls::AllUrls(int num_shards)
+    : shards_(static_cast<std::size_t>(std::max(1, num_shards))) {}
+
 bool AllUrls::Add(const simweb::Url& url, double time) {
-  auto [it, inserted] = info_.try_emplace(url);
+  auto [it, inserted] = shards_[ShardOf(url.site)].try_emplace(url);
   if (inserted) it->second.first_seen = time;
   return inserted;
 }
 
 void AllUrls::NoteInLink(const simweb::Url& url, double time) {
-  auto [it, inserted] = info_.try_emplace(url);
+  auto [it, inserted] = shards_[ShardOf(url.site)].try_emplace(url);
   if (inserted) it->second.first_seen = time;
   ++it->second.in_links;
 }
 
 Status AllUrls::MarkDead(const simweb::Url& url) {
-  auto it = info_.find(url);
-  if (it == info_.end()) return Status::NotFound("unknown url");
+  auto& shard = shards_[ShardOf(url.site)];
+  auto it = shard.find(url);
+  if (it == shard.end()) return Status::NotFound("unknown url");
   it->second.dead = true;
   return Status::Ok();
 }
 
 const AllUrls::UrlInfo* AllUrls::Find(const simweb::Url& url) const {
-  auto it = info_.find(url);
-  return it == info_.end() ? nullptr : &it->second;
+  const auto& shard = shards_[ShardOf(url.site)];
+  auto it = shard.find(url);
+  return it == shard.end() ? nullptr : &it->second;
+}
+
+std::size_t AllUrls::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.size();
+  return total;
 }
 
 }  // namespace webevo::crawler

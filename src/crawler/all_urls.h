@@ -16,6 +16,14 @@ namespace webevo::crawler {
 /// footnote 2: "even if a page p does not exist in the Collection, the
 /// RankingModule can estimate PageRank of p based on how many pages in
 /// the Collection have a link to p".
+///
+/// Internally partitioned into `num_shards` stores, sites owned by
+/// shard `site % N` (the engine's ownership rule). Concurrent mutation
+/// is safe exactly when callers partition their work by `ShardOf` —
+/// the incremental crawler's parallel link-noting pass does — since
+/// every operation touches only the owning shard's map. The results
+/// are identical at every shard count; only the (unspecified) ForEach
+/// visit order differs.
 class AllUrls {
  public:
   struct UrlInfo {
@@ -23,6 +31,9 @@ class AllUrls {
     uint64_t in_links = 0;     ///< links seen pointing at it
     bool dead = false;         ///< a crawl of it returned NotFound
   };
+
+  /// Creates `num_shards` shard maps (>= 1; clamped).
+  explicit AllUrls(int num_shards = 1);
 
   /// Registers a URL discovered at `time`. Returns true if it was new.
   bool Add(const simweb::Url& url, double time);
@@ -37,20 +48,28 @@ class AllUrls {
   Status MarkDead(const simweb::Url& url);
 
   bool Contains(const simweb::Url& url) const {
-    return info_.count(url) > 0;
+    return shards_[ShardOf(url.site)].count(url) > 0;
   }
   const UrlInfo* Find(const simweb::Url& url) const;
 
-  std::size_t size() const { return info_.size(); }
+  std::size_t size() const;
 
-  /// Iterates (url, info) pairs in unspecified order.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::size_t ShardOf(uint32_t site) const { return site % shards_.size(); }
+
+  /// Iterates (url, info) pairs shard-major, in unspecified order
+  /// within each shard. Callers whose output depends on the visit
+  /// order must sort what they collect (the order varies with N).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [url, info] : info_) fn(url, info);
+    for (const auto& shard : shards_) {
+      for (const auto& [url, info] : shard) fn(url, info);
+    }
   }
 
  private:
-  std::unordered_map<simweb::Url, UrlInfo, simweb::UrlHash> info_;
+  std::vector<std::unordered_map<simweb::Url, UrlInfo, simweb::UrlHash>>
+      shards_;
 };
 
 }  // namespace webevo::crawler

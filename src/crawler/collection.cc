@@ -40,10 +40,16 @@ void Collection::ForEach(
   for (const auto& [url, entry] : entries_) fn(entry);
 }
 
+bool BetterEvictionVictim(const CollectionEntry& a,
+                          const CollectionEntry& b) {
+  if (a.importance != b.importance) return a.importance < b.importance;
+  return simweb::UrlIdentityLess{}(a.url, b.url);
+}
+
 const CollectionEntry* Collection::LowestImportance() const {
   const CollectionEntry* lowest = nullptr;
   for (const auto& [url, entry] : entries_) {
-    if (lowest == nullptr || entry.importance < lowest->importance) {
+    if (lowest == nullptr || BetterEvictionVictim(entry, *lowest)) {
       lowest = &entry;
     }
   }

@@ -31,6 +31,13 @@ struct CollectionEntry {
   std::vector<simweb::Url> links;
 };
 
+/// The one definition of "a is a better eviction victim than b":
+/// lower importance, ties broken by smaller URL identity. Shared by
+/// Collection and ShardedCollection so the victim is the same pure
+/// function of the stored entries at every shard count.
+bool BetterEvictionVictim(const CollectionEntry& a,
+                          const CollectionEntry& b);
+
 /// A bounded page store with in-place updates — the `Collection` box of
 /// Figure 12. The fixed capacity models the paper's fixed-size local
 /// collection (Section 5.2, Algorithm 5.1): inserting a new page into a
@@ -64,8 +71,9 @@ class Collection {
   /// Applies `fn` to every entry (unspecified order).
   void ForEach(const std::function<void(const CollectionEntry&)>& fn) const;
 
-  /// Entry with the lowest importance (nullptr if empty) — the default
-  /// victim of the refinement decision.
+  /// Entry with the lowest importance, ties broken by smallest URL
+  /// identity (nullptr if empty) — the default victim of the refinement
+  /// decision, deterministic regardless of hash-map layout.
   const CollectionEntry* LowestImportance() const;
 
   void Clear() { entries_.clear(); }

@@ -43,8 +43,12 @@ void MeasureSite(simweb::SimulatedWeb& web,
   }
 }
 
+// Works for Collection and ShardedCollection alike: only size() and an
+// (order-insensitive) ForEach are needed, since entries are re-bucketed
+// by site before any order-dependent accumulation happens.
+template <typename CollectionT>
 CollectionQuality MeasureImpl(simweb::SimulatedWeb& web,
-                              const Collection& collection, double t,
+                              const CollectionT& collection, double t,
                               ThreadPool* threads, int num_shards) {
   CollectionQuality q;
   q.size = collection.size();
@@ -111,10 +115,22 @@ CollectionQuality MeasureCollection(simweb::SimulatedWeb& web,
   return MeasureImpl(web, collection, t, nullptr, 1);
 }
 
+CollectionQuality MeasureCollection(simweb::SimulatedWeb& web,
+                                    const ShardedCollection& collection,
+                                    double t) {
+  return MeasureImpl(web, collection, t, nullptr, 1);
+}
+
 CollectionQuality MeasureCollectionSharded(simweb::SimulatedWeb& web,
                                            const Collection& collection,
                                            double t, ThreadPool& threads,
                                            int num_shards) {
+  return MeasureImpl(web, collection, t, &threads, num_shards);
+}
+
+CollectionQuality MeasureCollectionSharded(
+    simweb::SimulatedWeb& web, const ShardedCollection& collection,
+    double t, ThreadPool& threads, int num_shards) {
   return MeasureImpl(web, collection, t, &threads, num_shards);
 }
 

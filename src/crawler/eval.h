@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "crawler/collection.h"
+#include "crawler/sharded_collection.h"
 #include "simweb/simulated_web.h"
 #include "util/thread_pool.h"
 
@@ -35,6 +36,9 @@ struct CollectionQuality {
 /// are bit-identical to each other at every shard count.
 CollectionQuality MeasureCollection(simweb::SimulatedWeb& web,
                                     const Collection& collection, double t);
+CollectionQuality MeasureCollection(simweb::SimulatedWeb& web,
+                                    const ShardedCollection& collection,
+                                    double t);
 
 /// MeasureCollection with the per-site oracle walks fanned out over
 /// `threads`, sites partitioned site % num_shards (the engine's shard
@@ -45,6 +49,9 @@ CollectionQuality MeasureCollectionSharded(simweb::SimulatedWeb& web,
                                            const Collection& collection,
                                            double t, ThreadPool& threads,
                                            int num_shards);
+CollectionQuality MeasureCollectionSharded(
+    simweb::SimulatedWeb& web, const ShardedCollection& collection,
+    double t, ThreadPool& threads, int num_shards);
 
 }  // namespace webevo::crawler
 

@@ -11,12 +11,17 @@ IncrementalCrawler::IncrementalCrawler(
     simweb::SimulatedWeb* web, const IncrementalCrawlerConfig& config)
     : web_(web),
       config_(config),
-      collection_(config.collection_capacity),
+      collection_(config.collection_capacity, config.crawl_parallelism),
+      all_urls_(config.crawl_parallelism),
       coll_urls_(config.crawl_parallelism),
       engine_(web, config.crawl, config.crawl_parallelism),
       update_module_([&] {
         UpdateModuleConfig u = config.update;
         u.crawl_budget_pages_per_day = config.crawl_rate_pages_per_day;
+        // The module's state shards must match the engine's ownership
+        // mapping: the apply shard pass calls OnCrawled/Forget
+        // concurrently, one worker per engine shard.
+        u.num_shards = config.crawl_parallelism;
         return u;
       }()),
       ranking_module_(config.ranking) {}
@@ -42,19 +47,20 @@ Status IncrementalCrawler::Bootstrap(double t) {
 }
 
 void IncrementalCrawler::IngestLinks(
-    const std::vector<simweb::Url>& links) {
+    const std::vector<simweb::Url>& links, double at) {
   for (const simweb::Url& link : links) {
-    all_urls_.NoteInLink(link, now_);
-    // Greedy fill: while the collection is below capacity, admit
-    // discoveries directly instead of waiting for a refinement pass.
-    // pending_admissions_ tracks admitted-but-uncrawled URLs exactly,
-    // so admissions never overshoot capacity.
+    // Discovery notes (AllUrls first_seen / in-link counts) were
+    // already applied by the barrier's parallel noting pass; what
+    // remains is the greedy fill: while the collection is below
+    // capacity, admit discoveries directly instead of waiting for a
+    // refinement pass. pending_admissions_ tracks admitted-but-
+    // uncrawled URLs exactly, so admissions never overshoot capacity.
     if (collection_.Contains(link) || coll_urls_.Contains(link)) continue;
     const AllUrls::UrlInfo* info = all_urls_.Find(link);
     if (info != nullptr && info->dead) continue;
     if (collection_.size() + pending_admissions_.size() <
         collection_.capacity()) {
-      coll_urls_.Schedule(link, now_);
+      coll_urls_.Schedule(link, at);
       pending_admissions_.insert(link);
     }
   }
@@ -91,88 +97,250 @@ void IncrementalCrawler::RunRefinement() {
   });
 }
 
-void IncrementalCrawler::ApplyOutcome(const simweb::Url& url,
-                                      StatusOr<simweb::FetchResult> result,
-                                      double retry_at) {
-  ++stats_.crawls;
-  pending_admissions_.erase(url);
-  if (!result.ok()) {
-    if (result.status().code() == StatusCode::kFailedPrecondition) {
-      // Politeness rejection: the page is fine, the site just needs a
-      // breather. The per-shard retry lane captured the earliest
-      // polite time at the attempt itself, so the retry is not pushed
-      // out by later same-site fetches in the same batch (which the
-      // old batch-end NextAllowedTime reschedule did).
-      ++stats_.politeness_retries;
-      coll_urls_.Schedule(url, retry_at);
-      if (!collection_.Contains(url)) pending_admissions_.insert(url);
-      return;
-    }
-    // Dead page: purge it everywhere (Section 5.1 goal 2: pages are
-    // constantly removed; the collection must track that).
-    Status mark = all_urls_.MarkDead(url);
-    (void)mark;
-    if (collection_.Remove(url).ok()) {
-      update_module_.Forget(url);
-      ++stats_.dead_pages_removed;
-    }
-    return;
-  }
+void IncrementalCrawler::EvictLowestImportance() {
+  // Refinement normally frees space before a new page is crawled;
+  // under races (e.g. a victim died first) evict the least important
+  // entry, per Algorithm 5.1 steps [7]-[8].
+  const CollectionEntry* victim = collection_.LowestImportance();
+  if (victim == nullptr) return;
+  simweb::Url victim_url = victim->url;
+  Status unqueue = coll_urls_.Remove(victim_url);
+  (void)unqueue;
+  update_module_.Forget(victim_url);
+  Status removed = collection_.Remove(victim_url);
+  (void)removed;
+  ++stats_.pages_evicted;
+}
 
-  CollectionEntry* existing = collection_.FindMutable(url);
-  bool changed = false;
-  bool first_visit = existing == nullptr;
-  if (existing != nullptr) {
-    changed = !(existing->checksum == result->checksum);
-    if (changed) ++stats_.changes_detected;
-    existing->version = result->version;
-    existing->checksum = result->checksum;
-    existing->crawled_at = now_;
-    existing->links = result->links;
-    ++stats_.in_place_updates;
-  } else {
-    if (collection_.full()) {
-      // Refinement normally frees space before a new page is crawled;
-      // under races (e.g. a victim died first) evict the least
-      // important entry, per Algorithm 5.1 steps [7]-[8].
-      const CollectionEntry* victim = collection_.LowestImportance();
-      if (victim != nullptr) {
-        simweb::Url victim_url = victim->url;
-        Status unqueue = coll_urls_.Remove(victim_url);
-        (void)unqueue;
-        update_module_.Forget(victim_url);
-        Status removed = collection_.Remove(victim_url);
-        (void)removed;
-        ++stats_.pages_evicted;
-      }
+void IncrementalCrawler::InsertFetchedPage(const ApplyEffect& e) {
+  if (collection_.size() >= collection_.capacity()) {
+    EvictLowestImportance();
+  }
+  CollectionEntry entry;
+  entry.url = e.url;
+  entry.page = e.page;
+  entry.version = e.version;
+  entry.checksum = e.checksum;
+  entry.crawled_at = e.at;
+  entry.links = e.links;
+  if (collection_.Upsert(std::move(entry)).ok()) {
+    ++stats_.pages_added;
+    const AllUrls::UrlInfo* info = all_urls_.Find(e.url);
+    if (reached_capacity_once_ && info != nullptr &&
+        info->first_seen >= steady_since_) {
+      stats_.new_page_latency_days.Add(e.at - info->first_seen);
     }
-    CollectionEntry entry;
-    entry.url = url;
-    entry.page = result->page;
-    entry.version = result->version;
-    entry.checksum = result->checksum;
-    entry.crawled_at = now_;
-    entry.links = result->links;
-    Status st = collection_.Upsert(std::move(entry));
-    if (st.ok()) {
-      ++stats_.pages_added;
-      const AllUrls::UrlInfo* info = all_urls_.Find(url);
-      if (reached_capacity_once_ && info != nullptr &&
-          info->first_seen >= steady_since_) {
-        stats_.new_page_latency_days.Add(now_ - info->first_seen);
-      }
-      if (!reached_capacity_once_ && collection_.full()) {
-        reached_capacity_once_ = true;
-        steady_since_ = now_;
-      }
+    if (!reached_capacity_once_ && collection_.full()) {
+      reached_capacity_once_ = true;
+      steady_since_ = e.at;
     }
   }
+}
 
-  double next = update_module_.OnCrawled(
-      url, now_, changed, first_visit,
-      /*quiet_days=*/now_ - result->last_modified);
-  coll_urls_.Schedule(url, next);
-  IngestLinks(result->links);
+void IncrementalCrawler::ApplyBatch(
+    const std::vector<PlannedFetch>& plan,
+    std::vector<StatusOr<simweb::FetchResult>>& outcomes,
+    const std::vector<double>& retry_at, double batch_end,
+    std::vector<PendingRetry>& retries) {
+  if (plan.empty()) return;
+  auto apply_begin = std::chrono::steady_clock::now();
+
+  // ---- Phase 1: shard-local pass, parallel. Each worker walks its
+  // own shard's outcomes in slot order and mutates only the state its
+  // sites own: in-place collection updates, dead-page purges, the
+  // UpdateModule's visit records (global budget quantities are frozen
+  // between barriers). Every cross-shard effect — including settling
+  // the slot's pending admission, which must stay adjacent to the
+  // slot's own re-admission for exact capacity accounting — is queued
+  // for the barrier.
+  const auto shards = static_cast<std::size_t>(collection_.num_shards());
+  std::vector<std::vector<std::size_t>> by_shard(shards);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    by_shard[collection_.ShardOf(plan[i].url.site)].push_back(i);
+  }
+  std::vector<ShardApplyResult> deltas(shards);
+  auto shard_pass = [&](std::size_t s) {
+    auto begin = std::chrono::steady_clock::now();
+    ShardApplyResult& out = deltas[s];
+    out.effects.reserve(by_shard[s].size());
+    for (std::size_t i : by_shard[s]) {
+      const simweb::Url& url = plan[i].url;
+      const double at = plan[i].at;
+      ++out.crawls;
+      ApplyEffect effect;
+      effect.slot = i;
+      effect.url = url;
+      effect.at = at;
+      StatusOr<simweb::FetchResult>& result = outcomes[i];
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kFailedPrecondition) {
+          // Politeness rejection: the page is fine, the site just
+          // needs a breather. The per-shard retry lane captured the
+          // earliest polite time at the attempt itself; the barrier
+          // decides whether that window reopens inside this batch.
+          ++out.politeness_retries;
+          effect.kind = ApplyEffect::Kind::kRetry;
+          effect.when = retry_at[i];
+        } else {
+          // Dead page (Section 5.1 goal 2: pages are constantly
+          // removed; the collection must track that). The shard purges
+          // the state it owns right here; the AllUrls tombstone is
+          // shared read state and waits for the barrier.
+          if (collection_.shard(s).Remove(url).ok()) {
+            update_module_.Forget(url);
+            ++out.dead_pages_removed;
+          }
+          effect.kind = ApplyEffect::Kind::kDead;
+        }
+        out.effects.push_back(std::move(effect));
+        continue;
+      }
+
+      CollectionEntry* existing = collection_.shard(s).FindMutable(url);
+      bool changed = false;
+      const bool first_visit = existing == nullptr;
+      if (existing != nullptr) {
+        changed = !(existing->checksum == result->checksum);
+        if (changed) ++out.changes_detected;
+        existing->version = result->version;
+        existing->checksum = result->checksum;
+        existing->crawled_at = at;
+        existing->links = result->links;
+        ++out.in_place_updates;
+        effect.kind = ApplyEffect::Kind::kReschedule;
+      } else {
+        // New page: the insert is gated on the global capacity, so it
+        // belongs to the barrier; the visit record does not.
+        effect.kind = ApplyEffect::Kind::kInsert;
+      }
+      effect.page = result->page;
+      effect.version = result->version;
+      effect.checksum = result->checksum;
+      effect.when = update_module_.OnCrawled(
+          url, at, changed, first_visit,
+          /*quiet_days=*/at - result->last_modified);
+      effect.links = std::move(result->links);
+      out.effects.push_back(std::move(effect));
+    }
+    out.seconds = SecondsSince(begin);
+  };
+  std::vector<std::size_t> busy;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (!by_shard[s].empty()) busy.push_back(s);
+  }
+  engine_.threads().RunForIndices(busy, shard_pass);
+
+  // Reassemble the global slot order — each slot yields exactly one
+  // effect, so this is a simple scatter — and bucket the discovered
+  // links by the *target* site's AllUrls shard, still in (slot,
+  // position) order within each bucket.
+  std::vector<ApplyEffect*> ordered(plan.size(), nullptr);
+  for (ShardApplyResult& delta : deltas) {
+    for (ApplyEffect& e : delta.effects) ordered[e.slot] = &e;
+  }
+  struct LinkNote {
+    const simweb::Url* url;
+    double at;
+  };
+  std::vector<std::vector<LinkNote>> notes(
+      static_cast<std::size_t>(all_urls_.num_shards()));
+  for (ApplyEffect* e : ordered) {
+    for (const simweb::Url& link : e->links) {
+      notes[all_urls_.ShardOf(link.site)].push_back(
+          LinkNote{&link, e->at});
+    }
+  }
+
+  // ---- Phase 2a: parallel link noting. Each AllUrls shard owner
+  // walks only its own bucket — the same first_seen / in-link state
+  // the serial walk produced, because per-URL outcomes depend only on
+  // the (slot, position) order of that URL's own mentions, which the
+  // buckets preserve.
+  std::vector<std::size_t> note_targets;
+  for (std::size_t t = 0; t < notes.size(); ++t) {
+    if (!notes[t].empty()) note_targets.push_back(t);
+  }
+  engine_.threads().RunForIndices(note_targets, [&](std::size_t target) {
+    for (const LinkNote& note : notes[target]) {
+      all_urls_.NoteInLink(*note.url, note.at);
+    }
+  });
+
+  // ---- Phase 2b: serial barrier reduction, in slot order — exactly
+  // the cross-shard reads/writes the serial apply used to interleave:
+  // frontier scheduling (global sequence numbers), capacity-gated
+  // inserts and evictions, greedy-fill admissions, dead tombstones.
+  // The shard pass removed dead pages behind the wrapper's back, so
+  // re-sync the cached global size first.
+  auto barrier_begin = std::chrono::steady_clock::now();
+  collection_.ReconcileSize();
+  for (ApplyEffect* pe : ordered) {
+    ApplyEffect& e = *pe;
+    now_ = e.at;
+    // Settle this slot's in-flight admission exactly where the serial
+    // apply did — at its own slot, before any re-admission below.
+    pending_admissions_.erase(e.url);
+    switch (e.kind) {
+      case ApplyEffect::Kind::kRetry: {
+        if (!collection_.Contains(e.url)) {
+          pending_admissions_.insert(e.url);
+        }
+        const double polite = engine_.pool().NextAllowedTime(e.url.site);
+        if (polite < batch_end) {
+          // The polite window reopens inside this batch: retire the
+          // retry now (RunUntil's retry rounds) instead of deferring a
+          // whole batch.
+          retries.push_back(PendingRetry{e.url});
+        } else {
+          coll_urls_.Schedule(e.url, e.when);
+        }
+        break;
+      }
+      case ApplyEffect::Kind::kDead: {
+        Status mark = all_urls_.MarkDead(e.url);
+        (void)mark;
+        break;
+      }
+      case ApplyEffect::Kind::kReschedule: {
+        if (!collection_.Contains(e.url)) {
+          // The in-place update was evicted by an earlier slot's
+          // insert within this same barrier: re-insert the fresh copy
+          // (the serial walk's "victim died first" re-insert) rather
+          // than discarding the fetch.
+          InsertFetchedPage(e);
+        }
+        coll_urls_.Schedule(e.url, e.when);
+        IngestLinks(e.links, e.at);
+        break;
+      }
+      case ApplyEffect::Kind::kInsert: {
+        InsertFetchedPage(e);
+        coll_urls_.Schedule(e.url, e.when);
+        IngestLinks(e.links, e.at);
+        break;
+      }
+    }
+  }
+  const double barrier_seconds = SecondsSince(barrier_begin);
+
+  // Counter deltas merge in shard index order; shard wall-clocks are
+  // merged the same way (values are wall-clock, the structure is not).
+  for (const ShardApplyResult& delta : deltas) {
+    stats_.crawls += delta.crawls;
+    stats_.in_place_updates += delta.in_place_updates;
+    stats_.changes_detected += delta.changes_detected;
+    stats_.politeness_retries += delta.politeness_retries;
+    stats_.dead_pages_removed += delta.dead_pages_removed;
+  }
+  for (std::size_t s : busy) {
+    engine_.RecordApplyShardSeconds(deltas[s].seconds);
+  }
+  engine_.RecordApplyBarrierSeconds(barrier_seconds);
+  engine_.RecordApplySeconds(SecondsSince(apply_begin));
+
+  // Advance the UpdateModule's frozen page count on the serial path —
+  // once per batch, never mid-pass.
+  update_module_.RefreshSchedulingPageCount();
 }
 
 Status IncrementalCrawler::RunUntil(double until) {
@@ -224,12 +392,49 @@ Status IncrementalCrawler::RunUntil(double until) {
     std::vector<StatusOr<simweb::FetchResult>> outcomes =
         engine_.ExecuteBatch(plan, &retry_at);
 
-    auto apply_begin = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < plan.size(); ++i) {
-      now_ = plan[i].at;
-      ApplyOutcome(plan[i].url, std::move(outcomes[i]), retry_at[i]);
+    std::vector<PendingRetry> retries;
+    ApplyBatch(plan, outcomes, retry_at, slot_plan.end_time, retries);
+
+    // In-batch retry rounds: rejected fetches whose polite window
+    // reopens before the batch window closes are refetched now,
+    // reusing their wasted slots, instead of waiting a whole batch.
+    // One retry per site per round (a site's clock only advances one
+    // polite step at a time); every round either drains a retry or
+    // pushes its site past the window, so the loop terminates.
+    while (!retries.empty()) {
+      auto round_begin = std::chrono::steady_clock::now();
+      std::vector<PlannedFetch> round;
+      std::vector<PendingRetry> waiting;
+      std::unordered_set<uint32_t> round_sites;
+      for (PendingRetry& r : retries) {
+        const double polite = engine_.pool().NextAllowedTime(r.url.site);
+        if (polite >= slot_plan.end_time) {
+          // The window closed while earlier retries drained: hand the
+          // URL to the next batch at its earliest polite time.
+          coll_urls_.Schedule(r.url, polite);
+          continue;
+        }
+        if (!round_sites.insert(r.url.site).second) {
+          waiting.push_back(std::move(r));
+          continue;
+        }
+        round.push_back(PlannedFetch{r.url, polite});
+      }
+      if (round.empty()) break;
+      // Each retry round is a (small) engine batch of its own; record
+      // a plan sample for it so the per-phase sample counts stay one
+      // per engine batch.
+      engine_.RecordPlanSeconds(SecondsSince(round_begin));
+      stats_.in_batch_retries += round.size();
+      std::vector<double> round_retry_at;
+      std::vector<StatusOr<simweb::FetchResult>> round_outcomes =
+          engine_.ExecuteBatch(round, &round_retry_at);
+      std::vector<PendingRetry> rejected;
+      ApplyBatch(round, round_outcomes, round_retry_at,
+                 slot_plan.end_time, rejected);
+      retries = std::move(waiting);
+      for (PendingRetry& r : rejected) retries.push_back(std::move(r));
     }
-    if (!plan.empty()) engine_.RecordApplySeconds(SecondsSince(apply_begin));
     now_ = slot_plan.end_time;
   }
   return Status::Ok();

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 #include "crawler/all_urls.h"
-#include "crawler/collection.h"
 #include "crawler/crawl_module.h"
 #include "crawler/eval.h"
 #include "crawler/ranking_module.h"
+#include "crawler/sharded_collection.h"
 #include "crawler/sharded_crawl_engine.h"
 #include "crawler/sharded_frontier.h"
 #include "crawler/update_module.h"
@@ -40,7 +41,8 @@ struct IncrementalCrawlerConfig {
 
   /// Number of ShardedCrawlEngine shards (parallel CrawlModules).
   /// Results are bit-identical for any value; > 1 spreads each batch's
-  /// fetches across that many worker threads.
+  /// fetches — and now each batch's apply — across that many worker
+  /// threads.
   int crawl_parallelism = 1;
 
   UpdateModuleConfig update;
@@ -56,19 +58,28 @@ struct IncrementalCrawlerConfig {
 /// housekeeping event (refine / rebalance / freshness sample):
 ///   1. *plan*: pop due URLs off the ShardedFrontier, one per crawl
 ///      slot (one slot every 1/crawl_rate days) — shard-local heaps
-///      extract candidates in parallel, a deterministic k-way merge
-///      assigns the slots;
+///      extract candidates in parallel, a deterministic tournament
+///      merge assigns the slots;
 ///   2. *fetch*: the ShardedCrawlEngine executes the batch, shards in
 ///      parallel;
-///   3. *apply*: walk outcomes in slot order —
-///        - success on a collection page: in-place update, feed the
-///          checksum comparison to the UpdateModule, reschedule;
-///        - success on a new page: insert (evicting the least-important
-///          entry only if refinement hasn't already made room);
-///        - NotFound: drop the page everywhere and mark the URL dead;
-///        - politeness rejection: reschedule at the earliest polite
-///          time;
-///      extracted links feed AllUrls either way.
+///   3. *apply*, two phases:
+///        - *shard pass* (parallel): each shard walks its own outcomes
+///          in slot order, mutating only the state its sites own —
+///          in-place collection updates, checksum comparisons, dead-
+///          page purges, UpdateModule visit records (whose budget
+///          globals are frozen between barriers) — and queues every
+///          cross-shard effect;
+///        - *barrier* (serial): link discoveries are noted into the
+///          sharded AllUrls in parallel by the *target* site's owner,
+///          then the queued effects apply in slot order — new-page
+///          inserts against the global capacity (evicting the globally
+///          least-important entry when full), link admissions while
+///          below capacity, frontier reschedules, and politeness
+///          retries;
+///   4. politeness rejections whose polite window reopens before the
+///      batch window closes are refetched *within the batch* (reusing
+///      their wasted slots, one retry per site per round); the rest
+///      reschedule at the earliest polite time for the next batch.
 /// URLs crawled or discovered within a batch become eligible for
 /// (re)scheduling at the next batch — the batch is the engine's unit
 /// of feedback, which is what keeps N-shard runs identical to serial
@@ -91,7 +102,7 @@ class IncrementalCrawler {
   Status RunUntil(double until);
 
   double now() const { return now_; }
-  const Collection& collection() const { return collection_; }
+  const ShardedCollection& collection() const { return collection_; }
   const AllUrls& all_urls() const { return all_urls_; }
   const ShardedFrontier& coll_urls() const { return coll_urls_; }
   /// Module 0 — the only module at crawl_parallelism == 1; per-shard
@@ -117,6 +128,9 @@ class IncrementalCrawler {
     uint64_t dead_pages_removed = 0;
     uint64_t changes_detected = 0;
     uint64_t politeness_retries = 0;  ///< fetches deferred, not failed
+    /// Rejected fetches refetched within their own batch window —
+    /// politeness retries retired without losing a batch of latency.
+    uint64_t in_batch_retries = 0;
     /// Days from first discovery of a URL to its entering the
     /// collection — the "bring in new pages in a timely manner" metric.
     /// Only counted for URLs *discovered after* the collection first
@@ -129,22 +143,76 @@ class IncrementalCrawler {
   const Stats& stats() const { return stats_; }
 
  private:
+  /// One cross-shard effect queued by the apply shard pass, applied at
+  /// the serial barrier in ascending `slot` order.
+  struct ApplyEffect {
+    enum class Kind {
+      kRetry,       ///< politeness rejection: reschedule or retry
+      kDead,        ///< NotFound: mark the URL dead in AllUrls
+      kReschedule,  ///< success on a collection page: schedule + links
+      kInsert,      ///< success on a new page: insert + schedule + links
+    };
+    Kind kind = Kind::kReschedule;
+    std::size_t slot = 0;  ///< index into the batch plan
+    simweb::Url url;
+    double at = 0.0;    ///< the slot's simulation time
+    double when = 0.0;  ///< retry time (kRetry) or next visit
+    // Stored-copy identity fields, carried by *every* success so a
+    // kReschedule whose entry gets evicted mid-barrier can still be
+    // re-inserted instead of losing the fetch.
+    simweb::PageId page = simweb::kInvalidPage;
+    uint64_t version = 0;
+    Checksum128 checksum;
+    /// Links extracted from the fetched body (successes only).
+    std::vector<simweb::Url> links;
+  };
+
+  /// Everything one shard's apply pass produces: counter deltas plus
+  /// the effect queue, both in the shard's slot order.
+  struct ShardApplyResult {
+    uint64_t crawls = 0;
+    uint64_t in_place_updates = 0;
+    uint64_t changes_detected = 0;
+    uint64_t politeness_retries = 0;
+    uint64_t dead_pages_removed = 0;
+    std::vector<ApplyEffect> effects;
+    double seconds = 0.0;  ///< wall-clock of this shard's pass
+  };
+
+  /// A politeness rejection eligible for refetching, in slot order.
+  struct PendingRetry {
+    simweb::Url url;
+  };
+
+  /// Applies one executed batch through the two-phase apply.
+  /// Politeness rejections whose polite window reopens before
+  /// `batch_end` are appended to `retries` (for the in-batch retry
+  /// rounds) instead of being rescheduled onto the frontier.
+  void ApplyBatch(const std::vector<PlannedFetch>& plan,
+                  std::vector<StatusOr<simweb::FetchResult>>& outcomes,
+                  const std::vector<double>& retry_at, double batch_end,
+                  std::vector<PendingRetry>& retries);
+
   /// Runs one refinement pass and executes the replacements.
   void RunRefinement();
 
-  /// Handles the links extracted from a crawled page.
-  void IngestLinks(const std::vector<simweb::Url>& links);
+  /// Greedy-fill admission for the links of one fetched page at time
+  /// `at` (their AllUrls discovery notes have already been applied by
+  /// the barrier's parallel noting pass).
+  void IngestLinks(const std::vector<simweb::Url>& links, double at);
 
-  /// Applies one fetch outcome at now_ (the serial step 3 above).
-  /// `retry_at` is the site's earliest polite fetch time captured at
-  /// the attempt inside the owning shard — the reschedule target for
-  /// politeness rejections.
-  void ApplyOutcome(const simweb::Url& url,
-                    StatusOr<simweb::FetchResult> result, double retry_at);
+  /// Evicts the globally least-important entry (Algorithm 5.1 steps
+  /// [7]-[8]) to make room for an insert; serial-barrier only.
+  void EvictLowestImportance();
+
+  /// Inserts the fetched copy carried by a success effect into the
+  /// collection (evicting if full) with the usual admission
+  /// accounting; serial-barrier only.
+  void InsertFetchedPage(const ApplyEffect& e);
 
   simweb::SimulatedWeb* web_;  // not owned
   IncrementalCrawlerConfig config_;
-  Collection collection_;
+  ShardedCollection collection_;
   AllUrls all_urls_;
   ShardedFrontier coll_urls_;
   ShardedCrawlEngine engine_;
@@ -159,7 +227,11 @@ class IncrementalCrawler {
   double next_rebalance_ = 0.0;
   double next_sample_ = 0.0;
   /// URLs admitted toward collection slots but not yet crawled; exact
-  /// accounting so greedy fill never overshoots capacity.
+  /// accounting so greedy fill never overshoots capacity. Touched only
+  /// on serial paths: each slot's pending entry is settled by its own
+  /// barrier effect, at its own slot, exactly like the serial apply —
+  /// never by the parallel shard pass, which would open a capacity
+  /// window between the erase and the slot's re-admission.
   std::unordered_set<simweb::Url, simweb::UrlHash> pending_admissions_;
   bool reached_capacity_once_ = false;
   double steady_since_ = 0.0;

@@ -13,7 +13,9 @@ PeriodicCrawler::PeriodicCrawler(simweb::SimulatedWeb* web,
       config_(config),
       store_(config.collection_capacity),
       inplace_(config.collection_capacity),
-      engine_(web, config.crawl, config.crawl_parallelism) {}
+      engine_(web, config.crawl, config.crawl_parallelism) {
+  seen_shards_.resize(static_cast<std::size_t>(engine_.num_shards()));
+}
 
 const Collection& PeriodicCrawler::current_collection() const {
   return config_.shadowing ? store_.current() : inplace_;
@@ -21,6 +23,16 @@ const Collection& PeriodicCrawler::current_collection() const {
 
 Collection& PeriodicCrawler::target_collection() {
   return config_.shadowing ? store_.shadow() : inplace_;
+}
+
+std::size_t PeriodicCrawler::SeenCount() const {
+  std::size_t total = 0;
+  for (const auto& shard : seen_shards_) total += shard.size();
+  return total;
+}
+
+bool PeriodicCrawler::SeenInsert(const simweb::Url& url) {
+  return seen_shards_[url.site % seen_shards_.size()].insert(url).second;
 }
 
 Status PeriodicCrawler::Bootstrap(double t) {
@@ -43,11 +55,11 @@ void PeriodicCrawler::StartCycle(double t) {
   cycle_active_ = true;
   stored_this_cycle_ = 0;
   frontier_.clear();
-  seen_this_cycle_.clear();
+  for (auto& shard : seen_shards_) shard.clear();
   for (uint32_t s = 0; s < web_->num_sites(); ++s) {
     simweb::Url root = web_->RootUrl(s);
     frontier_.push_back(root);
-    seen_this_cycle_.insert(root);
+    SeenInsert(root);
   }
   if (!config_.shadowing) {
     // The paper's batch crawler updates *all pages in the collection*
@@ -55,7 +67,7 @@ void PeriodicCrawler::StartCycle(double t) {
     // frontier, so vanished pages are re-fetched, detected dead, and
     // purged (a shadowed cycle rebuilds from scratch instead).
     inplace_.ForEach([&](const CollectionEntry& entry) {
-      if (seen_this_cycle_.insert(entry.url).second) {
+      if (SeenInsert(entry.url)) {
         frontier_.push_back(entry.url);
       }
     });
@@ -72,8 +84,9 @@ void PeriodicCrawler::FinishCycle() {
   }
 }
 
-void PeriodicCrawler::ApplyOutcome(const simweb::Url& url,
-                                   StatusOr<simweb::FetchResult> result) {
+void PeriodicCrawler::ApplyOutcome(
+    const simweb::Url& url, StatusOr<simweb::FetchResult> result,
+    const std::vector<uint8_t>* fresh_links) {
   ++stats_.crawls;
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kFailedPrecondition) {
@@ -108,13 +121,27 @@ void PeriodicCrawler::ApplyOutcome(const simweb::Url& url,
   // pages are stored; the frontier keeps a few extra discoveries so
   // that URLs dying between discovery and fetch do not leave the
   // collection under-filled. The 4x bound caps frontier memory.
-  if (seen_this_cycle_.size() < 4 * config_.collection_capacity) {
+  if (fresh_links != nullptr) {
+    // The parallel dedup pass already test-and-marked every link
+    // against its owning shard's seen-set, in slot order; appending
+    // the winners here, still in slot order, reproduces the serial
+    // expansion exactly.
+    for (std::size_t j = 0; j < result->links.size(); ++j) {
+      if ((*fresh_links)[j] != 0) frontier_.push_back(result->links[j]);
+    }
+    return;
+  }
+  // One O(shards) count up front; our own inserts are the only thing
+  // moving it inside the loop.
+  std::size_t seen = SeenCount();
+  if (seen < 4 * config_.collection_capacity) {
     for (const simweb::Url& link : result->links) {
-      if (seen_this_cycle_.size() >= 4 * config_.collection_capacity) {
+      if (seen >= 4 * config_.collection_capacity) {
         break;
       }
-      if (seen_this_cycle_.insert(link).second) {
+      if (SeenInsert(link)) {
         frontier_.push_back(link);
+        ++seen;
       }
     }
   }
@@ -167,12 +194,73 @@ Status PeriodicCrawler::RunUntil(double until) {
           std::vector<StatusOr<simweb::FetchResult>> outcomes =
               engine_.ExecuteBatch(plan);
           auto apply_begin = std::chrono::steady_clock::now();
+
+          // Parallel link dedup: each shard walks the outcomes in slot
+          // order and test-and-marks the links whose target site it
+          // owns. Only taken when the frontier-memory cap cannot
+          // trigger mid-batch (the common case); otherwise the serial
+          // fallback in ApplyOutcome replicates the capped expansion.
+          // Either way the result is a pure function of the outcomes.
+          std::size_t total_links = 0;
+          for (const auto& outcome : outcomes) {
+            if (outcome.ok()) total_links += outcome->links.size();
+          }
+          std::vector<std::vector<uint8_t>> fresh;
+          const bool parallel_dedup =
+              total_links > 0 &&
+              SeenCount() + total_links <
+                  4 * config_.collection_capacity;
+          if (parallel_dedup) {
+            fresh.resize(plan.size());
+            // Bucket (outcome, link) pairs by the target site's shard
+            // once — (slot, position) order within each bucket — so
+            // each worker walks only its own links.
+            struct LinkRef {
+              std::size_t outcome;
+              std::size_t link;
+            };
+            std::vector<std::vector<LinkRef>> buckets(
+                seen_shards_.size());
+            for (std::size_t i = 0; i < plan.size(); ++i) {
+              if (!outcomes[i].ok()) continue;
+              const auto& links = outcomes[i]->links;
+              fresh[i].assign(links.size(), 0);
+              for (std::size_t j = 0; j < links.size(); ++j) {
+                buckets[links[j].site % seen_shards_.size()].push_back(
+                    LinkRef{i, j});
+              }
+            }
+            std::vector<std::size_t> targets;
+            for (std::size_t t = 0; t < buckets.size(); ++t) {
+              if (!buckets[t].empty()) targets.push_back(t);
+            }
+            std::vector<double> shard_seconds(seen_shards_.size(), 0.0);
+            engine_.threads().RunForIndices(
+                targets, [&](std::size_t target) {
+                  auto begin = std::chrono::steady_clock::now();
+                  for (const LinkRef& ref : buckets[target]) {
+                    const simweb::Url& link =
+                        outcomes[ref.outcome]->links[ref.link];
+                    if (seen_shards_[target].insert(link).second) {
+                      fresh[ref.outcome][ref.link] = 1;
+                    }
+                  }
+                  shard_seconds[target] = SecondsSince(begin);
+                });
+            for (std::size_t t : targets) {
+              engine_.RecordApplyShardSeconds(shard_seconds[t]);
+            }
+          }
+
+          auto barrier_begin = std::chrono::steady_clock::now();
           uint64_t successes = 0;
           for (std::size_t i = 0; i < plan.size(); ++i) {
             now_ = plan[i].at;
             if (outcomes[i].ok()) ++successes;
-            ApplyOutcome(plan[i].url, std::move(outcomes[i]));
+            ApplyOutcome(plan[i].url, std::move(outcomes[i]),
+                         parallel_dedup ? &fresh[i] : nullptr);
           }
+          engine_.RecordApplyBarrierSeconds(SecondsSince(barrier_begin));
           engine_.RecordApplySeconds(SecondsSince(apply_begin));
           // Failed fetches refund their slots — the serial crawler
           // tried the next URL immediately — so the slot clock

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_set>
+#include <vector>
 
 #include "crawler/collection.h"
 #include "crawler/crawl_module.h"
@@ -57,13 +58,15 @@ struct PeriodicCrawlerConfig {
 /// The crawl loop runs in engine batches bounded by the next freshness
 /// sample and the window end: *plan* pops the BFS frontier one URL per
 /// crawl slot (a deque pop — O(1), nothing to shard), *fetch* executes
-/// the batch across shards, *apply* stores pages and expands the
-/// frontier in slot order, and the freshness *measure* at each sample
-/// fans out across the engine's worker pool. Fetches that fail
-/// (dead URLs) refund their slots at the batch boundary — the serial
-/// crawler's "try the next URL immediately" — so a cycle still stores
-/// exactly `collection_capacity` pages whenever frontier and window
-/// allow.
+/// the batch across shards, *apply* runs a parallel link-dedup pass
+/// (each shard tests-and-marks the discoveries whose target site it
+/// owns against its own seen-set, in slot order) and then stores pages
+/// and expands the frontier serially in slot order, and the freshness
+/// *measure* at each sample fans out across the engine's worker pool.
+/// Fetches that fail (dead URLs) refund their slots at the batch
+/// boundary — the serial crawler's "try the next URL immediately" — so
+/// a cycle still stores exactly `collection_capacity` pages whenever
+/// frontier and window allow.
 ///
 /// The BFS order is deterministic, so each page is revisited at the
 /// same offset in every cycle — matching the assumptions behind the
@@ -115,11 +118,21 @@ class PeriodicCrawler {
   void FinishCycle();
 
   /// Applies one fetch outcome at now_: store / purge, then expand the
-  /// frontier with the extracted links.
+  /// frontier with the extracted links. When `fresh_links` is non-null
+  /// it holds the parallel dedup pass's per-link is-new flags; when
+  /// null the links are deduplicated serially here (the fallback when
+  /// the frontier-memory cap could trigger mid-batch).
   void ApplyOutcome(const simweb::Url& url,
-                    StatusOr<simweb::FetchResult> result);
+                    StatusOr<simweb::FetchResult> result,
+                    const std::vector<uint8_t>* fresh_links);
 
   Collection& target_collection();
+
+  /// Total size of the sharded seen-set.
+  std::size_t SeenCount() const;
+
+  /// Marks `url` seen this cycle; true if it was new.
+  bool SeenInsert(const simweb::Url& url);
 
   simweb::SimulatedWeb* web_;  // not owned
   PeriodicCrawlerConfig config_;
@@ -137,7 +150,10 @@ class PeriodicCrawler {
   uint64_t stored_this_cycle_ = 0;
   double next_sample_ = 0.0;
   std::deque<simweb::Url> frontier_;
-  std::unordered_set<simweb::Url, simweb::UrlHash> seen_this_cycle_;
+  /// URLs seen this cycle, sharded by target site (site % N) so the
+  /// apply phase's link dedup can run one worker per shard.
+  std::vector<std::unordered_set<simweb::Url, simweb::UrlHash>>
+      seen_shards_;
 };
 
 }  // namespace webevo::crawler

@@ -8,29 +8,45 @@
 #include "graph/pagerank.h"
 
 namespace webevo::crawler {
+namespace {
 
-const char* ImportanceMetricName(ImportanceMetric metric) {
-  switch (metric) {
-    case ImportanceMetric::kPageRank:
-      return "pagerank";
-    case ImportanceMetric::kHitsAuthority:
-      return "hits";
-    case ImportanceMetric::kInLinks:
-      return "inlinks";
-  }
-  return "?";
-}
+constexpr simweb::UrlIdentityLess IdentityLess;
 
-RankingModule::RankingModule(const RankingModuleConfig& config)
-    : config_(config) {}
-
-RefinementResult RankingModule::Refine(const AllUrls& all_urls,
-                                       Collection& collection) {
-  ++refinement_count_;
+// Shared by the Collection and ShardedCollection overloads; only
+// ForEach / Contains / FindMutable / size / capacity are needed. All
+// iteration-order-sensitive steps (graph node numbering, edge insertion,
+// score ties) run over canonically sorted URL lists, so the refinement
+// outcome is a pure function of the stored state — identical for a
+// sharded collection at every shard count.
+template <typename CollectionT>
+RefinementResult RefineImpl(const RankingModuleConfig& config,
+                            const AllUrls& all_urls,
+                            CollectionT& collection) {
   RefinementResult result;
 
   // Node universe: collection pages first, then live uncollected
-  // candidates known to AllUrls.
+  // candidates known to AllUrls — each group in canonical URL order.
+  std::vector<const CollectionEntry*> members;
+  collection.ForEach(
+      [&](const CollectionEntry& entry) { members.push_back(&entry); });
+  std::sort(members.begin(), members.end(),
+            [](const CollectionEntry* a, const CollectionEntry* b) {
+              return IdentityLess(a->url, b->url);
+            });
+  std::vector<simweb::Url> member_urls;
+  member_urls.reserve(members.size());
+  for (const CollectionEntry* entry : members) {
+    member_urls.push_back(entry->url);
+  }
+
+  std::vector<simweb::Url> candidates;
+  all_urls.ForEach([&](const simweb::Url& url,
+                       const AllUrls::UrlInfo& info) {
+    if (info.dead || collection.Contains(url)) return;
+    candidates.push_back(url);
+  });
+  std::sort(candidates.begin(), candidates.end(), IdentityLess);
+
   std::unordered_map<simweb::Url, graph::NodeId, simweb::UrlHash> index;
   std::vector<simweb::Url> urls;
   auto intern = [&](const simweb::Url& url) {
@@ -39,43 +55,33 @@ RefinementResult RankingModule::Refine(const AllUrls& all_urls,
     if (inserted) urls.push_back(url);
     return it->second;
   };
-  std::vector<simweb::Url> member_urls;
-  collection.ForEach([&](const CollectionEntry& entry) {
-    intern(entry.url);
-    member_urls.push_back(entry.url);
-  });
+  for (const simweb::Url& url : member_urls) intern(url);
+  for (const simweb::Url& url : candidates) intern(url);
 
-  std::vector<simweb::Url> candidates;
-  all_urls.ForEach([&](const simweb::Url& url,
-                       const AllUrls::UrlInfo& info) {
-    if (info.dead || collection.Contains(url)) return;
-    intern(url);
-    candidates.push_back(url);
-  });
-
-  // Edges from the link structure captured in the Collection. Links to
-  // URLs outside the universe (e.g. dead ones) are dropped.
+  // Edges from the link structure captured in the Collection (entries
+  // are not mutated between the walk above and here). Links to URLs
+  // outside the universe (e.g. dead ones) are dropped.
   graph::LinkGraph graph(static_cast<graph::NodeId>(urls.size()));
-  collection.ForEach([&](const CollectionEntry& entry) {
-    graph::NodeId from = index.at(entry.url);
-    for (const simweb::Url& to : entry.links) {
+  for (const CollectionEntry* entry : members) {
+    graph::NodeId from = index.at(entry->url);
+    for (const simweb::Url& to : entry->links) {
       auto it = index.find(to);
       if (it != index.end()) {
         Status st = graph.AddEdge(from, it->second);
         (void)st;
       }
     }
-  });
+  }
   graph.Finalize();
   result.graph_nodes = graph.num_nodes();
   result.graph_edges = graph.num_edges();
 
   // Score all nodes.
   std::vector<double> score;
-  switch (config_.metric) {
+  switch (config.metric) {
     case ImportanceMetric::kPageRank: {
       graph::PageRankOptions options;
-      options.damping = config_.damping;
+      options.damping = config.damping;
       auto pr = graph::ComputePageRank(graph, options);
       if (!pr.ok()) return result;  // empty graph: nothing to refine
       score = std::move(pr->rank);
@@ -124,15 +130,44 @@ RefinementResult RankingModule::Refine(const AllUrls& all_urls,
             });
   std::size_t pairs =
       std::min({candidates.size(), member_urls.size(),
-                config_.max_replacements});
+                config.max_replacements});
   for (std::size_t i = 0; i < pairs; ++i) {
     double cand_score = score[index.at(candidates[i])];
     double victim_score = score[index.at(member_urls[i])];
-    if (cand_score <= victim_score * config_.replacement_hysteresis) break;
+    if (cand_score <= victim_score * config.replacement_hysteresis) break;
     result.replacements.push_back(Replacement{
         member_urls[i], candidates[i], victim_score, cand_score});
   }
   return result;
+}
+
+}  // namespace
+
+const char* ImportanceMetricName(ImportanceMetric metric) {
+  switch (metric) {
+    case ImportanceMetric::kPageRank:
+      return "pagerank";
+    case ImportanceMetric::kHitsAuthority:
+      return "hits";
+    case ImportanceMetric::kInLinks:
+      return "inlinks";
+  }
+  return "?";
+}
+
+RankingModule::RankingModule(const RankingModuleConfig& config)
+    : config_(config) {}
+
+RefinementResult RankingModule::Refine(const AllUrls& all_urls,
+                                       Collection& collection) {
+  ++refinement_count_;
+  return RefineImpl(config_, all_urls, collection);
+}
+
+RefinementResult RankingModule::Refine(const AllUrls& all_urls,
+                                       ShardedCollection& collection) {
+  ++refinement_count_;
+  return RefineImpl(config_, all_urls, collection);
 }
 
 }  // namespace webevo::crawler

@@ -1,0 +1,89 @@
+#include "crawler/sharded_collection.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace webevo::crawler {
+namespace {
+
+constexpr simweb::UrlIdentityLess IdentityLess;
+
+}  // namespace
+
+ShardedCollection::ShardedCollection(std::size_t capacity, int num_shards)
+    : capacity_(capacity) {
+  const auto shards =
+      static_cast<std::size_t>(std::max(1, num_shards));
+  // Each shard store carries the global capacity: site hashing may skew
+  // arbitrarily, so the per-shard bound must never bind. The global
+  // bound is enforced here in Upsert.
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) shards_.emplace_back(capacity);
+}
+
+Status ShardedCollection::Upsert(CollectionEntry entry) {
+  Collection& owner = shards_[ShardOf(entry.url.site)];
+  const bool existed = owner.Contains(entry.url);
+  if (!existed && size_ >= capacity_) {
+    return Status::ResourceExhausted("collection at capacity");
+  }
+  Status st = owner.Upsert(std::move(entry));
+  if (st.ok() && !existed) ++size_;
+  return st;
+}
+
+Status ShardedCollection::Remove(const simweb::Url& url) {
+  Status st = shards_[ShardOf(url.site)].Remove(url);
+  if (st.ok()) --size_;
+  return st;
+}
+
+void ShardedCollection::ReconcileSize() {
+  size_ = 0;
+  for (const Collection& shard : shards_) size_ += shard.size();
+}
+
+const CollectionEntry* ShardedCollection::Find(
+    const simweb::Url& url) const {
+  return shards_[ShardOf(url.site)].Find(url);
+}
+
+CollectionEntry* ShardedCollection::FindMutable(const simweb::Url& url) {
+  return shards_[ShardOf(url.site)].FindMutable(url);
+}
+
+void ShardedCollection::ForEach(
+    const std::function<void(const CollectionEntry&)>& fn) const {
+  for (const Collection& shard : shards_) shard.ForEach(fn);
+}
+
+void ShardedCollection::ForEachCanonical(
+    const std::function<void(const CollectionEntry&)>& fn) const {
+  std::vector<const CollectionEntry*> entries;
+  entries.reserve(size());
+  ForEach([&](const CollectionEntry& e) { entries.push_back(&e); });
+  std::sort(entries.begin(), entries.end(),
+            [](const CollectionEntry* a, const CollectionEntry* b) {
+              return IdentityLess(a->url, b->url);
+            });
+  for (const CollectionEntry* e : entries) fn(*e);
+}
+
+const CollectionEntry* ShardedCollection::LowestImportance() const {
+  const CollectionEntry* lowest = nullptr;
+  for (const Collection& shard : shards_) {
+    const CollectionEntry* candidate = shard.LowestImportance();
+    if (candidate == nullptr) continue;
+    if (lowest == nullptr || BetterEvictionVictim(*candidate, *lowest)) {
+      lowest = candidate;
+    }
+  }
+  return lowest;
+}
+
+void ShardedCollection::Clear() {
+  for (Collection& shard : shards_) shard.Clear();
+  size_ = 0;
+}
+
+}  // namespace webevo::crawler

@@ -33,19 +33,26 @@ double SecondsSince(std::chrono::steady_clock::time_point begin);
 /// SimulatedWeb's thread-safe fetch path.
 ///
 /// Crawl loops follow a plan / fetch / apply cycle:
-///   1. *plan* (serial): pop due URLs and assign slot times;
+///   1. *plan* (parallel extract + serial merge): pop due URLs and
+///      assign slot times;
 ///   2. *fetch* (parallel): ExecuteBatch performs the fetches, each
 ///      shard processing its own sites in plan order;
-///   3. *apply* (serial): walk the outcomes in plan order, mutating
-///      collection / scheduling / statistics state.
+///   3. *apply* (parallel shard pass + serial barrier): each shard
+///      applies its own outcomes to the state it owns (sharded
+///      collection and update module) in plan order, then cross-shard
+///      effects — inserts against the global capacity, evictions,
+///      link admissions, frontier schedules — reduce serially at the
+///      batch barrier in slot order.
 ///
 /// Determinism: N = 1 and N = 8 shards produce bit-identical
 /// simulations because (a) each site's fetches stay in plan order
 /// inside the one shard that owns the site, (b) page evolution draws
 /// from per-page RNG streams, so cross-site interleaving is
-/// irrelevant, and (c) all crawler state mutates in the serial apply
-/// step. Per-shard accounting is merged at the batch barrier in shard
-/// index order, never in completion order.
+/// irrelevant, and (c) every mutation is either confined to the state
+/// its shard owns (applied in the site's own plan order) or deferred
+/// to the serial barrier and applied in canonical slot order. Per-
+/// shard accounting is merged at the batch barrier in shard index
+/// order, never in completion order.
 class ShardedCrawlEngine {
  public:
   /// Creates `num_shards` crawl modules (>= 1; clamped) and as many
@@ -108,12 +115,24 @@ class ShardedCrawlEngine {
     RunningStat fetch_seconds;
     RunningStat apply_seconds;
     RunningStat measure_seconds;
+    /// The apply phase split open: per-shard wall-clock of the parallel
+    /// pass (one sample per busy shard per batch, merged in shard index
+    /// order) and the serial barrier reduction (one sample per batch).
+    /// barrier / apply is the apply phase's remaining serial fraction.
+    RunningStat apply_shard_seconds;
+    RunningStat apply_barrier_seconds;
   };
   const Stats& stats() const { return stats_; }
 
   void RecordPlanSeconds(double s) { stats_.plan_seconds.Add(s); }
   void RecordApplySeconds(double s) { stats_.apply_seconds.Add(s); }
   void RecordMeasureSeconds(double s) { stats_.measure_seconds.Add(s); }
+  void RecordApplyShardSeconds(double s) {
+    stats_.apply_shard_seconds.Add(s);
+  }
+  void RecordApplyBarrierSeconds(double s) {
+    stats_.apply_barrier_seconds.Add(s);
+  }
 
  private:
   simweb::SimulatedWeb* web_;  // not owned

@@ -2,6 +2,7 @@
 #define WEBEVO_CRAWLER_SHARDED_FRONTIER_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -11,6 +12,10 @@
 #include "util/thread_pool.h"
 
 namespace webevo::crawler {
+
+class ShardedFrontier;
+Status SaveFrontier(const ShardedFrontier& frontier, std::ostream& out);
+StatusOr<ShardedFrontier> LoadFrontier(std::istream& in, int num_shards);
 
 /// A CollUrls frontier split into N shard-local heaps (mithril-style
 /// per-shard UrlFrontier), one per CrawlModule shard, with sites
@@ -22,16 +27,17 @@ namespace webevo::crawler {
 /// front-of-queue key both come from counters global to the frontier,
 /// so the merge order over shard heads — earliest `when`, ties broken
 /// by global sequence number — is exactly the pop order the one-heap
-/// queue would produce. Pop/Peek are a k-way merge over the N shard
-/// heads (O(N + log(n/N)) per pop); Schedule/Remove route to the
-/// owning shard (O(log(n/N))).
+/// queue would produce. Pop/Peek merge the N shard heads through a
+/// tournament tree rebuilt lazily along dirtied leaf-to-root paths, so
+/// a pop costs O(log N + log(n/N)) rather than a linear scan of shard
+/// heads; Schedule/Remove route to the owning shard (O(log(n/N))).
 ///
 /// The point of the split is PlanSlots: each shard extracts its own
 /// due-before-horizon candidates in parallel on the engine's
 /// ThreadPool — the heap work that used to serialise the plan phase —
 /// and a cheap serial merge then assigns crawl slots deterministically.
-/// Push-back rescheduling between batches (Schedule from ApplyOutcome)
-/// lands directly in the owning shard's heap.
+/// Push-back rescheduling between batches (Schedule from the apply
+/// barrier) lands directly in the owning shard's heap.
 class ShardedFrontier {
  public:
   /// Creates `num_shards` shard heaps (>= 1; clamped, matching
@@ -83,9 +89,10 @@ class ShardedFrontier {
   ///   1. *extract* (parallel over `threads` when > 1 shard has work):
   ///      each shard pops its own due-before-horizon candidates, at
   ///      most the batch's slot capacity, into a sorted per-shard list;
-  ///   2. *merge* (serial, cheap): a deterministic k-way merge over the
-  ///      per-shard lists — earliest `when`, ties by global sequence
-  ///      number — drives the slot clock and assigns slot times;
+  ///   2. *merge* (serial, cheap): a deterministic tournament-tree
+  ///      merge over the per-shard lists — earliest `when`, ties by
+  ///      global sequence number — drives the slot clock and assigns
+  ///      slot times;
   ///   3. *restore*: candidates the clock never reached go back to
   ///      their shard heaps with their original (when, seq) keys.
   ///
@@ -93,13 +100,44 @@ class ShardedFrontier {
   SlotPlan PlanSlots(double start, double horizon, double step,
                      ThreadPool* threads);
 
+  /// Snapshot/restore of the frontier's scheduled times (entries with
+  /// their global (when, seq) keys plus the global counters), in
+  /// crawler/snapshot.cc — what makes a restarted crawler pop in
+  /// exactly the order the checkpointed one would have.
+  friend Status SaveFrontier(const ShardedFrontier& frontier,
+                             std::ostream& out);
+  friend StatusOr<ShardedFrontier> LoadFrontier(std::istream& in,
+                                                int num_shards);
+
  private:
+  /// Refreshes dirty shard heads and replays their tournament paths;
+  /// returns the winning shard index, or shards_.size() when every
+  /// shard is empty.
+  std::size_t RepairAndWinner();
+
   std::vector<CollUrls> shards_;
   // Global counters shared by all shards: the FIFO tie-break sequence
   // and the front-of-queue key offset. Keeping them global is what
-  // makes the k-way merge order equal to the single-heap pop order.
+  // makes the tournament merge order equal to the single-heap pop
+  // order.
   uint64_t next_seq_ = 0;
   double front_when_ = 0.0;
+
+  // Tournament tree over the shard heads. leaves_ is the smallest
+  // power of two >= num_shards; node i has children 2i and 2i+1, shard
+  // s sits at leaf leaves_ + s, and winner_[1] holds the shard with
+  // the globally earliest head (kNoShard for an empty subtree). Heads
+  // are cached per shard; any operation that may move a shard's head
+  // only sets that shard's dirty byte — one byte per shard, so
+  // PlanSlots' parallel extraction can mark its own shard without
+  // touching shared state — and Pop/Peek replay the dirty leaf-to-root
+  // paths on the serial path, O(log N) per dirty shard.
+  static constexpr uint32_t kNoShard = ~0u;
+  std::size_t leaves_ = 1;
+  std::vector<uint32_t> winner_;
+  std::vector<CollUrls::Entry> head_;
+  std::vector<uint8_t> head_live_;
+  std::vector<uint8_t> head_dirty_;
 };
 
 }  // namespace webevo::crawler

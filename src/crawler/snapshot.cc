@@ -5,7 +5,6 @@
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -18,12 +17,19 @@ namespace {
 constexpr const char* kCollectionMagic = "webevo-collection";
 constexpr const char* kAllUrlsMagic = "webevo-allurls";
 constexpr const char* kUpdateModuleMagic = "webevo-update";
+constexpr const char* kFrontierMagic = "webevo-frontier";
 constexpr const char* kTrailerMagic = "webevo-checksum";
 constexpr int kFormatVersion = 1;
+// The UpdateModule format is versioned separately: version 2 replaced
+// the module-global probe RNG with per-site streams (`R` records) and
+// added the frozen scheduling page count to the `G` record.
+constexpr int kUpdateFormatVersion = 2;
 // Sanity bound on a flattened estimator-state vector. Integrity is only
 // verified at the trailer, so parsed counts must be range-checked
 // before they size an allocation.
 constexpr std::size_t kMaxEstimatorState = 1 << 20;
+
+constexpr simweb::UrlIdentityLess IdentityLess;
 
 // Accumulates payload lines and emits them with an integrity trailer.
 class TrailerWriter {
@@ -115,39 +121,51 @@ StatusOr<CollectionEntry> ParseEntry(const std::string& line) {
   return e;
 }
 
-}  // namespace
-
-Status SaveCollection(const Collection& collection, std::ostream& out) {
+// Canonical writer shared by the Collection and ShardedCollection
+// overloads: entries are emitted in ascending URL identity so equal
+// logical collections produce equal bytes at every shard count.
+Status WriteCollectionSnapshot(
+    std::size_t capacity,
+    std::vector<const CollectionEntry*> entries, std::ostream& out) {
+  std::sort(entries.begin(), entries.end(),
+            [](const CollectionEntry* a, const CollectionEntry* b) {
+              return IdentityLess(a->url, b->url);
+            });
   TrailerWriter writer(out);
   std::ostringstream header;
-  header << kCollectionMagic << ' ' << kFormatVersion << ' '
-         << collection.capacity() << ' ' << collection.size();
+  header << kCollectionMagic << ' ' << kFormatVersion << ' ' << capacity
+         << ' ' << entries.size();
   writer.Line(header.str());
-  Status st = Status::Ok();
-  collection.ForEach([&](const CollectionEntry& e) {
-    writer.Line(EntryLine(e));
-  });
+  for (const CollectionEntry* e : entries) writer.Line(EntryLine(*e));
   writer.Finish();
   if (!out.good()) return Status::Internal("snapshot write failed");
-  return st;
+  return Status::Ok();
 }
 
-StatusOr<Collection> LoadCollection(std::istream& in) {
+/// The parsed payload of a collection snapshot, verified against the
+/// integrity trailer before anything is handed back.
+struct CollectionPayload {
+  std::size_t capacity = 0;
+  std::vector<CollectionEntry> entries;
+};
+
+StatusOr<CollectionPayload> ReadCollectionSnapshot(std::istream& in) {
   TrailerReader reader(in);
   auto header = reader.Next();
   if (!header.ok()) return header.status();
   std::istringstream hs(*header);
   std::string magic;
   int version = 0;
-  std::size_t capacity = 0, count = 0;
-  hs >> magic >> version >> capacity >> count;
+  std::size_t count = 0;
+  CollectionPayload payload;
+  hs >> magic >> version >> payload.capacity >> count;
   if (hs.fail() || magic != kCollectionMagic) {
     return Status::InvalidArgument("not a collection snapshot");
   }
   if (version != kFormatVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
-  Collection collection(capacity);
+  payload.entries.reserve(std::min<std::size_t>(count, 1 << 20));
   for (std::size_t i = 0; i < count; ++i) {
     auto line = reader.Next();
     if (!line.ok()) {
@@ -155,15 +173,58 @@ StatusOr<Collection> LoadCollection(std::istream& in) {
     }
     auto entry = ParseEntry(*line);
     if (!entry.ok()) return entry.status();
-    Status st = collection.Upsert(std::move(entry).value());
-    if (!st.ok()) return st;
+    payload.entries.push_back(std::move(entry).value());
   }
-  // Consume and verify the trailer.
+  // Consume and verify the trailer before handing anything back.
   auto end = reader.Next();
   if (end.ok() || !reader.done()) {
     return end.ok()
                ? Status::InvalidArgument("trailing data in snapshot")
                : end.status();
+  }
+  return payload;
+}
+
+}  // namespace
+
+Status SaveCollection(const Collection& collection, std::ostream& out) {
+  std::vector<const CollectionEntry*> entries;
+  entries.reserve(collection.size());
+  collection.ForEach(
+      [&](const CollectionEntry& e) { entries.push_back(&e); });
+  return WriteCollectionSnapshot(collection.capacity(),
+                                 std::move(entries), out);
+}
+
+Status SaveCollection(const ShardedCollection& collection,
+                      std::ostream& out) {
+  std::vector<const CollectionEntry*> entries;
+  entries.reserve(collection.size());
+  collection.ForEach(
+      [&](const CollectionEntry& e) { entries.push_back(&e); });
+  return WriteCollectionSnapshot(collection.capacity(),
+                                 std::move(entries), out);
+}
+
+StatusOr<Collection> LoadCollection(std::istream& in) {
+  auto payload = ReadCollectionSnapshot(in);
+  if (!payload.ok()) return payload.status();
+  Collection collection(payload->capacity);
+  for (CollectionEntry& e : payload->entries) {
+    Status stored = collection.Upsert(std::move(e));
+    if (!stored.ok()) return stored;
+  }
+  return collection;
+}
+
+StatusOr<ShardedCollection> LoadShardedCollection(std::istream& in,
+                                                  int num_shards) {
+  auto payload = ReadCollectionSnapshot(in);
+  if (!payload.ok()) return payload.status();
+  ShardedCollection collection(payload->capacity, num_shards);
+  for (CollectionEntry& e : payload->entries) {
+    Status stored = collection.Upsert(std::move(e));
+    if (!stored.ok()) return stored;
   }
   return collection;
 }
@@ -174,21 +235,31 @@ Status SaveAllUrls(const AllUrls& all_urls, std::ostream& out) {
   header << kAllUrlsMagic << ' ' << kFormatVersion << ' '
          << all_urls.size();
   writer.Line(header.str());
+  // Canonical record order regardless of internal shard layout.
+  std::vector<std::pair<simweb::Url, const AllUrls::UrlInfo*>> records;
+  records.reserve(all_urls.size());
   all_urls.ForEach([&](const simweb::Url& url,
                        const AllUrls::UrlInfo& info) {
+    records.emplace_back(url, &info);
+  });
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) {
+              return IdentityLess(a.first, b.first);
+            });
+  for (const auto& [url, info] : records) {
     std::ostringstream os;
     os.precision(17);
     os << "U " << url.site << ' ' << url.slot << ' ' << url.incarnation
-       << ' ' << info.first_seen << ' ' << info.in_links << ' '
-       << (info.dead ? 1 : 0);
+       << ' ' << info->first_seen << ' ' << info->in_links << ' '
+       << (info->dead ? 1 : 0);
     writer.Line(os.str());
-  });
+  }
   writer.Finish();
   if (!out.good()) return Status::Internal("snapshot write failed");
   return Status::Ok();
 }
 
-StatusOr<AllUrls> LoadAllUrls(std::istream& in) {
+StatusOr<AllUrls> LoadAllUrls(std::istream& in, int num_shards) {
   TrailerReader reader(in);
   auto header = reader.Next();
   if (!header.ok()) return header.status();
@@ -203,7 +274,7 @@ StatusOr<AllUrls> LoadAllUrls(std::istream& in) {
   if (version != kFormatVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
-  AllUrls all;
+  AllUrls all(num_shards);
   for (std::size_t i = 0; i < count; ++i) {
     auto line = reader.Next();
     if (!line.ok()) {
@@ -237,34 +308,47 @@ StatusOr<AllUrls> LoadAllUrls(std::istream& in) {
 }
 
 Status SaveUpdateModule(const UpdateModule& module, std::ostream& out) {
+  // Gather the per-site records (estimator aggregates and probe RNG
+  // streams) across shards in ascending site order — canonical bytes
+  // at every shard count.
+  std::vector<std::pair<uint32_t, const estimator::ChangeEstimator*>>
+      site_records;
+  for (const auto& shard : module.site_shards_) {
+    for (const auto& [site, est] : shard) {
+      site_records.emplace_back(site, est.get());
+    }
+  }
+  std::sort(site_records.begin(), site_records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<uint32_t, const Rng*>> rng_records;
+  for (const auto& shard : module.rng_shards_) {
+    for (const auto& [site, rng] : shard) {
+      rng_records.emplace_back(site, &rng);
+    }
+  }
+  std::sort(rng_records.begin(), rng_records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
   TrailerWriter writer(out);
   std::ostringstream header;
-  header << kUpdateModuleMagic << ' ' << kFormatVersion << ' '
+  header << kUpdateModuleMagic << ' ' << kUpdateFormatVersion << ' '
          << estimator::EstimatorKindName(module.config_.estimator_kind)
-         << ' ' << module.pages_.size() << ' ' << module.sites_.size();
+         << ' ' << module.tracked_pages() << ' ' << site_records.size()
+         << ' ' << rng_records.size();
   writer.Line(header.str());
 
   {
     std::ostringstream os;
     os.precision(17);
     os << "G " << module.multiplier_ << ' ' << module.total_rate_ << ' '
-       << module.mean_importance_ << ' ' << module.rebalance_count_;
-    for (uint64_t lane : module.rng_.State()) os << ' ' << lane;
+       << module.mean_importance_ << ' ' << module.rebalance_count_
+       << ' ' << module.frozen_page_count_;
     writer.Line(os.str());
   }
 
-  // Records sorted by identity, so equal modules produce equal bytes
-  // regardless of hash-map iteration order.
-  std::vector<std::pair<simweb::Url, const UpdateModule::PageState*>> pages;
-  pages.reserve(module.pages_.size());
-  for (const auto& [url, state] : module.pages_) {
-    pages.emplace_back(url, &state);
-  }
-  std::sort(pages.begin(), pages.end(), [](const auto& a, const auto& b) {
-    return std::tuple(a.first.site, a.first.slot, a.first.incarnation) <
-           std::tuple(b.first.site, b.first.slot, b.first.incarnation);
-  });
-  for (const auto& [url, state] : pages) {
+  // Page records sorted by identity, so equal modules produce equal
+  // bytes regardless of shard count and hash-map iteration order.
+  for (const auto& [url, state] : module.SortedPages()) {
     std::ostringstream os;
     os.precision(17);
     std::vector<double> est_state;
@@ -279,16 +363,19 @@ Status SaveUpdateModule(const UpdateModule& module, std::ostream& out) {
     writer.Line(os.str());
   }
 
-  std::vector<uint32_t> site_ids;
-  site_ids.reserve(module.sites_.size());
-  for (const auto& [site, est] : module.sites_) site_ids.push_back(site);
-  std::sort(site_ids.begin(), site_ids.end());
-  for (uint32_t site : site_ids) {
+  for (const auto& [site, est] : site_records) {
     std::ostringstream os;
     os.precision(17);
-    std::vector<double> est_state = module.sites_.at(site)->SaveState();
+    std::vector<double> est_state = est->SaveState();
     os << "S " << site << ' ' << est_state.size();
     for (double v : est_state) os << ' ' << v;
+    writer.Line(os.str());
+  }
+
+  for (const auto& [site, rng] : rng_records) {
+    std::ostringstream os;
+    os << "R " << site;
+    for (uint64_t lane : rng->State()) os << ' ' << lane;
     writer.Line(os.str());
   }
 
@@ -304,12 +391,12 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
   std::istringstream hs(*header);
   std::string magic, kind;
   int version = 0;
-  std::size_t npages = 0, nsites = 0;
-  hs >> magic >> version >> kind >> npages >> nsites;
+  std::size_t npages = 0, nsites = 0, nrngs = 0;
+  hs >> magic >> version >> kind >> npages >> nsites >> nrngs;
   if (hs.fail() || magic != kUpdateModuleMagic) {
     return Status::InvalidArgument("not an UpdateModule snapshot");
   }
-  if (version != kFormatVersion) {
+  if (version != kUpdateFormatVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
   if (kind !=
@@ -328,11 +415,11 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
   {
     std::istringstream is(*g_line);
     std::string tag;
-    std::array<uint64_t, 4> lanes{};
     double multiplier = 0.0, total_rate = 0.0, mean_importance = 0.0;
     int64_t rebalance_count = 0;
+    std::size_t frozen_pages = 0;
     is >> tag >> multiplier >> total_rate >> mean_importance >>
-        rebalance_count >> lanes[0] >> lanes[1] >> lanes[2] >> lanes[3];
+        rebalance_count >> frozen_pages;
     if (is.fail() || tag != "G") {
       return Status::InvalidArgument("malformed G record");
     }
@@ -340,7 +427,7 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
     staged.total_rate_ = total_rate;
     staged.mean_importance_ = mean_importance;
     staged.rebalance_count_ = rebalance_count;
-    staged.rng_.SetState(lanes);
+    staged.frozen_page_count_ = frozen_pages;
   }
 
   for (std::size_t i = 0; i < npages; ++i) {
@@ -375,7 +462,7 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
       Status st = state.estimator->RestoreState(est_state);
       if (!st.ok()) return st;
     }
-    staged.pages_[url] = std::move(state);
+    staged.page_shards_[staged.ShardOf(url.site)][url] = std::move(state);
   }
   for (std::size_t i = 0; i < nsites; ++i) {
     auto line = reader.Next();
@@ -399,7 +486,25 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
         estimator::MakeEstimator(staged.config_.estimator_kind);
     Status st = estimator->RestoreState(est_state);
     if (!st.ok()) return st;
-    staged.sites_[site] = std::move(estimator);
+    staged.site_shards_[staged.ShardOf(site)][site] =
+        std::move(estimator);
+  }
+  for (std::size_t i = 0; i < nrngs; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("snapshot rng count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    std::array<uint64_t, 4> lanes{};
+    is >> tag >> site >> lanes[0] >> lanes[1] >> lanes[2] >> lanes[3];
+    if (is.fail() || tag != "R") {
+      return Status::InvalidArgument("malformed rng record");
+    }
+    Rng rng(0);
+    rng.SetState(lanes);
+    staged.rng_shards_[staged.ShardOf(site)].insert_or_assign(site, rng);
   }
 
   auto end = reader.Next();
@@ -412,7 +517,98 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
   return Status::Ok();
 }
 
+Status SaveFrontier(const ShardedFrontier& frontier, std::ostream& out) {
+  // Drain a copy shard by shard: PopEntry yields each live entry with
+  // its exact (when, seq) key; sorting by the globally unique seq gives
+  // canonical bytes at every shard count.
+  ShardedFrontier scratch = frontier;
+  std::vector<CollUrls::Entry> entries;
+  entries.reserve(frontier.size());
+  for (CollUrls& shard : scratch.shards_) {
+    while (auto entry = shard.PopEntry()) {
+      entries.push_back(*entry);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CollUrls::Entry& a, const CollUrls::Entry& b) {
+              return a.seq < b.seq;
+            });
+
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header.precision(17);
+  header << kFrontierMagic << ' ' << kFormatVersion << ' '
+         << entries.size() << ' ' << frontier.next_seq_ << ' '
+         << frontier.front_when_;
+  writer.Line(header.str());
+  for (const CollUrls::Entry& e : entries) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "F " << e.url.site << ' ' << e.url.slot << ' '
+       << e.url.incarnation << ' ' << e.when << ' ' << e.seq;
+    writer.Line(os.str());
+  }
+  writer.Finish();
+  if (!out.good()) return Status::Internal("snapshot write failed");
+  return Status::Ok();
+}
+
+StatusOr<ShardedFrontier> LoadFrontier(std::istream& in, int num_shards) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  uint64_t next_seq = 0;
+  double front_when = 0.0;
+  hs >> magic >> version >> count >> next_seq >> front_when;
+  if (hs.fail() || magic != kFrontierMagic) {
+    return Status::InvalidArgument("not a frontier snapshot");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  ShardedFrontier frontier(num_shards);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("snapshot entry count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    simweb::Url url;
+    double when = 0.0;
+    uint64_t seq = 0;
+    is >> tag >> url.site >> url.slot >> url.incarnation >> when >> seq;
+    if (is.fail() || tag != "F") {
+      return Status::InvalidArgument("malformed frontier record");
+    }
+    frontier.shards_[frontier.ShardOf(url.site)].ScheduleAt(url, when,
+                                                            seq);
+  }
+  frontier.next_seq_ = next_seq;
+  frontier.front_when_ = front_when;
+  auto end = reader.Next();
+  if (end.ok() || !reader.done()) {
+    return end.ok()
+               ? Status::InvalidArgument("trailing data in snapshot")
+               : end.status();
+  }
+  return frontier;
+}
+
 Status SaveCollectionToFile(const Collection& collection,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  return SaveCollection(collection, out);
+}
+
+Status SaveCollectionToFile(const ShardedCollection& collection,
                             const std::string& path) {
   std::ofstream out(path);
   if (!out.is_open()) {

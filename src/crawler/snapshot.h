@@ -7,6 +7,8 @@
 
 #include "crawler/all_urls.h"
 #include "crawler/collection.h"
+#include "crawler/sharded_collection.h"
+#include "crawler/sharded_frontier.h"
 #include "crawler/update_module.h"
 #include "util/status.h"
 
@@ -21,6 +23,11 @@ namespace webevo::crawler {
 /// trailer, so truncated or corrupted snapshots are rejected rather
 /// than silently loaded.
 ///
+/// Every writer emits records in canonical (site, slot, incarnation)
+/// order — never hash-map or shard order — so equal logical state
+/// produces equal bytes at every shard count: the N=1 and N=8 runs of
+/// one simulation snapshot to identical files.
+///
 /// Format (one record per line, space-separated):
 ///   webevo-collection 1 <capacity> <count>
 ///   E <site> <slot> <incarnation> <page> <version> <checksum.lo>
@@ -31,40 +38,66 @@ namespace webevo::crawler {
 /// AllUrls snapshots are analogous with `U` records carrying
 /// (first_seen, in_links, dead).
 ///
-/// UpdateModule snapshots carry the estimator kind in the header, one
-/// `G` record with the global scheduling state (Lagrange multiplier,
-/// proportional normaliser, mean importance, rebalance count, probe
-/// RNG lanes), one `P` record per tracked page (visit history, flags,
-/// flattened estimator state) and one `S` record per site aggregate
-/// (site-level statistics mode).
+/// UpdateModule snapshots (version 2) carry the estimator kind and the
+/// page / site / probe-stream counts in the header, one `G` record with
+/// the global scheduling state (Lagrange multiplier, proportional
+/// normaliser, mean importance, rebalance count, frozen page count),
+/// one `P` record per tracked page (visit history, flags, flattened
+/// estimator state), one `S` record per site aggregate (site-level
+/// statistics mode), and one `R` record per materialised per-site
+/// probe RNG stream (its four xoshiro lanes).
+///
+/// ShardedFrontier snapshots carry the global counters (next sequence
+/// number, front-insert offset) in the header and one `F` record per
+/// queued URL with its exact (when, seq) key, ordered by seq — so a
+/// restored frontier pops in exactly the order the checkpointed one
+/// would have, revisit timing included.
 
 /// Writes `collection` to `out`.
 Status SaveCollection(const Collection& collection, std::ostream& out);
+Status SaveCollection(const ShardedCollection& collection,
+                      std::ostream& out);
 
 /// Reads a collection snapshot. Fails with InvalidArgument on format
 /// or integrity errors; the returned collection carries the capacity
 /// stored in the snapshot.
 StatusOr<Collection> LoadCollection(std::istream& in);
 
+/// Reads a collection snapshot into a ShardedCollection with
+/// `num_shards` shards (the snapshot itself is shard-count agnostic).
+StatusOr<ShardedCollection> LoadShardedCollection(std::istream& in,
+                                                  int num_shards);
+
 /// Writes `all_urls` to `out`.
 Status SaveAllUrls(const AllUrls& all_urls, std::ostream& out);
 
-/// Reads an AllUrls snapshot.
-StatusOr<AllUrls> LoadAllUrls(std::istream& in);
+/// Reads an AllUrls snapshot into `num_shards` internal shards.
+StatusOr<AllUrls> LoadAllUrls(std::istream& in, int num_shards = 1);
 
 /// Writes `module`'s learned state (estimator statistics, per-page
-/// visit history, rebalance outputs, probe RNG) to `out`. The paper's
-/// change-rate estimates are the incremental crawler's slowest-won
-/// asset — a restart that drops them recrawls near-blind for weeks.
+/// visit history, rebalance outputs, per-site probe RNG streams) to
+/// `out`. The paper's change-rate estimates are the incremental
+/// crawler's slowest-won asset — a restart that drops them recrawls
+/// near-blind for weeks.
 Status SaveUpdateModule(const UpdateModule& module, std::ostream& out);
 
 /// Restores a SaveUpdateModule snapshot into `module`, replacing its
 /// learned state. `module` must have been constructed with the same
-/// configuration; the estimator kind is validated against the header.
+/// configuration (its shard count may differ — records re-route); the
+/// estimator kind is validated against the header.
 Status LoadUpdateModule(std::istream& in, UpdateModule* module);
+
+/// Writes the frontier's scheduled times to `out`.
+Status SaveFrontier(const ShardedFrontier& frontier, std::ostream& out);
+
+/// Restores a frontier snapshot into `num_shards` shard heaps; the pop
+/// order is bit-identical to the saved frontier's at any shard count.
+StatusOr<ShardedFrontier> LoadFrontier(std::istream& in, int num_shards);
 
 /// Convenience file wrappers.
 Status SaveCollectionToFile(const Collection& collection,
+                            const std::string& path);
+Status SaveCollectionToFile(const ShardedCollection& collection,
                             const std::string& path);
 StatusOr<Collection> LoadCollectionFromFile(const std::string& path);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -13,6 +14,14 @@ namespace {
 
 // Estimates from fewer than this many observations lean on the prior.
 constexpr int64_t kMinObservations = 2;
+
+// Derives a site's probe-stream seed from the module seed. The odd
+// multiplier (SplitMix64's increment) decorrelates neighbouring sites;
+// Rng's own SplitMix64 seeding does the heavy scrambling.
+uint64_t ProbeSeed(uint64_t seed, uint32_t site) {
+  return seed ^ (0x9e3779b97f4a7c15ULL *
+                 (static_cast<uint64_t>(site) + 1));
+}
 
 }  // namespace
 
@@ -29,7 +38,13 @@ const char* RevisitPolicyName(RevisitPolicy policy) {
 }
 
 UpdateModule::UpdateModule(const UpdateModuleConfig& config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config) {
+  const auto shards =
+      static_cast<std::size_t>(std::max(1, config.num_shards));
+  page_shards_.resize(shards);
+  site_shards_.resize(shards);
+  rng_shards_.resize(shards);
+}
 
 estimator::ChangeEstimator* UpdateModule::EstimatorFor(
     const simweb::Url& url, PageState& state) {
@@ -39,7 +54,7 @@ estimator::ChangeEstimator* UpdateModule::EstimatorFor(
     }
     return state.estimator.get();
   }
-  auto& slot = sites_[url.site];
+  auto& slot = site_shards_[ShardOf(url.site)][url.site];
   if (!slot) slot = estimator::MakeEstimator(config_.estimator_kind);
   return slot.get();
 }
@@ -47,8 +62,18 @@ estimator::ChangeEstimator* UpdateModule::EstimatorFor(
 const estimator::ChangeEstimator* UpdateModule::EstimatorFor(
     const simweb::Url& url, const PageState& state) const {
   if (!config_.site_level_stats) return state.estimator.get();
-  auto it = sites_.find(url.site);
-  return it == sites_.end() ? nullptr : it->second.get();
+  const SiteMap& sites = site_shards_[ShardOf(url.site)];
+  auto it = sites.find(url.site);
+  return it == sites.end() ? nullptr : it->second.get();
+}
+
+Rng& UpdateModule::ProbeRng(uint32_t site) {
+  auto& shard = rng_shards_[ShardOf(site)];
+  auto it = shard.find(site);
+  if (it == shard.end()) {
+    it = shard.emplace(site, Rng(ProbeSeed(config_.seed, site))).first;
+  }
+  return it->second;
 }
 
 double UpdateModule::SchedulingRate(
@@ -60,11 +85,23 @@ double UpdateModule::SchedulingRate(
 }
 
 double UpdateModule::FrequencyFor(double rate, double importance) const {
+  // The budget-spreading fallbacks divide by the page count *frozen* at
+  // the last serial refresh, never the live count: the live count moves
+  // under concurrent first visits, the frozen one is the same pure
+  // function of history at every shard count. Before the first refresh
+  // (frozen count 0) there is no population information at all; the
+  // scheduling prior stands in — granting the full budget to every
+  // page of the first batch would flood the next batch with immediate
+  // revisits.
+  const double spread =
+      frozen_page_count_ > 0
+          ? config_.crawl_budget_pages_per_day /
+                static_cast<double>(frozen_page_count_)
+          : 1.0 / config_.default_interval_days;
   double f = 0.0;
   switch (config_.policy) {
     case RevisitPolicy::kUniform: {
-      std::size_t n = std::max<std::size_t>(1, pages_.size());
-      f = config_.crawl_budget_pages_per_day / static_cast<double>(n);
+      f = spread;
       break;
     }
     case RevisitPolicy::kProportional: {
@@ -73,8 +110,7 @@ double UpdateModule::FrequencyFor(double rate, double importance) const {
             config_.budget_utilization * rate / total_rate_;
       } else {
         // Nothing rebalanced yet (or no changes seen): spread evenly.
-        std::size_t n = std::max<std::size_t>(1, pages_.size());
-        f = config_.crawl_budget_pages_per_day / static_cast<double>(n);
+        f = spread;
       }
       break;
     }
@@ -83,8 +119,7 @@ double UpdateModule::FrequencyFor(double rate, double importance) const {
         f = freshness::RevisitOptimizer::FrequencyAtMultiplier(
             rate, multiplier_);
       } else {
-        std::size_t n = std::max<std::size_t>(1, pages_.size());
-        f = config_.crawl_budget_pages_per_day / static_cast<double>(n);
+        f = spread;
       }
       break;
     }
@@ -100,7 +135,7 @@ double UpdateModule::FrequencyFor(double rate, double importance) const {
 double UpdateModule::OnCrawled(const simweb::Url& url, double now,
                                bool changed, bool first_visit,
                                double quiet_days) {
-  PageState& state = pages_[url];
+  PageState& state = page_shards_[ShardOf(url.site)][url];
   estimator::ChangeEstimator* est = EstimatorFor(url, state);
   if (!first_visit && state.visited && now > state.last_visit) {
     double interval = now - state.last_visit;
@@ -137,7 +172,8 @@ double UpdateModule::OnCrawled(const simweb::Url& url, double now,
   //     a few probes instead of being stuck forever.
   //  2. Random probes for scheduled pages, with probability growing in
   //     the scheduled interval (deferred pages get proportionally more
-  //     scrutiny).
+  //     scrutiny). The coin flips come from the site's own stream, so
+  //     they depend only on the site's visit sequence.
   //
   // Probes only shorten the schedule, never delay it.
   if (config_.policy != RevisitPolicy::kUniform && !first_visit &&
@@ -158,7 +194,7 @@ double UpdateModule::OnCrawled(const simweb::Url& url, double now,
       }
     } else {
       state.probing_abandonment = false;
-      if (rng_.Bernoulli(config_.probe_probability)) {
+      if (ProbeRng(url.site).Bernoulli(config_.probe_probability)) {
         interval = std::min(interval, probe);
       }
     }
@@ -168,33 +204,64 @@ double UpdateModule::OnCrawled(const simweb::Url& url, double now,
 
 void UpdateModule::SetImportance(const simweb::Url& url,
                                  double importance) {
-  auto it = pages_.find(url);
-  if (it != pages_.end()) it->second.importance = importance;
+  PageMap& pages = page_shards_[ShardOf(url.site)];
+  auto it = pages.find(url);
+  if (it != pages.end()) it->second.importance = importance;
 }
 
 void UpdateModule::Forget(const simweb::Url& url) {
-  pages_.erase(url);
+  page_shards_[ShardOf(url.site)].erase(url);
 }
 
 double UpdateModule::EstimatedRate(const simweb::Url& url) const {
-  auto it = pages_.find(url);
-  if (it == pages_.end()) return 0.0;
+  const PageMap& pages = page_shards_[ShardOf(url.site)];
+  auto it = pages.find(url);
+  if (it == pages.end()) return 0.0;
   const estimator::ChangeEstimator* est = EstimatorFor(url, it->second);
   return est == nullptr ? 0.0 : est->EstimatedRate();
 }
 
+std::size_t UpdateModule::tracked_pages() const {
+  std::size_t total = 0;
+  for (const PageMap& shard : page_shards_) total += shard.size();
+  return total;
+}
+
+void UpdateModule::RefreshSchedulingPageCount() {
+  frozen_page_count_ = tracked_pages();
+}
+
+std::vector<std::pair<simweb::Url, const UpdateModule::PageState*>>
+UpdateModule::SortedPages() const {
+  std::vector<std::pair<simweb::Url, const PageState*>> pages;
+  pages.reserve(tracked_pages());
+  for (const PageMap& shard : page_shards_) {
+    for (const auto& [url, state] : shard) {
+      pages.emplace_back(url, &state);
+    }
+  }
+  std::sort(pages.begin(), pages.end(), [](const auto& a, const auto& b) {
+    return simweb::UrlIdentityLess{}(a.first, b.first);
+  });
+  return pages;
+}
+
 void UpdateModule::Rebalance() {
   ++rebalance_count_;
+  RefreshSchedulingPageCount();
   total_rate_ = 0.0;
   double importance_sum = 0.0;
-  // Bucket pages by scheduling rate on a log grid so the optimiser sees
-  // a bounded number of groups regardless of collection size.
+  // Canonical URL-identity walk: the floating-point accumulations below
+  // sum in the same order at every shard count. Bucket pages by
+  // scheduling rate on a log grid so the optimiser sees a bounded
+  // number of groups regardless of collection size.
   std::map<int, freshness::RateGroup> buckets;
-  for (const auto& [url, state] : pages_) {
-    const estimator::ChangeEstimator* est = EstimatorFor(url, state);
+  const auto pages = SortedPages();
+  for (const auto& [url, state] : pages) {
+    const estimator::ChangeEstimator* est = EstimatorFor(url, *state);
     double rate = SchedulingRate(est);
     total_rate_ += rate;
-    importance_sum += state.importance;
+    importance_sum += state->importance;
     int key = rate > 0.0
                   ? static_cast<int>(std::lround(8.0 * std::log2(rate)))
                   : std::numeric_limits<int>::min();
@@ -203,8 +270,8 @@ void UpdateModule::Rebalance() {
     it->second.weight += 1.0;
   }
   mean_importance_ =
-      pages_.empty() ? 0.0
-                     : importance_sum / static_cast<double>(pages_.size());
+      pages.empty() ? 0.0
+                    : importance_sum / static_cast<double>(pages.size());
 
   if (config_.policy != RevisitPolicy::kOptimal || buckets.empty()) {
     return;

@@ -5,6 +5,8 @@
 #include <iosfwd>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "estimator/change_estimator.h"
 #include "simweb/url.h"
@@ -83,8 +85,18 @@ struct UpdateModuleConfig {
   /// cheap exploration that lets such pages be rescued.
   double probe_probability = 0.1;
 
-  /// Seed for the probe coin flips (scheduling stays deterministic).
+  /// Seed for the probe coin flips. Each site draws from its own
+  /// stream derived from (seed, site), so scheduling is deterministic
+  /// at every shard count: a site's draws depend only on its own visit
+  /// sequence, never on how other sites' visits interleave.
   uint64_t seed = 0x9e3779b9;
+
+  /// Number of internal state shards, sites owned by shard `site % N`.
+  /// Must match the crawl engine's shard count when OnCrawled/Forget
+  /// are called concurrently from the engine's apply pass (so two
+  /// workers can never touch one shard map); the module's decisions
+  /// are identical at every value.
+  int num_shards = 1;
 };
 
 /// The `UpdateModule` of Figure 12: decides *when to revisit* each
@@ -98,6 +110,17 @@ struct UpdateModuleConfig {
 /// fast update path from expensive global computation); between calls
 /// every scheduling decision is O(1) via the stored Lagrange
 /// multiplier.
+///
+/// Concurrency contract: OnCrawled / Forget / EstimatedRate /
+/// SetImportance touch only the shard owning `url.site` plus
+/// *frozen* global scheduling quantities (the Lagrange multiplier,
+/// the proportional normaliser, the mean importance, and the page
+/// count snapshot), so the engine's apply pass may call them in
+/// parallel for sites of different shards. The frozen quantities are
+/// recomputed only on the serial path — Rebalance() and
+/// RefreshSchedulingPageCount() at batch barriers — in canonical
+/// (site, slot, incarnation) order, which makes every decision a pure
+/// function of the visit history regardless of shard count.
 class UpdateModule {
  public:
   explicit UpdateModule(const UpdateModuleConfig& config);
@@ -128,14 +151,21 @@ class UpdateModule {
   /// once per simulated day.
   void Rebalance();
 
-  std::size_t tracked_pages() const { return pages_.size(); }
+  /// Re-freezes the tracked-page count used by the budget-spreading
+  /// fallbacks (uniform policy, pre-rebalance optimal/proportional).
+  /// Crawlers call this at each batch barrier so the count advances
+  /// once per batch — on the serial path — instead of per page, which
+  /// is what keeps OnCrawled shard-parallel *and* bit-deterministic.
+  void RefreshSchedulingPageCount();
+
+  std::size_t tracked_pages() const;
   const UpdateModuleConfig& config() const { return config_; }
 
   /// Snapshot/restore of the module's *learned* state — estimator
   /// statistics, per-page visit history, rebalance outputs, and the
-  /// probe RNG — implemented in crawler/snapshot.cc. Persisting this is
-  /// what lets a restarted incremental crawler keep its change-rate
-  /// knowledge instead of relearning it from scratch.
+  /// per-site probe RNG streams — implemented in crawler/snapshot.cc.
+  /// Persisting this is what lets a restarted incremental crawler keep
+  /// its change-rate knowledge instead of relearning it from scratch.
   friend Status SaveUpdateModule(const UpdateModule& module,
                                  std::ostream& out);
   friend Status LoadUpdateModule(std::istream& in, UpdateModule* module);
@@ -144,10 +174,15 @@ class UpdateModule {
   /// rebalance); exposed for observability and tests.
   double multiplier() const { return multiplier_; }
 
+  int num_shards() const { return static_cast<int>(page_shards_.size()); }
+  std::size_t ShardOf(uint32_t site) const {
+    return site % page_shards_.size();
+  }
+
  private:
   struct PageState {
     /// Owned when page-level stats; with site-level stats the
-    /// estimator lives in sites_ and this is null.
+    /// estimator lives in the site shard and this is null.
     std::unique_ptr<estimator::ChangeEstimator> estimator;
     double last_visit = 0.0;
     bool visited = false;
@@ -157,10 +192,20 @@ class UpdateModule {
     bool probing_abandonment = false;
   };
 
+  using PageMap =
+      std::unordered_map<simweb::Url, PageState, simweb::UrlHash>;
+  using SiteMap =
+      std::unordered_map<uint32_t,
+                         std::unique_ptr<estimator::ChangeEstimator>>;
+
   estimator::ChangeEstimator* EstimatorFor(const simweb::Url& url,
                                            PageState& state);
   const estimator::ChangeEstimator* EstimatorFor(
       const simweb::Url& url, const PageState& state) const;
+
+  /// The probe stream owned by `site`, lazily seeded from
+  /// (config_.seed, site); only the owning shard's worker touches it.
+  Rng& ProbeRng(uint32_t site);
 
   /// Rate used for scheduling: the estimate when trustworthy, the
   /// prior while history is thin.
@@ -169,15 +214,22 @@ class UpdateModule {
   /// Maps a rate (and importance) to a visit frequency per the policy.
   double FrequencyFor(double rate, double importance) const;
 
+  /// All (url, state) pairs in ascending URL identity order — the
+  /// canonical walk Rebalance and the snapshot writer share, so their
+  /// floating-point accumulations are shard-count independent.
+  std::vector<std::pair<simweb::Url, const PageState*>> SortedPages()
+      const;
+
   UpdateModuleConfig config_;
-  Rng rng_;
-  std::unordered_map<simweb::Url, PageState, simweb::UrlHash> pages_;
-  std::unordered_map<uint32_t,
-                     std::unique_ptr<estimator::ChangeEstimator>>
-      sites_;  // site-level aggregates when enabled
+  std::vector<PageMap> page_shards_;
+  std::vector<SiteMap> site_shards_;  // site-level aggregates
+  std::vector<std::unordered_map<uint32_t, Rng>> rng_shards_;
   double multiplier_ = 0.0;        // kOptimal; 0 = not yet rebalanced
   double total_rate_ = 0.0;        // kProportional normaliser
   double mean_importance_ = 0.0;   // importance boost normaliser
+  /// Page count snapshot behind FrequencyFor's fallbacks; advances only
+  /// on the serial path (Rebalance / RefreshSchedulingPageCount).
+  std::size_t frozen_page_count_ = 0;
   int64_t rebalance_count_ = 0;
 };
 

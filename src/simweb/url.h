@@ -39,6 +39,18 @@ struct UrlHash {
   }
 };
 
+/// The one canonical URL order — ascending (site, slot, incarnation).
+/// Everything that must be bit-identical across shard counts (eviction
+/// tie-breaks, snapshot record order, ranking walks, rebalance sums)
+/// sorts with this single definition.
+struct UrlIdentityLess {
+  bool operator()(const Url& a, const Url& b) const {
+    if (a.site != b.site) return a.site < b.site;
+    if (a.slot != b.slot) return a.slot < b.slot;
+    return a.incarnation < b.incarnation;
+  }
+};
+
 }  // namespace webevo::simweb
 
 #endif  // WEBEVO_SIMWEB_URL_H_

@@ -53,6 +53,21 @@ void ThreadPool::RunAndWait(std::vector<std::function<void()>> tasks) {
   latch->cv.wait(lock, [&] { return latch->remaining == 0; });
 }
 
+void ThreadPool::RunForIndices(
+    const std::vector<std::size_t>& indices,
+    const std::function<void(std::size_t)>& task) {
+  if (indices.size() <= 1) {
+    for (std::size_t i : indices) task(i);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(indices.size());
+  for (std::size_t i : indices) {
+    tasks.push_back([&task, i] { task(i); });
+  }
+  RunAndWait(std::move(tasks));
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

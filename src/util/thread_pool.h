@@ -41,6 +41,14 @@ class ThreadPool {
   /// worker thread (the barrier would deadlock waiting on itself).
   void RunAndWait(std::vector<std::function<void()>> tasks);
 
+  /// Runs `task(i)` for every index in `indices` and waits. With two or
+  /// more indices the tasks go through the pool, one per index; with
+  /// fewer they run inline — same code path, same results, no thread
+  /// handoff. This is the shard fan-out the crawl phases (plan extract,
+  /// fetch, apply shard pass, link noting, measure) all share.
+  void RunForIndices(const std::vector<std::size_t>& indices,
+                     const std::function<void(std::size_t)>& task);
+
  private:
   void WorkerLoop();
 

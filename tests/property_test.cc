@@ -6,11 +6,14 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "crawler/coll_urls.h"
+#include "crawler/collection.h"
+#include "crawler/sharded_collection.h"
 #include "crawler/sharded_frontier.h"
 #include "freshness/analytic.h"
 #include "freshness/revisit_optimizer.h"
@@ -108,9 +111,11 @@ TEST(CollUrlsModelTest, RandomOpsMatchReference) {
 // is *bit-identical* to one global CollUrls — same pop order, same pop
 // times (including the synthetic front-of-queue keys), same sizes —
 // because sequence numbers and the front offset are global and the
-// k-way merge uses the same (when, seq) order as the single heap.
+// tournament-tree merge over shard heads uses the same (when, seq)
+// order as the single heap. N = 64 exceeds the 13-site universe, so
+// empty shards and a deep tree are exercised too.
 TEST(ShardedFrontierModelTest, RandomOpsMatchPlainCollUrls) {
-  for (int shards : {1, 3, 4, 8}) {
+  for (int shards : {1, 3, 4, 8, 64}) {
     Rng rng(4242);  // same op stream for every shard count
     crawler::CollUrls plain;
     crawler::ShardedFrontier sharded(shards);
@@ -177,7 +182,7 @@ TEST(ShardedFrontierModelTest, RandomOpsMatchPlainCollUrls) {
 // state afterwards (extracted-but-unplanned entries restored intact).
 TEST(ShardedFrontierModelTest, PlanSlotsMatchesTheSerialSlotLoop) {
   Rng rng(99173);
-  for (int shards : {1, 4, 8}) {
+  for (int shards : {1, 3, 4, 8, 64}) {
     for (int round = 0; round < 40; ++round) {
       crawler::ShardedFrontier frontier(shards);
       const int urls = 1 + static_cast<int>(rng.NextBounded(60));
@@ -237,6 +242,94 @@ TEST(ShardedFrontierModelTest, PlanSlotsMatchesTheSerialSlotLoop) {
         EXPECT_EQ(a->url, b->url);
         EXPECT_EQ(a->when, b->when);
       }
+    }
+  }
+}
+
+// --------------- ShardedCollection vs a single Collection --------------
+
+// The sharded page store must be indistinguishable from one Collection
+// at every shard count: same capacity enforcement, same lookups, same
+// sizes, and — because both break importance ties by URL identity —
+// the same eviction victim, bit for bit.
+TEST(ShardedCollectionModelTest, RandomOpsMatchPlainCollection) {
+  for (int shards : {1, 3, 8}) {
+    Rng rng(77130);  // same op stream for every shard count
+    crawler::Collection plain(40);
+    crawler::ShardedCollection sharded(40, shards);
+    for (int op = 0; op < 20000; ++op) {
+      simweb::Url url{static_cast<uint32_t>(rng.NextBounded(11)),
+                      static_cast<uint32_t>(rng.NextBounded(7)), 0};
+      switch (rng.NextBounded(5)) {
+        case 0:
+        case 1: {  // upsert (importance ties are common by design)
+          crawler::CollectionEntry e;
+          e.url = url;
+          e.version = rng.Next();
+          e.importance = std::floor(rng.NextDouble() * 4.0);
+          Status a = plain.Upsert(e);
+          Status b = sharded.Upsert(e);
+          ASSERT_EQ(a.code(), b.code()) << "shards=" << shards;
+          break;
+        }
+        case 2: {  // remove
+          Status a = plain.Remove(url);
+          Status b = sharded.Remove(url);
+          ASSERT_EQ(a.ok(), b.ok());
+          break;
+        }
+        case 3: {  // find
+          const crawler::CollectionEntry* a = plain.Find(url);
+          const crawler::CollectionEntry* b = sharded.Find(url);
+          ASSERT_EQ(a == nullptr, b == nullptr);
+          if (a != nullptr) {
+            EXPECT_EQ(a->version, b->version);
+            EXPECT_EQ(a->importance, b->importance);
+          }
+          break;
+        }
+        case 4: {  // eviction victim
+          const crawler::CollectionEntry* a = plain.LowestImportance();
+          const crawler::CollectionEntry* b = sharded.LowestImportance();
+          ASSERT_EQ(a == nullptr, b == nullptr);
+          if (a != nullptr) {
+            EXPECT_EQ(a->url, b->url) << "shards=" << shards;
+            EXPECT_EQ(a->importance, b->importance);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(plain.size(), sharded.size());
+      ASSERT_EQ(plain.full(), sharded.full());
+      ASSERT_EQ(plain.Contains(url), sharded.Contains(url));
+    }
+    // Direct shard mutations (the apply shard pass's purge path) are
+    // reconciled into the cached global count on the serial path.
+    for (int s = 0; s < shards; ++s) {
+      auto& shard = sharded.shard(static_cast<std::size_t>(s));
+      std::vector<simweb::Url> urls;
+      shard.ForEach([&](const crawler::CollectionEntry& e) {
+        if (urls.empty()) urls.push_back(e.url);
+      });
+      for (const simweb::Url& url : urls) {
+        ASSERT_TRUE(shard.Remove(url).ok());
+        ASSERT_TRUE(plain.Remove(url).ok());
+      }
+    }
+    sharded.ReconcileSize();
+    ASSERT_EQ(plain.size(), sharded.size());
+
+    // The canonical walk must visit every entry exactly once, sorted.
+    std::vector<simweb::Url> walked;
+    sharded.ForEachCanonical([&](const crawler::CollectionEntry& e) {
+      walked.push_back(e.url);
+    });
+    EXPECT_EQ(walked.size(), plain.size());
+    for (std::size_t i = 1; i < walked.size(); ++i) {
+      EXPECT_TRUE(std::tuple(walked[i - 1].site, walked[i - 1].slot,
+                             walked[i - 1].incarnation) <
+                  std::tuple(walked[i].site, walked[i].slot,
+                             walked[i].incarnation));
     }
   }
 }

@@ -6,7 +6,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <sstream>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +19,7 @@
 #include "crawler/incremental_crawler.h"
 #include "crawler/periodic_crawler.h"
 #include "crawler/sharded_crawl_engine.h"
+#include "crawler/snapshot.h"
 #include "simweb/simulated_web.h"
 #include "simweb/web_config.h"
 #include "util/random.h"
@@ -314,6 +318,7 @@ void ExpectIdentical(const IncrementalFingerprint& a,
   EXPECT_EQ(a.stats.dead_pages_removed, b.stats.dead_pages_removed);
   EXPECT_EQ(a.stats.changes_detected, b.stats.changes_detected);
   EXPECT_EQ(a.stats.politeness_retries, b.stats.politeness_retries);
+  EXPECT_EQ(a.stats.in_batch_retries, b.stats.in_batch_retries);
   EXPECT_EQ(a.stats.new_page_latency_days.count(),
             b.stats.new_page_latency_days.count());
   EXPECT_EQ(a.stats.new_page_latency_days.mean(),
@@ -358,6 +363,109 @@ TEST(ShardedEngineTest, IncrementalCrawlIsIdenticalAcrossShardCounts) {
   ASSERT_GT(serial.stats.politeness_retries, 0u);  // contention exercised
   ExpectIdentical(serial, RunIncremental(8, 41));
   ExpectIdentical(serial, RunIncremental(3, 41));
+}
+
+// --------------------------------------------------- in-batch retries
+
+TEST(ShardedEngineTest, PolitenessRetriesAreRetiredWithinTheBatch) {
+  // Slots are 1/60 day apart but the polite delay is 0.05 days, so
+  // back-to-back same-site slots collide; with day-long batch windows
+  // (sample == rebalance == 1 day, refinement far away) the polite
+  // window reopens well before the window closes, and the rejected
+  // fetches must be refetched inside their own batch instead of
+  // waiting for the next one.
+  for (int shards : {1, 4}) {
+    simweb::WebConfig wc = SmallWeb(83);
+    wc.uniform_lifespan_days = 1e7;  // no deaths: retries only
+    simweb::SimulatedWeb web(wc);
+    IncrementalCrawlerConfig config;
+    config.collection_capacity = 150;
+    config.crawl_rate_pages_per_day = 60.0;
+    config.freshness_sample_interval_days = 1.0;
+    config.rebalance_interval_days = 1.0;
+    config.refine_interval_days = 50.0;
+    config.crawl_parallelism = shards;
+    config.crawl.per_site_delay_days = 0.05;
+    config.crawl.enforce_politeness = true;
+    IncrementalCrawler crawler(&web, config);
+    ASSERT_TRUE(crawler.Bootstrap(0.0).ok());
+    ASSERT_TRUE(crawler.RunUntil(10.0).ok());
+    EXPECT_GT(crawler.stats().politeness_retries, 0u)
+        << "shards=" << shards;
+    // The regression guard: rejected URLs are fetched in-batch again.
+    EXPECT_GT(crawler.stats().in_batch_retries, 0u) << "shards=" << shards;
+    // Every crawl is either a slot fetch or an in-batch retry fetch;
+    // the retry fetches really hit the web (rejections do not).
+    EXPECT_EQ(web.fetch_count() + crawler.stats().politeness_retries,
+              crawler.stats().crawls);
+  }
+}
+
+TEST(ShardedEngineTest, MostShortDelayRejectionsRetireInBatch) {
+  // The latency point of the feature: with a 0.05-day polite delay
+  // inside day-long batch windows, the window nearly always reopens
+  // in-batch, so the bulk of rejections must be retired by an in-batch
+  // refetch rather than deferred a whole batch.
+  simweb::WebConfig wc = SmallWeb(84);
+  wc.uniform_lifespan_days = 1e7;
+  simweb::SimulatedWeb web(wc);
+  IncrementalCrawlerConfig config;
+  config.collection_capacity = 150;
+  config.crawl_rate_pages_per_day = 60.0;
+  config.freshness_sample_interval_days = 1.0;
+  config.rebalance_interval_days = 1.0;
+  config.refine_interval_days = 50.0;
+  config.crawl.per_site_delay_days = 0.05;
+  config.crawl.enforce_politeness = true;
+  IncrementalCrawler crawler(&web, config);
+  ASSERT_TRUE(crawler.Bootstrap(0.0).ok());
+  ASSERT_TRUE(crawler.RunUntil(8.0).ok());
+  ASSERT_GT(crawler.stats().politeness_retries, 0u);
+  EXPECT_GT(2 * crawler.stats().in_batch_retries,
+            crawler.stats().politeness_retries);
+}
+
+// ----------------------------------- snapshot bytes across shard counts
+
+TEST(ShardedEngineTest, SnapshotBytesAreIdenticalAcrossShardCounts) {
+  // The full apply + snapshot determinism case: run the same simulation
+  // at 1 and 5 shards, snapshot collection, update module and frontier,
+  // and require *byte-identical* files — records are canonically
+  // ordered, so equal logical state means equal bytes. Then restore
+  // the frontier at yet another shard count and require a bit-identical
+  // pop order.
+  auto snapshot_bytes = [](int parallelism) {
+    simweb::WebConfig wc = SmallWeb(85);
+    wc.uniform_lifespan_days = 25.0;
+    simweb::SimulatedWeb web(wc);
+    IncrementalCrawlerConfig config;
+    config.collection_capacity = 150;
+    config.crawl_rate_pages_per_day = 60.0;
+    config.crawl_parallelism = parallelism;
+    config.crawl.per_site_delay_days = 0.02;
+    config.crawl.enforce_politeness = true;
+    IncrementalCrawler crawler(&web, config);
+    EXPECT_TRUE(crawler.Bootstrap(0.0).ok());
+    EXPECT_TRUE(crawler.RunUntil(12.0).ok());
+    std::ostringstream collection, update, frontier;
+    EXPECT_TRUE(SaveCollection(crawler.collection(), collection).ok());
+    EXPECT_TRUE(SaveUpdateModule(crawler.update_module(), update).ok());
+    EXPECT_TRUE(SaveFrontier(crawler.coll_urls(), frontier).ok());
+    return std::tuple{collection.str(), update.str(), frontier.str()};
+  };
+  auto serial = snapshot_bytes(1);
+  auto sharded = snapshot_bytes(5);
+  EXPECT_EQ(std::get<0>(serial), std::get<0>(sharded));
+  EXPECT_EQ(std::get<1>(serial), std::get<1>(sharded));
+  EXPECT_EQ(std::get<2>(serial), std::get<2>(sharded));
+
+  // Round-trip: the restored frontier pops exactly like the live one.
+  std::istringstream frontier_in(std::get<2>(serial));
+  auto restored = LoadFrontier(frontier_in, 3);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  std::ostringstream again;
+  ASSERT_TRUE(SaveFrontier(*restored, again).ok());
+  EXPECT_EQ(again.str(), std::get<2>(serial));
 }
 
 TEST(ShardedEngineTest, PeriodicCrawlIsIdenticalAcrossShardCounts) {
