@@ -63,6 +63,9 @@ struct RunResult {
   uint64_t changes_detected = 0;
   uint64_t politeness_retries = 0;
   uint64_t in_batch_retries = 0;
+  /// Total in-batch politeness retry rounds (deterministic ledger
+  /// entry; the per-batch mean shows hot-site skew).
+  uint64_t retry_rounds = 0;
   uint64_t web_fetches = 0;
   uint64_t pages_created = 0;
 };
@@ -116,6 +119,7 @@ RunResult RunOnce(int shards, double scale, double days,
   r.changes_detected = crawl.stats().changes_detected;
   r.politeness_retries = crawl.stats().politeness_retries;
   r.in_batch_retries = crawl.stats().in_batch_retries;
+  r.retry_rounds = static_cast<uint64_t>(es.retry_rounds.sum() + 0.5);
   r.web_fetches = web.fetch_count();
   r.pages_created = web.OracleTotalPagesCreated();
   return r;
@@ -132,6 +136,7 @@ bool SameSimulation(const RunResult& a, const RunResult& b) {
          a.changes_detected == b.changes_detected &&
          a.politeness_retries == b.politeness_retries &&
          a.in_batch_retries == b.in_batch_retries &&
+         a.retry_rounds == b.retry_rounds &&
          a.web_fetches == b.web_fetches &&
          a.pages_created == b.pages_created;
 }
@@ -211,7 +216,7 @@ int main(int argc, char** argv) {
     std::printf("\nper-phase wall-clock totals (seconds over the run)\n");
     TablePrinter phases({"shards", "batches", "plan s", "fetch s",
                          "apply s", "barrier s", "measure s",
-                         "serial ms/batch"});
+                         "retry rounds", "serial ms/batch"});
     for (const RunResult& r : results) {
       double per_batch_ms =
           r.batches > 0
@@ -227,6 +232,8 @@ int main(int argc, char** argv) {
                      TablePrinter::Fmt(r.apply_seconds),
                      TablePrinter::Fmt(r.apply_barrier_seconds),
                      TablePrinter::Fmt(r.measure_seconds),
+                     TablePrinter::Fmt(
+                         static_cast<int64_t>(r.retry_rounds)),
                      TablePrinter::Fmt(per_batch_ms, 3)});
     }
     std::printf("%s\n", phases.ToString().c_str());

@@ -1,10 +1,14 @@
-// Checkpoint/restart: snapshot the incremental crawler's collection to
-// disk, "restart", restore it, and show the restored crawler resumes
-// with a warm collection instead of recrawling the web from scratch.
+// Checkpoint/restart: snapshot the *whole* incremental crawler — the
+// collection, the learned change statistics, the frontier schedule,
+// the crawl clock and politeness state, and the simulated web's
+// evolution state — to one crash-consistent file; "restart" in a
+// fresh process; and show the resumed crawler is bit-identical to one
+// that never stopped.
 //
-//   ./build/examples/checkpoint_restart
+//   ./build/example_checkpoint_restart
 
 #include <cstdio>
+#include <sstream>
 #include <string>
 
 #include "crawler/incremental_crawler.h"
@@ -17,55 +21,71 @@ int main() {
 
   simweb::WebConfig web_config = simweb::WebConfig().Scaled(0.08);
   web_config.seed = 2024;
-  const std::string snapshot_path = "/tmp/webevo_checkpoint.snap";
-
-  // --- Phase 1: crawl for a month, then checkpoint. -------------------
-  simweb::SimulatedWeb web(web_config);
   crawler::IncrementalCrawlerConfig config;
   config.collection_capacity = 800;
   config.crawl_rate_pages_per_day = 800.0 / 30.0;
+  const std::string checkpoint_path = "/tmp/webevo_checkpoint.ck";
+
+  // --- Phase 1: crawl for a month, then checkpoint. -------------------
+  simweb::SimulatedWeb web(web_config);
   crawler::IncrementalCrawler first(&web, config);
   if (!first.Bootstrap(0.0).ok() || !first.RunUntil(30.0).ok()) {
     std::printf("phase 1 failed\n");
     return 1;
   }
-  Status saved =
-      crawler::SaveCollectionToFile(first.collection(), snapshot_path);
+  Status saved = crawler::SaveCrawlerToFile(first, checkpoint_path);
   std::printf("day 30: collection %zu pages, freshness %.3f -> %s\n",
               first.collection().size(), first.MeasureNow().freshness,
-              saved.ok() ? snapshot_path.c_str()
+              saved.ok() ? checkpoint_path.c_str()
                          : saved.ToString().c_str());
   if (!saved.ok()) return 1;
 
-  // --- Phase 2: "restart" — load the snapshot and verify it. ----------
-  auto restored = crawler::LoadCollectionFromFile(snapshot_path);
-  if (!restored.ok()) {
-    std::printf("restore failed: %s\n",
-                restored.status().ToString().c_str());
+  // --- Phase 2: "restart" — a brand-new process would do exactly
+  // this: rebuild web + crawler from the same config, then restore
+  // everything (including the web's evolution state) from the file.
+  simweb::SimulatedWeb fresh_web(web_config);
+  crawler::IncrementalCrawler resumed(&fresh_web, config);
+  Status loaded =
+      crawler::LoadCrawlerFromFile(checkpoint_path, &resumed);
+  if (!loaded.ok()) {
+    std::printf("restore failed: %s\n", loaded.ToString().c_str());
     return 1;
   }
-  std::printf("restored %zu pages (capacity %zu) with verified "
-              "integrity trailer\n",
-              restored->size(), restored->capacity());
+  std::printf("restored at day %.1f: %zu pages, %zu tracked page "
+              "statistics, %zu queued URLs\n",
+              resumed.now(), resumed.collection().size(),
+              resumed.update_module().tracked_pages(),
+              resumed.coll_urls().size());
 
-  // The restored collection is immediately queryable: measure how fresh
-  // the month-old copies still are against the live web.
-  crawler::CollectionQuality cold =
-      crawler::MeasureCollection(web, *restored, web.now());
-  TablePrinter table({"metric", "restored collection"});
-  table.AddRow({"pages", TablePrinter::Fmt(
-                             static_cast<int64_t>(cold.size))});
-  table.AddRow({"still fresh", TablePrinter::Fmt(cold.freshness)});
-  table.AddRow({"dead pages", TablePrinter::Fmt(
-                                  static_cast<int64_t>(cold.dead))});
-  table.AddRow({"mean staleness (days)",
-                TablePrinter::Fmt(cold.mean_stale_age_days, 1)});
-  std::printf("\n%s", table.ToString().c_str());
-
-  std::printf(
-      "\na restarted crawler resumes from these %zu pages — checksums,\n"
-      "link structure and importance included — rather than spending a\n"
-      "full sweep rebuilding the collection from the seed URLs.\n",
-      restored->size());
-  return 0;
+  // --- Phase 3: both crawlers run another month; the resumed one must
+  // shadow the uninterrupted one bit for bit.
+  if (!first.RunUntil(60.0).ok() || !resumed.RunUntil(60.0).ok()) {
+    std::printf("phase 3 failed\n");
+    return 1;
+  }
+  std::ostringstream a, b;
+  if (!crawler::SaveCrawler(first, a).ok() ||
+      !crawler::SaveCrawler(resumed, b).ok()) {
+    std::printf("final snapshot failed\n");
+    return 1;
+  }
+  TablePrinter table({"metric", "uninterrupted", "resumed"});
+  table.AddRow({"pages",
+                TablePrinter::Fmt(
+                    static_cast<int64_t>(first.collection().size())),
+                TablePrinter::Fmt(
+                    static_cast<int64_t>(resumed.collection().size()))});
+  table.AddRow({"crawls",
+                TablePrinter::Fmt(
+                    static_cast<int64_t>(first.stats().crawls)),
+                TablePrinter::Fmt(
+                    static_cast<int64_t>(resumed.stats().crawls))});
+  table.AddRow({"freshness",
+                TablePrinter::Fmt(first.MeasureNow().freshness),
+                TablePrinter::Fmt(resumed.MeasureNow().freshness)});
+  std::printf("\nday 60, after a mid-run restart:\n%s",
+              table.ToString().c_str());
+  std::printf("\nfinal checkpoints byte-identical: %s\n",
+              a.str() == b.str() ? "yes" : "NO");
+  return a.str() == b.str() ? 0 : 1;
 }

@@ -97,6 +97,7 @@ class ShadowedCollection {
       : current_(capacity), shadow_(capacity) {}
 
   Collection& shadow() { return shadow_; }
+  const Collection& shadow() const { return shadow_; }
   const Collection& current() const { return current_; }
   Collection& current_mutable() { return current_; }
 
@@ -106,6 +107,9 @@ class ShadowedCollection {
 
   /// Number of swaps performed (crawl cycles completed).
   int64_t swap_count() const { return swap_count_; }
+
+  /// Checkpoint restore of the swap counter (accounting only).
+  void RestoreSwapCount(int64_t n) { swap_count_ = n; }
 
  private:
   Collection current_;

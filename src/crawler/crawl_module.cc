@@ -37,6 +37,24 @@ StatusOr<simweb::FetchResult> CrawlModule::Crawl(const simweb::Url& url,
   return result;
 }
 
+void CrawlModule::ExportPoliteness(
+    std::vector<std::pair<uint32_t, double>>* out) const {
+  for (std::size_t site = 0; site < last_access_.size(); ++site) {
+    if (last_access_[site] >
+        -std::numeric_limits<double>::infinity()) {
+      out->emplace_back(static_cast<uint32_t>(site), last_access_[site]);
+    }
+  }
+}
+
+void CrawlModule::RestorePoliteness(uint32_t site, double last_access) {
+  if (site >= last_access_.size()) {
+    last_access_.resize(site + 1,
+                        -std::numeric_limits<double>::infinity());
+  }
+  last_access_[site] = last_access;
+}
+
 double CrawlModule::NextAllowedTime(uint32_t site) const {
   if (config_.per_site_delay_days <= 0.0 || site >= last_access_.size()) {
     return 0.0;

@@ -2,6 +2,7 @@
 #define WEBEVO_CRAWLER_CRAWL_MODULE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "simweb/page.h"
@@ -45,6 +46,19 @@ class CrawlModule {
 
   /// Earliest time a request to `site` is polite.
   double NextAllowedTime(uint32_t site) const;
+
+  /// Appends every site this module has accessed, with its last access
+  /// time, to `out` — the behavioural politeness state a checkpoint
+  /// must carry so a restarted crawler does not hammer a site it hit
+  /// moments before the save.
+  void ExportPoliteness(
+      std::vector<std::pair<uint32_t, double>>* out) const;
+
+  /// Drops all politeness state (checkpoint restore starts clean).
+  void ClearPoliteness() { last_access_.clear(); }
+
+  /// Restores one site's last access time.
+  void RestorePoliteness(uint32_t site, double last_access);
 
   uint64_t fetch_count() const { return fetch_count_; }
   uint64_t failure_count() const { return failure_count_; }

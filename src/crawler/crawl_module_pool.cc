@@ -23,6 +23,23 @@ double CrawlModulePool::NextAllowedTime(uint32_t site) const {
   return modules_[ShardOf(site)]->NextAllowedTime(site);
 }
 
+std::vector<std::pair<uint32_t, double>>
+CrawlModulePool::ExportPoliteness() const {
+  std::vector<std::pair<uint32_t, double>> records;
+  for (const auto& m : modules_) m->ExportPoliteness(&records);
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return records;
+}
+
+void CrawlModulePool::RestorePoliteness(
+    const std::vector<std::pair<uint32_t, double>>& records) {
+  for (const auto& m : modules_) m->ClearPoliteness();
+  for (const auto& [site, last_access] : records) {
+    modules_[ShardOf(site)]->RestorePoliteness(site, last_access);
+  }
+}
+
 uint64_t CrawlModulePool::fetch_count() const {
   uint64_t total = 0;
   for (const auto& m : modules_) total += m->fetch_count();

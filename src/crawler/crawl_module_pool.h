@@ -2,6 +2,7 @@
 #define WEBEVO_CRAWLER_CRAWL_MODULE_POOL_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "crawler/crawl_module.h"
@@ -31,6 +32,17 @@ class CrawlModulePool {
 
   /// Earliest polite time for `site` (per the owning module).
   double NextAllowedTime(uint32_t site) const;
+
+  /// Every (site, last access time) pair across all modules, ascending
+  /// by site — canonical at every shard count, since each site's
+  /// politeness state lives in exactly one module.
+  std::vector<std::pair<uint32_t, double>> ExportPoliteness() const;
+
+  /// Replaces the pool's politeness state with `records`, routing each
+  /// site to its owning module (the records may come from a pool with a
+  /// different shard count).
+  void RestorePoliteness(
+      const std::vector<std::pair<uint32_t, double>>& records);
 
   int parallelism() const { return static_cast<int>(modules_.size()); }
 

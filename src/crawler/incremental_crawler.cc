@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "crawler/snapshot.h"
 
 namespace webevo::crawler {
 
@@ -337,10 +340,6 @@ void IncrementalCrawler::ApplyBatch(
   }
   engine_.RecordApplyBarrierSeconds(barrier_seconds);
   engine_.RecordApplySeconds(SecondsSince(apply_begin));
-
-  // Advance the UpdateModule's frozen page count on the serial path —
-  // once per batch, never mid-pass.
-  update_module_.RefreshSchedulingPageCount();
 }
 
 Status IncrementalCrawler::RunUntil(double until) {
@@ -368,6 +367,15 @@ Status IncrementalCrawler::RunUntil(double until) {
         next_rebalance_ += config_.rebalance_interval_days;
       }
     }
+
+    // Re-freeze the budget-spreading page count at the serial plan
+    // step, *after* housekeeping: refinement and rebalance may just
+    // have forgotten or admitted pages, and the upcoming batch's
+    // scheduling fallbacks should see that truth instead of a count
+    // captured at the previous batch's barrier. The plan step is
+    // serial, so the freeze stays a pure function of history at every
+    // shard count.
+    update_module_.RefreshSchedulingPageCount();
 
     // Plan one engine batch of crawl slots, bounded by the next
     // housekeeping event so refinement/rebalance/sampling always see a
@@ -398,29 +406,36 @@ Status IncrementalCrawler::RunUntil(double until) {
     // In-batch retry rounds: rejected fetches whose polite window
     // reopens before the batch window closes are refetched now,
     // reusing their wasted slots, instead of waiting a whole batch.
-    // One retry per site per round (a site's clock only advances one
-    // polite step at a time); every round either drains a retry or
-    // pushes its site past the window, so the loop terminates.
+    // A site may receive several polite slots per round, spaced one
+    // polite delay apart — a batch dominated by one hot site retires
+    // in a single round instead of spinning one-URL rounds. Retries
+    // the spacing pushes past the window hand their URL to the next
+    // batch at the spaced polite time; every planned retry advances
+    // its site's polite clock, so the loop terminates.
+    uint64_t retry_rounds = 0;
+    const double delay = config_.crawl.per_site_delay_days;
     while (!retries.empty()) {
       auto round_begin = std::chrono::steady_clock::now();
       std::vector<PlannedFetch> round;
-      std::vector<PendingRetry> waiting;
-      std::unordered_set<uint32_t> round_sites;
+      std::unordered_map<uint32_t, uint64_t> admitted;
       for (PendingRetry& r : retries) {
         const double polite = engine_.pool().NextAllowedTime(r.url.site);
-        if (polite >= slot_plan.end_time) {
-          // The window closed while earlier retries drained: hand the
-          // URL to the next batch at its earliest polite time.
-          coll_urls_.Schedule(r.url, polite);
+        // Intra-round spacing: the site's k-th retry this round runs k
+        // polite delays after its first — exactly the cadence the
+        // engine's per-site plan-order fetches keep polite.
+        uint64_t& k = admitted[r.url.site];
+        const double at = polite + static_cast<double>(k) * delay;
+        if (at >= slot_plan.end_time) {
+          // The spaced slot lands past the window: hand the URL to the
+          // next batch at that (estimated) earliest polite time.
+          coll_urls_.Schedule(r.url, at);
           continue;
         }
-        if (!round_sites.insert(r.url.site).second) {
-          waiting.push_back(std::move(r));
-          continue;
-        }
-        round.push_back(PlannedFetch{r.url, polite});
+        ++k;
+        round.push_back(PlannedFetch{r.url, at});
       }
       if (round.empty()) break;
+      ++retry_rounds;
       // Each retry round is a (small) engine batch of its own; record
       // a plan sample for it so the per-phase sample counts stay one
       // per engine batch.
@@ -432,10 +447,29 @@ Status IncrementalCrawler::RunUntil(double until) {
       std::vector<PendingRetry> rejected;
       ApplyBatch(round, round_outcomes, round_retry_at,
                  slot_plan.end_time, rejected);
-      retries = std::move(waiting);
-      for (PendingRetry& r : rejected) retries.push_back(std::move(r));
+      retries = std::move(rejected);
     }
+    // Advance the crawl clock to the batch boundary *before* any
+    // checkpoint: a checkpoint must capture the post-batch clock, or a
+    // resumed run would re-plan the next batch from a mid-batch slot
+    // time the uninterrupted run never used.
     now_ = slot_plan.end_time;
+    if (!plan.empty()) {
+      // One ledger sample per planned batch: how many retry rounds it
+      // took to retire the batch's politeness rejections.
+      engine_.RecordRetryRounds(static_cast<double>(retry_rounds));
+      ++batches_completed_;
+      if (config_.checkpoint_every_batches > 0 &&
+          batches_completed_ % config_.checkpoint_every_batches == 0) {
+        // Auto-checkpoint at the batch boundary (the engine is
+        // quiesced here by construction).
+        CrawlerCheckpointOptions options;
+        options.include_web = config_.checkpoint_include_web;
+        Status saved =
+            SaveCrawlerToFile(*this, config_.checkpoint_path, options);
+        if (!saved.ok()) return saved;
+      }
+    }
   }
   return Status::Ok();
 }

@@ -2,6 +2,8 @@
 #define WEBEVO_CRAWLER_INCREMENTAL_CRAWLER_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -19,6 +21,12 @@
 #include "util/status.h"
 
 namespace webevo::crawler {
+
+class IncrementalCrawler;
+struct CrawlerCheckpointOptions;
+Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
+                   const CrawlerCheckpointOptions& options);
+Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler);
 
 /// Configuration of the incremental crawler.
 struct IncrementalCrawlerConfig {
@@ -44,6 +52,18 @@ struct IncrementalCrawlerConfig {
   /// fetches — and now each batch's apply — across that many worker
   /// threads.
   int crawl_parallelism = 1;
+
+  /// Auto-checkpointing: when > 0, RunUntil writes a crash-consistent
+  /// SaveCrawler checkpoint to `checkpoint_path` every this many
+  /// completed engine batches (always at a batch boundary, where the
+  /// engine is quiesced). 0 disables.
+  uint64_t checkpoint_every_batches = 0;
+  std::string checkpoint_path;
+  /// Whether auto-checkpoints bundle the simulated web's evolution
+  /// state — required for bit-identical resume in a *fresh* process
+  /// (see snapshot.h); skip it only when the resuming crawler shares
+  /// this process's live web object.
+  bool checkpoint_include_web = true;
 
   UpdateModuleConfig update;
   RankingModuleConfig ranking;
@@ -142,6 +162,19 @@ class IncrementalCrawler {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Completed engine batches (primary planned batches; their in-batch
+  /// retry rounds are part of the batch) — the auto-checkpoint cadence
+  /// counter, persisted by SaveCrawler.
+  uint64_t batches_completed() const { return batches_completed_; }
+
+  /// Checkpoint/restore of the *whole* crawler — the four snapshot
+  /// streams plus crawl clock, housekeeping timers, politeness state
+  /// and counters, bundled into one container file (snapshot.cc).
+  friend Status SaveCrawler(const IncrementalCrawler& crawler,
+                            std::ostream& out,
+                            const CrawlerCheckpointOptions& options);
+  friend Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler);
+
  private:
   /// One cross-shard effect queued by the apply shard pass, applied at
   /// the serial barrier in ascending `slot` order.
@@ -226,6 +259,7 @@ class IncrementalCrawler {
   double next_refine_ = 0.0;
   double next_rebalance_ = 0.0;
   double next_sample_ = 0.0;
+  uint64_t batches_completed_ = 0;
   /// URLs admitted toward collection slots but not yet crawled; exact
   /// accounting so greedy fill never overshoots capacity. Touched only
   /// on serial paths: each slot's pending entry is settled by its own

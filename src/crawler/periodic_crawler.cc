@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "crawler/snapshot.h"
+
 namespace webevo::crawler {
 
 PeriodicCrawler::PeriodicCrawler(simweb::SimulatedWeb* web,
@@ -65,12 +67,24 @@ void PeriodicCrawler::StartCycle(double t) {
     // The paper's batch crawler updates *all pages in the collection*
     // each crawl: with in-place updates the existing entries join the
     // frontier, so vanished pages are re-fetched, detected dead, and
-    // purged (a shadowed cycle rebuilds from scratch instead).
+    // purged (a shadowed cycle rebuilds from scratch instead). The
+    // entries join in canonical (site, slot, incarnation) order, never
+    // hash-map order — map layout depends on insertion history, which
+    // a checkpoint-restored collection does not share with the live
+    // one, and the BFS seed order is observable in every fetch time
+    // that follows.
+    std::vector<simweb::Url> members;
+    members.reserve(inplace_.size());
     inplace_.ForEach([&](const CollectionEntry& entry) {
-      if (SeenInsert(entry.url)) {
-        frontier_.push_back(entry.url);
-      }
+      members.push_back(entry.url);
     });
+    std::sort(members.begin(), members.end(),
+              simweb::UrlIdentityLess{});
+    for (const simweb::Url& url : members) {
+      if (SeenInsert(url)) {
+        frontier_.push_back(url);
+      }
+    }
   }
 }
 
@@ -268,6 +282,17 @@ Status PeriodicCrawler::RunUntil(double until) {
           // slot even when the store is refused, e.g. a full in-place
           // collection, exactly like the serial crawler did).
           now_ = batch_start + static_cast<double>(successes) * step;
+          ++batches_completed_;
+          if (config_.checkpoint_every_batches > 0 &&
+              batches_completed_ % config_.checkpoint_every_batches ==
+                  0) {
+            // Auto-checkpoint at the batch boundary (engine quiesced).
+            CrawlerCheckpointOptions options;
+            options.include_web = config_.checkpoint_include_web;
+            Status saved = SaveCrawlerToFile(
+                *this, config_.checkpoint_path, options);
+            if (!saved.ok()) return saved;
+          }
           continue;
         }
       }

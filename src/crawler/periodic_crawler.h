@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -15,6 +17,12 @@
 #include "util/status.h"
 
 namespace webevo::crawler {
+
+class PeriodicCrawler;
+struct CrawlerCheckpointOptions;
+Status SaveCrawler(const PeriodicCrawler& crawler, std::ostream& out,
+                   const CrawlerCheckpointOptions& options);
+Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler);
 
 /// Configuration of the periodic crawler.
 struct PeriodicCrawlerConfig {
@@ -43,6 +51,13 @@ struct PeriodicCrawlerConfig {
   /// Results are bit-identical for any value; > 1 spreads each batch's
   /// fetches across that many worker threads.
   int crawl_parallelism = 1;
+
+  /// Auto-checkpointing, as on the incremental crawler: when > 0,
+  /// RunUntil writes a SaveCrawler checkpoint to `checkpoint_path`
+  /// every this many completed engine batches. 0 disables.
+  uint64_t checkpoint_every_batches = 0;
+  std::string checkpoint_path;
+  bool checkpoint_include_web = true;
 
   CrawlModuleConfig crawl;
 };
@@ -110,6 +125,18 @@ class PeriodicCrawler {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Completed engine batches — the auto-checkpoint cadence counter,
+  /// persisted by SaveCrawler.
+  uint64_t batches_completed() const { return batches_completed_; }
+
+  /// Checkpoint/restore of the whole crawler — collections, BFS
+  /// frontier and seen-set, crawl clock, cycle state, politeness —
+  /// bundled into one container file (snapshot.cc).
+  friend Status SaveCrawler(const PeriodicCrawler& crawler,
+                            std::ostream& out,
+                            const CrawlerCheckpointOptions& options);
+  friend Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler);
+
  private:
   /// Prepares the BFS frontier for a new cycle starting at `t`.
   void StartCycle(double t);
@@ -149,6 +176,7 @@ class PeriodicCrawler {
   int64_t cycles_completed_ = 0;
   uint64_t stored_this_cycle_ = 0;
   double next_sample_ = 0.0;
+  uint64_t batches_completed_ = 0;
   std::deque<simweb::Url> frontier_;
   /// URLs seen this cycle, sharded by target site (site % N) so the
   /// apply phase's link dedup can run one worker per shard.

@@ -83,6 +83,10 @@ class RankingModule {
   const RankingModuleConfig& config() const { return config_; }
   int64_t refinement_count() const { return refinement_count_; }
 
+  /// Checkpoint restore of the pass counter (accounting only; the
+  /// module keeps no other state between passes).
+  void RestoreRefinementCount(int64_t n) { refinement_count_ = n; }
+
  private:
   RankingModuleConfig config_;
   int64_t refinement_count_ = 0;

@@ -29,6 +29,7 @@ std::vector<StatusOr<simweb::FetchResult>> ShardedCrawlEngine::ExecuteBatch(
   if (retry_at != nullptr) retry_at->assign(batch.size(), 0.0);
   if (batch.empty()) return out;
   auto batch_begin = std::chrono::steady_clock::now();
+  in_batch_ = true;
 
   const auto shards = static_cast<std::size_t>(num_shards());
   std::vector<std::vector<std::size_t>> by_shard(shards);
@@ -107,6 +108,7 @@ std::vector<StatusOr<simweb::FetchResult>> ShardedCrawlEngine::ExecuteBatch(
   for (auto& staged_outcome : staged) {
     out.push_back(std::move(*staged_outcome));
   }
+  in_batch_ = false;
   return out;
 }
 

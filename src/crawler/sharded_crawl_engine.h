@@ -121,6 +121,11 @@ class ShardedCrawlEngine {
     /// barrier / apply is the apply phase's remaining serial fraction.
     RunningStat apply_shard_seconds;
     RunningStat apply_barrier_seconds;
+    /// In-batch politeness retry rounds per planned batch (one sample
+    /// per primary batch, 0 when nothing was rejected) — the ledger
+    /// entry that shows when hot-site skew is costing extra rounds.
+    /// Unlike the wall-clock stats this one is deterministic.
+    RunningStat retry_rounds;
   };
   const Stats& stats() const { return stats_; }
 
@@ -133,12 +138,21 @@ class ShardedCrawlEngine {
   void RecordApplyBarrierSeconds(double s) {
     stats_.apply_barrier_seconds.Add(s);
   }
+  void RecordRetryRounds(double rounds) { stats_.retry_rounds.Add(rounds); }
+
+  /// Quiesce-at-barrier hook for checkpointing: true whenever no batch
+  /// is executing, i.e. the crawler sits at a batch boundary and every
+  /// shard-owned structure is at rest. SaveCrawler refuses to snapshot
+  /// a non-quiescent engine — a checkpoint taken mid-batch would tear
+  /// the per-shard state it bundles.
+  bool quiescent() const { return !in_batch_; }
 
  private:
   simweb::SimulatedWeb* web_;  // not owned
   CrawlModulePool pool_;
   ThreadPool threads_;
   Stats stats_;
+  bool in_batch_ = false;
 };
 
 }  // namespace webevo::crawler

@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <array>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "crawler/incremental_crawler.h"
+#include "crawler/periodic_crawler.h"
 #include "estimator/change_estimator.h"
+#include "simweb/simulated_web.h"
 #include "util/hash.h"
+#include "util/text_snapshot.h"
 
 namespace webevo::crawler {
 namespace {
@@ -18,7 +23,6 @@ constexpr const char* kCollectionMagic = "webevo-collection";
 constexpr const char* kAllUrlsMagic = "webevo-allurls";
 constexpr const char* kUpdateModuleMagic = "webevo-update";
 constexpr const char* kFrontierMagic = "webevo-frontier";
-constexpr const char* kTrailerMagic = "webevo-checksum";
 constexpr int kFormatVersion = 1;
 // The UpdateModule format is versioned separately: version 2 replaced
 // the module-global probe RNG with per-site streams (`R` records) and
@@ -30,60 +34,6 @@ constexpr int kUpdateFormatVersion = 2;
 constexpr std::size_t kMaxEstimatorState = 1 << 20;
 
 constexpr simweb::UrlIdentityLess IdentityLess;
-
-// Accumulates payload lines and emits them with an integrity trailer.
-class TrailerWriter {
- public:
-  explicit TrailerWriter(std::ostream& out) : out_(out) {}
-
-  void Line(const std::string& line) {
-    hash_ = Fnv1a64Seeded(line, hash_);
-    hash_ = Fnv1a64Seeded("\n", hash_);
-    out_ << line << '\n';
-  }
-
-  void Finish() { out_ << kTrailerMagic << ' ' << hash_ << '\n'; }
-
- private:
-  std::ostream& out_;
-  uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
-
-// Reads payload lines, verifying the trailer at the end.
-class TrailerReader {
- public:
-  explicit TrailerReader(std::istream& in) : in_(in) {}
-
-  /// Next payload line; NotFound past the payload (after the trailer
-  /// was consumed and verified), InvalidArgument on corruption.
-  StatusOr<std::string> Next() {
-    std::string line;
-    if (!std::getline(in_, line)) {
-      return Status::InvalidArgument("snapshot truncated (no trailer)");
-    }
-    if (line.rfind(kTrailerMagic, 0) == 0) {
-      std::istringstream trailer(line);
-      std::string magic;
-      uint64_t stored = 0;
-      trailer >> magic >> stored;
-      if (trailer.fail() || stored != hash_) {
-        return Status::InvalidArgument("snapshot integrity check failed");
-      }
-      done_ = true;
-      return Status::NotFound("end of payload");
-    }
-    hash_ = Fnv1a64Seeded(line, hash_);
-    hash_ = Fnv1a64Seeded("\n", hash_);
-    return line;
-  }
-
-  bool done() const { return done_; }
-
- private:
-  std::istream& in_;
-  uint64_t hash_ = 0xcbf29ce484222325ULL;
-  bool done_ = false;
-};
 
 std::string EntryLine(const CollectionEntry& e) {
   std::ostringstream os;
@@ -118,6 +68,8 @@ StatusOr<CollectionEntry> ParseEntry(const std::string& line) {
     }
     e.links.push_back(link);
   }
+  Status end = ExpectLineEnd(is, "entry");
+  if (!end.ok()) return end;
   return e;
 }
 
@@ -165,6 +117,8 @@ StatusOr<CollectionPayload> ReadCollectionSnapshot(std::istream& in) {
   if (version != kFormatVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
+  Status header_end = ExpectLineEnd(hs, "collection header");
+  if (!header_end.ok()) return header_end;
   payload.entries.reserve(std::min<std::size_t>(count, 1 << 20));
   for (std::size_t i = 0; i < count; ++i) {
     auto line = reader.Next();
@@ -175,13 +129,10 @@ StatusOr<CollectionPayload> ReadCollectionSnapshot(std::istream& in) {
     if (!entry.ok()) return entry.status();
     payload.entries.push_back(std::move(entry).value());
   }
-  // Consume and verify the trailer before handing anything back.
-  auto end = reader.Next();
-  if (end.ok() || !reader.done()) {
-    return end.ok()
-               ? Status::InvalidArgument("trailing data in snapshot")
-               : end.status();
-  }
+  // Consume and verify the trailer before handing anything back, and
+  // reject anything that follows it.
+  Status end = FinishFramedStream(reader, in, "collection snapshot");
+  if (!end.ok()) return end;
   return payload;
 }
 
@@ -274,6 +225,8 @@ StatusOr<AllUrls> LoadAllUrls(std::istream& in, int num_shards) {
   if (version != kFormatVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
+  Status header_end = ExpectLineEnd(hs, "allurls header");
+  if (!header_end.ok()) return header_end;
   AllUrls all(num_shards);
   for (std::size_t i = 0; i < count; ++i) {
     auto line = reader.Next();
@@ -291,6 +244,8 @@ StatusOr<AllUrls> LoadAllUrls(std::istream& in, int num_shards) {
     if (is.fail() || tag != "U") {
       return Status::InvalidArgument("malformed url record");
     }
+    Status record_end = ExpectLineEnd(is, "url");
+    if (!record_end.ok()) return record_end;
     all.Add(url, first_seen);
     for (uint64_t k = 0; k < in_links; ++k) all.NoteInLink(url, first_seen);
     if (dead != 0) {
@@ -298,12 +253,8 @@ StatusOr<AllUrls> LoadAllUrls(std::istream& in, int num_shards) {
       if (!st.ok()) return st;
     }
   }
-  auto end = reader.Next();
-  if (end.ok() || !reader.done()) {
-    return end.ok()
-               ? Status::InvalidArgument("trailing data in snapshot")
-               : end.status();
-  }
+  Status end = FinishFramedStream(reader, in, "allurls snapshot");
+  if (!end.ok()) return end;
   return all;
 }
 
@@ -399,6 +350,8 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
   if (version != kUpdateFormatVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
+  Status header_end = ExpectLineEnd(hs, "update header");
+  if (!header_end.ok()) return header_end;
   if (kind !=
       estimator::EstimatorKindName(module->config_.estimator_kind)) {
     return Status::InvalidArgument(
@@ -423,6 +376,8 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
     if (is.fail() || tag != "G") {
       return Status::InvalidArgument("malformed G record");
     }
+    Status record_end = ExpectLineEnd(is, "G");
+    if (!record_end.ok()) return record_end;
     staged.multiplier_ = multiplier;
     staged.total_rate_ = total_rate;
     staged.mean_importance_ = mean_importance;
@@ -451,6 +406,8 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
     if (is.fail()) {
       return Status::InvalidArgument("malformed page estimator state");
     }
+    Status record_end = ExpectLineEnd(is, "page");
+    if (!record_end.ok()) return record_end;
     UpdateModule::PageState state;
     state.last_visit = last_visit;
     state.visited = visited != 0;
@@ -482,6 +439,8 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
     if (is.fail()) {
       return Status::InvalidArgument("malformed site estimator state");
     }
+    Status record_end = ExpectLineEnd(is, "site");
+    if (!record_end.ok()) return record_end;
     auto estimator =
         estimator::MakeEstimator(staged.config_.estimator_kind);
     Status st = estimator->RestoreState(est_state);
@@ -502,17 +461,15 @@ Status LoadUpdateModule(std::istream& in, UpdateModule* module) {
     if (is.fail() || tag != "R") {
       return Status::InvalidArgument("malformed rng record");
     }
+    Status record_end = ExpectLineEnd(is, "rng");
+    if (!record_end.ok()) return record_end;
     Rng rng(0);
     rng.SetState(lanes);
     staged.rng_shards_[staged.ShardOf(site)].insert_or_assign(site, rng);
   }
 
-  auto end = reader.Next();
-  if (end.ok() || !reader.done()) {
-    return end.ok()
-               ? Status::InvalidArgument("trailing data in snapshot")
-               : end.status();
-  }
+  Status end = FinishFramedStream(reader, in, "update snapshot");
+  if (!end.ok()) return end;
   *module = std::move(staged);
   return Status::Ok();
 }
@@ -570,6 +527,8 @@ StatusOr<ShardedFrontier> LoadFrontier(std::istream& in, int num_shards) {
   if (version != kFormatVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
+  Status header_end = ExpectLineEnd(hs, "frontier header");
+  if (!header_end.ok()) return header_end;
   ShardedFrontier frontier(num_shards);
   for (std::size_t i = 0; i < count; ++i) {
     auto line = reader.Next();
@@ -585,17 +544,15 @@ StatusOr<ShardedFrontier> LoadFrontier(std::istream& in, int num_shards) {
     if (is.fail() || tag != "F") {
       return Status::InvalidArgument("malformed frontier record");
     }
+    Status record_end = ExpectLineEnd(is, "frontier");
+    if (!record_end.ok()) return record_end;
     frontier.shards_[frontier.ShardOf(url.site)].ScheduleAt(url, when,
                                                             seq);
   }
   frontier.next_seq_ = next_seq;
   frontier.front_when_ = front_when;
-  auto end = reader.Next();
-  if (end.ok() || !reader.done()) {
-    return end.ok()
-               ? Status::InvalidArgument("trailing data in snapshot")
-               : end.status();
-  }
+  Status end = FinishFramedStream(reader, in, "frontier snapshot");
+  if (!end.ok()) return end;
   return frontier;
 }
 
@@ -623,6 +580,875 @@ StatusOr<Collection> LoadCollectionFromFile(const std::string& path) {
     return Status::NotFound("cannot open " + path);
   }
   return LoadCollection(in);
+}
+
+// ----------------------------------------------------- whole-crawler
+// checkpoints: the versioned container bundling every stream a restart
+// needs, plus the crawler-side state the individual Save* calls cannot
+// see (see snapshot.h for the format).
+
+namespace {
+
+constexpr const char* kCrawlerMagic = "webevo-crawler";
+constexpr int kCrawlerFormatVersion = 1;
+constexpr const char* kIncMetaMagic = "webevo-incmeta";
+constexpr const char* kPerMetaMagic = "webevo-permeta";
+constexpr const char* kPoliteMagic = "webevo-polite";
+constexpr const char* kTrackerMagic = "webevo-tracker";
+constexpr const char* kUrlsMagic = "webevo-urls";
+// Range guard on the section table, parsed before its checksum covers
+// an allocation decision.
+constexpr std::size_t kMaxSections = 16;
+constexpr const char* kIncrementalKind = "incremental";
+constexpr const char* kPeriodicKind = "periodic";
+
+struct Section {
+  std::string name;
+  std::string bytes;
+};
+
+Status WriteContainer(const std::string& kind,
+                      const std::vector<Section>& sections,
+                      std::ostream& out) {
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kCrawlerMagic << ' ' << kCrawlerFormatVersion << ' ' << kind
+         << ' ' << sections.size();
+  writer.Line(header.str());
+  for (const Section& s : sections) {
+    std::ostringstream line;
+    line << "S " << s.name << ' ' << s.bytes.size() << ' '
+         << Fnv1a64(s.bytes);
+    writer.Line(line.str());
+  }
+  writer.Finish();
+  for (const Section& s : sections) {
+    out.write(s.bytes.data(),
+              static_cast<std::streamsize>(s.bytes.size()));
+  }
+  if (!out.good()) return Status::Internal("checkpoint write failed");
+  return Status::Ok();
+}
+
+/// Reads and fully verifies a container: the header trailer first, then
+/// each section against its table length and checksum — so truncation
+/// and corruption surface *before* any section is parsed — and finally
+/// end-of-stream (a checkpoint with trailing garbage was not written by
+/// us and must not be trusted).
+StatusOr<std::vector<Section>> ReadContainer(
+    std::istream& in, const std::string& expected_kind) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic, kind;
+  int version = 0;
+  std::size_t nsections = 0;
+  hs >> magic >> version >> kind >> nsections;
+  if (hs.fail() || magic != kCrawlerMagic) {
+    return Status::InvalidArgument("not a crawler checkpoint");
+  }
+  if (version != kCrawlerFormatVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  Status header_end = ExpectLineEnd(hs, "checkpoint header");
+  if (!header_end.ok()) return header_end;
+  if (kind != expected_kind) {
+    return Status::InvalidArgument(
+        "checkpoint kind '" + kind + "' does not match this crawler ('" +
+        expected_kind + "')");
+  }
+  if (nsections > kMaxSections) {
+    return Status::InvalidArgument("implausible checkpoint section count");
+  }
+  struct TableEntry {
+    std::string name;
+    std::size_t length = 0;
+    uint64_t hash = 0;
+  };
+  std::vector<TableEntry> table;
+  table.reserve(nsections);
+  for (std::size_t i = 0; i < nsections; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("checkpoint section table truncated");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    TableEntry entry;
+    is >> tag >> entry.name >> entry.length >> entry.hash;
+    if (is.fail() || tag != "S") {
+      return Status::InvalidArgument("malformed checkpoint section record");
+    }
+    Status record_end = ExpectLineEnd(is, "section");
+    if (!record_end.ok()) return record_end;
+    table.push_back(std::move(entry));
+  }
+  auto end = reader.Next();
+  if (end.ok() || !reader.done()) {
+    return end.ok() ? Status::InvalidArgument(
+                          "trailing data in checkpoint header")
+                    : end.status();
+  }
+  std::vector<Section> sections;
+  sections.reserve(table.size());
+  for (TableEntry& entry : table) {
+    // Read in bounded chunks rather than trusting the table-claimed
+    // length for one allocation: a crafted length can be recomputed
+    // into a "valid" table, and the honest failure mode for a length
+    // beyond the actual file is a truncation error, not bad_alloc.
+    std::string bytes;
+    bytes.reserve(std::min<std::size_t>(entry.length, 1 << 20));
+    std::size_t remaining = entry.length;
+    char buf[1 << 16];
+    while (remaining > 0) {
+      const std::size_t want = std::min(remaining, sizeof(buf));
+      in.read(buf, static_cast<std::streamsize>(want));
+      const auto got = static_cast<std::size_t>(in.gcount());
+      bytes.append(buf, got);
+      if (got < want) {
+        return Status::InvalidArgument(
+            "checkpoint truncated in section '" + entry.name + "'");
+      }
+      remaining -= got;
+    }
+    if (Fnv1a64(bytes) != entry.hash) {
+      return Status::InvalidArgument("checkpoint section '" + entry.name +
+                                     "' corrupted");
+    }
+    sections.push_back(Section{std::move(entry.name), std::move(bytes)});
+  }
+  Status stream_end = ExpectStreamEnd(in, "checkpoint");
+  if (!stream_end.ok()) return stream_end;
+  return sections;
+}
+
+const std::string* FindSection(const std::vector<Section>& sections,
+                               const std::string& name) {
+  for (const Section& s : sections) {
+    if (s.name == name) return &s.bytes;
+  }
+  return nullptr;
+}
+
+Status MissingSection(const std::string& name) {
+  return Status::InvalidArgument("checkpoint missing section '" + name +
+                                 "'");
+}
+
+void WritePolite(const std::vector<std::pair<uint32_t, double>>& records,
+                 std::ostream& out) {
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kPoliteMagic << ' ' << kFormatVersion << ' ' << records.size();
+  writer.Line(header.str());
+  for (const auto& [site, last_access] : records) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "A " << site << ' ' << last_access;
+    writer.Line(os.str());
+  }
+  writer.Finish();
+}
+
+StatusOr<std::vector<std::pair<uint32_t, double>>> ReadPolite(
+    std::istream& in) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  hs >> magic >> version >> count;
+  if (hs.fail() || magic != kPoliteMagic || version != kFormatVersion) {
+    return Status::InvalidArgument("not a politeness snapshot");
+  }
+  Status header_end = ExpectLineEnd(hs, "polite header");
+  if (!header_end.ok()) return header_end;
+  std::vector<std::pair<uint32_t, double>> records;
+  records.reserve(std::min<std::size_t>(count, 1 << 20));
+  for (std::size_t i = 0; i < count; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("politeness record count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    double last_access = 0.0;
+    is >> tag >> site >> last_access;
+    if (is.fail() || tag != "A") {
+      return Status::InvalidArgument("malformed politeness record");
+    }
+    Status record_end = ExpectLineEnd(is, "politeness");
+    if (!record_end.ok()) return record_end;
+    records.emplace_back(site, last_access);
+  }
+  Status end = FinishFramedStream(reader, in, "politeness snapshot");
+  if (!end.ok()) return end;
+  return records;
+}
+
+void WriteTracker(const freshness::FreshnessTracker& tracker,
+                  std::ostream& out) {
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kTrackerMagic << ' ' << kFormatVersion << ' '
+         << tracker.size();
+  writer.Line(header.str());
+  for (std::size_t i = 0; i < tracker.size(); ++i) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "V " << tracker.times()[i] << ' ' << tracker.values()[i];
+    writer.Line(os.str());
+  }
+  writer.Finish();
+}
+
+struct TrackerSeries {
+  std::vector<double> times;
+  std::vector<double> values;
+};
+
+StatusOr<TrackerSeries> ReadTracker(std::istream& in) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  hs >> magic >> version >> count;
+  if (hs.fail() || magic != kTrackerMagic || version != kFormatVersion) {
+    return Status::InvalidArgument("not a tracker snapshot");
+  }
+  Status header_end = ExpectLineEnd(hs, "tracker header");
+  if (!header_end.ok()) return header_end;
+  TrackerSeries series;
+  series.times.reserve(std::min<std::size_t>(count, 1 << 20));
+  series.values.reserve(std::min<std::size_t>(count, 1 << 20));
+  for (std::size_t i = 0; i < count; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("tracker sample count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    double time = 0.0, value = 0.0;
+    is >> tag >> time >> value;
+    if (is.fail() || tag != "V") {
+      return Status::InvalidArgument("malformed tracker record");
+    }
+    Status record_end = ExpectLineEnd(is, "tracker");
+    if (!record_end.ok()) return record_end;
+    series.times.push_back(time);
+    series.values.push_back(value);
+  }
+  Status end = FinishFramedStream(reader, in, "tracker snapshot");
+  if (!end.ok()) return end;
+  return series;
+}
+
+// A plain URL list (the BFS queue in queue order, the seen-set and the
+// pending-admission set in canonical order).
+void WriteUrlList(const std::vector<simweb::Url>& urls,
+                  std::ostream& out) {
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kUrlsMagic << ' ' << kFormatVersion << ' ' << urls.size();
+  writer.Line(header.str());
+  for (const simweb::Url& url : urls) {
+    std::ostringstream os;
+    os << "Q " << url.site << ' ' << url.slot << ' ' << url.incarnation;
+    writer.Line(os.str());
+  }
+  writer.Finish();
+}
+
+StatusOr<std::vector<simweb::Url>> ReadUrlList(std::istream& in) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  hs >> magic >> version >> count;
+  if (hs.fail() || magic != kUrlsMagic || version != kFormatVersion) {
+    return Status::InvalidArgument("not a url-list snapshot");
+  }
+  Status header_end = ExpectLineEnd(hs, "url-list header");
+  if (!header_end.ok()) return header_end;
+  std::vector<simweb::Url> urls;
+  urls.reserve(std::min<std::size_t>(count, 1 << 20));
+  for (std::size_t i = 0; i < count; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("url-list record count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    simweb::Url url;
+    is >> tag >> url.site >> url.slot >> url.incarnation;
+    if (is.fail() || tag != "Q") {
+      return Status::InvalidArgument("malformed url-list record");
+    }
+    Status record_end = ExpectLineEnd(is, "url-list");
+    if (!record_end.ok()) return record_end;
+    urls.push_back(url);
+  }
+  Status end = FinishFramedStream(reader, in, "url-list snapshot");
+  if (!end.ok()) return end;
+  return urls;
+}
+
+std::string RunningStatLine(const RunningStat& stat) {
+  RunningStat::State state = stat.SaveState();
+  std::ostringstream os;
+  os.precision(17);
+  os << "L " << state.count << ' ' << state.mean << ' ' << state.m2
+     << ' ' << state.min << ' ' << state.max;
+  return os.str();
+}
+
+StatusOr<RunningStat::State> ParseRunningStatLine(
+    const std::string& line) {
+  std::istringstream is(line);
+  std::string tag;
+  RunningStat::State state;
+  is >> tag >> state.count >> state.mean >> state.m2 >> state.min >>
+      state.max;
+  if (is.fail() || tag != "L") {
+    return Status::InvalidArgument("malformed running-stat record");
+  }
+  Status record_end = ExpectLineEnd(is, "running-stat");
+  if (!record_end.ok()) return record_end;
+  return state;
+}
+
+}  // namespace
+
+Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
+                   const CrawlerCheckpointOptions& options) {
+  if (!crawler.engine_.quiescent()) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a quiesced engine (batch boundary)");
+  }
+  std::vector<Section> sections;
+  {
+    std::ostringstream os;
+    TrailerWriter writer(os);
+    {
+      std::ostringstream header;
+      header << kIncMetaMagic << ' ' << kFormatVersion;
+      writer.Line(header.str());
+    }
+    {
+      std::ostringstream t;
+      t.precision(17);
+      t << "T " << crawler.now_ << ' ' << crawler.next_refine_ << ' '
+        << crawler.next_rebalance_ << ' ' << crawler.next_sample_ << ' '
+        << crawler.steady_since_;
+      writer.Line(t.str());
+    }
+    {
+      std::ostringstream b;
+      b << "B " << crawler.batches_completed_ << ' '
+        << (crawler.reached_capacity_once_ ? 1 : 0);
+      writer.Line(b.str());
+    }
+    {
+      const IncrementalCrawler::Stats& s = crawler.stats_;
+      std::ostringstream c;
+      c << "C " << s.crawls << ' ' << s.in_place_updates << ' '
+        << s.pages_added << ' ' << s.pages_evicted << ' '
+        << s.replacements_executed << ' ' << s.dead_pages_removed << ' '
+        << s.changes_detected << ' ' << s.politeness_retries << ' '
+        << s.in_batch_retries << ' '
+        << crawler.ranking_module_.refinement_count();
+      writer.Line(c.str());
+    }
+    writer.Line(RunningStatLine(crawler.stats_.new_page_latency_days));
+    writer.Finish();
+    sections.push_back(Section{"meta", os.str()});
+  }
+  {
+    std::ostringstream os;
+    Status st = SaveCollection(crawler.collection_, os);
+    if (!st.ok()) return st;
+    sections.push_back(Section{"collection", os.str()});
+  }
+  {
+    std::ostringstream os;
+    Status st = SaveAllUrls(crawler.all_urls_, os);
+    if (!st.ok()) return st;
+    sections.push_back(Section{"allurls", os.str()});
+  }
+  {
+    std::ostringstream os;
+    Status st = SaveUpdateModule(crawler.update_module_, os);
+    if (!st.ok()) return st;
+    sections.push_back(Section{"update", os.str()});
+  }
+  {
+    std::ostringstream os;
+    Status st = SaveFrontier(crawler.coll_urls_, os);
+    if (!st.ok()) return st;
+    sections.push_back(Section{"frontier", os.str()});
+  }
+  {
+    std::ostringstream os;
+    WritePolite(crawler.engine_.pool().ExportPoliteness(), os);
+    sections.push_back(Section{"polite", os.str()});
+  }
+  {
+    std::ostringstream os;
+    WriteTracker(crawler.tracker_, os);
+    sections.push_back(Section{"tracker", os.str()});
+  }
+  {
+    std::vector<simweb::Url> pending(crawler.pending_admissions_.begin(),
+                                     crawler.pending_admissions_.end());
+    std::sort(pending.begin(), pending.end(), IdentityLess);
+    std::ostringstream os;
+    WriteUrlList(pending, os);
+    sections.push_back(Section{"pending", os.str()});
+  }
+  if (options.include_web) {
+    std::ostringstream os;
+    Status st = simweb::SaveWeb(*crawler.web_, os);
+    if (!st.ok()) return st;
+    sections.push_back(Section{"web", os.str()});
+  }
+  return WriteContainer(kIncrementalKind, sections, out);
+}
+
+Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
+  auto sections = ReadContainer(in, kIncrementalKind);
+  if (!sections.ok()) return sections.status();
+  for (const char* name :
+       {"meta", "collection", "allurls", "update", "frontier", "polite",
+        "tracker", "pending"}) {
+    if (FindSection(*sections, name) == nullptr) {
+      return MissingSection(name);
+    }
+  }
+
+  // --- Parse every section into staging state; nothing in `crawler`
+  // (or its web) is touched until the whole checkpoint has verified.
+  double now = 0.0, next_refine = 0.0, next_rebalance = 0.0,
+         next_sample = 0.0, steady_since = 0.0;
+  uint64_t batches_completed = 0;
+  int reached_capacity = 0;
+  int64_t refinements = 0;
+  IncrementalCrawler::Stats stats;
+  {
+    std::istringstream ms(*FindSection(*sections, "meta"));
+    TrailerReader reader(ms);
+    auto header = reader.Next();
+    if (!header.ok()) return header.status();
+    {
+      std::istringstream hs(*header);
+      std::string magic;
+      int version = 0;
+      hs >> magic >> version;
+      if (hs.fail() || magic != kIncMetaMagic ||
+          version != kFormatVersion) {
+        return Status::InvalidArgument("malformed checkpoint meta header");
+      }
+      Status end = ExpectLineEnd(hs, "meta header");
+      if (!end.ok()) return end;
+    }
+    auto t_line = reader.Next();
+    if (!t_line.ok()) return t_line.status();
+    {
+      std::istringstream is(*t_line);
+      std::string tag;
+      is >> tag >> now >> next_refine >> next_rebalance >> next_sample >>
+          steady_since;
+      if (is.fail() || tag != "T") {
+        return Status::InvalidArgument("malformed checkpoint T record");
+      }
+      Status end = ExpectLineEnd(is, "T");
+      if (!end.ok()) return end;
+    }
+    auto b_line = reader.Next();
+    if (!b_line.ok()) return b_line.status();
+    {
+      std::istringstream is(*b_line);
+      std::string tag;
+      is >> tag >> batches_completed >> reached_capacity;
+      if (is.fail() || tag != "B") {
+        return Status::InvalidArgument("malformed checkpoint B record");
+      }
+      Status end = ExpectLineEnd(is, "B");
+      if (!end.ok()) return end;
+    }
+    auto c_line = reader.Next();
+    if (!c_line.ok()) return c_line.status();
+    {
+      std::istringstream is(*c_line);
+      std::string tag;
+      is >> tag >> stats.crawls >> stats.in_place_updates >>
+          stats.pages_added >> stats.pages_evicted >>
+          stats.replacements_executed >> stats.dead_pages_removed >>
+          stats.changes_detected >> stats.politeness_retries >>
+          stats.in_batch_retries >> refinements;
+      if (is.fail() || tag != "C") {
+        return Status::InvalidArgument("malformed checkpoint C record");
+      }
+      Status end = ExpectLineEnd(is, "C");
+      if (!end.ok()) return end;
+    }
+    auto l_line = reader.Next();
+    if (!l_line.ok()) return l_line.status();
+    auto latency = ParseRunningStatLine(*l_line);
+    if (!latency.ok()) return latency.status();
+    stats.new_page_latency_days.RestoreState(*latency);
+    Status end = FinishFramedStream(reader, ms, "checkpoint meta");
+    if (!end.ok()) return end;
+  }
+
+  const int shards = crawler->engine_.num_shards();
+  std::istringstream coll_in(*FindSection(*sections, "collection"));
+  auto collection = LoadShardedCollection(coll_in, shards);
+  if (!collection.ok()) return collection.status();
+  if (collection->capacity() != crawler->config_.collection_capacity) {
+    return Status::InvalidArgument(
+        "checkpoint collection capacity does not match the configured "
+        "capacity");
+  }
+  std::istringstream urls_in(*FindSection(*sections, "allurls"));
+  auto all_urls = LoadAllUrls(urls_in, shards);
+  if (!all_urls.ok()) return all_urls.status();
+  UpdateModule update(crawler->update_module_.config());
+  {
+    std::istringstream update_in(*FindSection(*sections, "update"));
+    Status st = LoadUpdateModule(update_in, &update);
+    if (!st.ok()) return st;
+  }
+  std::istringstream frontier_in(*FindSection(*sections, "frontier"));
+  auto frontier = LoadFrontier(frontier_in, shards);
+  if (!frontier.ok()) return frontier.status();
+  std::istringstream polite_in(*FindSection(*sections, "polite"));
+  auto polite = ReadPolite(polite_in);
+  if (!polite.ok()) return polite.status();
+  std::istringstream tracker_in(*FindSection(*sections, "tracker"));
+  auto tracker = ReadTracker(tracker_in);
+  if (!tracker.ok()) return tracker.status();
+  std::istringstream pending_in(*FindSection(*sections, "pending"));
+  auto pending = ReadUrlList(pending_in);
+  if (!pending.ok()) return pending.status();
+
+  // The web restore stages and validates internally, so a bad web
+  // section fails here with the crawler still untouched.
+  if (const std::string* web = FindSection(*sections, "web")) {
+    std::istringstream web_in(*web);
+    Status st = simweb::RestoreWeb(web_in, crawler->web_);
+    if (!st.ok()) return st;
+  }
+
+  // --- Commit. Nothing below can fail.
+  crawler->collection_ = std::move(collection).value();
+  crawler->all_urls_ = std::move(all_urls).value();
+  crawler->update_module_ = std::move(update);
+  crawler->coll_urls_ = std::move(frontier).value();
+  crawler->engine_.pool().RestorePoliteness(*polite);
+  crawler->tracker_.Clear();
+  for (std::size_t i = 0; i < tracker->times.size(); ++i) {
+    crawler->tracker_.AddSample(tracker->times[i], tracker->values[i]);
+  }
+  crawler->stats_ = std::move(stats);
+  crawler->ranking_module_.RestoreRefinementCount(refinements);
+  crawler->pending_admissions_.clear();
+  for (const simweb::Url& url : *pending) {
+    crawler->pending_admissions_.insert(url);
+  }
+  crawler->now_ = now;
+  crawler->next_refine_ = next_refine;
+  crawler->next_rebalance_ = next_rebalance;
+  crawler->next_sample_ = next_sample;
+  crawler->steady_since_ = steady_since;
+  crawler->reached_capacity_once_ = reached_capacity != 0;
+  crawler->batches_completed_ = batches_completed;
+  crawler->bootstrapped_ = true;
+  return Status::Ok();
+}
+
+Status SaveCrawler(const PeriodicCrawler& crawler, std::ostream& out,
+                   const CrawlerCheckpointOptions& options) {
+  if (!crawler.engine_.quiescent()) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a quiesced engine (batch boundary)");
+  }
+  std::vector<Section> sections;
+  {
+    std::ostringstream os;
+    TrailerWriter writer(os);
+    {
+      std::ostringstream header;
+      header << kPerMetaMagic << ' ' << kFormatVersion;
+      writer.Line(header.str());
+    }
+    {
+      std::ostringstream t;
+      t.precision(17);
+      t << "T " << crawler.now_ << ' ' << crawler.cycle_start_ << ' '
+        << crawler.next_sample_;
+      writer.Line(t.str());
+    }
+    {
+      std::ostringstream b;
+      b << "B " << crawler.batches_completed_ << ' '
+        << (crawler.cycle_active_ ? 1 : 0) << ' '
+        << crawler.cycles_completed_ << ' ' << crawler.stored_this_cycle_
+        << ' ' << crawler.store_.swap_count() << ' '
+        << (crawler.config_.shadowing ? 1 : 0);
+      writer.Line(b.str());
+    }
+    {
+      const PeriodicCrawler::Stats& s = crawler.stats_;
+      std::ostringstream c;
+      c << "C " << s.crawls << ' ' << s.pages_stored << ' '
+        << s.dead_fetches << ' ' << s.politeness_rejections << ' '
+        << s.swaps;
+      writer.Line(c.str());
+    }
+    writer.Finish();
+    sections.push_back(Section{"meta", os.str()});
+  }
+  {
+    std::ostringstream os;
+    Status st = SaveCollection(crawler.config_.shadowing
+                                   ? crawler.store_.current()
+                                   : crawler.inplace_,
+                               os);
+    if (!st.ok()) return st;
+    sections.push_back(Section{"collection-current", os.str()});
+  }
+  if (crawler.config_.shadowing) {
+    std::ostringstream os;
+    Status st = SaveCollection(crawler.store_.shadow(), os);
+    if (!st.ok()) return st;
+    sections.push_back(Section{"collection-shadow", os.str()});
+  }
+  {
+    std::vector<simweb::Url> bfs(crawler.frontier_.begin(),
+                                 crawler.frontier_.end());
+    std::ostringstream os;
+    WriteUrlList(bfs, os);
+    sections.push_back(Section{"bfs", os.str()});
+  }
+  {
+    std::vector<simweb::Url> seen;
+    for (const auto& shard : crawler.seen_shards_) {
+      seen.insert(seen.end(), shard.begin(), shard.end());
+    }
+    std::sort(seen.begin(), seen.end(), IdentityLess);
+    std::ostringstream os;
+    WriteUrlList(seen, os);
+    sections.push_back(Section{"seen", os.str()});
+  }
+  {
+    std::ostringstream os;
+    WritePolite(crawler.engine_.pool().ExportPoliteness(), os);
+    sections.push_back(Section{"polite", os.str()});
+  }
+  {
+    std::ostringstream os;
+    WriteTracker(crawler.tracker_, os);
+    sections.push_back(Section{"tracker", os.str()});
+  }
+  if (options.include_web) {
+    std::ostringstream os;
+    Status st = simweb::SaveWeb(*crawler.web_, os);
+    if (!st.ok()) return st;
+    sections.push_back(Section{"web", os.str()});
+  }
+  return WriteContainer(kPeriodicKind, sections, out);
+}
+
+Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler) {
+  auto sections = ReadContainer(in, kPeriodicKind);
+  if (!sections.ok()) return sections.status();
+  for (const char* name : {"meta", "collection-current", "bfs", "seen",
+                           "polite", "tracker"}) {
+    if (FindSection(*sections, name) == nullptr) {
+      return MissingSection(name);
+    }
+  }
+
+  double now = 0.0, cycle_start = 0.0, next_sample = 0.0;
+  uint64_t batches_completed = 0, stored_this_cycle = 0;
+  int cycle_active = 0, shadowing = 0;
+  int64_t cycles_completed = 0, swap_count = 0;
+  PeriodicCrawler::Stats stats;
+  {
+    std::istringstream ms(*FindSection(*sections, "meta"));
+    TrailerReader reader(ms);
+    auto header = reader.Next();
+    if (!header.ok()) return header.status();
+    {
+      std::istringstream hs(*header);
+      std::string magic;
+      int version = 0;
+      hs >> magic >> version;
+      if (hs.fail() || magic != kPerMetaMagic ||
+          version != kFormatVersion) {
+        return Status::InvalidArgument("malformed checkpoint meta header");
+      }
+      Status end = ExpectLineEnd(hs, "meta header");
+      if (!end.ok()) return end;
+    }
+    auto t_line = reader.Next();
+    if (!t_line.ok()) return t_line.status();
+    {
+      std::istringstream is(*t_line);
+      std::string tag;
+      is >> tag >> now >> cycle_start >> next_sample;
+      if (is.fail() || tag != "T") {
+        return Status::InvalidArgument("malformed checkpoint T record");
+      }
+      Status end = ExpectLineEnd(is, "T");
+      if (!end.ok()) return end;
+    }
+    auto b_line = reader.Next();
+    if (!b_line.ok()) return b_line.status();
+    {
+      std::istringstream is(*b_line);
+      std::string tag;
+      is >> tag >> batches_completed >> cycle_active >>
+          cycles_completed >> stored_this_cycle >> swap_count >>
+          shadowing;
+      if (is.fail() || tag != "B") {
+        return Status::InvalidArgument("malformed checkpoint B record");
+      }
+      Status end = ExpectLineEnd(is, "B");
+      if (!end.ok()) return end;
+    }
+    auto c_line = reader.Next();
+    if (!c_line.ok()) return c_line.status();
+    {
+      std::istringstream is(*c_line);
+      std::string tag;
+      is >> tag >> stats.crawls >> stats.pages_stored >>
+          stats.dead_fetches >> stats.politeness_rejections >>
+          stats.swaps;
+      if (is.fail() || tag != "C") {
+        return Status::InvalidArgument("malformed checkpoint C record");
+      }
+      Status end = ExpectLineEnd(is, "C");
+      if (!end.ok()) return end;
+    }
+    Status end = FinishFramedStream(reader, ms, "checkpoint meta");
+    if (!end.ok()) return end;
+  }
+  if ((shadowing != 0) != crawler->config_.shadowing) {
+    return Status::InvalidArgument(
+        "checkpoint shadowing mode does not match the configuration");
+  }
+
+  std::istringstream current_in(
+      *FindSection(*sections, "collection-current"));
+  auto current = LoadCollection(current_in);
+  if (!current.ok()) return current.status();
+  if (current->capacity() != crawler->config_.collection_capacity) {
+    return Status::InvalidArgument(
+        "checkpoint collection capacity does not match the configured "
+        "capacity");
+  }
+  StatusOr<Collection> shadow = Collection(0);
+  if (crawler->config_.shadowing) {
+    const std::string* bytes = FindSection(*sections, "collection-shadow");
+    if (bytes == nullptr) return MissingSection("collection-shadow");
+    std::istringstream shadow_in(*bytes);
+    shadow = LoadCollection(shadow_in);
+    if (!shadow.ok()) return shadow.status();
+  }
+  std::istringstream bfs_in(*FindSection(*sections, "bfs"));
+  auto bfs = ReadUrlList(bfs_in);
+  if (!bfs.ok()) return bfs.status();
+  std::istringstream seen_in(*FindSection(*sections, "seen"));
+  auto seen = ReadUrlList(seen_in);
+  if (!seen.ok()) return seen.status();
+  std::istringstream polite_in(*FindSection(*sections, "polite"));
+  auto polite = ReadPolite(polite_in);
+  if (!polite.ok()) return polite.status();
+  std::istringstream tracker_in(*FindSection(*sections, "tracker"));
+  auto tracker = ReadTracker(tracker_in);
+  if (!tracker.ok()) return tracker.status();
+  if (const std::string* web = FindSection(*sections, "web")) {
+    std::istringstream web_in(*web);
+    Status st = simweb::RestoreWeb(web_in, crawler->web_);
+    if (!st.ok()) return st;
+  }
+
+  // --- Commit. Nothing below can fail.
+  if (crawler->config_.shadowing) {
+    crawler->store_.current_mutable() = std::move(current).value();
+    crawler->store_.shadow() = std::move(shadow).value();
+    crawler->store_.RestoreSwapCount(swap_count);
+  } else {
+    crawler->inplace_ = std::move(current).value();
+  }
+  crawler->frontier_.assign(bfs->begin(), bfs->end());
+  for (auto& shard : crawler->seen_shards_) shard.clear();
+  for (const simweb::Url& url : *seen) {
+    crawler->seen_shards_[url.site % crawler->seen_shards_.size()]
+        .insert(url);
+  }
+  crawler->engine_.pool().RestorePoliteness(*polite);
+  crawler->tracker_.Clear();
+  for (std::size_t i = 0; i < tracker->times.size(); ++i) {
+    crawler->tracker_.AddSample(tracker->times[i], tracker->values[i]);
+  }
+  crawler->stats_ = stats;
+  crawler->now_ = now;
+  crawler->cycle_start_ = cycle_start;
+  crawler->next_sample_ = next_sample;
+  crawler->cycle_active_ = cycle_active != 0;
+  crawler->cycles_completed_ = cycles_completed;
+  crawler->stored_this_cycle_ = stored_this_cycle;
+  crawler->batches_completed_ = batches_completed;
+  crawler->bootstrapped_ = true;
+  return Status::Ok();
+}
+
+Status SaveCrawlerToFile(const IncrementalCrawler& crawler,
+                         const std::string& path,
+                         const CrawlerCheckpointOptions& options) {
+  std::ostringstream os;
+  Status st = SaveCrawler(crawler, os, options);
+  if (!st.ok()) return st;
+  return AtomicWriteFile(path, os.str());
+}
+
+Status SaveCrawlerToFile(const PeriodicCrawler& crawler,
+                         const std::string& path,
+                         const CrawlerCheckpointOptions& options) {
+  std::ostringstream os;
+  Status st = SaveCrawler(crawler, os, options);
+  if (!st.ok()) return st;
+  return AtomicWriteFile(path, os.str());
+}
+
+Status LoadCrawlerFromFile(const std::string& path,
+                           IncrementalCrawler* crawler) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return LoadCrawler(in, crawler);
+}
+
+Status LoadCrawlerFromFile(const std::string& path,
+                           PeriodicCrawler* crawler) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return LoadCrawler(in, crawler);
 }
 
 }  // namespace webevo::crawler

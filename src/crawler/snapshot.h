@@ -14,6 +14,9 @@
 
 namespace webevo::crawler {
 
+class IncrementalCrawler;
+class PeriodicCrawler;
+
 /// Durable snapshots of the crawler's local state.
 ///
 /// A crawler restart should resume from its stored collection rather
@@ -100,6 +103,83 @@ Status SaveCollectionToFile(const Collection& collection,
 Status SaveCollectionToFile(const ShardedCollection& collection,
                             const std::string& path);
 StatusOr<Collection> LoadCollectionFromFile(const std::string& path);
+
+/// --- Whole-crawler checkpoints --------------------------------------
+///
+/// SaveCrawler bundles *everything* a restart needs into one versioned
+/// container file, so a restored crawler is bit-identical to one that
+/// never stopped — not just the four snapshot streams, but the crawl
+/// clock, housekeeping timers, batch counter, politeness state,
+/// pending admissions and counters that the individual Save* calls
+/// cannot see.
+///
+/// Container format (text):
+///   webevo-crawler 1 <incremental|periodic> <nsections>
+///   S <name> <length-bytes> <fnv64-of-bytes>     (nsections records)
+///   webevo-checksum <fnv64 of the header lines>
+///   <section bytes, concatenated in table order>
+/// Each section is itself a trailer-framed snapshot stream; the table's
+/// per-section length + checksum framing detects truncation and
+/// corruption *before* any section is parsed, and every section is
+/// additionally verified by its own trailer. Nothing may follow the
+/// last section's bytes.
+///
+/// Incremental sections: meta (clock, timers, batch counter, pending
+/// admissions, counters), collection, allurls, update, frontier,
+/// polite (per-site last-access), tracker (freshness series), and —
+/// with include_web — web (the simulated web's evolution state; see
+/// simweb/simulated_web.h). Periodic sections: meta, collection-current
+/// [, collection-shadow], bfs (BFS frontier in queue order), seen
+/// (cycle seen-set), polite, tracker [, web].
+///
+/// Every section is canonical — equal logical state produces equal
+/// bytes at every shard count — so a checkpoint saved at N = 8 loads
+/// at N = 1 (and vice versa), and two runs in the same state write
+/// byte-identical files. Wall-clock engine phase timings and per-module
+/// traffic accounting are deliberately *not* checkpointed: the former
+/// are not reproducible, the latter are shard-layout dependent; both
+/// restart at zero after a restore.
+///
+/// Restores are staged: LoadCrawler validates the container and every
+/// section before touching `crawler`, so a corrupt checkpoint never
+/// leaves it half-loaded. The crawler must be constructed against the
+/// same configuration (its crawl_parallelism may differ) and, when the
+/// checkpoint carries a web section, a web built from the same
+/// WebConfig.
+struct CrawlerCheckpointOptions {
+  /// Bundle the simulated web's evolution state. Required for
+  /// bit-identical resume in a fresh process; skip only when the
+  /// resuming crawler shares the saving process's live web object.
+  bool include_web = true;
+};
+
+/// Writes a whole-crawler checkpoint. Fails with FailedPrecondition if
+/// the engine is mid-batch (checkpoints are only taken at batch
+/// boundaries, where every shard-owned structure is at rest).
+Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
+                   const CrawlerCheckpointOptions& options = {});
+Status SaveCrawler(const PeriodicCrawler& crawler, std::ostream& out,
+                   const CrawlerCheckpointOptions& options = {});
+
+/// Restores a checkpoint into a freshly constructed crawler (same
+/// config; shard count free). Rejects kind mismatches, unknown
+/// versions, truncated or corrupted sections with InvalidArgument.
+Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler);
+Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler);
+
+/// Crash-consistent file wrappers: the container is staged to a temp
+/// file, fsync'd, and atomically renamed over `path` — a crash leaves
+/// either the previous checkpoint or the new one, never a torn file.
+Status SaveCrawlerToFile(const IncrementalCrawler& crawler,
+                         const std::string& path,
+                         const CrawlerCheckpointOptions& options = {});
+Status SaveCrawlerToFile(const PeriodicCrawler& crawler,
+                         const std::string& path,
+                         const CrawlerCheckpointOptions& options = {});
+Status LoadCrawlerFromFile(const std::string& path,
+                           IncrementalCrawler* crawler);
+Status LoadCrawlerFromFile(const std::string& path,
+                           PeriodicCrawler* crawler);
 
 }  // namespace webevo::crawler
 

@@ -153,9 +153,12 @@ class UpdateModule {
 
   /// Re-freezes the tracked-page count used by the budget-spreading
   /// fallbacks (uniform policy, pre-rebalance optimal/proportional).
-  /// Crawlers call this at each batch barrier so the count advances
-  /// once per batch — on the serial path — instead of per page, which
-  /// is what keeps OnCrawled shard-parallel *and* bit-deterministic.
+  /// Crawlers call this at each serial plan step — after housekeeping,
+  /// before the batch executes — so the count advances once per batch
+  /// on the serial path (never per page, which is what keeps OnCrawled
+  /// shard-parallel *and* bit-deterministic) and reflects any pages
+  /// refinement or rebalance just forgot or admitted, instead of a
+  /// value frozen at the previous batch's barrier.
   void RefreshSchedulingPageCount();
 
   std::size_t tracked_pages() const;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -57,6 +58,18 @@ namespace webevo::simweb {
 /// counts as traffic and returns only what a real crawler could see)
 /// from the *oracle* API (ground truth for evaluation: true versions,
 /// change rates, liveness).
+class SimulatedWeb;
+
+/// Snapshot/restore of the web's lazily materialised evolution state
+/// (web_snapshot.cc). Page versions are sampled per observation
+/// interval from per-page RNG streams, so a *fresh* web re-observed
+/// only at later times would diverge from one that lived through the
+/// earlier observations — a crawler checkpoint that promises
+/// bit-identical resume across processes must therefore carry the
+/// web's state alongside the crawler's.
+Status SaveWeb(const SimulatedWeb& web, std::ostream& out);
+Status RestoreWeb(std::istream& in, SimulatedWeb* web);
+
 class SimulatedWeb {
  public:
   /// Builds the initial web at time 0. Pages present at the start are
@@ -168,6 +181,10 @@ class SimulatedWeb {
   /// edge set of the paper's site-level hypergraph (Section 2.2), used
   /// to compute site PageRank for the Table 1 selection pipeline.
   std::vector<SiteLink> OracleSiteLinks(double t);
+
+  /// Full-state snapshot/restore (see the free-function comments).
+  friend Status SaveWeb(const SimulatedWeb& web, std::ostream& out);
+  friend Status RestoreWeb(std::istream& in, SimulatedWeb* web);
 
  private:
   struct PageRecord {

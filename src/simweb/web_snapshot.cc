@@ -1,0 +1,291 @@
+// Snapshot/restore of the SimulatedWeb's lazily materialised evolution
+// state, declared in simweb/simulated_web.h.
+//
+// Format (trailer-framed text, see util/text_snapshot.h):
+//   webevo-web 1 <num_sites> <nrecords> <nfetchsites> <now>
+//              <fetch_count> <not_found_count>
+//   A <site> <site_fetch_count>          (nfetchsites records, nonzero
+//                                         counters only, ascending)
+//   I <site> <slot> <incarnation> <version> <change_rate> <birth>
+//     <death|inf> <state_time> <last_change> <r0> <r1> <r2> <r3>
+//     <nlinks> [<target_site> <target_slot>]*
+//                                        (nrecords records, canonical
+//                                         (site, slot, incarnation)
+//                                         order)
+//   webevo-checksum <fnv64>
+//
+// Every field of every PageRecord round-trips exactly (doubles at
+// precision 17, RNG lanes raw), so a restored web serves bit-identical
+// fetches — including the lazy Poisson increments that depend on the
+// *observation history*, not just on absolute time.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simweb/simulated_web.h"
+#include "util/text_snapshot.h"
+
+namespace webevo::simweb {
+namespace {
+
+constexpr const char* kWebMagic = "webevo-web";
+constexpr int kWebFormatVersion = 1;
+// Range guard for per-record link counts parsed before the trailer has
+// been verified.
+constexpr std::size_t kMaxLinksPerPage = 1 << 16;
+
+// Infinity never parses back through operator>>, so the death time of
+// an immortal root is written as a token.
+std::string DeathToken(double death) {
+  if (std::isinf(death)) return "inf";
+  std::ostringstream os;
+  os.precision(17);
+  os << death;
+  return os.str();
+}
+
+StatusOr<double> ParseDeath(std::istream& is) {
+  std::string token;
+  is >> token;
+  if (is.fail()) {
+    return Status::InvalidArgument("malformed web record (death)");
+  }
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  std::istringstream ts(token);
+  double value = 0.0;
+  ts >> value;
+  if (ts.fail()) {
+    return Status::InvalidArgument("malformed web record (death)");
+  }
+  return value;
+}
+
+}  // namespace
+
+Status SaveWeb(const SimulatedWeb& web, std::ostream& out) {
+  // The writer walks (site, slot, incarnation) ascending — the
+  // canonical order — and must see a quiescent web (no concurrent
+  // batch in flight).
+  if (web.concurrent_batch_) {
+    return Status::FailedPrecondition(
+        "cannot snapshot a web inside a concurrent batch");
+  }
+  uint64_t nrecords = 0;
+  for (const auto& site : web.sites_) {
+    for (const auto& slot : site.slots) nrecords += slot.history.size();
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> fetch_sites;
+  for (uint32_t s = 0; s < web.num_sites(); ++s) {
+    uint64_t count = web.site_fetches_[s].load(std::memory_order_relaxed);
+    if (count > 0) fetch_sites.emplace_back(s, count);
+  }
+
+  TrailerWriter writer(out);
+  {
+    std::ostringstream header;
+    header.precision(17);
+    header << kWebMagic << ' ' << kWebFormatVersion << ' '
+           << web.num_sites() << ' ' << nrecords << ' '
+           << fetch_sites.size() << ' ' << web.now() << ' '
+           << web.fetch_count() << ' ' << web.not_found_count();
+    writer.Line(header.str());
+  }
+  for (const auto& [site, count] : fetch_sites) {
+    std::ostringstream os;
+    os << "A " << site << ' ' << count;
+    writer.Line(os.str());
+  }
+  for (uint32_t s = 0; s < web.num_sites(); ++s) {
+    const SimulatedWeb::SiteState& site = web.sites_[s];
+    for (uint32_t j = 0; j < site.slots.size(); ++j) {
+      const auto& history = site.slots[j].history;
+      for (uint32_t inc = 0; inc < history.size(); ++inc) {
+        const SimulatedWeb::PageRecord& page = history[inc];
+        std::ostringstream os;
+        os.precision(17);
+        os << "I " << s << ' ' << j << ' ' << inc << ' ' << page.version
+           << ' ' << page.change_rate << ' ' << page.birth_time << ' '
+           << DeathToken(page.death_time) << ' ' << page.state_time
+           << ' ' << page.last_change_time;
+        for (uint64_t lane : page.rng.State()) os << ' ' << lane;
+        os << ' ' << page.cross_links.size();
+        for (const auto& [ts, tslot] : page.cross_links) {
+          os << ' ' << ts << ' ' << tslot;
+        }
+        writer.Line(os.str());
+      }
+    }
+  }
+  writer.Finish();
+  if (!out.good()) return Status::Internal("web snapshot write failed");
+  return Status::Ok();
+}
+
+Status RestoreWeb(std::istream& in, SimulatedWeb* web) {
+  if (web->concurrent_batch_) {
+    return Status::FailedPrecondition(
+        "cannot restore a web inside a concurrent batch");
+  }
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  uint32_t num_sites = 0;
+  uint64_t nrecords = 0, fetch_count = 0, not_found = 0;
+  std::size_t nfetchsites = 0;
+  double now = 0.0;
+  hs >> magic >> version >> num_sites >> nrecords >> nfetchsites >>
+      now >> fetch_count >> not_found;
+  if (hs.fail() || magic != kWebMagic) {
+    return Status::InvalidArgument("not a web snapshot");
+  }
+  if (version != kWebFormatVersion) {
+    return Status::InvalidArgument("unsupported web snapshot version");
+  }
+  Status line_end = ExpectLineEnd(hs, "web header");
+  if (!line_end.ok()) return line_end;
+  if (num_sites != web->num_sites()) {
+    return Status::InvalidArgument(
+        "web snapshot site count does not match this web's "
+        "configuration");
+  }
+
+  // Stage everything, swap in only after the trailer verifies. Counts
+  // are parsed before the trailer covers them, so they bound loops but
+  // never size an allocation directly.
+  std::vector<std::pair<uint32_t, uint64_t>> fetch_sites;
+  fetch_sites.reserve(std::min<std::size_t>(nfetchsites, 1 << 20));
+  for (std::size_t i = 0; i < nfetchsites; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("web snapshot fetch-site count "
+                                     "mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    uint64_t count = 0;
+    is >> tag >> site >> count;
+    if (is.fail() || tag != "A" || site >= num_sites) {
+      return Status::InvalidArgument("malformed web fetch record");
+    }
+    Status end = ExpectLineEnd(is, "web fetch");
+    if (!end.ok()) return end;
+    fetch_sites.emplace_back(site, count);
+  }
+
+  struct StagedPage {
+    Url url;
+    SimulatedWeb::PageRecord record;
+  };
+  std::vector<StagedPage> staged;
+  staged.reserve(static_cast<std::size_t>(
+      std::min<uint64_t>(nrecords, 1 << 20)));
+  for (uint64_t i = 0; i < nrecords; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("web snapshot record count "
+                                     "mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    StagedPage page;
+    is >> tag >> page.url.site >> page.url.slot >> page.url.incarnation >>
+        page.record.version >> page.record.change_rate >>
+        page.record.birth_time;
+    if (is.fail() || tag != "I") {
+      return Status::InvalidArgument("malformed web page record");
+    }
+    auto death = ParseDeath(is);
+    if (!death.ok()) return death.status();
+    page.record.death_time = *death;
+    std::array<uint64_t, 4> lanes{};
+    std::size_t nlinks = 0;
+    is >> page.record.state_time >> page.record.last_change_time >>
+        lanes[0] >> lanes[1] >> lanes[2] >> lanes[3] >> nlinks;
+    if (is.fail() || nlinks > kMaxLinksPerPage) {
+      return Status::InvalidArgument("malformed web page record");
+    }
+    page.record.rng.SetState(lanes);
+    page.record.cross_links.reserve(nlinks);
+    for (std::size_t k = 0; k < nlinks; ++k) {
+      uint32_t ts = 0, tslot = 0;
+      is >> ts >> tslot;
+      if (is.fail()) {
+        return Status::InvalidArgument("malformed web link list");
+      }
+      page.record.cross_links.emplace_back(ts, tslot);
+    }
+    Status end = ExpectLineEnd(is, "web page");
+    if (!end.ok()) return end;
+    if (page.url.site >= num_sites ||
+        page.url.slot >= web->sites_[page.url.site].slots.size()) {
+      return Status::InvalidArgument(
+          "web snapshot slot layout does not match this web's "
+          "configuration");
+    }
+    page.record.url = page.url;
+    staged.push_back(std::move(page));
+  }
+  Status stream_end = FinishFramedStream(reader, in, "web snapshot");
+  if (!stream_end.ok()) return stream_end;
+
+  // Records arrive in canonical order: each slot's incarnations must be
+  // contiguous and start at 0, and every slot needs at least its
+  // incarnation-0 page (slots are never empty after construction).
+  // Everything is staged and validated before the web is touched, so a
+  // bad snapshot never leaves it half-restored.
+  std::vector<std::vector<std::vector<SimulatedWeb::PageRecord>>>
+      histories(num_sites);
+  uint64_t index = 0;
+  for (uint32_t s = 0; s < num_sites; ++s) {
+    const auto& slots = web->sites_[s].slots;
+    histories[s].resize(slots.size());
+    for (uint32_t j = 0; j < slots.size(); ++j) {
+      std::vector<SimulatedWeb::PageRecord>& history = histories[s][j];
+      while (index < staged.size() && staged[index].url.site == s &&
+             staged[index].url.slot == j) {
+        if (staged[index].url.incarnation != history.size()) {
+          return Status::InvalidArgument(
+              "web snapshot incarnations out of order");
+        }
+        history.push_back(std::move(staged[index].record));
+        ++index;
+      }
+      if (history.empty()) {
+        return Status::InvalidArgument(
+            "web snapshot missing a slot's page history");
+      }
+    }
+  }
+  if (index != staged.size()) {
+    return Status::InvalidArgument("web snapshot records out of order");
+  }
+  for (uint32_t s = 0; s < num_sites; ++s) {
+    auto& slots = web->sites_[s].slots;
+    for (uint32_t j = 0; j < slots.size(); ++j) {
+      slots[j].history = std::move(histories[s][j]);
+    }
+  }
+
+  web->now_.store(now, std::memory_order_relaxed);
+  web->fetch_count_.store(fetch_count, std::memory_order_relaxed);
+  web->not_found_count_.store(not_found, std::memory_order_relaxed);
+  web->pages_created_.store(nrecords, std::memory_order_relaxed);
+  for (uint32_t s = 0; s < num_sites; ++s) {
+    web->site_fetches_[s].store(0, std::memory_order_relaxed);
+  }
+  for (const auto& [site, count] : fetch_sites) {
+    web->site_fetches_[site].store(count, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+}  // namespace webevo::simweb

@@ -29,6 +29,25 @@ class RunningStat {
   double max() const { return max_; }
   double sum() const { return mean_ * static_cast<double>(count_); }
 
+  /// Raw accumulator state, for checkpoint/restore: a state captured
+  /// here and fed back through RestoreState resumes the accumulation
+  /// exactly (bit for bit, Add-order included).
+  struct State {
+    int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State SaveState() const { return {count_, mean_, m2_, min_, max_}; }
+  void RestoreState(const State& s) {
+    count_ = s.count;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   int64_t count_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,149 @@
+#include "util/text_snapshot.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/hash.h"
+
+#ifdef _WIN32
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace webevo {
+
+void TrailerWriter::Line(const std::string& line) {
+  hash_ = Fnv1a64Seeded(line, hash_);
+  hash_ = Fnv1a64Seeded("\n", hash_);
+  out_ << line << '\n';
+}
+
+void TrailerWriter::Finish() {
+  out_ << kSnapshotTrailerMagic << ' ' << hash_ << '\n';
+}
+
+StatusOr<std::string> TrailerReader::Next() {
+  std::string line;
+  if (!std::getline(in_, line)) {
+    return Status::InvalidArgument("snapshot truncated (no trailer)");
+  }
+  if (line.rfind(kSnapshotTrailerMagic, 0) == 0) {
+    std::istringstream trailer(line);
+    std::string magic;
+    uint64_t stored = 0;
+    trailer >> magic >> stored;
+    if (trailer.fail() || stored != hash_) {
+      return Status::InvalidArgument("snapshot integrity check failed");
+    }
+    done_ = true;
+    return Status::NotFound("end of payload");
+  }
+  hash_ = Fnv1a64Seeded(line, hash_);
+  hash_ = Fnv1a64Seeded("\n", hash_);
+  return line;
+}
+
+Status ExpectLineEnd(std::istream& is, const char* what) {
+  char c = 0;
+  while (is.get(c)) {
+    if (c != ' ' && c != '\t' && c != '\r') {
+      return Status::InvalidArgument(std::string("trailing data in ") +
+                                     what + " record");
+    }
+  }
+  return Status::Ok();
+}
+
+Status FinishFramedStream(TrailerReader& reader, std::istream& in,
+                          const char* what) {
+  auto end = reader.Next();
+  if (end.ok()) {
+    return Status::InvalidArgument("trailing data in snapshot");
+  }
+  if (!reader.done()) return end.status();
+  return ExpectStreamEnd(in, what);
+}
+
+Status ExpectStreamEnd(std::istream& in, const char* what) {
+  char c = 0;
+  while (in.get(c)) {
+    if (c != ' ' && c != '\t' && c != '\r' && c != '\n') {
+      return Status::InvalidArgument(
+          std::string("trailing data after ") + what + " trailer");
+    }
+  }
+  return Status::Ok();
+}
+
+#ifdef _WIN32
+
+// Portability fallback: plain write + rename (no directory fsync).
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::NotFound("cannot open " + tmp + " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) return Status::Internal("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename failed: " + path);
+  }
+  return Status::Ok();
+}
+
+#else
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + tmp + " for writing: " +
+                            std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Internal("write failed: " + tmp + ": " +
+                              std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // Data must be durable before the rename publishes it; otherwise a
+  // crash could leave a fully renamed but empty checkpoint.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::Internal("fsync failed: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    return Status::Internal("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename failed: " + path + ": " +
+                            std::strerror(errno));
+  }
+  // Make the rename itself durable.
+  std::string dir = path;
+  std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best effort; some filesystems refuse dir fsync
+    ::close(dfd);
+  }
+  return Status::Ok();
+}
+
+#endif  // _WIN32
+
+}  // namespace webevo

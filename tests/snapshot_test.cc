@@ -1,8 +1,11 @@
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "crawler/snapshot.h"
+#include "util/text_snapshot.h"
 
 namespace webevo::crawler {
 namespace {
@@ -321,6 +324,81 @@ TEST(SnapshotTest, ShardedCollectionRoundTrip) {
   std::stringstream again;
   ASSERT_TRUE(SaveCollection(*loaded, again).ok());
   EXPECT_EQ(again.str(), buffer.str());
+}
+
+// ------------------------------------------------- reader strictness
+
+// Builds a snapshot with a *valid* trailer over arbitrary payload
+// lines (through the shared TrailerWriter, so the framing can never
+// drift from production), so the tests below exercise the record
+// parsers rather than the integrity check.
+std::string FramedSnapshot(const std::vector<std::string>& lines) {
+  std::ostringstream out;
+  TrailerWriter writer(out);
+  for (const std::string& line : lines) writer.Line(line);
+  writer.Finish();
+  return out.str();
+}
+
+TEST(SnapshotTest, RejectsTrailingDataAfterTrailer) {
+  Collection original = MakeCollection();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCollection(original, buffer).ok());
+  std::istringstream appended(buffer.str() + "stray bytes\n");
+  Status st = LoadCollection(appended).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  AllUrls urls;
+  urls.Add(Url{1, 2, 3}, 4.5);
+  std::stringstream ubuffer;
+  ASSERT_TRUE(SaveAllUrls(urls, ubuffer).ok());
+  std::istringstream uappended(ubuffer.str() + "x");
+  EXPECT_FALSE(LoadAllUrls(uappended).ok());
+
+  ShardedFrontier frontier(2);
+  frontier.Schedule(Url{0, 1, 0}, 1.0);
+  std::stringstream fbuffer;
+  ASSERT_TRUE(SaveFrontier(frontier, fbuffer).ok());
+  std::istringstream fappended(fbuffer.str() + "x");
+  EXPECT_FALSE(LoadFrontier(fappended, 2).ok());
+}
+
+TEST(SnapshotTest, RejectsTrailingTokensOnRecordLines) {
+  // A U record with one token too many, under a correct trailer: the
+  // parser must notice, not silently ignore the tail.
+  std::istringstream extra(FramedSnapshot(
+      {"webevo-allurls 1 1", "U 1 2 3 4.5 0 0 EXTRA"}));
+  Status st = LoadAllUrls(extra).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  // Same for a collection entry (extra token after the link list).
+  std::istringstream entry_extra(FramedSnapshot(
+      {"webevo-collection 1 4 1",
+       "E 0 0 0 7 1 2 3 0.5 0.25 1 1 2 3 99"}));
+  EXPECT_FALSE(LoadCollection(entry_extra).ok());
+
+  // And a header with junk appended.
+  std::istringstream header_extra(
+      FramedSnapshot({"webevo-collection 1 4 0 junk"}));
+  EXPECT_FALSE(LoadCollection(header_extra).ok());
+
+  // A frontier record with trailing junk.
+  std::istringstream frontier_extra(FramedSnapshot(
+      {"webevo-frontier 1 1 5 0", "F 0 1 0 2.5 3 junk"}));
+  EXPECT_FALSE(LoadFrontier(frontier_extra, 1).ok());
+}
+
+TEST(SnapshotTest, RejectsShortRecordLines) {
+  // Truncated U record (missing the dead flag).
+  std::istringstream short_record(FramedSnapshot(
+      {"webevo-allurls 1 1", "U 1 2 3 4.5"}));
+  EXPECT_FALSE(LoadAllUrls(short_record).ok());
+  // Record count larger than the records present.
+  std::istringstream short_count(FramedSnapshot(
+      {"webevo-allurls 1 2", "U 1 2 3 4.5 0 0"}));
+  EXPECT_FALSE(LoadAllUrls(short_count).ok());
 }
 
 TEST(SnapshotTest, DoublePrecisionPreserved) {
