@@ -4,18 +4,27 @@
 // the *simulation* output is bit-identical at every shard count.
 //
 // Usage:
-//   bench_sharded_scaling [--phase-breakdown] [shards...]
+//   bench_sharded_scaling [--phase-breakdown] [--json <path>] [shards...]
 //                                           (default shards: 1 2 4 8)
 // --phase-breakdown additionally prints per-phase wall-clock totals
 // (plan / fetch / apply / measure) per shard count — the Amdahl ledger
 // showing the previously serial plan and measure phases shrinking as
 // shards grow.
+// --json <path> writes the whole table (throughput, phase breakdown,
+// capacity-lease ledger, determinism verdict) as machine-readable
+// JSON, so CI can archive the perf trajectory per commit.
 // Env:
 //   WEBEVO_SCALE            workload multiplier (default 1.0)
 //   WEBEVO_BODY_BYTES       synthetic page body size (default 16384)
 //   WEBEVO_DAYS             virtual days to crawl (default 20)
 //   WEBEVO_REQUIRE_SPEEDUP  if set, exit non-zero unless the best
 //                           multi-shard speedup reaches this factor
+//   WEBEVO_REQUIRE_BARRIER_SHARE  if set, exit non-zero unless the
+//                           apply-barrier share of apply wall-clock
+//                           (barrier s / apply s) stays below this
+//                           fraction at N = 4 (falls back to the
+//                           largest multi-shard run when 4 was not
+//                           requested)
 //
 // Exits non-zero on any cross-shard-count determinism mismatch, which
 // is what the CI smoke check (`bench_sharded_scaling 1 4`) relies on.
@@ -23,6 +32,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -66,6 +77,15 @@ struct RunResult {
   /// Total in-batch politeness retry rounds (deterministic ledger
   /// entry; the per-batch mean shows hot-site skew).
   uint64_t retry_rounds = 0;
+  /// Capacity-lease ledger. Budget, settled admissions and settle
+  /// evictions are pure functions of the simulation (fingerprinted);
+  /// revocations measure how often the optimistic shard leases
+  /// overdrew — shard-layout dependent by design, reported but never
+  /// fingerprinted (always 0 at N = 1).
+  uint64_t lease_budget = 0;
+  uint64_t lease_admissions = 0;
+  uint64_t lease_revocations = 0;
+  uint64_t settle_evictions = 0;
   uint64_t web_fetches = 0;
   uint64_t pages_created = 0;
 };
@@ -120,6 +140,14 @@ RunResult RunOnce(int shards, double scale, double days,
   r.politeness_retries = crawl.stats().politeness_retries;
   r.in_batch_retries = crawl.stats().in_batch_retries;
   r.retry_rounds = static_cast<uint64_t>(es.retry_rounds.sum() + 0.5);
+  r.lease_budget =
+      static_cast<uint64_t>(es.lease_admit_budget.sum() + 0.5);
+  r.lease_admissions =
+      static_cast<uint64_t>(es.lease_admissions.sum() + 0.5);
+  r.lease_revocations =
+      static_cast<uint64_t>(es.lease_revocations.sum() + 0.5);
+  r.settle_evictions =
+      static_cast<uint64_t>(es.settle_evictions.sum() + 0.5);
   r.web_fetches = web.fetch_count();
   r.pages_created = web.OracleTotalPagesCreated();
   return r;
@@ -137,6 +165,9 @@ bool SameSimulation(const RunResult& a, const RunResult& b) {
          a.politeness_retries == b.politeness_retries &&
          a.in_batch_retries == b.in_batch_retries &&
          a.retry_rounds == b.retry_rounds &&
+         a.lease_budget == b.lease_budget &&
+         a.lease_admissions == b.lease_admissions &&
+         a.settle_evictions == b.settle_evictions &&
          a.web_fetches == b.web_fetches &&
          a.pages_created == b.pages_created;
 }
@@ -151,9 +182,18 @@ int main(int argc, char** argv) {
 
   std::vector<int> shard_counts;
   bool phase_breakdown = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--phase-breakdown") {
       phase_breakdown = true;
+      continue;
+    }
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
       continue;
     }
     int n = std::atoi(argv[i]);
@@ -206,17 +246,18 @@ int main(int argc, char** argv) {
       base.quality.size, base.quality.freshness,
       static_cast<unsigned long long>(base.pages_created));
 
-  if (phase_breakdown) {
-    // The Amdahl ledger: every phase is shard-parallel now — plan and
-    // measure since the ShardedFrontier / sharded measurement, apply
-    // since the sharded Collection/UpdateModule two-phase apply. The
-    // "barrier s" column is the apply phase's remaining serial
-    // fraction (slot-ordered cross-shard reduction); it should be the
-    // only part of apply that does not shrink with shards.
+  // The Amdahl ledger: every phase is shard-parallel now — plan and
+  // measure since the ShardedFrontier / sharded measurement, apply
+  // since the sharded Collection/UpdateModule lease-protocol apply.
+  // The "barrier s" column is the apply phase's remaining serial
+  // fraction — the lease/eviction/seq settlement — and should stay a
+  // small share of apply at every shard count.
+  auto print_phase_table = [&results] {
     std::printf("\nper-phase wall-clock totals (seconds over the run)\n");
     TablePrinter phases({"shards", "batches", "plan s", "fetch s",
                          "apply s", "barrier s", "measure s",
-                         "retry rounds", "serial ms/batch"});
+                         "retry rounds", "adm/rev/evict",
+                         "serial ms/batch"});
     for (const RunResult& r : results) {
       double per_batch_ms =
           r.batches > 0
@@ -225,6 +266,13 @@ int main(int argc, char** argv) {
                      r.apply_barrier_seconds) /
                     static_cast<double>(r.batches)
               : 0.0;
+      // The lease ledger: settled admissions and evictions are part
+      // of the determinism fingerprint; revocations (optimistic lease
+      // overdraft clawed back at settle) are shard-layout dependent
+      // by design.
+      std::string lease = std::to_string(r.lease_admissions) + "/" +
+                          std::to_string(r.lease_revocations) + "/" +
+                          std::to_string(r.settle_evictions);
       phases.AddRow({std::to_string(r.shards),
                      TablePrinter::Fmt(static_cast<int64_t>(r.batches)),
                      TablePrinter::Fmt(r.plan_seconds),
@@ -234,9 +282,67 @@ int main(int argc, char** argv) {
                      TablePrinter::Fmt(r.measure_seconds),
                      TablePrinter::Fmt(
                          static_cast<int64_t>(r.retry_rounds)),
-                     TablePrinter::Fmt(per_batch_ms, 3)});
+                     lease, TablePrinter::Fmt(per_batch_ms, 3)});
     }
     std::printf("%s\n", phases.ToString().c_str());
+  };
+  if (phase_breakdown) print_phase_table();
+
+  if (!json_path.empty()) {
+    // Machine-readable mirror of the tables, one JSON document per
+    // invocation, archived by CI per commit so the perf trajectory
+    // (and especially the barrier share) is recorded over time.
+    std::ostringstream js;
+    js.precision(17);
+    js << "{\n"
+       << "  \"bench\": \"sharded_scaling\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"days\": " << days << ",\n"
+       << "  \"body_bytes\": " << body_bytes << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      const double pages_per_sec =
+          r.wall_seconds > 0.0
+              ? static_cast<double>(r.crawls) / r.wall_seconds
+              : 0.0;
+      const double barrier_share =
+          r.apply_seconds > 0.0
+              ? r.apply_barrier_seconds / r.apply_seconds
+              : 0.0;
+      js << "    {\"shards\": " << r.shards << ", \"crawled_pages\": "
+         << r.crawls << ", \"wall_seconds\": " << r.wall_seconds
+         << ", \"pages_per_second\": " << pages_per_sec
+         << ", \"identical_sim\": "
+         << (SameSimulation(base, r) ? "true" : "false")
+         << ", \"batches\": " << r.batches
+         << ",\n     \"phases\": {\"plan_s\": " << r.plan_seconds
+         << ", \"fetch_s\": " << r.fetch_seconds << ", \"apply_s\": "
+         << r.apply_seconds << ", \"apply_barrier_s\": "
+         << r.apply_barrier_seconds << ", \"measure_s\": "
+         << r.measure_seconds << "},\n     \"barrier_share\": "
+         << barrier_share << ", \"retry_rounds\": " << r.retry_rounds
+         << ",\n     \"lease\": {\"admit_budget\": " << r.lease_budget
+         << ", \"admissions\": " << r.lease_admissions
+         << ", \"revocations\": " << r.lease_revocations
+         << ", \"settle_evictions\": " << r.settle_evictions << "}}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n"
+       << "  \"all_identical\": " << (all_identical ? "true" : "false")
+       << ",\n"
+       << "  \"best_speedup\": " << best_speedup << "\n"
+       << "}\n";
+    std::ofstream out(json_path);
+    out << js.str();
+    out.close();  // flush before checking: buffered errors surface here
+    if (!out.good()) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::printf("json: wrote %s\n", json_path.c_str());
   }
 
   if (!all_identical) {
@@ -253,6 +359,42 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: best speedup %.2f < required %.2f\n",
                    best_speedup, target);
       return 1;
+    }
+  }
+
+  const char* share_req = std::getenv("WEBEVO_REQUIRE_BARRIER_SHARE");
+  if (share_req != nullptr) {
+    // Gate the serial fraction of apply: the lease protocol's whole
+    // point is that the barrier is a settlement step, not a slot walk.
+    // Evaluated at N = 4 (the hosted-runner core count); falls back to
+    // the largest multi-shard run when 4 was not requested.
+    const double limit = std::atof(share_req);
+    const RunResult* gated = nullptr;
+    for (const RunResult& r : results) {
+      if (r.shards == 4) gated = &r;
+    }
+    if (gated == nullptr) {
+      for (const RunResult& r : results) {
+        if (r.shards > 1 &&
+            (gated == nullptr || r.shards > gated->shards)) {
+          gated = &r;
+        }
+      }
+    }
+    if (gated != nullptr && gated->apply_seconds > 0.0) {
+      const double share =
+          gated->apply_barrier_seconds / gated->apply_seconds;
+      if (share >= limit) {
+        if (!phase_breakdown) print_phase_table();
+        std::fprintf(stderr,
+                     "FAIL: apply-barrier share %.3f (%.4fs / %.4fs) at "
+                     "N=%d >= limit %.3f\n(phase breakdown above)\n",
+                     share, gated->apply_barrier_seconds,
+                     gated->apply_seconds, gated->shards, limit);
+        return 1;
+      }
+      std::printf("barrier share at N=%d: %.3f (limit %.3f)\n",
+                  gated->shards, share, limit);
     }
   }
   if (std::thread::hardware_concurrency() < 2) {

@@ -1,0 +1,43 @@
+#include "crawler/admission_lease.h"
+
+#include <algorithm>
+
+namespace webevo::crawler {
+
+std::vector<RevokedAdmission> SettleAdmissionLease(
+    const std::vector<std::vector<AdmissionRef>>& admitted,
+    std::size_t budget) {
+  std::size_t total = 0;
+  for (const auto& shard : admitted) total += shard.size();
+  if (total <= budget) return {};
+
+  // Contended batch: materialise the global admission order. Settling
+  // is the rare path (the budget only binds around the fill boundary),
+  // so a gather + sort beats maintaining merge machinery on every
+  // batch.
+  struct Tagged {
+    AdmissionRef ref;
+    uint32_t shard;
+    uint32_t index;
+  };
+  std::vector<Tagged> all;
+  all.reserve(total);
+  for (std::size_t s = 0; s < admitted.size(); ++s) {
+    for (std::size_t i = 0; i < admitted[s].size(); ++i) {
+      all.push_back(Tagged{admitted[s][i], static_cast<uint32_t>(s),
+                           static_cast<uint32_t>(i)});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.ref.slot != b.ref.slot) return a.ref.slot < b.ref.slot;
+    return a.ref.pos < b.ref.pos;
+  });
+  std::vector<RevokedAdmission> revoked;
+  revoked.reserve(total - budget);
+  for (std::size_t i = budget; i < all.size(); ++i) {
+    revoked.push_back(RevokedAdmission{all[i].shard, all[i].index});
+  }
+  return revoked;
+}
+
+}  // namespace webevo::crawler

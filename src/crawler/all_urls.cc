@@ -13,10 +13,12 @@ bool AllUrls::Add(const simweb::Url& url, double time) {
   return inserted;
 }
 
-void AllUrls::NoteInLink(const simweb::Url& url, double time) {
+const AllUrls::UrlInfo& AllUrls::NoteInLink(const simweb::Url& url,
+                                            double time) {
   auto [it, inserted] = shards_[ShardOf(url.site)].try_emplace(url);
   if (inserted) it->second.first_seen = time;
   ++it->second.in_links;
+  return it->second;
 }
 
 Status AllUrls::MarkDead(const simweb::Url& url) {

@@ -38,9 +38,12 @@ class AllUrls {
   /// Registers a URL discovered at `time`. Returns true if it was new.
   bool Add(const simweb::Url& url, double time);
 
-  /// Registers that some crawled page links to `url` (discovering it at
-  /// `time` if new).
-  void NoteInLink(const simweb::Url& url, double time);
+  /// Registers that some crawled page links to `url` (discovering it
+  /// at `time` if new), and returns the updated record — the admission
+  /// pass reads the dead flag off the same hash probe the note paid
+  /// for, instead of a second Find. The reference is invalidated by
+  /// any later mutation of the owning shard.
+  const UrlInfo& NoteInLink(const simweb::Url& url, double time);
 
   /// Marks a URL dead after a failed crawl; dead URLs stay recorded so
   /// repeated discovery of a stale link does not resurrect them, but

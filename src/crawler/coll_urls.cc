@@ -23,6 +23,15 @@ Status CollUrls::Remove(const simweb::Url& url) {
   return Status::Ok();  // heap entry expires lazily
 }
 
+Status CollUrls::RemoveIfSeq(const simweb::Url& url, uint64_t seq) {
+  auto it = live_.find(url);
+  if (it == live_.end() || it->second != seq) {
+    return Status::NotFound("url not queued at that seq");
+  }
+  live_.erase(it);
+  return Status::Ok();  // heap entry expires lazily
+}
+
 void CollUrls::SkipStale() {
   while (!heap_.empty()) {
     const Entry& top = heap_.top();

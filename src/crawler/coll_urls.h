@@ -71,6 +71,12 @@ class CollUrls {
   /// Removes a URL from the queue; NotFound if absent.
   Status Remove(const simweb::Url& url);
 
+  /// Removes the URL only if its live entry still carries `seq` — the
+  /// lease-settlement revocation guard: an admission whose entry was
+  /// since superseded by a reschedule must leave the newer entry
+  /// standing. NotFound when absent or superseded.
+  Status RemoveIfSeq(const simweb::Url& url, uint64_t seq);
+
   /// Pops the earliest-scheduled URL; nullopt if empty.
   std::optional<ScheduledUrl> Pop();
 

@@ -1,5 +1,6 @@
 #include "crawler/collection.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace webevo::crawler {
@@ -16,6 +17,16 @@ Status Collection::Upsert(CollectionEntry entry) {
   simweb::Url url = entry.url;
   entries_.emplace(url, std::move(entry));
   return Status::Ok();
+}
+
+void Collection::UpsertUnchecked(CollectionEntry entry) {
+  auto it = entries_.find(entry.url);
+  if (it != entries_.end()) {
+    it->second = std::move(entry);
+    return;
+  }
+  simweb::Url url = entry.url;
+  entries_.emplace(url, std::move(entry));
 }
 
 Status Collection::Remove(const simweb::Url& url) {
@@ -54,6 +65,35 @@ const CollectionEntry* Collection::LowestImportance() const {
     }
   }
   return lowest;
+}
+
+void Collection::LowestImportanceK(
+    std::size_t k, std::vector<const CollectionEntry*>* out) const {
+  if (k == 0) return;
+  // Bounded selection: keep the k best victims seen so far as a heap
+  // whose top is the *worst* of them, so each entry costs O(log k).
+  auto worse = [](const CollectionEntry* a, const CollectionEntry* b) {
+    return BetterEvictionVictim(*a, *b);  // heap top = worst victim
+  };
+  std::vector<const CollectionEntry*> best;
+  best.reserve(k + 1);
+  for (const auto& [url, entry] : entries_) {
+    if (best.size() < k) {
+      best.push_back(&entry);
+      std::push_heap(best.begin(), best.end(), worse);
+      continue;
+    }
+    if (BetterEvictionVictim(entry, *best.front())) {
+      std::pop_heap(best.begin(), best.end(), worse);
+      best.back() = &entry;
+      std::push_heap(best.begin(), best.end(), worse);
+    }
+  }
+  std::sort(best.begin(), best.end(),
+            [](const CollectionEntry* a, const CollectionEntry* b) {
+              return BetterEvictionVictim(*a, *b);
+            });
+  out->insert(out->end(), best.begin(), best.end());
 }
 
 Status Collection::AbsorbAll(Collection& other) {

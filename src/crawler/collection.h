@@ -52,6 +52,13 @@ class Collection {
   /// is at capacity.
   Status Upsert(CollectionEntry entry);
 
+  /// Upsert without the capacity bound — the sharded lease-apply's
+  /// overdraft primitive. A shard inserting against its capacity lease
+  /// may temporarily overdraw this store (by at most its batch slot
+  /// count); the caller settles the global bound afterwards by
+  /// evicting the canonical overdraft victims.
+  void UpsertUnchecked(CollectionEntry entry);
+
   /// Removes an entry; NotFound if absent.
   Status Remove(const simweb::Url& url);
 
@@ -75,6 +82,14 @@ class Collection {
   /// identity (nullptr if empty) — the default victim of the refinement
   /// decision, deterministic regardless of hash-map layout.
   const CollectionEntry* LowestImportance() const;
+
+  /// Appends this store's `k` best eviction victims to `out` in
+  /// BetterEvictionVictim order (fewer if the store is smaller) — one
+  /// shard's nomination list for the sharded collection's canonical
+  /// cross-shard eviction settle. Deterministic regardless of hash-map
+  /// layout (the victim order is total).
+  void LowestImportanceK(std::size_t k,
+                         std::vector<const CollectionEntry*>* out) const;
 
   void Clear() { entries_.clear(); }
 

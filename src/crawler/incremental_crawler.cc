@@ -22,12 +22,15 @@ IncrementalCrawler::IncrementalCrawler(
         UpdateModuleConfig u = config.update;
         u.crawl_budget_pages_per_day = config.crawl_rate_pages_per_day;
         // The module's state shards must match the engine's ownership
-        // mapping: the apply shard pass calls OnCrawled/Forget
+        // mapping: the apply passes call OnCrawled/Forget
         // concurrently, one worker per engine shard.
         u.num_shards = config.crawl_parallelism;
         return u;
       }()),
-      ranking_module_(config.ranking) {}
+      ranking_module_(config.ranking) {
+  pending_shards_.resize(
+      static_cast<std::size_t>(collection_.num_shards()));
+}
 
 Status IncrementalCrawler::Bootstrap(double t) {
   if (bootstrapped_) {
@@ -49,39 +52,26 @@ Status IncrementalCrawler::Bootstrap(double t) {
   return Status::Ok();
 }
 
-void IncrementalCrawler::IngestLinks(
-    const std::vector<simweb::Url>& links, double at) {
-  for (const simweb::Url& link : links) {
-    // Discovery notes (AllUrls first_seen / in-link counts) were
-    // already applied by the barrier's parallel noting pass; what
-    // remains is the greedy fill: while the collection is below
-    // capacity, admit discoveries directly instead of waiting for a
-    // refinement pass. pending_admissions_ tracks admitted-but-
-    // uncrawled URLs exactly, so admissions never overshoot capacity.
-    if (collection_.Contains(link) || coll_urls_.Contains(link)) continue;
-    const AllUrls::UrlInfo* info = all_urls_.Find(link);
-    if (info != nullptr && info->dead) continue;
-    if (collection_.size() + pending_admissions_.size() <
-        collection_.capacity()) {
-      coll_urls_.Schedule(link, at);
-      pending_admissions_.insert(link);
-    }
-  }
+std::size_t IncrementalCrawler::PendingTotal() const {
+  std::size_t total = 0;
+  for (const auto& shard : pending_shards_) total += shard.size();
+  return total;
 }
 
 void IncrementalCrawler::RunRefinement() {
   RefinementResult refinement =
       ranking_module_.Refine(all_urls_, collection_);
+  std::size_t pending = PendingTotal();
   for (const simweb::Url& url : refinement.admissions) {
     // The RankingModule only knows collection occupancy; respect the
     // in-flight admissions too so the collection never over-admits.
-    if (collection_.size() + pending_admissions_.size() >=
-        collection_.capacity()) {
+    if (collection_.size() + pending >= collection_.capacity()) {
       break;
     }
     if (!coll_urls_.Contains(url)) {
       coll_urls_.ScheduleFront(url);
-      pending_admissions_.insert(url);
+      PendingInsert(url);
+      ++pending;
     }
   }
   for (const Replacement& r : refinement.replacements) {
@@ -100,46 +90,6 @@ void IncrementalCrawler::RunRefinement() {
   });
 }
 
-void IncrementalCrawler::EvictLowestImportance() {
-  // Refinement normally frees space before a new page is crawled;
-  // under races (e.g. a victim died first) evict the least important
-  // entry, per Algorithm 5.1 steps [7]-[8].
-  const CollectionEntry* victim = collection_.LowestImportance();
-  if (victim == nullptr) return;
-  simweb::Url victim_url = victim->url;
-  Status unqueue = coll_urls_.Remove(victim_url);
-  (void)unqueue;
-  update_module_.Forget(victim_url);
-  Status removed = collection_.Remove(victim_url);
-  (void)removed;
-  ++stats_.pages_evicted;
-}
-
-void IncrementalCrawler::InsertFetchedPage(const ApplyEffect& e) {
-  if (collection_.size() >= collection_.capacity()) {
-    EvictLowestImportance();
-  }
-  CollectionEntry entry;
-  entry.url = e.url;
-  entry.page = e.page;
-  entry.version = e.version;
-  entry.checksum = e.checksum;
-  entry.crawled_at = e.at;
-  entry.links = e.links;
-  if (collection_.Upsert(std::move(entry)).ok()) {
-    ++stats_.pages_added;
-    const AllUrls::UrlInfo* info = all_urls_.Find(e.url);
-    if (reached_capacity_once_ && info != nullptr &&
-        info->first_seen >= steady_since_) {
-      stats_.new_page_latency_days.Add(e.at - info->first_seen);
-    }
-    if (!reached_capacity_once_ && collection_.full()) {
-      reached_capacity_once_ = true;
-      steady_since_ = e.at;
-    }
-  }
-}
-
 void IncrementalCrawler::ApplyBatch(
     const std::vector<PlannedFetch>& plan,
     std::vector<StatusOr<simweb::FetchResult>>& outcomes,
@@ -148,21 +98,33 @@ void IncrementalCrawler::ApplyBatch(
   if (plan.empty()) return;
   auto apply_begin = std::chrono::steady_clock::now();
 
-  // ---- Phase 1: shard-local pass, parallel. Each worker walks its
+  // ---- Lease grant (serial coordinator). Every shard's lease carries
+  // the batch's whole frozen admission budget R = capacity - size -
+  // pending as an optimistic ceiling: a shard's local greedy fill then
+  // admits a superset of what the serial frozen-budget greedy would
+  // admit from its stream, so the settle only ever revokes (in global
+  // stream order), never retro-admits. Inserts may overdraw capacity
+  // (bounded by the shard's slot count); the settle evicts the
+  // canonical victims.
+  const std::size_t size_at_entry = collection_.size();
+  const std::size_t occupied = size_at_entry + PendingTotal();
+  const std::size_t admit_budget =
+      occupied < collection_.capacity() ? collection_.capacity() - occupied
+                                        : 0;
+
+  // ---- Outcome pass: shard-local, parallel. Each worker walks its
   // own shard's outcomes in slot order and mutates only the state its
-  // sites own: in-place collection updates, dead-page purges, the
-  // UpdateModule's visit records (global budget quantities are frozen
-  // between barriers). Every cross-shard effect — including settling
-  // the slot's pending admission, which must stay adjacent to the
-  // slot's own re-admission for exact capacity accounting — is queued
-  // for the barrier.
+  // sites own: in-place collection updates, checksum compares, dead
+  // purges + AllUrls tombstones, OnCrawled visit records (global
+  // budget quantities are frozen between barriers). Everything the
+  // admission stream needs is queued as effects.
   const auto shards = static_cast<std::size_t>(collection_.num_shards());
   std::vector<std::vector<std::size_t>> by_shard(shards);
   for (std::size_t i = 0; i < plan.size(); ++i) {
-    by_shard[collection_.ShardOf(plan[i].url.site)].push_back(i);
+    by_shard[plan[i].shard].push_back(i);
   }
   std::vector<ShardApplyResult> deltas(shards);
-  auto shard_pass = [&](std::size_t s) {
+  auto outcome_pass = [&](std::size_t s) {
     auto begin = std::chrono::steady_clock::now();
     ShardApplyResult& out = deltas[s];
     out.effects.reserve(by_shard[s].size());
@@ -179,20 +141,25 @@ void IncrementalCrawler::ApplyBatch(
         if (result.status().code() == StatusCode::kFailedPrecondition) {
           // Politeness rejection: the page is fine, the site just
           // needs a breather. The per-shard retry lane captured the
-          // earliest polite time at the attempt itself; the barrier
-          // decides whether that window reopens inside this batch.
+          // earliest polite time at the attempt itself; the admission
+          // pass decides whether that window reopens inside this
+          // batch.
           ++out.politeness_retries;
           effect.kind = ApplyEffect::Kind::kRetry;
           effect.when = retry_at[i];
         } else {
           // Dead page (Section 5.1 goal 2: pages are constantly
-          // removed; the collection must track that). The shard purges
-          // the state it owns right here; the AllUrls tombstone is
-          // shared read state and waits for the barrier.
+          // removed; the collection must track that). Purge and
+          // tombstone right here — both live in this shard — so the
+          // admission stream sees the death before any later link to
+          // the URL.
           if (collection_.shard(s).Remove(url).ok()) {
             update_module_.Forget(url);
             ++out.dead_pages_removed;
+            effect.purged = true;
           }
+          Status mark = all_urls_.MarkDead(url);
+          (void)mark;
           effect.kind = ApplyEffect::Kind::kDead;
         }
         out.effects.push_back(std::move(effect));
@@ -212,8 +179,8 @@ void IncrementalCrawler::ApplyBatch(
         ++out.in_place_updates;
         effect.kind = ApplyEffect::Kind::kReschedule;
       } else {
-        // New page: the insert is gated on the global capacity, so it
-        // belongs to the barrier; the visit record does not.
+        // New page: the insert draws on the shard's capacity lease in
+        // the admission pass; the visit record does not.
         effect.kind = ApplyEffect::Kind::kInsert;
       }
       effect.page = result->page;
@@ -231,99 +198,269 @@ void IncrementalCrawler::ApplyBatch(
   for (std::size_t s = 0; s < shards; ++s) {
     if (!by_shard[s].empty()) busy.push_back(s);
   }
-  engine_.threads().RunForIndices(busy, shard_pass);
+  engine_.threads().RunForIndices(busy, outcome_pass);
 
-  // Reassemble the global slot order — each slot yields exactly one
-  // effect, so this is a simple scatter — and bucket the discovered
-  // links by the *target* site's AllUrls shard, still in (slot,
-  // position) order within each bucket.
+  // ---- Serial scatter: reassemble the global slot order (each slot
+  // yields exactly one effect), grant the seq lanes — slot i's lane is
+  // [lane_base[i], lane_base[i] + 1 + nlinks(i)), a pure function of
+  // slot order — and bucket the discovered links by the *target*
+  // site's owner shard, (slot, position) order within each bucket,
+  // each link carrying its lane seq.
   std::vector<ApplyEffect*> ordered(plan.size(), nullptr);
   for (ShardApplyResult& delta : deltas) {
     for (ApplyEffect& e : delta.effects) ordered[e.slot] = &e;
   }
-  struct LinkNote {
+  const uint64_t seq_base = coll_urls_.next_seq();
+  std::vector<uint64_t> lane_base(plan.size(), 0);
+  struct LinkItem {
     const simweb::Url* url;
     double at;
+    uint32_t slot;
+    uint32_t pos;
+    uint64_t seq;
   };
-  std::vector<std::vector<LinkNote>> notes(
-      static_cast<std::size_t>(all_urls_.num_shards()));
-  for (ApplyEffect* e : ordered) {
-    for (const simweb::Url& link : e->links) {
-      notes[all_urls_.ShardOf(link.site)].push_back(
-          LinkNote{&link, e->at});
+  std::vector<std::vector<LinkItem>> links_of(shards);
+  uint64_t lane = seq_base;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    lane_base[i] = lane;
+    const ApplyEffect& e = *ordered[i];
+    lane += 1 + static_cast<uint64_t>(e.links.size());
+    for (std::size_t p = 0; p < e.links.size(); ++p) {
+      const simweb::Url& link = e.links[p];
+      links_of[collection_.ShardOf(link.site)].push_back(
+          LinkItem{&link, e.at, static_cast<uint32_t>(i),
+                   static_cast<uint32_t>(p), lane_base[i] + 1 + p});
     }
   }
+  const uint64_t seq_width = lane - seq_base;
 
-  // ---- Phase 2a: parallel link noting. Each AllUrls shard owner
-  // walks only its own bucket — the same first_seen / in-link state
-  // the serial walk produced, because per-URL outcomes depend only on
-  // the (slot, position) order of that URL's own mentions, which the
-  // buckets preserve.
-  std::vector<std::size_t> note_targets;
-  for (std::size_t t = 0; t < notes.size(); ++t) {
-    if (!notes[t].empty()) note_targets.push_back(t);
-  }
-  engine_.threads().RunForIndices(note_targets, [&](std::size_t target) {
-    for (const LinkNote& note : notes[target]) {
-      all_urls_.NoteInLink(*note.url, note.at);
+  // ---- Admission pass: owner-shard, parallel. Each shard walks the
+  // global-slot-ordered merge of its own slots' effects and the link
+  // items targeting its sites — every per-URL structure (collection
+  // shard, frontier shard, AllUrls shard, pending set, politeness
+  // clock) is owned by this shard, so the walk reproduces the serial
+  // admission stream for its URLs exactly, and the lease gates the
+  // only global quantity (the admission budget).
+  std::vector<ShardAdmitResult> admits(shards);
+  auto admission_pass = [&](std::size_t t) {
+    auto begin = std::chrono::steady_clock::now();
+    ShardAdmitResult& out = admits[t];
+    auto& pending = pending_shards_[t];
+    Collection& coll = collection_.shard(t);
+    const std::vector<std::size_t>& slots = by_shard[t];
+    const std::vector<LinkItem>& links = links_of[t];
+    std::size_t admitted_count = 0;
+    std::size_t si = 0, li = 0;
+    while (si < slots.size() || li < links.size()) {
+      // Stream order: the effect of slot i precedes the links of slot
+      // i (an insert precedes its own page's discoveries), and both
+      // precede everything of slot i+1.
+      if (li >= links.size() ||
+          (si < slots.size() && slots[si] <= links[li].slot)) {
+        ApplyEffect& e = *ordered[slots[si]];
+        const auto slot = static_cast<uint32_t>(slots[si]);
+        ++si;
+        // Settle this slot's in-flight admission exactly at its own
+        // slot, before any re-admission below.
+        pending.erase(e.url);
+        switch (e.kind) {
+          case ApplyEffect::Kind::kRetry: {
+            if (!coll.Contains(e.url)) pending.insert(e.url);
+            const double polite =
+                engine_.pool().NextAllowedTime(e.url.site);
+            if (polite < batch_end) {
+              // The polite window reopens inside this batch: retire
+              // the retry now (RunUntil's retry rounds) instead of
+              // deferring a whole batch.
+              out.retries.push_back(
+                  PendingRetry{e.url, static_cast<uint32_t>(t), slot});
+            } else {
+              coll_urls_.ScheduleLane(t, e.url, e.when, lane_base[slot]);
+            }
+            break;
+          }
+          case ApplyEffect::Kind::kDead:
+            break;  // purged + tombstoned in the outcome pass
+          case ApplyEffect::Kind::kReschedule: {
+            coll_urls_.ScheduleLane(t, e.url, e.when, lane_base[slot]);
+            break;
+          }
+          case ApplyEffect::Kind::kInsert: {
+            CollectionEntry entry;
+            entry.url = e.url;
+            entry.page = e.page;
+            entry.version = e.version;
+            entry.checksum = e.checksum;
+            entry.crawled_at = e.at;
+            entry.links = e.links;
+            collection_.InsertOverdraft(t, std::move(entry));
+            e.inserted = true;
+            if (const AllUrls::UrlInfo* info = all_urls_.Find(e.url)) {
+              e.first_seen_valid = true;
+              e.first_seen = info->first_seen;
+            }
+            out.insert_slots.push_back(slot);
+            coll_urls_.ScheduleLane(t, e.url, e.when, lane_base[slot]);
+            break;
+          }
+        }
+        continue;
+      }
+      const LinkItem& item = links[li];
+      ++li;
+      // Discovery note and admission dedup off one hash probe. Links
+      // to URLs purged or tombstoned this batch (outcome pass) are
+      // never re-admitted.
+      const AllUrls::UrlInfo& info =
+          all_urls_.NoteInLink(*item.url, item.at);
+      if (admitted_count >= admit_budget || info.dead) continue;
+      if (coll.Contains(*item.url) || coll_urls_.Contains(*item.url)) {
+        continue;
+      }
+      coll_urls_.ScheduleLane(t, *item.url, item.at, item.seq);
+      const bool fresh_pending = pending.insert(*item.url).second;
+      out.admitted.push_back(AdmissionRef{item.slot, item.pos});
+      out.admitted_urls.push_back(item.url);
+      out.admitted_seqs.push_back(item.seq);
+      out.admitted_fresh_pending.push_back(fresh_pending ? 1 : 0);
+      ++admitted_count;
     }
-  });
+    out.seconds = SecondsSince(begin);
+  };
+  std::vector<std::size_t> admit_busy;
+  for (std::size_t t = 0; t < shards; ++t) {
+    if (!by_shard[t].empty() || !links_of[t].empty()) {
+      admit_busy.push_back(t);
+    }
+  }
+  engine_.threads().RunForIndices(admit_busy, admission_pass);
 
-  // ---- Phase 2b: serial barrier reduction, in slot order — exactly
-  // the cross-shard reads/writes the serial apply used to interleave:
-  // frontier scheduling (global sequence numbers), capacity-gated
-  // inserts and evictions, greedy-fill admissions, dead tombstones.
-  // The shard pass removed dead pages behind the wrapper's back, so
-  // re-sync the cached global size first.
+  // ---- Settle: the shrunken serial barrier. Re-sync the cached
+  // global size, reconcile the leases, evict the capacity overdraft
+  // canonically, advance the seq counter past the lane grant, and
+  // replay the insert ledger in slot order.
   auto barrier_begin = std::chrono::steady_clock::now();
   collection_.ReconcileSize();
-  for (ApplyEffect* pe : ordered) {
-    ApplyEffect& e = *pe;
-    now_ = e.at;
-    // Settle this slot's in-flight admission exactly where the serial
-    // apply did — at its own slot, before any re-admission below.
-    pending_admissions_.erase(e.url);
-    switch (e.kind) {
-      case ApplyEffect::Kind::kRetry: {
-        if (!collection_.Contains(e.url)) {
-          pending_admissions_.insert(e.url);
-        }
-        const double polite = engine_.pool().NextAllowedTime(e.url.site);
-        if (polite < batch_end) {
-          // The polite window reopens inside this batch: retire the
-          // retry now (RunUntil's retry rounds) instead of deferring a
-          // whole batch.
-          retries.push_back(PendingRetry{e.url});
-        } else {
-          coll_urls_.Schedule(e.url, e.when);
-        }
-        break;
+
+  // Lease settlement: the first `admit_budget` admissions in global
+  // (slot, pos) order stand; the optimistic overdraft is revoked.
+  std::vector<std::vector<AdmissionRef>> admitted_refs(shards);
+  std::size_t total_admitted = 0;
+  for (std::size_t t = 0; t < shards; ++t) {
+    admitted_refs[t] = std::move(admits[t].admitted);
+    total_admitted += admitted_refs[t].size();
+  }
+  std::vector<RevokedAdmission> revoked =
+      SettleAdmissionLease(admitted_refs, admit_budget);
+  if (!revoked.empty()) {
+    // Undo only what each admission still owns: a later effect for
+    // the same URL in the stream (a slot reschedule, a retry's
+    // reservation) supersedes it, and the serial reference — which
+    // never admitted past the budget — keeps that later state. The
+    // frontier entry carries its lane seq as the ownership token; for
+    // the pending reservation, ownership passed to any later slot of
+    // the same URL (its settle-and-reinsert is definitive).
+    std::unordered_map<simweb::Url, std::size_t, simweb::UrlHash> slot_of;
+    slot_of.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      slot_of.emplace(plan[i].url, i);
+    }
+    for (const RevokedAdmission& r : revoked) {
+      const ShardAdmitResult& a = admits[r.shard];
+      const simweb::Url& url = *a.admitted_urls[r.index];
+      Status unqueue =
+          coll_urls_.RemoveIfSeq(url, a.admitted_seqs[r.index]);
+      (void)unqueue;
+      if (a.admitted_fresh_pending[r.index] == 0) continue;
+      auto it = slot_of.find(url);
+      const bool later_effect =
+          it != slot_of.end() &&
+          it->second > admitted_refs[r.shard][r.index].slot;
+      if (!later_effect) pending_shards_[r.shard].erase(url);
+    }
+  }
+  const std::size_t kept_admissions = total_admitted - revoked.size();
+  stats_.lease_budget_granted += admit_budget;
+  stats_.lease_admissions += kept_admissions;
+
+  // Capacity settle: the insert overdraft evicts the globally worst
+  // entries, per-shard nominations merged in canonical
+  // BetterEvictionVictim order (Algorithm 5.1 steps [7]-[8], batched).
+  const std::size_t overdraft =
+      collection_.size() > collection_.capacity()
+          ? collection_.size() - collection_.capacity()
+          : 0;
+  if (overdraft > 0) {
+    std::vector<simweb::Url> victims =
+        collection_.CollectOverdraftVictims(&engine_.threads());
+    for (const simweb::Url& victim : victims) {
+      Status unqueue = coll_urls_.Remove(victim);
+      (void)unqueue;
+      update_module_.Forget(victim);
+      Status removed = collection_.Remove(victim);
+      (void)removed;
+      ++stats_.pages_evicted;
+    }
+  }
+
+  // Seq-lane settle: the counter jumps past the granted range (unused
+  // lane slots stay as deterministic gaps).
+  coll_urls_.SettleSeqLease(seq_base + seq_width);
+
+  // Insert ledger replay, in slot order: pages_added, the capacity
+  // milestone, and the new-page timeliness metric — the only stat
+  // whose accumulation order is observable (RunningStat state is
+  // checkpointed), so it is fed serially, never shard-merged.
+  if (!reached_capacity_once_) {
+    // Fill phase: replay the full effect stream, so dead purges free
+    // occupancy at their own slots and the capacity milestone fires
+    // exactly where the stream crossed it.
+    std::size_t running = size_at_entry;
+    for (ApplyEffect* pe : ordered) {
+      const ApplyEffect& e = *pe;
+      if (e.purged) {
+        --running;
+        continue;
       }
-      case ApplyEffect::Kind::kDead: {
-        Status mark = all_urls_.MarkDead(e.url);
-        (void)mark;
-        break;
+      if (!e.inserted) continue;
+      ++stats_.pages_added;
+      if (reached_capacity_once_ && e.first_seen_valid &&
+          e.first_seen >= steady_since_) {
+        stats_.new_page_latency_days.Add(e.at - e.first_seen);
       }
-      case ApplyEffect::Kind::kReschedule: {
-        if (!collection_.Contains(e.url)) {
-          // The in-place update was evicted by an earlier slot's
-          // insert within this same barrier: re-insert the fresh copy
-          // (the serial walk's "victim died first" re-insert) rather
-          // than discarding the fetch.
-          InsertFetchedPage(e);
-        }
-        coll_urls_.Schedule(e.url, e.when);
-        IngestLinks(e.links, e.at);
-        break;
+      ++running;
+      if (!reached_capacity_once_ && running >= collection_.capacity()) {
+        reached_capacity_once_ = true;
+        steady_since_ = e.at;
       }
-      case ApplyEffect::Kind::kInsert: {
-        InsertFetchedPage(e);
-        coll_urls_.Schedule(e.url, e.when);
-        IngestLinks(e.links, e.at);
-        break;
+    }
+  } else {
+    // Steady state: only the inserts matter; walk just those.
+    std::vector<uint32_t> insert_slots;
+    for (const ShardAdmitResult& a : admits) {
+      insert_slots.insert(insert_slots.end(), a.insert_slots.begin(),
+                          a.insert_slots.end());
+    }
+    std::sort(insert_slots.begin(), insert_slots.end());
+    for (uint32_t slot : insert_slots) {
+      const ApplyEffect& e = *ordered[slot];
+      ++stats_.pages_added;
+      if (e.first_seen_valid && e.first_seen >= steady_since_) {
+        stats_.new_page_latency_days.Add(e.at - e.first_seen);
       }
     }
   }
+
+  // In-batch retries merge across shards in slot order.
+  for (ShardAdmitResult& a : admits) {
+    retries.insert(retries.end(), a.retries.begin(), a.retries.end());
+  }
+  std::sort(retries.begin(), retries.end(),
+            [](const PendingRetry& a, const PendingRetry& b) {
+              return a.slot < b.slot;
+            });
+
+  now_ = ordered.back()->at;
   const double barrier_seconds = SecondsSince(barrier_begin);
 
   // Counter deltas merge in shard index order; shard wall-clocks are
@@ -338,6 +475,13 @@ void IncrementalCrawler::ApplyBatch(
   for (std::size_t s : busy) {
     engine_.RecordApplyShardSeconds(deltas[s].seconds);
   }
+  for (std::size_t t : admit_busy) {
+    engine_.RecordApplyShardSeconds(admits[t].seconds);
+  }
+  engine_.RecordLeaseSettle(static_cast<double>(admit_budget),
+                            static_cast<double>(kept_admissions),
+                            static_cast<double>(revoked.size()),
+                            static_cast<double>(overdraft));
   engine_.RecordApplyBarrierSeconds(barrier_seconds);
   engine_.RecordApplySeconds(SecondsSince(apply_begin));
 }
@@ -389,8 +533,10 @@ Status IncrementalCrawler::RunUntil(double until) {
         coll_urls_.PlanSlots(now_, horizon, step, &engine_.threads());
     std::vector<PlannedFetch> plan;
     plan.reserve(slot_plan.slots.size());
-    for (const ScheduledUrl& slot : slot_plan.slots) {
-      plan.push_back(PlannedFetch{slot.url, slot.when});
+    for (std::size_t i = 0; i < slot_plan.slots.size(); ++i) {
+      plan.push_back(PlannedFetch{slot_plan.slots[i].url,
+                                  slot_plan.slots[i].when,
+                                  slot_plan.owner[i]});
     }
     // Only batches the engine also counts, so per-batch phase ratios
     // divide like for like (idle planning passes are ~free anyway).
@@ -432,7 +578,7 @@ Status IncrementalCrawler::RunUntil(double until) {
           continue;
         }
         ++k;
-        round.push_back(PlannedFetch{r.url, at});
+        round.push_back(PlannedFetch{r.url, at, r.shard});
       }
       if (round.empty()) break;
       ++retry_rounds;

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "crawler/admission_lease.h"
 #include "crawler/all_urls.h"
 #include "crawler/crawl_module.h"
 #include "crawler/eval.h"
@@ -82,20 +83,35 @@ struct IncrementalCrawlerConfig {
 ///      merge assigns the slots;
 ///   2. *fetch*: the ShardedCrawlEngine executes the batch, shards in
 ///      parallel;
-///   3. *apply*, two phases:
-///        - *shard pass* (parallel): each shard walks its own outcomes
-///          in slot order, mutating only the state its sites own —
-///          in-place collection updates, checksum comparisons, dead-
-///          page purges, UpdateModule visit records (whose budget
-///          globals are frozen between barriers) — and queues every
-///          cross-shard effect;
-///        - *barrier* (serial): link discoveries are noted into the
-///          sharded AllUrls in parallel by the *target* site's owner,
-///          then the queued effects apply in slot order — new-page
-///          inserts against the global capacity (evicting the globally
-///          least-important entry when full), link admissions while
-///          below capacity, frontier reschedules, and politeness
-///          retries;
+///   3. *apply*, under the capacity-lease protocol:
+///        - *lease grant* (serial): the coordinator freezes the batch's
+///          admission budget R = capacity - size - pending and grants
+///          every shard a lease over it (each lease carries the full
+///          remaining budget as an optimistic ceiling, plus the right
+///          to overdraw capacity on inserts — bounded by the shard's
+///          slot count — against canonical-order eviction candidates);
+///        - *outcome pass* (parallel, fetch shard): each shard walks
+///          its own outcomes in slot order — in-place collection
+///          updates, checksum comparisons, dead-page purges and
+///          AllUrls tombstones, UpdateModule visit records (whose
+///          budget globals are frozen between barriers) — and queues
+///          the admission-stream effects;
+///        - *admission pass* (parallel, owner shard): each shard walks
+///          the global-slot-ordered merge of its own slots' effects
+///          and the link discoveries targeting its sites, performing
+///          its own capacity-gated work against the lease: overdraft
+///          inserts, greedy-fill link admissions (note + dedup + lease
+///          gate in one walk), pending-admission settlement, frontier
+///          schedules on coordinator-granted per-slot seq lanes, and
+///          politeness-retry triage;
+///        - *settle* (serial, the shrunken barrier): unused leases
+///          settle as counters, overdrawn leases revoke admissions
+///          past the frozen budget in global stream order, capacity
+///          overdraft evicts the globally worst entries (per-shard
+///          nominations merged in canonical BetterEvictionVictim
+///          order), the seq-lane grant advances the global counter,
+///          and the new-page latency ledger replays inserts in slot
+///          order;
 ///   4. politeness rejections whose polite window reopens before the
 ///      batch window closes are refetched *within the batch* (reusing
 ///      their wasted slots, one retry per site per round); the rest
@@ -151,6 +167,14 @@ class IncrementalCrawler {
     /// Rejected fetches refetched within their own batch window —
     /// politeness retries retired without losing a batch of latency.
     uint64_t in_batch_retries = 0;
+    /// Capacity-lease ledger: the admission budget granted to the
+    /// shard leases (sum of each batch's frozen R) and the greedy-fill
+    /// admissions that stood after settlement. Both are pure functions
+    /// of the simulation — identical at every shard count — and are
+    /// checkpointed. (Lease *revocations* are shard-layout dependent
+    /// and live on the engine's wall-clock-free ledger instead.)
+    uint64_t lease_budget_granted = 0;
+    uint64_t lease_admissions = 0;
     /// Days from first discovery of a URL to its entering the
     /// collection — the "bring in new pages in a timely manner" metric.
     /// Only counted for URLs *discovered after* the collection first
@@ -176,12 +200,12 @@ class IncrementalCrawler {
   friend Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler);
 
  private:
-  /// One cross-shard effect queued by the apply shard pass, applied at
-  /// the serial barrier in ascending `slot` order.
+  /// One admission-stream effect queued by the outcome pass, consumed
+  /// by the owning shard's admission pass in ascending `slot` order.
   struct ApplyEffect {
     enum class Kind {
       kRetry,       ///< politeness rejection: reschedule or retry
-      kDead,        ///< NotFound: mark the URL dead in AllUrls
+      kDead,        ///< NotFound: purged; only pending settles remain
       kReschedule,  ///< success on a collection page: schedule + links
       kInsert,      ///< success on a new page: insert + schedule + links
     };
@@ -190,17 +214,25 @@ class IncrementalCrawler {
     simweb::Url url;
     double at = 0.0;    ///< the slot's simulation time
     double when = 0.0;  ///< retry time (kRetry) or next visit
-    // Stored-copy identity fields, carried by *every* success so a
-    // kReschedule whose entry gets evicted mid-barrier can still be
-    // re-inserted instead of losing the fetch.
+    /// Stored-copy fields for kInsert (the admission pass builds the
+    /// collection entry from them).
     simweb::PageId page = simweb::kInvalidPage;
     uint64_t version = 0;
     Checksum128 checksum;
     /// Links extracted from the fetched body (successes only).
     std::vector<simweb::Url> links;
+    /// kDead only: the purge actually removed a collection entry
+    /// (feeds the settle's capacity replay).
+    bool purged = false;
+    /// Admission-pass outputs for the settle's latency/capacity
+    /// ledger: the insert happened, and the URL's AllUrls first_seen
+    /// at insert time (valid only when first_seen_valid).
+    bool inserted = false;
+    bool first_seen_valid = false;
+    double first_seen = 0.0;
   };
 
-  /// Everything one shard's apply pass produces: counter deltas plus
+  /// Everything one shard's outcome pass produces: counter deltas plus
   /// the effect queue, both in the shard's slot order.
   struct ShardApplyResult {
     uint64_t crawls = 0;
@@ -212,15 +244,42 @@ class IncrementalCrawler {
     double seconds = 0.0;  ///< wall-clock of this shard's pass
   };
 
-  /// A politeness rejection eligible for refetching, in slot order.
+  /// A politeness rejection eligible for refetching; `slot` orders the
+  /// cross-shard merge, `shard` stamps the owner for the retry round's
+  /// plan.
   struct PendingRetry {
     simweb::Url url;
+    uint32_t shard = 0;
+    uint32_t slot = 0;
   };
 
-  /// Applies one executed batch through the two-phase apply.
-  /// Politeness rejections whose polite window reopens before
-  /// `batch_end` are appended to `retries` (for the in-batch retry
-  /// rounds) instead of being rescheduled onto the frontier.
+  /// One shard's admission-pass output, everything in the shard's
+  /// stream order.
+  struct ShardAdmitResult {
+    /// Greedy-fill admissions performed against the lease, by global
+    /// (slot, pos) coordinates, plus — aligned by index — what the
+    /// settle needs to revoke one: the URL (a pointer into the
+    /// effects' link lists), the lane seq its frontier entry was
+    /// granted (a later reschedule of the same URL supersedes the
+    /// admission; revocation must then leave the newer entry alone),
+    /// and whether the pending insert was genuine (an admission of an
+    /// already-pending URL must not clear that standing reservation).
+    std::vector<AdmissionRef> admitted;
+    std::vector<const simweb::Url*> admitted_urls;
+    std::vector<uint64_t> admitted_seqs;
+    std::vector<uint8_t> admitted_fresh_pending;
+    /// Politeness rejections whose window reopens inside the batch.
+    std::vector<PendingRetry> retries;
+    /// Slots whose kInsert actually inserted (always, under overdraft).
+    std::vector<uint32_t> insert_slots;
+    double seconds = 0.0;  ///< wall-clock of this shard's pass
+  };
+
+  /// Applies one executed batch through the lease-protocol apply
+  /// (outcome pass, admission pass, serial settle). Politeness
+  /// rejections whose polite window reopens before `batch_end` are
+  /// appended to `retries` (for the in-batch retry rounds) instead of
+  /// being rescheduled onto the frontier.
   void ApplyBatch(const std::vector<PlannedFetch>& plan,
                   std::vector<StatusOr<simweb::FetchResult>>& outcomes,
                   const std::vector<double>& retry_at, double batch_end,
@@ -229,19 +288,11 @@ class IncrementalCrawler {
   /// Runs one refinement pass and executes the replacements.
   void RunRefinement();
 
-  /// Greedy-fill admission for the links of one fetched page at time
-  /// `at` (their AllUrls discovery notes have already been applied by
-  /// the barrier's parallel noting pass).
-  void IngestLinks(const std::vector<simweb::Url>& links, double at);
-
-  /// Evicts the globally least-important entry (Algorithm 5.1 steps
-  /// [7]-[8]) to make room for an insert; serial-barrier only.
-  void EvictLowestImportance();
-
-  /// Inserts the fetched copy carried by a success effect into the
-  /// collection (evicting if full) with the usual admission
-  /// accounting; serial-barrier only.
-  void InsertFetchedPage(const ApplyEffect& e);
+  /// In-flight admission accounting across the owner-sharded sets.
+  std::size_t PendingTotal() const;
+  void PendingInsert(const simweb::Url& url) {
+    pending_shards_[collection_.ShardOf(url.site)].insert(url);
+  }
 
   simweb::SimulatedWeb* web_;  // not owned
   IncrementalCrawlerConfig config_;
@@ -260,13 +311,14 @@ class IncrementalCrawler {
   double next_rebalance_ = 0.0;
   double next_sample_ = 0.0;
   uint64_t batches_completed_ = 0;
-  /// URLs admitted toward collection slots but not yet crawled; exact
-  /// accounting so greedy fill never overshoots capacity. Touched only
-  /// on serial paths: each slot's pending entry is settled by its own
-  /// barrier effect, at its own slot, exactly like the serial apply —
-  /// never by the parallel shard pass, which would open a capacity
-  /// window between the erase and the slot's re-admission.
-  std::unordered_set<simweb::Url, simweb::UrlHash> pending_admissions_;
+  /// URLs admitted toward collection slots but not yet crawled — the
+  /// in-flight half of the capacity lease (the budget R the coordinator
+  /// freezes each batch is capacity - size - pending). Sharded by the
+  /// engine's site % N ownership so the admission pass settles each
+  /// slot's pending entry and records each admission inside the owning
+  /// shard; the total is the sum over shards, shard-count free.
+  std::vector<std::unordered_set<simweb::Url, simweb::UrlHash>>
+      pending_shards_;
   bool reached_capacity_once_ = false;
   double steady_since_ = 0.0;
 };

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "crawler/admission_lease.h"
 #include "crawler/snapshot.h"
 
 namespace webevo::crawler {
@@ -134,30 +135,15 @@ void PeriodicCrawler::ApplyOutcome(
   // Breadth-first expansion. The crawl loop stops once `capacity`
   // pages are stored; the frontier keeps a few extra discoveries so
   // that URLs dying between discovery and fetch do not leave the
-  // collection under-filled. The 4x bound caps frontier memory.
-  if (fresh_links != nullptr) {
-    // The parallel dedup pass already test-and-marked every link
-    // against its owning shard's seen-set, in slot order; appending
-    // the winners here, still in slot order, reproduces the serial
-    // expansion exactly.
-    for (std::size_t j = 0; j < result->links.size(); ++j) {
-      if ((*fresh_links)[j] != 0) frontier_.push_back(result->links[j]);
-    }
-    return;
-  }
-  // One O(shards) count up front; our own inserts are the only thing
-  // moving it inside the loop.
-  std::size_t seen = SeenCount();
-  if (seen < 4 * config_.collection_capacity) {
-    for (const simweb::Url& link : result->links) {
-      if (seen >= 4 * config_.collection_capacity) {
-        break;
-      }
-      if (SeenInsert(link)) {
-        frontier_.push_back(link);
-        ++seen;
-      }
-    }
+  // collection under-filled (the 4x frontier-memory bound is the
+  // lease budget the admission pass was gated by). The pass already
+  // test-and-marked every link against its owning shard's seen-set in
+  // slot order and the settle revoked any overdraft, so appending the
+  // surviving winners here, still in slot order, reproduces the
+  // serial capped expansion exactly.
+  if (fresh_links == nullptr) return;  // batch discovered no links
+  for (std::size_t j = 0; j < result->links.size(); ++j) {
+    if ((*fresh_links)[j] != 0) frontier_.push_back(result->links[j]);
   }
 }
 
@@ -192,10 +178,14 @@ Status PeriodicCrawler::RunUntil(double until) {
             config_.collection_capacity - stored_this_cycle_);
         const double batch_start = now_;
         auto plan_begin = std::chrono::steady_clock::now();
+        const auto shards = static_cast<uint32_t>(engine_.num_shards());
         std::vector<PlannedFetch> plan;
         double t = now_;
         while (t < horizon && plan.size() < budget && !frontier_.empty()) {
-          plan.push_back(PlannedFetch{frontier_.front(), t});
+          // Stamp the owning shard once at plan time; the fetch and
+          // apply passes reuse it instead of recomputing site % N.
+          plan.push_back(PlannedFetch{frontier_.front(), t,
+                                      frontier_.front().site % shards});
           frontier_.pop_front();
           t += step;
         }
@@ -209,29 +199,33 @@ Status PeriodicCrawler::RunUntil(double until) {
               engine_.ExecuteBatch(plan);
           auto apply_begin = std::chrono::steady_clock::now();
 
-          // Parallel link dedup: each shard walks the outcomes in slot
-          // order and test-and-marks the links whose target site it
-          // owns. Only taken when the frontier-memory cap cannot
-          // trigger mid-batch (the common case); otherwise the serial
-          // fallback in ApplyOutcome replicates the capped expansion.
-          // Either way the result is a pure function of the outcomes.
+          // The shared capacity-lease admission pass: each shard
+          // test-and-marks the links whose target site it owns
+          // against its own seen-set, in slot order, gated by a lease
+          // over the cycle's frozen frontier-memory budget (the 4x
+          // cap minus the seen count, every shard's lease carrying
+          // the full remainder as an optimistic ceiling). The serial
+          // settle then revokes admissions past the budget in global
+          // (slot, position) order — the capped serial expansion, bit
+          // for bit, at every shard count.
           std::size_t total_links = 0;
           for (const auto& outcome : outcomes) {
             if (outcome.ok()) total_links += outcome->links.size();
           }
           std::vector<std::vector<uint8_t>> fresh;
-          const bool parallel_dedup =
-              total_links > 0 &&
-              SeenCount() + total_links <
-                  4 * config_.collection_capacity;
-          if (parallel_dedup) {
+          if (total_links > 0) {
             fresh.resize(plan.size());
+            const std::size_t frontier_cap =
+                4 * config_.collection_capacity;
+            const std::size_t seen0 = SeenCount();
+            const std::size_t lease_budget =
+                frontier_cap > seen0 ? frontier_cap - seen0 : 0;
             // Bucket (outcome, link) pairs by the target site's shard
             // once — (slot, position) order within each bucket — so
             // each worker walks only its own links.
             struct LinkRef {
-              std::size_t outcome;
-              std::size_t link;
+              uint32_t outcome;
+              uint32_t link;
             };
             std::vector<std::vector<LinkRef>> buckets(
                 seen_shards_.size());
@@ -241,22 +235,30 @@ Status PeriodicCrawler::RunUntil(double until) {
               fresh[i].assign(links.size(), 0);
               for (std::size_t j = 0; j < links.size(); ++j) {
                 buckets[links[j].site % seen_shards_.size()].push_back(
-                    LinkRef{i, j});
+                    LinkRef{static_cast<uint32_t>(i),
+                            static_cast<uint32_t>(j)});
               }
             }
             std::vector<std::size_t> targets;
             for (std::size_t t = 0; t < buckets.size(); ++t) {
               if (!buckets[t].empty()) targets.push_back(t);
             }
+            std::vector<std::vector<AdmissionRef>> admitted(
+                seen_shards_.size());
             std::vector<double> shard_seconds(seen_shards_.size(), 0.0);
             engine_.threads().RunForIndices(
                 targets, [&](std::size_t target) {
                   auto begin = std::chrono::steady_clock::now();
+                  std::size_t count = 0;
                   for (const LinkRef& ref : buckets[target]) {
+                    if (count >= lease_budget) break;
                     const simweb::Url& link =
                         outcomes[ref.outcome]->links[ref.link];
                     if (seen_shards_[target].insert(link).second) {
                       fresh[ref.outcome][ref.link] = 1;
+                      admitted[target].push_back(
+                          AdmissionRef{ref.outcome, ref.link});
+                      ++count;
                     }
                   }
                   shard_seconds[target] = SecondsSince(begin);
@@ -264,6 +266,21 @@ Status PeriodicCrawler::RunUntil(double until) {
             for (std::size_t t : targets) {
               engine_.RecordApplyShardSeconds(shard_seconds[t]);
             }
+            std::size_t total_admitted = 0;
+            for (const auto& a : admitted) total_admitted += a.size();
+            std::vector<RevokedAdmission> revoked =
+                SettleAdmissionLease(admitted, lease_budget);
+            for (const RevokedAdmission& r : revoked) {
+              const AdmissionRef& ref = admitted[r.shard][r.index];
+              const simweb::Url& link =
+                  outcomes[ref.slot]->links[ref.pos];
+              seen_shards_[r.shard].erase(link);
+              fresh[ref.slot][ref.pos] = 0;
+            }
+            engine_.RecordLeaseSettle(
+                static_cast<double>(lease_budget),
+                static_cast<double>(total_admitted - revoked.size()),
+                static_cast<double>(revoked.size()), 0.0);
           }
 
           auto barrier_begin = std::chrono::steady_clock::now();
@@ -272,7 +289,7 @@ Status PeriodicCrawler::RunUntil(double until) {
             now_ = plan[i].at;
             if (outcomes[i].ok()) ++successes;
             ApplyOutcome(plan[i].url, std::move(outcomes[i]),
-                         parallel_dedup ? &fresh[i] : nullptr);
+                         total_links > 0 ? &fresh[i] : nullptr);
           }
           engine_.RecordApplyBarrierSeconds(SecondsSince(barrier_begin));
           engine_.RecordApplySeconds(SecondsSince(apply_begin));

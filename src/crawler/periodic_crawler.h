@@ -72,12 +72,16 @@ struct PeriodicCrawlerConfig {
 ///
 /// The crawl loop runs in engine batches bounded by the next freshness
 /// sample and the window end: *plan* pops the BFS frontier one URL per
-/// crawl slot (a deque pop — O(1), nothing to shard), *fetch* executes
-/// the batch across shards, *apply* runs a parallel link-dedup pass
-/// (each shard tests-and-marks the discoveries whose target site it
-/// owns against its own seen-set, in slot order) and then stores pages
-/// and expands the frontier serially in slot order, and the freshness
-/// *measure* at each sample fans out across the engine's worker pool.
+/// crawl slot (a deque pop — O(1), nothing to shard; the owning shard
+/// is stamped on the slot here), *fetch* executes the batch across
+/// shards, *apply* runs the shared capacity-lease admission pass (each
+/// shard tests-and-marks the discoveries whose target site it owns
+/// against its own seen-set, in slot order, gated by a lease over the
+/// cycle's frozen frontier-memory budget; the serial settle revokes
+/// any optimistic overdraft in global stream order) and then stores
+/// pages and expands the frontier serially in slot order, and the
+/// freshness *measure* at each sample fans out across the engine's
+/// worker pool.
 /// Fetches that fail (dead URLs) refund their slots at the batch
 /// boundary — the serial crawler's "try the next URL immediately" — so
 /// a cycle still stores exactly `collection_capacity` pages whenever
@@ -145,10 +149,8 @@ class PeriodicCrawler {
   void FinishCycle();
 
   /// Applies one fetch outcome at now_: store / purge, then expand the
-  /// frontier with the extracted links. When `fresh_links` is non-null
-  /// it holds the parallel dedup pass's per-link is-new flags; when
-  /// null the links are deduplicated serially here (the fallback when
-  /// the frontier-memory cap could trigger mid-batch).
+  /// frontier with the links the lease-admission pass marked fresh
+  /// (null means the batch discovered no links at all).
   void ApplyOutcome(const simweb::Url& url,
                     StatusOr<simweb::FetchResult> result,
                     const std::vector<uint8_t>* fresh_links);

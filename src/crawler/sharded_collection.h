@@ -9,6 +9,7 @@
 #include "crawler/collection.h"
 #include "simweb/url.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace webevo::crawler {
 
@@ -36,6 +37,27 @@ class ShardedCollection {
   /// ResourceExhausted if the entry is new and the *global* size is at
   /// capacity. Serial-phase only (routes through global state).
   Status Upsert(CollectionEntry entry);
+
+  /// Overdraft insert into shard `s` (which must own the entry's
+  /// site): the lease-apply pass's primitive. The global capacity is
+  /// deliberately *not* checked — a shard holding a capacity lease may
+  /// overdraw by up to its batch slot count, and SettleOverdraft
+  /// restores the bound at the barrier. Safe to call concurrently for
+  /// distinct shards; the cached global size goes stale until
+  /// ReconcileSize().
+  void InsertOverdraft(std::size_t s, CollectionEntry entry) {
+    shards_[s].UpsertUnchecked(std::move(entry));
+  }
+
+  /// The canonical eviction settle for a batch's overdraft: selects
+  /// the size() - capacity() globally best eviction victims — each
+  /// shard nominates its own candidates (in parallel over `threads`
+  /// when provided), the nominations merge in BetterEvictionVictim
+  /// order (importance, then URL identity), a pure function of the
+  /// stored entries at every shard count. Requires ReconcileSize()
+  /// first; returns the victims best-first *without* removing them
+  /// (the caller also owns frontier/update-module cleanup per victim).
+  std::vector<simweb::Url> CollectOverdraftVictims(ThreadPool* threads);
 
   /// Removes an entry; NotFound if absent.
   Status Remove(const simweb::Url& url);

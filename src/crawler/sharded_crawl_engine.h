@@ -17,9 +17,17 @@ namespace webevo::crawler {
 /// One crawl slot planned by a crawler: fetch `url` at simulation time
 /// `at`. Crawlers accumulate a batch of slots (typically one
 /// rebalance/sample interval's worth) and hand it to the engine.
+///
+/// `shard` is the owning engine shard (url.site % num_shards), stamped
+/// once at plan time so the fetch/apply/noting passes reuse it instead
+/// of recomputing the modulo per touch. Callers that do not plan
+/// through a sharded frontier may leave it kUnassignedShard and the
+/// engine computes it.
 struct PlannedFetch {
+  static constexpr uint32_t kUnassignedShard = ~0u;
   simweb::Url url;
   double at = 0.0;
+  uint32_t shard = kUnassignedShard;
 };
 
 /// Wall-clock seconds elapsed since `begin` — the timing source for
@@ -126,6 +134,20 @@ class ShardedCrawlEngine {
     /// entry that shows when hot-site skew is costing extra rounds.
     /// Unlike the wall-clock stats this one is deterministic.
     RunningStat retry_rounds;
+    /// The capacity-lease ledger, one sample per applied batch.
+    /// Budget (the frozen remaining capacity every shard's lease
+    /// carries), settled admissions, and settle evictions are pure
+    /// functions of the simulation — identical at every shard count,
+    /// part of the bench fingerprint. Revocations count how often the
+    /// optimistic leases *overdrew* and the settle had to claw back;
+    /// that is a property of how the batch happened to split across
+    /// shards (always 0 at N = 1), so like busiest_shard_fetches it is
+    /// deliberately excluded from determinism fingerprints and
+    /// checkpoints.
+    RunningStat lease_admit_budget;
+    RunningStat lease_admissions;
+    RunningStat lease_revocations;
+    RunningStat settle_evictions;
   };
   const Stats& stats() const { return stats_; }
 
@@ -139,6 +161,14 @@ class ShardedCrawlEngine {
     stats_.apply_barrier_seconds.Add(s);
   }
   void RecordRetryRounds(double rounds) { stats_.retry_rounds.Add(rounds); }
+  /// One capacity-lease settle per applied batch.
+  void RecordLeaseSettle(double budget, double admissions,
+                         double revocations, double evictions) {
+    stats_.lease_admit_budget.Add(budget);
+    stats_.lease_admissions.Add(admissions);
+    stats_.lease_revocations.Add(revocations);
+    stats_.settle_evictions.Add(evictions);
+  }
 
   /// Quiesce-at-barrier hook for checkpointing: true whenever no batch
   /// is executing, i.e. the crawler sits at a batch boundary and every

@@ -221,6 +221,7 @@ ShardedFrontier::SlotPlan ShardedFrontier::PlanSlots(double start,
       continue;
     }
     plan.slots.push_back(ScheduledUrl{head.url, t});
+    plan.owner.push_back(best);
     merge.advance(best);
     t += step;  // constant crawl speed: one fetch per slot
   }

@@ -54,6 +54,38 @@ class ShardedFrontier {
   /// Removes a URL from the frontier; NotFound if absent.
   Status Remove(const simweb::Url& url);
 
+  /// Lease-lane scheduling: inserts directly into shard `s` (which
+  /// must own `url.site`) with an externally granted (when, seq) key.
+  /// The apply pass's shard workers call this concurrently — each for
+  /// its own shard — with sequence numbers from per-slot lanes the
+  /// serial coordinator granted out of [next_seq(), next_seq() +
+  /// width); the global counter itself is untouched until
+  /// SettleSeqLease. Lane seqs are assigned by global slot order, so
+  /// the FIFO tie-break stays a pure function of the batch at every
+  /// shard count (unused lane slots leave harmless gaps).
+  void ScheduleLane(std::size_t s, const simweb::Url& url, double when,
+                    uint64_t seq) {
+    shards_[s].ScheduleAt(url, when, seq);
+    head_dirty_[s] = 1;
+  }
+
+  /// Lease-revocation removal: drops `url` only if its live entry
+  /// still carries `seq` (a later reschedule supersedes the admission
+  /// and must keep standing). NotFound when absent or superseded.
+  Status RemoveIfSeq(const simweb::Url& url, uint64_t seq) {
+    const std::size_t s = ShardOf(url.site);
+    Status st = shards_[s].RemoveIfSeq(url, seq);
+    if (st.ok()) head_dirty_[s] = 1;
+    return st;
+  }
+
+  /// First unissued sequence number — the base of the next lane grant.
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// Serial settle of a lane grant: advances the global counter past
+  /// the granted range. `next` must be >= next_seq().
+  void SettleSeqLease(uint64_t next) { next_seq_ = next; }
+
   /// Pops the globally earliest-scheduled URL; nullopt if empty.
   std::optional<ScheduledUrl> Pop();
 
@@ -75,6 +107,11 @@ class ShardedFrontier {
   struct SlotPlan {
     /// Planned fetches in slot order; `when` is the assigned slot time.
     std::vector<ScheduledUrl> slots;
+    /// owner[i] is the shard that owns slots[i].url.site — stamped
+    /// once here at plan time (the merge knows the winning shard), so
+    /// the fetch/apply passes reuse it instead of recomputing
+    /// site % num_shards per touch.
+    std::vector<uint32_t> owner;
     /// The crawl clock after the batch: `horizon` unless planning
     /// stopped early (never happens at a constant rate — idle periods
     /// also advance to the horizon).

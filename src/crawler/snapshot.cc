@@ -592,6 +592,10 @@ namespace {
 constexpr const char* kCrawlerMagic = "webevo-crawler";
 constexpr int kCrawlerFormatVersion = 1;
 constexpr const char* kIncMetaMagic = "webevo-incmeta";
+// Incremental meta version 2: the C record grew the capacity-lease
+// ledger (budget granted to shard leases, settled admissions) — the
+// deterministic half of the lease protocol's accounting.
+constexpr int kIncMetaVersion = 2;
 constexpr const char* kPerMetaMagic = "webevo-permeta";
 constexpr const char* kPoliteMagic = "webevo-polite";
 constexpr const char* kTrackerMagic = "webevo-tracker";
@@ -941,7 +945,7 @@ Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
     TrailerWriter writer(os);
     {
       std::ostringstream header;
-      header << kIncMetaMagic << ' ' << kFormatVersion;
+      header << kIncMetaMagic << ' ' << kIncMetaVersion;
       writer.Line(header.str());
     }
     {
@@ -965,7 +969,8 @@ Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
         << s.pages_added << ' ' << s.pages_evicted << ' '
         << s.replacements_executed << ' ' << s.dead_pages_removed << ' '
         << s.changes_detected << ' ' << s.politeness_retries << ' '
-        << s.in_batch_retries << ' '
+        << s.in_batch_retries << ' ' << s.lease_budget_granted << ' '
+        << s.lease_admissions << ' '
         << crawler.ranking_module_.refinement_count();
       writer.Line(c.str());
     }
@@ -1008,8 +1013,13 @@ Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
     sections.push_back(Section{"tracker", os.str()});
   }
   {
-    std::vector<simweb::Url> pending(crawler.pending_admissions_.begin(),
-                                     crawler.pending_admissions_.end());
+    // In-flight lease state: the sharded pending-admission sets merge
+    // into one canonical URL list (the split is re-derived on load
+    // from the loading crawler's shard count).
+    std::vector<simweb::Url> pending;
+    for (const auto& shard : crawler.pending_shards_) {
+      pending.insert(pending.end(), shard.begin(), shard.end());
+    }
     std::sort(pending.begin(), pending.end(), IdentityLess);
     std::ostringstream os;
     WriteUrlList(pending, os);
@@ -1042,6 +1052,7 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
   uint64_t batches_completed = 0;
   int reached_capacity = 0;
   int64_t refinements = 0;
+  int meta_version = 0;
   IncrementalCrawler::Stats stats;
   {
     std::istringstream ms(*FindSection(*sections, "meta"));
@@ -1051,11 +1062,15 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
     {
       std::istringstream hs(*header);
       std::string magic;
-      int version = 0;
-      hs >> magic >> version;
-      if (hs.fail() || magic != kIncMetaMagic ||
-          version != kFormatVersion) {
+      hs >> magic >> meta_version;
+      if (hs.fail() || magic != kIncMetaMagic) {
         return Status::InvalidArgument("malformed checkpoint meta header");
+      }
+      // Version 1 metas (pre-lease checkpoints) stay loadable: their C
+      // record simply lacks the lease ledger, which restarts at zero.
+      if (meta_version != 1 && meta_version != kIncMetaVersion) {
+        return Status::InvalidArgument(
+            "unsupported checkpoint meta version");
       }
       Status end = ExpectLineEnd(hs, "meta header");
       if (!end.ok()) return end;
@@ -1094,7 +1109,11 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
           stats.pages_added >> stats.pages_evicted >>
           stats.replacements_executed >> stats.dead_pages_removed >>
           stats.changes_detected >> stats.politeness_retries >>
-          stats.in_batch_retries >> refinements;
+          stats.in_batch_retries;
+      if (meta_version >= 2) {
+        is >> stats.lease_budget_granted >> stats.lease_admissions;
+      }
+      is >> refinements;
       if (is.fail() || tag != "C") {
         return Status::InvalidArgument("malformed checkpoint C record");
       }
@@ -1161,9 +1180,9 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
   }
   crawler->stats_ = std::move(stats);
   crawler->ranking_module_.RestoreRefinementCount(refinements);
-  crawler->pending_admissions_.clear();
+  for (auto& shard : crawler->pending_shards_) shard.clear();
   for (const simweb::Url& url : *pending) {
-    crawler->pending_admissions_.insert(url);
+    crawler->PendingInsert(url);
   }
   crawler->now_ = now;
   crawler->next_refine_ = next_refine;

@@ -124,11 +124,14 @@ StatusOr<Collection> LoadCollectionFromFile(const std::string& path);
 /// additionally verified by its own trailer. Nothing may follow the
 /// last section's bytes.
 ///
-/// Incremental sections: meta (clock, timers, batch counter, pending
-/// admissions, counters), collection, allurls, update, frontier,
-/// polite (per-site last-access), tracker (freshness series), and —
-/// with include_web — web (the simulated web's evolution state; see
-/// simweb/simulated_web.h). Periodic sections: meta, collection-current
+/// Incremental sections: meta (clock, timers, batch counter, counters
+/// including the deterministic capacity-lease ledger — meta format
+/// v2), collection, allurls, update, frontier, polite (per-site
+/// last-access), tracker (freshness series), pending (the in-flight
+/// lease state: URLs admitted toward collection slots but not yet
+/// crawled, merged canonically across the owner shards and re-split
+/// on load), and — with include_web — web (the simulated web's
+/// evolution state; see simweb/simulated_web.h). Periodic sections: meta, collection-current
 /// [, collection-shadow], bfs (BFS frontier in queue order), seen
 /// (cycle seen-set), polite, tracker [, web].
 ///
