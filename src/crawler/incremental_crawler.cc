@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "crawler/snapshot.h"
+#include "serving/view_builder.h"
 
 namespace webevo::crawler {
 
@@ -17,7 +18,8 @@ IncrementalCrawler::IncrementalCrawler(
       collection_(config.collection_capacity, config.crawl_parallelism),
       all_urls_(config.crawl_parallelism),
       coll_urls_(config.crawl_parallelism),
-      engine_(web, config.crawl, config.crawl_parallelism),
+      engine_(web, config.crawl, config.crawl_parallelism,
+              config.retained_views),
       update_module_([&] {
         UpdateModuleConfig u = config.update;
         u.crawl_budget_pages_per_day = config.crawl_rate_pages_per_day;
@@ -605,6 +607,12 @@ Status IncrementalCrawler::RunUntil(double until) {
       // took to retire the batch's politeness rejections.
       engine_.RecordRetryRounds(static_cast<double>(retry_rounds));
       ++batches_completed_;
+      if (config_.publish_view_every_batches > 0 &&
+          batches_completed_ % config_.publish_view_every_batches == 0) {
+        // MVCC publish at the apply barrier: readers acquire the new
+        // view lock-free while the next batch plans and fetches.
+        PublishViewNow();
+      }
       if (config_.checkpoint_every_batches > 0 &&
           batches_completed_ % config_.checkpoint_every_batches == 0) {
         // Auto-checkpoint at the batch boundary (the engine is
@@ -618,6 +626,10 @@ Status IncrementalCrawler::RunUntil(double until) {
     }
   }
   return Status::Ok();
+}
+
+void IncrementalCrawler::PublishViewNow() {
+  engine_.PublishView(serving::BuildBatchView(*this));
 }
 
 CollectionQuality IncrementalCrawler::MeasureNow() {

@@ -66,6 +66,15 @@ struct IncrementalCrawlerConfig {
   /// this process's live web object.
   bool checkpoint_include_web = true;
 
+  /// Serving layer: when > 0, RunUntil publishes an immutable MVCC
+  /// BatchView into the engine's ViewRegistry every this many
+  /// completed engine batches (at the batch boundary, engine
+  /// quiesced). 0 disables publishing. `retained_views` is the
+  /// registry's retention K — how many published views stay
+  /// acquirable by concurrent readers.
+  uint64_t publish_view_every_batches = 0;
+  int retained_views = serving::ViewRegistry::kDefaultRetention;
+
   UpdateModuleConfig update;
   RankingModuleConfig ranking;
   CrawlModuleConfig crawl;
@@ -190,6 +199,19 @@ class IncrementalCrawler {
   /// retry rounds are part of the batch) — the auto-checkpoint cadence
   /// counter, persisted by SaveCrawler.
   uint64_t batches_completed() const { return batches_completed_; }
+
+  /// The serving layer's view registry (the engine's): reader threads
+  /// Acquire/Release published BatchViews through it, lock-free,
+  /// while RunUntil crawls. Empty until the first publish (enable
+  /// with config.publish_view_every_batches).
+  serving::ViewRegistry& views() { return engine_.views(); }
+  const serving::ViewRegistry& views() const { return engine_.views(); }
+
+  /// Builds and publishes a BatchView of the current state. Callable
+  /// whenever the engine is quiescent (between RunUntil batches);
+  /// RunUntil calls it on the publish_view_every_batches cadence, and
+  /// LoadCrawler republishes the restored state through it.
+  void PublishViewNow();
 
   /// Checkpoint/restore of the *whole* crawler — the four snapshot
   /// streams plus crawl clock, housekeeping timers, politeness state

@@ -7,6 +7,7 @@
 
 #include "crawler/admission_lease.h"
 #include "crawler/snapshot.h"
+#include "serving/view_builder.h"
 
 namespace webevo::crawler {
 
@@ -16,7 +17,8 @@ PeriodicCrawler::PeriodicCrawler(simweb::SimulatedWeb* web,
       config_(config),
       store_(config.collection_capacity),
       inplace_(config.collection_capacity),
-      engine_(web, config.crawl, config.crawl_parallelism) {
+      engine_(web, config.crawl, config.crawl_parallelism,
+              config.retained_views) {
   seen_shards_.resize(static_cast<std::size_t>(engine_.num_shards()));
 }
 
@@ -300,6 +302,13 @@ Status PeriodicCrawler::RunUntil(double until) {
           // collection, exactly like the serial crawler did).
           now_ = batch_start + static_cast<double>(successes) * step;
           ++batches_completed_;
+          if (config_.publish_view_every_batches > 0 &&
+              batches_completed_ % config_.publish_view_every_batches ==
+                  0) {
+            // MVCC publish at the apply barrier; readers acquire the
+            // new view lock-free while the next batch runs.
+            PublishViewNow();
+          }
           if (config_.checkpoint_every_batches > 0 &&
               batches_completed_ % config_.checkpoint_every_batches ==
                   0) {
@@ -323,6 +332,10 @@ Status PeriodicCrawler::RunUntil(double until) {
     now_ = std::min(until, std::max(target, now_ + 1e-12));
   }
   return Status::Ok();
+}
+
+void PeriodicCrawler::PublishViewNow() {
+  engine_.PublishView(serving::BuildBatchView(*this));
 }
 
 CollectionQuality PeriodicCrawler::MeasureNow() {

@@ -59,6 +59,12 @@ struct PeriodicCrawlerConfig {
   std::string checkpoint_path;
   bool checkpoint_include_web = true;
 
+  /// Serving layer, as on the incremental crawler: when > 0, RunUntil
+  /// publishes an immutable MVCC BatchView every this many completed
+  /// engine batches; `retained_views` is the registry's retention K.
+  uint64_t publish_view_every_batches = 0;
+  int retained_views = serving::ViewRegistry::kDefaultRetention;
+
   CrawlModuleConfig crawl;
 };
 
@@ -132,6 +138,19 @@ class PeriodicCrawler {
   /// Completed engine batches — the auto-checkpoint cadence counter,
   /// persisted by SaveCrawler.
   uint64_t batches_completed() const { return batches_completed_; }
+
+  /// URLs queued in the BFS frontier for the current cycle.
+  std::size_t frontier_depth() const { return frontier_.size(); }
+
+  /// The serving layer's view registry (the engine's); see the
+  /// incremental crawler. Enable publishing with
+  /// config.publish_view_every_batches.
+  serving::ViewRegistry& views() { return engine_.views(); }
+  const serving::ViewRegistry& views() const { return engine_.views(); }
+
+  /// Builds and publishes a BatchView of the current state; engine
+  /// must be quiescent.
+  void PublishViewNow();
 
   /// Checkpoint/restore of the whole crawler — collections, BFS
   /// frontier and seen-set, crawl clock, cycle state, politeness —

@@ -16,10 +16,21 @@ double SecondsSince(std::chrono::steady_clock::time_point begin) {
 
 ShardedCrawlEngine::ShardedCrawlEngine(simweb::SimulatedWeb* web,
                                        const CrawlModuleConfig& config,
-                                       int num_shards)
+                                       int num_shards, int retained_views)
     : web_(web),
       pool_(web, config, num_shards),
-      threads_(pool_.parallelism()) {}
+      threads_(pool_.parallelism()),
+      views_(retained_views) {}
+
+bool ShardedCrawlEngine::PublishView(
+    std::unique_ptr<const serving::BatchView> view) {
+  if (in_batch_ || view == nullptr) return false;
+  auto publish_begin = std::chrono::steady_clock::now();
+  views_.Publish(std::move(view));
+  ++stats_.views_published;
+  stats_.publish_seconds.Add(SecondsSince(publish_begin));
+  return true;
+}
 
 std::vector<StatusOr<simweb::FetchResult>> ShardedCrawlEngine::ExecuteBatch(
     const std::vector<PlannedFetch>& batch,

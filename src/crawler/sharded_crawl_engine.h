@@ -3,10 +3,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "crawler/crawl_module.h"
 #include "crawler/crawl_module_pool.h"
+#include "serving/view_registry.h"
 #include "simweb/simulated_web.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -64,9 +66,12 @@ double SecondsSince(std::chrono::steady_clock::time_point begin);
 class ShardedCrawlEngine {
  public:
   /// Creates `num_shards` crawl modules (>= 1; clamped) and as many
-  /// worker threads.
+  /// worker threads. `retained_views` is the view registry's MVCC
+  /// retention K (how many published BatchViews stay acquirable).
   ShardedCrawlEngine(simweb::SimulatedWeb* web,
-                     const CrawlModuleConfig& config, int num_shards);
+                     const CrawlModuleConfig& config, int num_shards,
+                     int retained_views =
+                         serving::ViewRegistry::kDefaultRetention);
 
   /// Executes every planned fetch, in parallel across shards, and
   /// returns the outcomes in plan order: outcome i corresponds to
@@ -96,6 +101,20 @@ class ShardedCrawlEngine {
   /// The engine's worker pool, idle between batches; crawlers borrow it
   /// for the shard-parallel plan and measure phases.
   ThreadPool& threads() { return threads_; }
+
+  /// The serving layer's publication point: the ring of the K most
+  /// recent immutable BatchViews, acquired/released lock-free by any
+  /// number of reader threads while the engine crawls.
+  serving::ViewRegistry& views() { return views_; }
+  const serving::ViewRegistry& views() const { return views_; }
+
+  /// Publishes `view` at the apply barrier — the MVCC publish hook.
+  /// Must be called at a batch boundary (quiescent engine): a view
+  /// built mid-batch would tear the per-shard state it summarises.
+  /// Records the publish in the engine ledger; returns false (and
+  /// drops nothing — the view is simply not published) when called
+  /// mid-batch.
+  bool PublishView(std::unique_ptr<const serving::BatchView> view);
 
   /// Barrier-merged engine accounting.
   struct Stats {
@@ -148,6 +167,12 @@ class ShardedCrawlEngine {
     RunningStat lease_admissions;
     RunningStat lease_revocations;
     RunningStat settle_evictions;
+    /// Serving-layer ledger: views published through PublishView and
+    /// the wall-clock cost of building + publishing each (the values
+    /// are wall-clock and not reproducible; the count is a pure
+    /// function of the publish cadence).
+    uint64_t views_published = 0;
+    RunningStat publish_seconds;
   };
   const Stats& stats() const { return stats_; }
 
@@ -181,6 +206,7 @@ class ShardedCrawlEngine {
   simweb::SimulatedWeb* web_;  // not owned
   CrawlModulePool pool_;
   ThreadPool threads_;
+  serving::ViewRegistry views_;
   Stats stats_;
   bool in_batch_ = false;
 };

@@ -1192,6 +1192,13 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
   crawler->reached_capacity_once_ = reached_capacity != 0;
   crawler->batches_completed_ = batches_completed;
   crawler->bootstrapped_ = true;
+  // The published-view history describes the *pre-restore* state:
+  // retire it (readers' held references stay valid) and republish a
+  // view of the restored state so Acquire never serves stale rows.
+  crawler->engine_.views().Clear();
+  if (crawler->config_.publish_view_every_batches > 0) {
+    crawler->PublishViewNow();
+  }
   return Status::Ok();
 }
 
@@ -1431,6 +1438,12 @@ Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler) {
   crawler->stored_this_cycle_ = stored_this_cycle;
   crawler->batches_completed_ = batches_completed;
   crawler->bootstrapped_ = true;
+  // Retire the pre-restore view history and republish, as on the
+  // incremental crawler.
+  crawler->engine_.views().Clear();
+  if (crawler->config_.publish_view_every_batches > 0) {
+    crawler->PublishViewNow();
+  }
   return Status::Ok();
 }
 

@@ -1,0 +1,70 @@
+#include "serving/batch_view.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/text_snapshot.h"
+
+namespace webevo::serving {
+
+namespace {
+
+constexpr const char* kViewMagic = "webevo-batchview";
+constexpr int kViewFormatVersion = 1;
+
+}  // namespace
+
+void BatchView::Serialize(std::ostream& out) const {
+  TrailerWriter writer(out);
+  {
+    std::ostringstream os;
+    os.precision(17);
+    os << kViewMagic << ' ' << kViewFormatVersion << ' ' << crawler << ' '
+       << batch << ' ' << published_at << ' ' << collection_size << ' '
+       << collection_capacity << ' ' << frontier_depth << ' '
+       << pages.size() << ' ' << sites.size() << ' ' << freshness.size()
+       << ' ' << estimates.size() << ' ' << summary.size();
+    writer.Line(os.str());
+  }
+  for (const auto& [name, value] : summary) {
+    writer.Line("K " + name + ' ' + value);
+  }
+  for (const PageRow& p : pages) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "P " << p.url.site << ' ' << p.url.slot << ' '
+       << p.url.incarnation << ' ' << p.version << ' ' << p.crawled_at
+       << ' ' << p.importance << ' ' << p.est_rate << ' ' << p.out_links;
+    writer.Line(os.str());
+  }
+  for (const SiteRow& s : sites) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "S " << s.site << ' ' << s.pages << ' ' << s.mean_importance
+       << ' ' << s.mean_est_rate << ' ' << s.last_crawled_at;
+    writer.Line(os.str());
+  }
+  for (const SeriesRow& f : freshness) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "F " << f.time << ' ' << f.value;
+    writer.Line(os.str());
+  }
+  for (const EstimateRow& e : estimates) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "E " << e.url.site << ' ' << e.url.slot << ' '
+       << e.url.incarnation << ' ' << e.rate << ' ' << e.interval_days;
+    writer.Line(os.str());
+  }
+  writer.Finish();
+}
+
+uint64_t BatchView::Fingerprint() const {
+  std::ostringstream os;
+  Serialize(os);
+  return Fnv1a64(os.str());
+}
+
+}  // namespace webevo::serving

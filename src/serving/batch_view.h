@@ -1,0 +1,134 @@
+#ifndef WEBEVO_SERVING_BATCH_VIEW_H_
+#define WEBEVO_SERVING_BATCH_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simweb/url.h"
+
+namespace webevo::serving {
+
+class ViewRegistry;
+
+/// One `pages` row: the queryable face of a stored collection entry.
+/// Rows are kept in ascending URL identity order — the canonical
+/// (site, slot, incarnation) order every snapshot writer uses — so a
+/// view's bytes are a pure function of the crawl state at every shard
+/// count, and site-equality scans can stop early.
+struct PageRow {
+  simweb::Url url;
+  uint64_t version = 0;
+  double crawled_at = 0.0;
+  double importance = 0.0;
+  /// UpdateModule change-rate estimate (changes/day; 0 when unknown or
+  /// for crawlers without an update module).
+  double est_rate = 0.0;
+  uint32_t out_links = 0;
+};
+
+/// One `sites` row: per-site aggregates over the pages rows, in
+/// ascending site order.
+struct SiteRow {
+  uint32_t site = 0;
+  uint64_t pages = 0;
+  double mean_importance = 0.0;
+  double mean_est_rate = 0.0;
+  double last_crawled_at = 0.0;
+};
+
+/// One `freshness` row: a (time, value) sample of the tracker's
+/// oracle-measured freshness series.
+struct SeriesRow {
+  double time = 0.0;
+  double value = 0.0;
+};
+
+/// One `estimates` row: a page the change-rate machinery has signal
+/// for (rate > 0), with the revisit-relevant derived interval.
+struct EstimateRow {
+  simweb::Url url;
+  double rate = 0.0;           ///< estimated changes/day
+  double interval_days = 0.0;  ///< 1 / rate
+};
+
+/// An immutable, versioned snapshot of one crawler's queryable state,
+/// published into a ViewRegistry at an apply barrier (batch boundary)
+/// and read concurrently, without locks, while the crawler applies the
+/// next batch — the MVCC read surface of the serving layer.
+///
+/// Contents are *deterministic*: every row vector is in canonical
+/// order and every field is a pure function of the simulation, so the
+/// N = 1 and N = 8 runs of one crawl publish byte-identical views
+/// (Serialize()/Fingerprint() are part of the determinism smoke).
+/// Wall-clock quantities are deliberately excluded.
+///
+/// Lifetime: views are created by the publisher, handed to a
+/// ViewRegistry, and destroyed only when both (a) the registry has
+/// retired them (more than K newer views exist) and (b) every reader
+/// reference has been released — a reader may hold a view across any
+/// number of subsequent batches and it stays valid and unchanged.
+class BatchView {
+ public:
+  BatchView() = default;
+  BatchView(const BatchView&) = delete;
+  BatchView& operator=(const BatchView&) = delete;
+
+  /// --- Identity ----------------------------------------------------
+  /// Completed engine batches at publish time (the crawler's
+  /// batches_completed()).
+  uint64_t batch = 0;
+  /// The crawl clock (simulated days) at publish time.
+  double published_at = 0.0;
+  /// "incremental" or "periodic".
+  std::string crawler;
+
+  /// --- Collection summary -------------------------------------------
+  uint64_t collection_size = 0;
+  uint64_t collection_capacity = 0;
+  /// URLs queued in the frontier (the incremental crawler's
+  /// ShardedFrontier; the periodic crawler's BFS deque).
+  uint64_t frontier_depth = 0;
+  /// Deterministic counters and the capacity-lease ledger, as
+  /// canonical (name, value) pairs in the builder's fixed order.
+  /// Values are formatted with the snapshot writers' 17-digit
+  /// precision so the pairs round-trip bit-exactly.
+  std::vector<std::pair<std::string, std::string>> summary;
+
+  /// --- Relations ----------------------------------------------------
+  std::vector<PageRow> pages;          ///< ascending URL identity
+  std::vector<SiteRow> sites;          ///< ascending site
+  std::vector<SeriesRow> freshness;    ///< ascending time
+  std::vector<EstimateRow> estimates;  ///< ascending URL identity
+
+  /// Writes the view as a trailer-framed text stream in the canonical
+  /// snapshot idiom:
+  ///   webevo-batchview 1 <crawler> <batch> <published_at> <size>
+  ///     <capacity> <frontier> <npages> <nsites> <nfresh> <nest> <nsum>
+  ///   K <name> <value>           (summary pairs, builder order)
+  ///   P <site> <slot> <inc> <version> <crawled_at> <importance>
+  ///     <est_rate> <out_links>
+  ///   S <site> <pages> <mean_importance> <mean_est_rate> <last>
+  ///   F <time> <value>
+  ///   E <site> <slot> <inc> <rate> <interval>
+  ///   webevo-checksum <fnv64>
+  /// Equal logical views serialize to equal bytes — the byte-identity
+  /// the N = 1 vs N = 8 determinism gate fingerprints.
+  void Serialize(std::ostream& out) const;
+
+  /// FNV-1a 64 of the Serialize() bytes.
+  uint64_t Fingerprint() const;
+
+ private:
+  friend class ViewRegistry;
+  /// Reference count: 1 registry retain (dropped at retirement) plus
+  /// one per outstanding reader Acquire.
+  mutable std::atomic<uint32_t> refs_{1};
+};
+
+}  // namespace webevo::serving
+
+#endif  // WEBEVO_SERVING_BATCH_VIEW_H_

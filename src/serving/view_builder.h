@@ -1,0 +1,32 @@
+#ifndef WEBEVO_SERVING_VIEW_BUILDER_H_
+#define WEBEVO_SERVING_VIEW_BUILDER_H_
+
+#include <memory>
+
+#include "serving/batch_view.h"
+
+namespace webevo::crawler {
+class IncrementalCrawler;
+class PeriodicCrawler;
+}  // namespace webevo::crawler
+
+namespace webevo::serving {
+
+/// Materialises an immutable BatchView of the crawler's current state:
+/// the pages / sites / freshness / estimates relations in canonical
+/// order plus the deterministic counter summary. Serial-phase only —
+/// call at a batch boundary (the crawlers publish through
+/// ShardedCrawlEngine::PublishView; LoadCrawler rebuilds a view of the
+/// restored state the same way), never while a batch is in flight.
+///
+/// Determinism: every row is derived through canonical-order walks
+/// (ascending URL identity / site / sample time), so the view built at
+/// crawl_parallelism = 1 and = 8 serializes to identical bytes.
+std::unique_ptr<const BatchView> BuildBatchView(
+    const crawler::IncrementalCrawler& crawler);
+std::unique_ptr<const BatchView> BuildBatchView(
+    const crawler::PeriodicCrawler& crawler);
+
+}  // namespace webevo::serving
+
+#endif  // WEBEVO_SERVING_VIEW_BUILDER_H_

@@ -1,0 +1,94 @@
+#include "serving/view_registry.h"
+
+#include <thread>
+
+#include "util/hash.h"
+
+namespace webevo::serving {
+
+ViewRegistry::ViewRegistry(int retention)
+    : slots_(retention < 1 ? 1 : static_cast<std::size_t>(retention)) {}
+
+ViewRegistry::~ViewRegistry() { Clear(); }
+
+void ViewRegistry::Unref(const BatchView* view) {
+  if (view->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete view;
+    destroyed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ViewRegistry::RetireSlot(Slot& slot) {
+  if (slot.view == nullptr) return;
+  // Make the slot unacquirable, then wait out readers that pinned it
+  // before the invalidation: a pinned reader is between its pin and
+  // unpin — a handful of instructions (epoch check, refcount bump) —
+  // so this spin is bounded and short. Readers that pin afterwards see
+  // epoch 0 and never touch `view`.
+  //
+  // seq_cst is load-bearing: this store and the pins load below form
+  // one half of a Dekker-style store-load handshake with Acquire's
+  // pin increment and epoch check. With weaker orderings both sides
+  // could read stale values — the reader seeing the old epoch while
+  // the writer sees zero pins — and the view would be freed under a
+  // reader. The single seq_cst total order rules that out: a reader
+  // whose epoch check passed ordered its pin before this store, so
+  // the drain loop observes it.
+  slot.epoch.store(0, std::memory_order_seq_cst);
+  while (slot.pins.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  Unref(slot.view);
+  slot.view = nullptr;
+  ++retired_;
+}
+
+void ViewRegistry::Publish(std::unique_ptr<const BatchView> view) {
+  const BatchView* raw = view.release();
+  fingerprint_chain_ = HashCombine(fingerprint_chain_, raw->Fingerprint());
+  const uint64_t epoch = ++published_;
+  Slot& slot = slots_[epoch % slots_.size()];
+  RetireSlot(slot);  // epoch - K, if the ring has wrapped
+  // The slot is quiet now: epoch 0 keeps readers away from `view`, so
+  // the plain store cannot race (readers only load `view` after
+  // observing the matching epoch, which is published below with
+  // release ordering).
+  slot.view = raw;
+  slot.epoch.store(epoch, std::memory_order_release);
+  latest_.store(epoch, std::memory_order_release);
+}
+
+const BatchView* ViewRegistry::Acquire() {
+  for (;;) {
+    const uint64_t epoch = latest_.load(std::memory_order_acquire);
+    if (epoch == 0) return nullptr;
+    Slot& slot = slots_[epoch % slots_.size()];
+    // seq_cst pin + epoch check pair with RetireSlot's seq_cst
+    // invalidate + drain (see the comment there): if the epoch check
+    // passes, the writer is guaranteed to observe this pin.
+    slot.pins.fetch_add(1, std::memory_order_seq_cst);
+    if (slot.epoch.load(std::memory_order_seq_cst) == epoch) {
+      const BatchView* view = slot.view;
+      view->refs_.fetch_add(1, std::memory_order_relaxed);
+      slot.pins.fetch_sub(1, std::memory_order_release);
+      return view;
+    }
+    // The slot was recycled under us (the writer published K newer
+    // views between our latest_ load and the pin, or Clear ran).
+    // Unpin and retry against the new latest.
+    slot.pins.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+ViewRef ViewRegistry::AcquireRef() { return ViewRef(this, Acquire()); }
+
+void ViewRegistry::Release(const BatchView* view) {
+  if (view != nullptr) Unref(view);
+}
+
+void ViewRegistry::Clear() {
+  latest_.store(0, std::memory_order_release);
+  for (Slot& slot : slots_) RetireSlot(slot);
+}
+
+}  // namespace webevo::serving

@@ -1,0 +1,158 @@
+#ifndef WEBEVO_SERVING_VIEW_REGISTRY_H_
+#define WEBEVO_SERVING_VIEW_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serving/batch_view.h"
+
+namespace webevo::serving {
+
+class ViewRef;
+
+/// The MVCC publication point between one crawl loop (the single
+/// writer, publishing at apply barriers) and any number of concurrent
+/// readers: a ring of the K most recent immutable BatchViews, acquired
+/// and released lock-free.
+///
+/// Reader contract:
+///   - Acquire() returns the most recently published view (nullptr
+///     before the first publish) with a reference held; the view is
+///     immutable and stays valid — across any number of subsequent
+///     publishes, retirements, even a LoadCrawler restore — until the
+///     matching Release(). Acquire/Release are lock-free: a reader
+///     never blocks the crawl loop and the crawl loop never blocks a
+///     reader (the only reader retry is racing K publishes in one
+///     acquire, and the only writer wait is draining readers that are
+///     mid-acquire on a recycled slot — a few instructions each).
+///   - Retention is deterministic: publishing epoch e retires epoch
+///     e - K. A retired view can no longer be acquired; it is
+///     *destroyed* once its last reference is released. At most K
+///     views are acquirable at any time, exactly the K newest.
+///
+/// Writer contract: Publish()/Clear() are single-threaded (the crawl
+/// loop at a batch boundary; nothing may be mid-batch). The registry
+/// also maintains a deterministic fingerprint chain over every view
+/// ever published — the serving half of the N = 1 vs N = 8
+/// determinism gate.
+class ViewRegistry {
+ public:
+  static constexpr int kDefaultRetention = 4;
+
+  /// Creates a registry retaining the `retention` (>= 1; clamped) most
+  /// recent views.
+  explicit ViewRegistry(int retention = kDefaultRetention);
+  ViewRegistry(const ViewRegistry&) = delete;
+  ViewRegistry& operator=(const ViewRegistry&) = delete;
+
+  /// Drops the registry's retained references. Views still held by
+  /// readers survive until their Release.
+  ~ViewRegistry();
+
+  /// Publishes `view` as the new latest epoch, retiring the view K
+  /// epochs back. Writer-only; `view` must be non-null.
+  void Publish(std::unique_ptr<const BatchView> view);
+
+  /// Latest published view with a reference held, or nullptr if none.
+  /// Lock-free; any thread.
+  const BatchView* Acquire();
+
+  /// RAII convenience around Acquire().
+  ViewRef AcquireRef();
+
+  /// Releases a reference obtained from Acquire(); destroys the view
+  /// if it was retired and this was the last reference. Any thread.
+  void Release(const BatchView* view);
+
+  /// Retires every retained view (readers' held references stay
+  /// valid); Acquire returns nullptr until the next Publish. Writer-
+  /// only — used when a checkpoint restore invalidates the published
+  /// history.
+  void Clear();
+
+  int retention() const { return static_cast<int>(slots_.size()); }
+  /// Epochs published over the registry's lifetime (monotonic; not
+  /// reset by Clear).
+  uint64_t published() const { return published_; }
+  /// Views retired (made unacquirable) so far.
+  uint64_t retired() const { return retired_; }
+  /// Views actually destroyed (retired and fully released).
+  uint64_t destroyed() const {
+    return destroyed_.load(std::memory_order_relaxed);
+  }
+  /// HashCombine chain of every published view's Fingerprint(), in
+  /// publish order — a pure function of the simulation, compared
+  /// between shard counts by the determinism smoke.
+  uint64_t fingerprint_chain() const { return fingerprint_chain_; }
+
+ private:
+  struct Slot {
+    /// Epoch this slot currently serves (0 = unoccupied/invalidated).
+    std::atomic<uint64_t> epoch{0};
+    /// Readers mid-acquire on this slot; the writer drains this to
+    /// zero after invalidating `epoch` and before touching `view`.
+    std::atomic<uint32_t> pins{0};
+    const BatchView* view = nullptr;  ///< writer-written, read under pin
+  };
+
+  /// Invalidates `slot`, waits out mid-acquire readers, and drops the
+  /// registry's reference on its view. Writer-only.
+  void RetireSlot(Slot& slot);
+
+  /// Drops one reference on `view`, destroying it at zero.
+  void Unref(const BatchView* view);
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> latest_{0};  ///< newest acquirable epoch; 0 = none
+  uint64_t published_ = 0;           // writer-only
+  uint64_t retired_ = 0;             // writer-only
+  uint64_t fingerprint_chain_ = 0;   // writer-only
+  std::atomic<uint64_t> destroyed_{0};
+};
+
+/// Holds one reader reference on a BatchView; releases on destruction.
+class ViewRef {
+ public:
+  ViewRef() = default;
+  ViewRef(ViewRegistry* registry, const BatchView* view)
+      : registry_(registry), view_(view) {}
+  ViewRef(ViewRef&& other) noexcept
+      : registry_(other.registry_), view_(other.view_) {
+    other.registry_ = nullptr;
+    other.view_ = nullptr;
+  }
+  ViewRef& operator=(ViewRef&& other) noexcept {
+    if (this != &other) {
+      reset();
+      registry_ = other.registry_;
+      view_ = other.view_;
+      other.registry_ = nullptr;
+      other.view_ = nullptr;
+    }
+    return *this;
+  }
+  ViewRef(const ViewRef&) = delete;
+  ViewRef& operator=(const ViewRef&) = delete;
+  ~ViewRef() { reset(); }
+
+  void reset() {
+    if (view_ != nullptr) registry_->Release(view_);
+    registry_ = nullptr;
+    view_ = nullptr;
+  }
+
+  const BatchView* get() const { return view_; }
+  const BatchView* operator->() const { return view_; }
+  const BatchView& operator*() const { return *view_; }
+  explicit operator bool() const { return view_ != nullptr; }
+
+ private:
+  ViewRegistry* registry_ = nullptr;
+  const BatchView* view_ = nullptr;
+};
+
+}  // namespace webevo::serving
+
+#endif  // WEBEVO_SERVING_VIEW_REGISTRY_H_

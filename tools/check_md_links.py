@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fails when any intra-repo markdown link points at a missing file.
+
+Scans every *.md in the repository (tracked directories only), extracts
+inline links `[text](target)` and image links, and verifies that each
+relative target resolves to an existing file or directory. External
+links (http/https/mailto) and pure in-page anchors (#...) are skipped;
+a `path#anchor` target is checked for the path part only.
+
+Usage: python3 tools/check_md_links.py [root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", ".github"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                if target.startswith("/"):
+                    resolved = os.path.join(root, target.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target)
+                if not os.path.exists(resolved):
+                    broken.append((lineno, match.group(1)))
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = 0
+    for path in markdown_files(root):
+        for lineno, target in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken intra-repo link(s)")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
