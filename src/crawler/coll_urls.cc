@@ -1,12 +1,14 @@
 #include "crawler/coll_urls.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace webevo::crawler {
 
 void CollUrls::ScheduleAt(const simweb::Url& url, double when,
                           uint64_t seq) {
-  live_[url] = seq;  // supersedes any previous entry for this url
+  live_[url] = LiveRef{seq, when};  // supersedes any previous entry
   heap_.push(Entry{when, seq, url});
 }
 
@@ -25,18 +27,33 @@ Status CollUrls::Remove(const simweb::Url& url) {
 
 Status CollUrls::RemoveIfSeq(const simweb::Url& url, uint64_t seq) {
   auto it = live_.find(url);
-  if (it == live_.end() || it->second != seq) {
+  if (it == live_.end() || it->second.seq != seq) {
     return Status::NotFound("url not queued at that seq");
   }
   live_.erase(it);
   return Status::Ok();  // heap entry expires lazily
 }
 
+std::size_t CollUrls::RescheduleSiteNotBefore(uint32_t site,
+                                              double floor) {
+  std::vector<std::pair<simweb::Url, uint64_t>> moved;
+  for (const auto& [url, ref] : live_) {
+    if (url.site == site && ref.when < floor) {
+      moved.emplace_back(url, ref.seq);
+    }
+  }
+  for (const auto& [url, seq] : moved) ScheduleAt(url, floor, seq);
+  return moved.size();
+}
+
 void CollUrls::SkipStale() {
   while (!heap_.empty()) {
     const Entry& top = heap_.top();
     auto it = live_.find(top.url);
-    if (it != live_.end() && it->second == top.seq) return;
+    if (it != live_.end() && it->second.seq == top.seq &&
+        it->second.when == top.when) {
+      return;
+    }
     heap_.pop();
   }
 }

@@ -77,6 +77,15 @@ class CollUrls {
   /// standing. NotFound when absent or superseded.
   Status RemoveIfSeq(const simweb::Url& url, uint64_t seq);
 
+  /// Pushes every live entry of `site` scheduled before `floor` out to
+  /// `floor`, keeping each entry's sequence number (so lease tokens and
+  /// FIFO order among the site's entries survive) — the quarantine
+  /// primitive: a tripped circuit breaker reschedules a site's frontier
+  /// entries rather than dropping them. Returns how many moved. The
+  /// result is independent of internal iteration order: each moved
+  /// entry's new key (floor, seq) is a pure function of its old state.
+  std::size_t RescheduleSiteNotBefore(uint32_t site, double floor);
+
   /// Pops the earliest-scheduled URL; nullopt if empty.
   std::optional<ScheduledUrl> Pop();
 
@@ -107,9 +116,17 @@ class CollUrls {
   /// Discards superseded heap heads.
   void SkipStale();
 
+  /// The (seq, when) key of a url's single live heap entry. Staleness
+  /// is tokened on *both* fields: RescheduleSiteNotBefore moves an
+  /// entry to a later time while keeping its seq, so seq alone would
+  /// leave the superseded earlier-time heap entry looking live.
+  struct LiveRef {
+    uint64_t seq = 0;
+    double when = 0.0;
+  };
+
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // url -> seq of its single live heap entry.
-  std::unordered_map<simweb::Url, uint64_t, simweb::UrlHash> live_;
+  std::unordered_map<simweb::Url, LiveRef, simweb::UrlHash> live_;
   uint64_t next_seq_ = 0;
   double front_when_ = 0.0;  // increasing offset above kFrontBase
 };

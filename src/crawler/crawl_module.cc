@@ -32,8 +32,15 @@ StatusOr<simweb::FetchResult> CrawlModule::Crawl(const simweb::Url& url,
   if (day >= fetches_per_day_.size()) fetches_per_day_.resize(day + 1, 0);
   ++fetches_per_day_[day];
 
-  auto result = web_->Fetch(url, t);
+  double latency_days = 0.0;
+  auto result = web_->Fetch(url, t, &latency_days);
   if (!result.ok()) ++failure_count_;
+  if (latency_days > 0.0) {
+    // A slow response or a timeout ties up the connection: the polite
+    // window for this site starts when the stall ends, not when the
+    // request was issued.
+    last_access_[url.site] = t + latency_days;
+  }
   return result;
 }
 

@@ -39,9 +39,12 @@ class CrawlModule {
   CrawlModule(simweb::SimulatedWeb* web, const CrawlModuleConfig& config)
       : web_(web), config_(config) {}
 
-  /// Fetches `url` at time `t`. Propagates the web's NotFound for dead
-  /// pages; FailedPrecondition when politeness is enforced and
-  /// violated.
+  /// Fetches `url` at time `t`. Propagates the web's classified
+  /// outcome: NotFound for dead pages, Unavailable for transient
+  /// failures (errors, outages, overload, dead sites), DeadlineExceeded
+  /// for timeouts; FailedPrecondition when politeness is enforced and
+  /// violated. Timeout and slow-response latency widens the site's
+  /// polite window (the connection was held for that long).
   StatusOr<simweb::FetchResult> Crawl(const simweb::Url& url, double t);
 
   /// Earliest time a request to `site` is polite.

@@ -8,6 +8,7 @@
 
 #include "crawler/snapshot.h"
 #include "serving/view_builder.h"
+#include "util/hash.h"
 
 namespace webevo::crawler {
 
@@ -31,6 +32,10 @@ IncrementalCrawler::IncrementalCrawler(
       }()),
       ranking_module_(config.ranking) {
   pending_shards_.resize(
+      static_cast<std::size_t>(collection_.num_shards()));
+  site_failure_shards_.resize(
+      static_cast<std::size_t>(collection_.num_shards()));
+  url_failure_shards_.resize(
       static_cast<std::size_t>(collection_.num_shards()));
 }
 
@@ -140,7 +145,8 @@ void IncrementalCrawler::ApplyBatch(
       effect.at = at;
       StatusOr<simweb::FetchResult>& result = outcomes[i];
       if (!result.ok()) {
-        if (result.status().code() == StatusCode::kFailedPrecondition) {
+        const StatusCode code = result.status().code();
+        if (code == StatusCode::kFailedPrecondition) {
           // Politeness rejection: the page is fine, the site just
           // needs a breather. The per-shard retry lane captured the
           // earliest polite time at the attempt itself; the admission
@@ -149,12 +155,82 @@ void IncrementalCrawler::ApplyBatch(
           ++out.politeness_retries;
           effect.kind = ApplyEffect::Kind::kRetry;
           effect.when = retry_at[i];
+        } else if (code == StatusCode::kUnavailable ||
+                   code == StatusCode::kDeadlineExceeded) {
+          // Classified failure (transient error or timeout): never
+          // change evidence — an unreachable page is not an unchanged
+          // page — so the estimators and last_visit stay untouched.
+          ++out.fetch_failures;
+          if (code == StatusCode::kUnavailable) {
+            ++out.transient_errors;
+          } else {
+            ++out.timeout_errors;
+          }
+          update_module_.OnFetchFailed(url, at);
+          auto& url_fails = url_failure_shards_[s];
+          const uint32_t fails = ++url_fails[url];
+          SiteFailureState& site_state =
+              site_failure_shards_[s][url.site];
+          if (!site_state.rng_init) {
+            site_state.backoff =
+                Rng(HashCombine(config_.fault_backoff_seed, url.site));
+            site_state.rng_init = true;
+          }
+          ++site_state.consecutive;
+          if (fails >= config_.fault_url_retire_failures) {
+            // Dead-after-K retirement: the crawler gives up on this
+            // URL through the dead-page path (purge + tombstone), but
+            // the ledger keeps it distinct from genuine 404 removals.
+            url_fails.erase(url);
+            if (collection_.shard(s).Remove(url).ok()) {
+              update_module_.Forget(url);
+              effect.purged = true;
+            }
+            Status mark = all_urls_.MarkDead(url);
+            (void)mark;
+            ++out.urls_retired;
+            effect.kind = ApplyEffect::Kind::kDead;
+          } else {
+            // Bounded exponential backoff with jitter from the site's
+            // own lane; the quarantine floor (set when the breaker
+            // trips, here or on an earlier failure) dominates.
+            ++out.failure_retries;
+            const uint32_t exponent =
+                std::min(site_state.consecutive, 16u) - 1;
+            const double delay =
+                config_.fault_backoff_base_days *
+                static_cast<double>(uint64_t{1} << exponent) *
+                (1.0 + config_.fault_backoff_jitter *
+                           site_state.backoff.NextDouble());
+            effect.kind = ApplyEffect::Kind::kFailed;
+            effect.backoff_delay = delay;
+            effect.when = at + delay;
+            if (config_.fault_quarantine_threshold > 0 &&
+                site_state.consecutive >=
+                    config_.fault_quarantine_threshold) {
+              site_state.quarantined_until =
+                  at + config_.fault_quarantine_days;
+              site_state.consecutive = 0;
+              effect.quarantine = true;
+              effect.quarantine_until = site_state.quarantined_until;
+              ++out.sites_quarantined;
+            }
+            if (effect.when < site_state.quarantined_until) {
+              effect.when = site_state.quarantined_until;
+            }
+          }
         } else {
           // Dead page (Section 5.1 goal 2: pages are constantly
           // removed; the collection must track that). Purge and
           // tombstone right here — both live in this shard — so the
           // admission stream sees the death before any later link to
-          // the URL.
+          // the URL. A 404 is successful *contact* with the server, so
+          // it also resets the site's circuit breaker.
+          auto site_it = site_failure_shards_[s].find(url.site);
+          if (site_it != site_failure_shards_[s].end()) {
+            site_it->second.consecutive = 0;
+          }
+          url_failure_shards_[s].erase(url);
           if (collection_.shard(s).Remove(url).ok()) {
             update_module_.Forget(url);
             ++out.dead_pages_removed;
@@ -166,6 +242,17 @@ void IncrementalCrawler::ApplyBatch(
         }
         out.effects.push_back(std::move(effect));
         continue;
+      }
+
+      // Successful contact resets the site's circuit breaker and the
+      // URL's retirement count. The backoff RNG lane stays where it is
+      // (its position is part of the deterministic failure history).
+      {
+        auto site_it = site_failure_shards_[s].find(url.site);
+        if (site_it != site_failure_shards_[s].end()) {
+          site_it->second.consecutive = 0;
+        }
+        url_failure_shards_[s].erase(url);
       }
 
       CollectionEntry* existing = collection_.shard(s).FindMutable(url);
@@ -283,6 +370,21 @@ void IncrementalCrawler::ApplyBatch(
           }
           case ApplyEffect::Kind::kDead:
             break;  // purged + tombstoned in the outcome pass
+          case ApplyEffect::Kind::kFailed: {
+            // Backoff reschedule: the URL keeps its place (and its
+            // in-flight reservation when not yet in the collection —
+            // same accounting as a politeness retry). A tripped
+            // breaker then floors *every* frontier entry of the site
+            // at the quarantine horizon; this shard owns the site, so
+            // the walk is race-free and stream-deterministic.
+            if (!coll.Contains(e.url)) pending.insert(e.url);
+            coll_urls_.ScheduleLane(t, e.url, e.when, lane_base[slot]);
+            if (e.quarantine) {
+              coll_urls_.RescheduleSiteNotBefore(e.url.site,
+                                                e.quarantine_until);
+            }
+            break;
+          }
           case ApplyEffect::Kind::kReschedule: {
             coll_urls_.ScheduleLane(t, e.url, e.when, lane_base[slot]);
             break;
@@ -465,15 +567,33 @@ void IncrementalCrawler::ApplyBatch(
   now_ = ordered.back()->at;
   const double barrier_seconds = SecondsSince(barrier_begin);
 
+  // Backoff ledger replay, in slot order: like the new-page latency
+  // stat, the RunningStat's accumulation order is observable through
+  // the checkpoint, so it is fed serially, never shard-merged.
+  for (const ApplyEffect* pe : ordered) {
+    if (pe->kind == ApplyEffect::Kind::kFailed) {
+      stats_.backoff_days.Add(pe->backoff_delay);
+    }
+  }
+
   // Counter deltas merge in shard index order; shard wall-clocks are
   // merged the same way (values are wall-clock, the structure is not).
+  uint64_t batch_failures = 0;
   for (const ShardApplyResult& delta : deltas) {
     stats_.crawls += delta.crawls;
     stats_.in_place_updates += delta.in_place_updates;
     stats_.changes_detected += delta.changes_detected;
     stats_.politeness_retries += delta.politeness_retries;
     stats_.dead_pages_removed += delta.dead_pages_removed;
+    stats_.fetch_failures += delta.fetch_failures;
+    stats_.transient_errors += delta.transient_errors;
+    stats_.timeout_errors += delta.timeout_errors;
+    stats_.failure_retries += delta.failure_retries;
+    stats_.sites_quarantined += delta.sites_quarantined;
+    stats_.urls_retired += delta.urls_retired;
+    batch_failures += delta.fetch_failures;
   }
+  if (batch_failures > 0) engine_.RecordFetchFailures(batch_failures);
   for (std::size_t s : busy) {
     engine_.RecordApplyShardSeconds(deltas[s].seconds);
   }

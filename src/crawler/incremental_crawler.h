@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "crawler/update_module.h"
 #include "freshness/freshness_tracker.h"
 #include "simweb/simulated_web.h"
+#include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
 
@@ -74,6 +76,27 @@ struct IncrementalCrawlerConfig {
   /// acquirable by concurrent readers.
   uint64_t publish_view_every_batches = 0;
   int retained_views = serving::ViewRegistry::kDefaultRetention;
+
+  /// Failure pipeline for classified fetch failures (Unavailable
+  /// transient errors, DeadlineExceeded timeouts from the
+  /// fault-injecting web). A failed URL is rescheduled with bounded
+  /// exponential backoff — delay = base * 2^(k-1) * (1 + jitter * u)
+  /// on the site's k-th consecutive failure, u drawn from the site's
+  /// own backoff RNG lane so the schedule is deterministic at every
+  /// shard count. A site reaching `fault_quarantine_threshold`
+  /// consecutive failures trips its circuit breaker: every frontier
+  /// entry of the site is *rescheduled* (never dropped) to no earlier
+  /// than now + fault_quarantine_days. A URL failing
+  /// `fault_url_retire_failures` times in a row is retired through the
+  /// dead-page path (purged + tombstoned). Failed fetches never feed
+  /// the change estimators or the freshness tracker.
+  double fault_backoff_base_days = 0.25;
+  double fault_backoff_jitter = 0.5;
+  uint32_t fault_quarantine_threshold = 8;
+  double fault_quarantine_days = 2.0;
+  uint32_t fault_url_retire_failures = 6;
+  /// Seed of the per-site backoff-jitter RNG lanes.
+  uint64_t fault_backoff_seed = 0x6a09e667f3bcc908ull;
 
   UpdateModuleConfig update;
   RankingModuleConfig ranking;
@@ -184,6 +207,24 @@ class IncrementalCrawler {
     /// and live on the engine's wall-clock-free ledger instead.)
     uint64_t lease_budget_granted = 0;
     uint64_t lease_admissions = 0;
+    /// Failure ledger (all pure functions of the simulation, identical
+    /// at every shard count, checkpointed): classified fetch failures
+    /// by kind, how they were disposed of, and the backoff the
+    /// pipeline imposed. `fetch_failures` = transient + timeout;
+    /// `failure_retries` counts failures rescheduled with backoff
+    /// (the rest were retirements); `urls_retired` is deliberately
+    /// separate from `dead_pages_removed` — a retired URL may well be
+    /// alive, the crawler just gave up on it.
+    uint64_t fetch_failures = 0;
+    uint64_t transient_errors = 0;
+    uint64_t timeout_errors = 0;
+    uint64_t failure_retries = 0;
+    uint64_t sites_quarantined = 0;
+    uint64_t urls_retired = 0;
+    /// Backoff delays imposed on failure reschedules, in days — fed
+    /// serially in slot order at the settle (RunningStat accumulation
+    /// order is observable through the checkpoint).
+    RunningStat backoff_days;
     /// Days from first discovery of a URL to its entering the
     /// collection — the "bring in new pages in a timely manner" metric.
     /// Only counted for URLs *discovered after* the collection first
@@ -227,9 +268,10 @@ class IncrementalCrawler {
   struct ApplyEffect {
     enum class Kind {
       kRetry,       ///< politeness rejection: reschedule or retry
-      kDead,        ///< NotFound: purged; only pending settles remain
+      kDead,        ///< NotFound or retired: purged; pending settles
       kReschedule,  ///< success on a collection page: schedule + links
       kInsert,      ///< success on a new page: insert + schedule + links
+      kFailed,      ///< transient/timeout: backoff reschedule
     };
     Kind kind = Kind::kReschedule;
     std::size_t slot = 0;  ///< index into the batch plan
@@ -252,6 +294,13 @@ class IncrementalCrawler {
     bool inserted = false;
     bool first_seen_valid = false;
     double first_seen = 0.0;
+    /// kFailed only: the backoff delay imposed (for the serial ledger
+    /// replay) and, when the failure tripped the site's circuit
+    /// breaker, the quarantine floor the admission pass must apply to
+    /// the site's frontier entries.
+    double backoff_delay = 0.0;
+    bool quarantine = false;
+    double quarantine_until = 0.0;
   };
 
   /// Everything one shard's outcome pass produces: counter deltas plus
@@ -262,6 +311,12 @@ class IncrementalCrawler {
     uint64_t changes_detected = 0;
     uint64_t politeness_retries = 0;
     uint64_t dead_pages_removed = 0;
+    uint64_t fetch_failures = 0;
+    uint64_t transient_errors = 0;
+    uint64_t timeout_errors = 0;
+    uint64_t failure_retries = 0;
+    uint64_t sites_quarantined = 0;
+    uint64_t urls_retired = 0;
     std::vector<ApplyEffect> effects;
     double seconds = 0.0;  ///< wall-clock of this shard's pass
   };
@@ -310,6 +365,24 @@ class IncrementalCrawler {
   /// Runs one refinement pass and executes the replacements.
   void RunRefinement();
 
+  /// Per-site circuit-breaker state, owned by shard site % N like
+  /// every other per-site structure: only the owning shard's outcome
+  /// pass touches it. Checkpointed (the "failure" section) so a resume
+  /// mid-backoff or mid-quarantine replays the exact same schedule.
+  struct SiteFailureState {
+    /// Consecutive classified failures since the last successful
+    /// contact (a 404 is contact); resets to 0 when the breaker trips.
+    uint32_t consecutive = 0;
+    /// Floor below which no fetch of this site is scheduled; 0 when
+    /// never quarantined (simulation time is non-negative).
+    double quarantined_until = 0.0;
+    /// The site's backoff-jitter lane, lazily seeded from
+    /// (fault_backoff_seed, site); draws depend only on the site's own
+    /// failure sequence, never on cross-site interleaving.
+    Rng backoff{0};
+    bool rng_init = false;
+  };
+
   /// In-flight admission accounting across the owner-sharded sets.
   std::size_t PendingTotal() const;
   void PendingInsert(const simweb::Url& url) {
@@ -341,6 +414,14 @@ class IncrementalCrawler {
   /// shard; the total is the sum over shards, shard-count free.
   std::vector<std::unordered_set<simweb::Url, simweb::UrlHash>>
       pending_shards_;
+  /// Failure-pipeline state, sharded by site % N ownership and
+  /// persisted in the checkpoint's "failure" section: the per-site
+  /// circuit breakers and the per-URL consecutive-failure counts
+  /// behind dead-after-K retirement.
+  std::vector<std::unordered_map<uint32_t, SiteFailureState>>
+      site_failure_shards_;
+  std::vector<std::unordered_map<simweb::Url, uint32_t, simweb::UrlHash>>
+      url_failure_shards_;
   bool reached_capacity_once_ = false;
   double steady_since_ = 0.0;
 };

@@ -61,6 +61,7 @@ void PeriodicCrawler::StartCycle(double t) {
   stored_this_cycle_ = 0;
   frontier_.clear();
   for (auto& shard : seen_shards_) shard.clear();
+  requeue_counts_.clear();
   for (uint32_t s = 0; s < web_->num_sites(); ++s) {
     simweb::Url root = web_->RootUrl(s);
     frontier_.push_back(root);
@@ -106,11 +107,36 @@ void PeriodicCrawler::ApplyOutcome(
     const std::vector<uint8_t>* fresh_links) {
   ++stats_.crawls;
   if (!result.ok()) {
-    if (result.status().code() == StatusCode::kFailedPrecondition) {
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kFailedPrecondition) {
       // Politeness rejection: the page is alive, this cycle just
       // skips it (the fixed-frequency crawler has no retry queue).
       // It must *not* be purged like a dead page.
       ++stats_.politeness_rejections;
+      return;
+    }
+    if (code == StatusCode::kUnavailable ||
+        code == StatusCode::kDeadlineExceeded) {
+      // Classified failure: the page may be perfectly alive behind
+      // the outage, so never purge. Bounded re-queue at the back of
+      // the BFS frontier; past the limit the cycle gives up on the
+      // URL (the next cycle starts fresh — the periodic crawler's
+      // natural quarantine).
+      ++stats_.fetch_failures;
+      if (code == StatusCode::kUnavailable) {
+        ++stats_.transient_errors;
+      } else {
+        ++stats_.timeout_errors;
+      }
+      engine_.RecordFetchFailures(1);
+      uint32_t& requeues = requeue_counts_[url];
+      if (requeues < config_.fault_requeue_limit) {
+        ++requeues;
+        ++stats_.failure_retries;
+        frontier_.push_back(url);
+      } else {
+        ++stats_.failures_dropped;
+      }
       return;
     }
     ++stats_.dead_fetches;

@@ -5,6 +5,7 @@
 #include <deque>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -64,6 +65,16 @@ struct PeriodicCrawlerConfig {
   /// engine batches; `retained_views` is the registry's retention K.
   uint64_t publish_view_every_batches = 0;
   int retained_views = serving::ViewRegistry::kDefaultRetention;
+
+  /// Failure handling: a transient error or timeout re-queues the URL
+  /// at the back of the cycle's BFS frontier (a failed slot is
+  /// refunded, like a dead fetch), at most this many times per URL per
+  /// cycle; past the limit the URL is dropped *for this cycle only* —
+  /// the next cycle starts from scratch anyway, which is the periodic
+  /// crawler's natural quarantine. Unlike a dead fetch, a failure
+  /// never purges an in-place entry: the page may be perfectly alive
+  /// behind the outage.
+  uint32_t fault_requeue_limit = 3;
 
   CrawlModuleConfig crawl;
 };
@@ -132,6 +143,14 @@ class PeriodicCrawler {
     /// unlike dead fetches they never purge an in-place entry.
     uint64_t politeness_rejections = 0;
     uint64_t swaps = 0;
+    /// Failure ledger: classified fetch failures by kind, the bounded
+    /// re-queues they triggered, and the URLs the cycle gave up on
+    /// (requeue limit reached — dropped for the cycle, not purged).
+    uint64_t fetch_failures = 0;
+    uint64_t transient_errors = 0;
+    uint64_t timeout_errors = 0;
+    uint64_t failure_retries = 0;
+    uint64_t failures_dropped = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -203,6 +222,11 @@ class PeriodicCrawler {
   /// apply phase's link dedup can run one worker per shard.
   std::vector<std::unordered_set<simweb::Url, simweb::UrlHash>>
       seen_shards_;
+  /// Per-cycle failure re-queue counts (cleared by StartCycle);
+  /// persisted in the checkpoint's "failure" section so a mid-cycle
+  /// resume replays the same bounded retries.
+  std::unordered_map<simweb::Url, uint32_t, simweb::UrlHash>
+      requeue_counts_;
 };
 
 }  // namespace webevo::crawler

@@ -120,6 +120,11 @@ class ShardedCrawlEngine {
   struct Stats {
     uint64_t batches = 0;
     uint64_t fetches = 0;
+    /// Classified fetch failures (transient errors + timeouts) the
+    /// owning crawler's apply pass reported — a pure function of the
+    /// simulation, identical at every shard count, so it belongs to
+    /// the deterministic side of the ledger.
+    uint64_t fetch_failures = 0;
     /// Fetches handled per batch, and by each batch's busiest shard —
     /// together they measure how well site-hashing balances the load
     /// (busiest == batch size means one shard did all the work).
@@ -186,6 +191,8 @@ class ShardedCrawlEngine {
     stats_.apply_barrier_seconds.Add(s);
   }
   void RecordRetryRounds(double rounds) { stats_.retry_rounds.Add(rounds); }
+  /// Classified fetch failures applied this batch (crawler-reported).
+  void RecordFetchFailures(uint64_t n) { stats_.fetch_failures += n; }
   /// One capacity-lease settle per applied batch.
   void RecordLeaseSettle(double budget, double admissions,
                          double revocations, double evictions) {

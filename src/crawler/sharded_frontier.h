@@ -79,6 +79,21 @@ class ShardedFrontier {
     return st;
   }
 
+  /// Quarantine reschedule: pushes every frontier entry of `site`
+  /// scheduled before `floor` out to `floor`, keeping each entry's
+  /// sequence number (entries are deferred, never dropped). Same
+  /// concurrency contract as ScheduleLane: the apply pass's shard
+  /// workers may call this concurrently because shard ShardOf(site)
+  /// owns the site and only that worker touches it. Returns how many
+  /// entries moved.
+  std::size_t RescheduleSiteNotBefore(uint32_t site, double floor) {
+    const std::size_t s = ShardOf(site);
+    const std::size_t moved =
+        shards_[s].RescheduleSiteNotBefore(site, floor);
+    if (moved > 0) head_dirty_[s] = 1;
+    return moved;
+  }
+
   /// First unissued sequence number — the base of the next lane grant.
   uint64_t next_seq() const { return next_seq_; }
 

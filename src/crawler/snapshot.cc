@@ -595,8 +595,19 @@ constexpr const char* kIncMetaMagic = "webevo-incmeta";
 // Incremental meta version 2: the C record grew the capacity-lease
 // ledger (budget granted to shard leases, settled admissions) — the
 // deterministic half of the lease protocol's accounting.
-constexpr int kIncMetaVersion = 2;
+// Version 3: the C record grew the failure ledger (classified fetch
+// failures, retries, quarantines, retirements) and a second L record
+// carries the backoff-days RunningStat.
+constexpr int kIncMetaVersion = 3;
 constexpr const char* kPerMetaMagic = "webevo-permeta";
+// Periodic meta version 2: the C record grew the failure ledger
+// (classified fetch failures, bounded re-queues, per-cycle drops).
+constexpr int kPerMetaVersion = 2;
+// The failure-pipeline section shared by both crawlers: per-site
+// circuit-breaker state (incremental only) and per-URL consecutive
+// failure / re-queue counts. Optional on load — checkpoints written
+// before the failure pipeline existed simply restart it from scratch.
+constexpr const char* kFailureMagic = "webevo-failure";
 constexpr const char* kPoliteMagic = "webevo-polite";
 constexpr const char* kTrackerMagic = "webevo-tracker";
 constexpr const char* kUrlsMagic = "webevo-urls";
@@ -931,6 +942,110 @@ StatusOr<RunningStat::State> ParseRunningStatLine(
   return state;
 }
 
+// The failure-pipeline state both crawlers checkpoint: the per-site
+// circuit breakers with their backoff RNG lanes (incremental; empty
+// for the periodic crawler) and the per-URL failure counts (retirement
+// counts / per-cycle re-queue counts). Records are written in
+// canonical order — sites ascending, URLs by identity — so equal state
+// yields equal bytes at every shard count.
+struct SiteFailureRecord {
+  uint32_t site = 0;
+  uint32_t consecutive = 0;
+  double quarantined_until = 0.0;
+  int rng_init = 0;
+  std::array<uint64_t, 4> lane{};
+};
+
+struct UrlFailureRecord {
+  simweb::Url url;
+  uint32_t count = 0;
+};
+
+struct FailureSnapshot {
+  std::vector<SiteFailureRecord> sites;
+  std::vector<UrlFailureRecord> urls;
+};
+
+void WriteFailure(const FailureSnapshot& snap, std::ostream& out) {
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kFailureMagic << ' ' << kFormatVersion << ' '
+         << snap.sites.size() << ' ' << snap.urls.size();
+  writer.Line(header.str());
+  for (const SiteFailureRecord& r : snap.sites) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "S " << r.site << ' ' << r.consecutive << ' '
+       << r.quarantined_until << ' ' << r.rng_init;
+    for (uint64_t lane : r.lane) os << ' ' << lane;
+    writer.Line(os.str());
+  }
+  for (const UrlFailureRecord& r : snap.urls) {
+    std::ostringstream os;
+    os << "U " << r.url.site << ' ' << r.url.slot << ' '
+       << r.url.incarnation << ' ' << r.count;
+    writer.Line(os.str());
+  }
+  writer.Finish();
+}
+
+StatusOr<FailureSnapshot> ReadFailure(std::istream& in) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  std::size_t nsites = 0, nurls = 0;
+  hs >> magic >> version >> nsites >> nurls;
+  if (hs.fail() || magic != kFailureMagic || version != kFormatVersion) {
+    return Status::InvalidArgument("not a failure-state snapshot");
+  }
+  Status header_end = ExpectLineEnd(hs, "failure header");
+  if (!header_end.ok()) return header_end;
+  FailureSnapshot snap;
+  snap.sites.reserve(std::min<std::size_t>(nsites, 1 << 20));
+  snap.urls.reserve(std::min<std::size_t>(nurls, 1 << 20));
+  for (std::size_t i = 0; i < nsites; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("failure site count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    SiteFailureRecord r;
+    is >> tag >> r.site >> r.consecutive >> r.quarantined_until >>
+        r.rng_init;
+    for (uint64_t& lane : r.lane) is >> lane;
+    if (is.fail() || tag != "S") {
+      return Status::InvalidArgument("malformed failure site record");
+    }
+    Status record_end = ExpectLineEnd(is, "failure site");
+    if (!record_end.ok()) return record_end;
+    snap.sites.push_back(r);
+  }
+  for (std::size_t i = 0; i < nurls; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("failure url count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    UrlFailureRecord r;
+    is >> tag >> r.url.site >> r.url.slot >> r.url.incarnation >>
+        r.count;
+    if (is.fail() || tag != "U") {
+      return Status::InvalidArgument("malformed failure url record");
+    }
+    Status record_end = ExpectLineEnd(is, "failure url");
+    if (!record_end.ok()) return record_end;
+    snap.urls.push_back(r);
+  }
+  Status end = FinishFramedStream(reader, in, "failure snapshot");
+  if (!end.ok()) return end;
+  return snap;
+}
+
 }  // namespace
 
 Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
@@ -970,11 +1085,15 @@ Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
         << s.replacements_executed << ' ' << s.dead_pages_removed << ' '
         << s.changes_detected << ' ' << s.politeness_retries << ' '
         << s.in_batch_retries << ' ' << s.lease_budget_granted << ' '
-        << s.lease_admissions << ' '
+        << s.lease_admissions << ' ' << s.fetch_failures << ' '
+        << s.transient_errors << ' ' << s.timeout_errors << ' '
+        << s.failure_retries << ' ' << s.sites_quarantined << ' '
+        << s.urls_retired << ' '
         << crawler.ranking_module_.refinement_count();
       writer.Line(c.str());
     }
     writer.Line(RunningStatLine(crawler.stats_.new_page_latency_days));
+    writer.Line(RunningStatLine(crawler.stats_.backoff_days));
     writer.Finish();
     sections.push_back(Section{"meta", os.str()});
   }
@@ -1025,6 +1144,39 @@ Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
     WriteUrlList(pending, os);
     sections.push_back(Section{"pending", os.str()});
   }
+  {
+    // Failure-pipeline state: circuit breakers (with their backoff RNG
+    // lane positions) and retirement counts, in canonical order, so a
+    // resume mid-backoff or mid-quarantine replays the same schedule.
+    FailureSnapshot snap;
+    for (const auto& shard : crawler.site_failure_shards_) {
+      for (const auto& [site, state] : shard) {
+        SiteFailureRecord r;
+        r.site = site;
+        r.consecutive = state.consecutive;
+        r.quarantined_until = state.quarantined_until;
+        r.rng_init = state.rng_init ? 1 : 0;
+        if (state.rng_init) r.lane = state.backoff.State();
+        snap.sites.push_back(r);
+      }
+    }
+    std::sort(snap.sites.begin(), snap.sites.end(),
+              [](const SiteFailureRecord& a, const SiteFailureRecord& b) {
+                return a.site < b.site;
+              });
+    for (const auto& shard : crawler.url_failure_shards_) {
+      for (const auto& [url, fails] : shard) {
+        snap.urls.push_back(UrlFailureRecord{url, fails});
+      }
+    }
+    std::sort(snap.urls.begin(), snap.urls.end(),
+              [](const UrlFailureRecord& a, const UrlFailureRecord& b) {
+                return IdentityLess(a.url, b.url);
+              });
+    std::ostringstream os;
+    WriteFailure(snap, os);
+    sections.push_back(Section{"failure", os.str()});
+  }
   if (options.include_web) {
     std::ostringstream os;
     Status st = simweb::SaveWeb(*crawler.web_, os);
@@ -1066,9 +1218,10 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
       if (hs.fail() || magic != kIncMetaMagic) {
         return Status::InvalidArgument("malformed checkpoint meta header");
       }
-      // Version 1 metas (pre-lease checkpoints) stay loadable: their C
-      // record simply lacks the lease ledger, which restarts at zero.
-      if (meta_version != 1 && meta_version != kIncMetaVersion) {
+      // Older metas stay loadable: a version-1 C record lacks the
+      // lease ledger, versions 1-2 lack the failure ledger — those
+      // counters simply restart at zero.
+      if (meta_version < 1 || meta_version > kIncMetaVersion) {
         return Status::InvalidArgument(
             "unsupported checkpoint meta version");
       }
@@ -1113,6 +1266,11 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
       if (meta_version >= 2) {
         is >> stats.lease_budget_granted >> stats.lease_admissions;
       }
+      if (meta_version >= 3) {
+        is >> stats.fetch_failures >> stats.transient_errors >>
+            stats.timeout_errors >> stats.failure_retries >>
+            stats.sites_quarantined >> stats.urls_retired;
+      }
       is >> refinements;
       if (is.fail() || tag != "C") {
         return Status::InvalidArgument("malformed checkpoint C record");
@@ -1125,6 +1283,13 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
     auto latency = ParseRunningStatLine(*l_line);
     if (!latency.ok()) return latency.status();
     stats.new_page_latency_days.RestoreState(*latency);
+    if (meta_version >= 3) {
+      auto backoff_line = reader.Next();
+      if (!backoff_line.ok()) return backoff_line.status();
+      auto backoff = ParseRunningStatLine(*backoff_line);
+      if (!backoff.ok()) return backoff.status();
+      stats.backoff_days.RestoreState(*backoff);
+    }
     Status end = FinishFramedStream(reader, ms, "checkpoint meta");
     if (!end.ok()) return end;
   }
@@ -1159,6 +1324,16 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
   std::istringstream pending_in(*FindSection(*sections, "pending"));
   auto pending = ReadUrlList(pending_in);
   if (!pending.ok()) return pending.status();
+  // Failure state is optional-on-load: pre-failure-pipeline
+  // checkpoints simply restart backoff/quarantine tracking from
+  // scratch.
+  FailureSnapshot failure;
+  if (const std::string* f = FindSection(*sections, "failure")) {
+    std::istringstream failure_in(*f);
+    auto snap = ReadFailure(failure_in);
+    if (!snap.ok()) return snap.status();
+    failure = std::move(snap).value();
+  }
 
   // The web restore stages and validates internally, so a bad web
   // section fails here with the crawler still untouched.
@@ -1183,6 +1358,27 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
   for (auto& shard : crawler->pending_shards_) shard.clear();
   for (const simweb::Url& url : *pending) {
     crawler->PendingInsert(url);
+  }
+  // Failure state re-shards by the same site % N ownership rule the
+  // live pipeline uses, so a resume at any shard count lands each
+  // site's backoff lane (mid-sequence RNG position included) and each
+  // URL's fail count in the shard that will consult it.
+  for (auto& shard : crawler->site_failure_shards_) shard.clear();
+  for (const SiteFailureRecord& r : failure.sites) {
+    IncrementalCrawler::SiteFailureState state;
+    state.consecutive = r.consecutive;
+    state.quarantined_until = r.quarantined_until;
+    state.rng_init = r.rng_init != 0;
+    if (state.rng_init) state.backoff.SetState(r.lane);
+    crawler->site_failure_shards_[r.site %
+                                  static_cast<uint32_t>(shards)]
+        .emplace(r.site, state);
+  }
+  for (auto& shard : crawler->url_failure_shards_) shard.clear();
+  for (const UrlFailureRecord& r : failure.urls) {
+    crawler->url_failure_shards_[r.url.site %
+                                 static_cast<uint32_t>(shards)]
+        .emplace(r.url, r.count);
   }
   crawler->now_ = now;
   crawler->next_refine_ = next_refine;
@@ -1214,7 +1410,7 @@ Status SaveCrawler(const PeriodicCrawler& crawler, std::ostream& out,
     TrailerWriter writer(os);
     {
       std::ostringstream header;
-      header << kPerMetaMagic << ' ' << kFormatVersion;
+      header << kPerMetaMagic << ' ' << kPerMetaVersion;
       writer.Line(header.str());
     }
     {
@@ -1238,7 +1434,9 @@ Status SaveCrawler(const PeriodicCrawler& crawler, std::ostream& out,
       std::ostringstream c;
       c << "C " << s.crawls << ' ' << s.pages_stored << ' '
         << s.dead_fetches << ' ' << s.politeness_rejections << ' '
-        << s.swaps;
+        << s.swaps << ' ' << s.fetch_failures << ' '
+        << s.transient_errors << ' ' << s.timeout_errors << ' '
+        << s.failure_retries << ' ' << s.failures_dropped;
       writer.Line(c.str());
     }
     writer.Finish();
@@ -1286,6 +1484,23 @@ Status SaveCrawler(const PeriodicCrawler& crawler, std::ostream& out,
     WriteTracker(crawler.tracker_, os);
     sections.push_back(Section{"tracker", os.str()});
   }
+  {
+    // The cycle's bounded-requeue ledger; sites are unused here (the
+    // periodic crawler has no backoff lanes) but the section format is
+    // shared with the incremental crawler.
+    FailureSnapshot snap;
+    snap.urls.reserve(crawler.requeue_counts_.size());
+    for (const auto& [url, count] : crawler.requeue_counts_) {
+      snap.urls.push_back(UrlFailureRecord{url, count});
+    }
+    std::sort(snap.urls.begin(), snap.urls.end(),
+              [](const UrlFailureRecord& a, const UrlFailureRecord& b) {
+                return IdentityLess(a.url, b.url);
+              });
+    std::ostringstream os;
+    WriteFailure(snap, os);
+    sections.push_back(Section{"failure", os.str()});
+  }
   if (options.include_web) {
     std::ostringstream os;
     Status st = simweb::SaveWeb(*crawler.web_, os);
@@ -1309,6 +1524,7 @@ Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler) {
   uint64_t batches_completed = 0, stored_this_cycle = 0;
   int cycle_active = 0, shadowing = 0;
   int64_t cycles_completed = 0, swap_count = 0;
+  int meta_version = 0;
   PeriodicCrawler::Stats stats;
   {
     std::istringstream ms(*FindSection(*sections, "meta"));
@@ -1318,10 +1534,11 @@ Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler) {
     {
       std::istringstream hs(*header);
       std::string magic;
-      int version = 0;
-      hs >> magic >> version;
-      if (hs.fail() || magic != kPerMetaMagic ||
-          version != kFormatVersion) {
+      hs >> magic >> meta_version;
+      // Version-1 metas (pre-failure-ledger) stay loadable: their C
+      // record lacks the failure counters, which restart at zero.
+      if (hs.fail() || magic != kPerMetaMagic || meta_version < 1 ||
+          meta_version > kPerMetaVersion) {
         return Status::InvalidArgument("malformed checkpoint meta header");
       }
       Status end = ExpectLineEnd(hs, "meta header");
@@ -1361,6 +1578,11 @@ Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler) {
       is >> tag >> stats.crawls >> stats.pages_stored >>
           stats.dead_fetches >> stats.politeness_rejections >>
           stats.swaps;
+      if (meta_version >= 2) {
+        is >> stats.fetch_failures >> stats.transient_errors >>
+            stats.timeout_errors >> stats.failure_retries >>
+            stats.failures_dropped;
+      }
       if (is.fail() || tag != "C") {
         return Status::InvalidArgument("malformed checkpoint C record");
       }
@@ -1404,6 +1626,15 @@ Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler) {
   std::istringstream tracker_in(*FindSection(*sections, "tracker"));
   auto tracker = ReadTracker(tracker_in);
   if (!tracker.ok()) return tracker.status();
+  // Optional, as on the incremental crawler: older checkpoints simply
+  // restart the cycle's requeue ledger from scratch.
+  FailureSnapshot failure;
+  if (const std::string* f = FindSection(*sections, "failure")) {
+    std::istringstream failure_in(*f);
+    auto snap = ReadFailure(failure_in);
+    if (!snap.ok()) return snap.status();
+    failure = std::move(snap).value();
+  }
   if (const std::string* web = FindSection(*sections, "web")) {
     std::istringstream web_in(*web);
     Status st = simweb::RestoreWeb(web_in, crawler->web_);
@@ -1430,6 +1661,10 @@ Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler) {
     crawler->tracker_.AddSample(tracker->times[i], tracker->values[i]);
   }
   crawler->stats_ = stats;
+  crawler->requeue_counts_.clear();
+  for (const UrlFailureRecord& r : failure.urls) {
+    crawler->requeue_counts_.emplace(r.url, r.count);
+  }
   crawler->now_ = now;
   crawler->cycle_start_ = cycle_start;
   crawler->next_sample_ = next_sample;

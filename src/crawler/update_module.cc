@@ -44,6 +44,8 @@ UpdateModule::UpdateModule(const UpdateModuleConfig& config)
   page_shards_.resize(shards);
   site_shards_.resize(shards);
   rng_shards_.resize(shards);
+  visit_counts_.assign(shards, 0);
+  failure_counts_.assign(shards, 0);
 }
 
 estimator::ChangeEstimator* UpdateModule::EstimatorFor(
@@ -135,6 +137,7 @@ double UpdateModule::FrequencyFor(double rate, double importance) const {
 double UpdateModule::OnCrawled(const simweb::Url& url, double now,
                                bool changed, bool first_visit,
                                double quiet_days) {
+  ++visit_counts_[ShardOf(url.site)];
   PageState& state = page_shards_[ShardOf(url.site)][url];
   estimator::ChangeEstimator* est = EstimatorFor(url, state);
   if (!first_visit && state.visited && now > state.last_visit) {
@@ -200,6 +203,27 @@ double UpdateModule::OnCrawled(const simweb::Url& url, double now,
     }
   }
   return now + interval;
+}
+
+void UpdateModule::OnFetchFailed(const simweb::Url& url, double now) {
+  // Accounting only. No estimator record (an unreachable page carries
+  // no change evidence), no last_visit update (the next success's
+  // observation interval legitimately spans the outage), no state
+  // creation for pages the module has never seen.
+  (void)now;
+  ++failure_counts_[ShardOf(url.site)];
+}
+
+uint64_t UpdateModule::visits_recorded() const {
+  uint64_t total = 0;
+  for (uint64_t n : visit_counts_) total += n;
+  return total;
+}
+
+uint64_t UpdateModule::failures_recorded() const {
+  uint64_t total = 0;
+  for (uint64_t n : failure_counts_) total += n;
+  return total;
 }
 
 void UpdateModule::SetImportance(const simweb::Url& url,

@@ -135,6 +135,21 @@ class UpdateModule {
   double OnCrawled(const simweb::Url& url, double now, bool changed,
                    bool first_visit, double quiet_days = -1.0);
 
+  /// Records that a fetch of `url` at `now` *failed* (transient error
+  /// or timeout). Pure accounting: an unreachable page is not an
+  /// unchanged page, so this must never feed the change estimators —
+  /// and it leaves `last_visit` alone, because the page may well have
+  /// changed during the outage and the next successful visit's
+  /// observation interval legitimately spans it.
+  void OnFetchFailed(const simweb::Url& url, double now);
+
+  /// Successful visits OnCrawled has processed (in-memory diagnostic,
+  /// not checkpointed): the estimator-evidence ledger the fault benches
+  /// gate on — failed fetches must contribute to failures_recorded()
+  /// and never to visits_recorded().
+  uint64_t visits_recorded() const;
+  uint64_t failures_recorded() const;
+
   /// Sets the importance hint used by importance-aware scheduling.
   void SetImportance(const simweb::Url& url, double importance);
 
@@ -227,6 +242,11 @@ class UpdateModule {
   std::vector<PageMap> page_shards_;
   std::vector<SiteMap> site_shards_;  // site-level aggregates
   std::vector<std::unordered_map<uint32_t, Rng>> rng_shards_;
+  /// Per-shard evidence tallies (each shard's worker touches only its
+  /// own slot, so the apply pass needs no synchronisation); summed on
+  /// read. Diagnostics only — never checkpointed, never scheduled on.
+  std::vector<uint64_t> visit_counts_;
+  std::vector<uint64_t> failure_counts_;
   double multiplier_ = 0.0;        // kOptimal; 0 = not yet rebalanced
   double total_rate_ = 0.0;        // kProportional normaliser
   double mean_importance_ = 0.0;   // importance boost normaliser

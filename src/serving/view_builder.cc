@@ -132,6 +132,20 @@ std::unique_ptr<const BatchView> BuildBatchView(
       FmtReal(s.new_page_latency_days.count() > 0
                   ? s.new_page_latency_days.mean()
                   : 0.0));
+  view->summary.emplace_back("fetch_failures",
+                             FmtCount(s.fetch_failures));
+  view->summary.emplace_back("transient_errors",
+                             FmtCount(s.transient_errors));
+  view->summary.emplace_back("timeout_errors",
+                             FmtCount(s.timeout_errors));
+  view->summary.emplace_back("failure_retries",
+                             FmtCount(s.failure_retries));
+  view->summary.emplace_back("sites_quarantined",
+                             FmtCount(s.sites_quarantined));
+  view->summary.emplace_back("urls_retired", FmtCount(s.urls_retired));
+  view->summary.emplace_back(
+      "backoff_days_total",
+      FmtReal(s.backoff_days.count() > 0 ? s.backoff_days.sum() : 0.0));
   AppendFreshnessSummary(crawler.tracker(), view.get());
   return view;
 }
@@ -172,6 +186,16 @@ std::unique_ptr<const BatchView> BuildBatchView(
   view->summary.emplace_back(
       "cycles_completed",
       FmtCount(static_cast<uint64_t>(crawler.cycles_completed())));
+  view->summary.emplace_back("fetch_failures",
+                             FmtCount(s.fetch_failures));
+  view->summary.emplace_back("transient_errors",
+                             FmtCount(s.transient_errors));
+  view->summary.emplace_back("timeout_errors",
+                             FmtCount(s.timeout_errors));
+  view->summary.emplace_back("failure_retries",
+                             FmtCount(s.failure_retries));
+  view->summary.emplace_back("failures_dropped",
+                             FmtCount(s.failures_dropped));
   AppendFreshnessSummary(crawler.tracker(), view.get());
   return view;
 }

@@ -18,6 +18,11 @@ constexpr double kTimeSlack = 1e-9;
 // Salt separating the per-page streams from the construction-time
 // layout stream derived from the same seed.
 constexpr uint64_t kPageStreamSalt = 0x9E3779B97F4A7C15ull;
+// Salts separating the per-site fault lanes from the page streams and
+// from each other.
+constexpr uint64_t kFaultDrawSalt = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kFaultOutageSalt = 0x165667B19E3779F9ull;
+constexpr uint64_t kSiteDeathSalt = 0x27D4EB2F165667C5ull;
 
 }  // namespace
 
@@ -39,6 +44,7 @@ SimulatedWeb::SimulatedWeb(const WebConfig& config)
   rng_.Shuffle(domains);
 
   sites_.resize(domains.size());
+  if (config_.HasFaults()) site_faults_.resize(domains.size());
   site_mu_ = std::make_unique<std::mutex[]>(domains.size());
   site_fetches_ =
       std::make_unique<std::atomic<uint64_t>[]>(domains.size());
@@ -243,7 +249,67 @@ Url SimulatedWeb::ResolveOccupantUrl(uint32_t site, uint32_t slot,
   return OccupantAtLocked(site, slot, t).url;
 }
 
-StatusOr<FetchResult> SimulatedWeb::Fetch(const Url& url, double t) {
+SimulatedWeb::FaultOutcome SimulatedWeb::EvalFaultLocked(
+    uint32_t site, double t, double* latency_days) {
+  SiteFaultState& f = site_faults_[site];
+  if (!f.init) {
+    f.init = true;
+    f.draw = Rng(HashCombine(config_.seed ^ kFaultDrawSalt, site));
+    f.outage = Rng(HashCombine(config_.seed ^ kFaultOutageSalt, site));
+    if (config_.fault_site_death_prob > 0.0) {
+      // Death is a pure per-site hash draw: whether and when the site
+      // dies never depends on observation order.
+      Rng death(HashCombine(config_.seed ^ kSiteDeathSalt, site));
+      if (death.Bernoulli(config_.fault_site_death_prob)) {
+        f.death_day = death.NextDouble() * 2.0 *
+                      config_.fault_site_death_mean_day;
+      }
+    }
+  }
+  if (t >= f.death_day) return FaultOutcome::kTransient;
+  if (config_.fault_outage_rate_per_day > 0.0) {
+    // Materialize outage windows lazily up to t; per-site fetch times
+    // are non-decreasing, so the renewal walk never rewinds.
+    while (f.outage_end <= t) {
+      f.outage_start =
+          f.outage_end +
+          f.outage.Exponential(config_.fault_outage_rate_per_day);
+      f.outage_end = f.outage_start + config_.fault_outage_duration_days;
+    }
+    if (f.outage_start <= t) return FaultOutcome::kTransient;
+  }
+  double transient_p = config_.fault_transient_prob;
+  if (config_.fault_flash_crowd_threshold > 0 &&
+      config_.fault_flash_crowd_window_days > 0.0) {
+    auto bucket = static_cast<int64_t>(
+        std::floor(t / config_.fault_flash_crowd_window_days));
+    if (bucket != f.flash_bucket) {
+      f.flash_bucket = bucket;
+      f.flash_count = 0;
+    }
+    ++f.flash_count;
+    if (f.flash_count > config_.fault_flash_crowd_threshold) {
+      transient_p = std::min(
+          1.0, transient_p + config_.fault_flash_crowd_error_prob);
+    }
+  }
+  const double u = f.draw.NextDouble();
+  if (u < transient_p) return FaultOutcome::kTransient;
+  if (u < transient_p + config_.fault_timeout_prob) {
+    *latency_days = config_.fault_timeout_latency_days;
+    return FaultOutcome::kTimeout;
+  }
+  if (u < transient_p + config_.fault_timeout_prob +
+              config_.fault_slow_prob) {
+    *latency_days = config_.fault_slow_latency_days;
+    return FaultOutcome::kSlow;
+  }
+  return FaultOutcome::kNone;
+}
+
+StatusOr<FetchResult> SimulatedWeb::Fetch(const Url& url, double t,
+                                          double* latency_days) {
+  if (latency_days != nullptr) *latency_days = 0.0;
   if (url.site >= sites_.size() ||
       url.slot >= sites_[url.site].slots.size()) {
     fetch_count_.fetch_add(1, std::memory_order_relaxed);
@@ -267,6 +333,25 @@ StatusOr<FetchResult> SimulatedWeb::Fetch(const Url& url, double t) {
   std::vector<std::pair<std::size_t, std::pair<uint32_t, uint32_t>>> remote;
   {
     std::lock_guard<std::mutex> lock(site_mu_[url.site]);
+    if (!site_faults_.empty()) {
+      // Fault outcomes preempt the page entirely: a failed fetch counts
+      // as traffic but never advances the page's change process, so a
+      // crawler that retries later observes the same evolution it would
+      // have seen without the failure.
+      double latency = 0.0;
+      FaultOutcome fault = EvalFaultLocked(url.site, t, &latency);
+      if (fault == FaultOutcome::kTransient) {
+        return Status::Unavailable("site unreachable: " + url.ToString());
+      }
+      if (fault == FaultOutcome::kTimeout) {
+        if (latency_days != nullptr) *latency_days = latency;
+        return Status::DeadlineExceeded("fetch timed out: " +
+                                        url.ToString());
+      }
+      if (fault == FaultOutcome::kSlow && latency_days != nullptr) {
+        *latency_days = latency;
+      }
+    }
     EnsureCoverageLocked(url.site, url.slot, t);
     SlotState& slot_state = sites_[url.site].slots[url.slot];
     if (url.incarnation >= slot_state.history.size()) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -104,7 +105,21 @@ class SimulatedWeb {
   /// dead or not yet born, InvalidArgument if `t` moves backwards
   /// (before the current time outside a batch; before the batch floor
   /// inside one). Counts toward fetch statistics either way.
-  StatusOr<FetchResult> Fetch(const Url& url, double t);
+  ///
+  /// With fault injection active (config.HasFaults()) a fetch may also
+  /// fail Unavailable (transient error, outage, overload, dead site) or
+  /// DeadlineExceeded (timeout), or succeed slowly. Fault outcomes are
+  /// drawn from per-site lanes advanced once per fetch, so they require
+  /// each *site*'s fetch times to be non-decreasing — the same ordering
+  /// the engine's per-site shard ownership already guarantees. A faulted
+  /// fetch counts as traffic but never advances the page's own change
+  /// process. When `latency_days` is non-null it receives the stall the
+  /// caller paid (timeout and slow outcomes; 0 otherwise), which a
+  /// polite crawler adds to the site's politeness window.
+  StatusOr<FetchResult> Fetch(const Url& url, double t,
+                              double* latency_days = nullptr);
+
+  const WebConfig& config() const { return config_; }
 
   /// Root URL of a site (the root page is immortal, like the paper's
   /// monitored site roots).
@@ -216,6 +231,33 @@ class SimulatedWeb {
     std::vector<SlotState> slots;
   };
 
+  /// Per-site fault-injection state, materialized lazily on a site's
+  /// first fetch (so it exists for exactly the sites that were crawled,
+  /// at every shard count). Guarded by the site's mutex.
+  struct SiteFaultState {
+    bool init = false;
+    /// Per-fetch outcome lane — one uniform consumed per fetch that
+    /// reaches the classified draw (dead-site and outage fetches short-
+    /// circuit before it, but those conditions are pure in (site, t)).
+    Rng draw{0};
+    /// Outage-window renewal lane, advanced only as windows are
+    /// materialized to cover the fetch time.
+    Rng outage{0};
+    double outage_start = 0.0;
+    double outage_end = 0.0;  // next/current window is [start, end)
+    double death_day = std::numeric_limits<double>::infinity();
+    int64_t flash_bucket = -1;
+    uint32_t flash_count = 0;
+  };
+
+  enum class FaultOutcome { kNone, kSlow, kTransient, kTimeout };
+
+  /// Draws the fault outcome for a fetch of `site` at `t`, advancing
+  /// the site's fault lanes; fills `latency_days` for timeout/slow
+  /// outcomes. Caller holds the site mutex.
+  FaultOutcome EvalFaultLocked(uint32_t site, double t,
+                               double* latency_days);
+
   /// Fresh deterministic RNG stream for one page identity.
   Rng PageStream(PageId id) const;
 
@@ -258,6 +300,8 @@ class SimulatedWeb {
   bool concurrent_batch_ = false;
   double batch_floor_ = 0.0;
   std::vector<SiteState> sites_;
+  // Sized to num_sites when config_.HasFaults(); empty otherwise.
+  std::vector<SiteFaultState> site_faults_;
   // One mutex per site, guarding that site's slot histories.
   std::unique_ptr<std::mutex[]> site_mu_;
   uint64_t total_slots_ = 0;

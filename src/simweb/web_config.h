@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "simweb/domain.h"
@@ -76,6 +77,59 @@ struct WebConfig {
   /// work resembles fetching and digesting a real page.
   uint32_t page_body_bytes = 0;
 
+  // ------------------------------------------------------ fault model
+  // All off by default: with every knob at zero the web behaves exactly
+  // as before (instant success or NotFound) and carries no fault state.
+  // Outcomes are drawn from per-site RNG lanes — a pure function of
+  // (seed, site) plus the site's own fetch sequence, which is itself
+  // deterministic at every shard count — following the per-page stream
+  // idiom, so fault injection preserves the N=1 == N=8 invariant.
+
+  /// Per-fetch probability of a transient error (kUnavailable).
+  double fault_transient_prob = 0.0;
+
+  /// Per-fetch probability of a timeout (kDeadlineExceeded); the
+  /// caller is charged `fault_timeout_latency_days` of polite-window
+  /// stall before the failure surfaces.
+  double fault_timeout_prob = 0.0;
+  double fault_timeout_latency_days = 0.02;
+
+  /// Per-fetch probability of a slow-but-successful response; the
+  /// latency widens the caller's polite window.
+  double fault_slow_prob = 0.0;
+  double fault_slow_latency_days = 0.01;
+
+  /// Site outage windows: each site independently goes dark as a
+  /// renewal process (exponential gaps at this rate, fixed duration);
+  /// every fetch inside a window fails kUnavailable.
+  double fault_outage_rate_per_day = 0.0;
+  double fault_outage_duration_days = 0.5;
+
+  /// Permanent site death: each site dies with this probability, at a
+  /// time drawn uniformly in [0, 2 * fault_site_death_mean_day]. A
+  /// dead site answers kUnavailable forever.
+  double fault_site_death_prob = 0.0;
+  double fault_site_death_mean_day = 30.0;
+
+  /// Flash-crowd overload: once a site has served more than
+  /// `fault_flash_crowd_threshold` fetches within one
+  /// `fault_flash_crowd_window_days` window, further fetches in that
+  /// window fail kUnavailable with `fault_flash_crowd_error_prob`
+  /// (added to the base transient probability).
+  uint32_t fault_flash_crowd_threshold = 0;
+  double fault_flash_crowd_window_days = 0.25;
+  double fault_flash_crowd_error_prob = 0.0;
+
+  /// True when any fault knob is active; the web keeps per-site fault
+  /// state (and emits fault records into its snapshot) only then.
+  bool HasFaults() const {
+    return fault_transient_prob > 0.0 || fault_timeout_prob > 0.0 ||
+           fault_slow_prob > 0.0 || fault_outage_rate_per_day > 0.0 ||
+           fault_site_death_prob > 0.0 ||
+           (fault_flash_crowd_threshold > 0 &&
+            fault_flash_crowd_error_prob > 0.0);
+  }
+
   /// Returns a copy with sites_per_domain scaled by `factor` (minimum
   /// one site per domain), for quick tests and scaled-down benches.
   WebConfig Scaled(double factor) const {
@@ -120,9 +174,83 @@ struct WebConfig {
       return Status::InvalidArgument(
           "rate_lifespan_coupling not in [0,1]");
     }
+    for (double p : {fault_transient_prob, fault_timeout_prob,
+                     fault_slow_prob, fault_site_death_prob,
+                     fault_flash_crowd_error_prob}) {
+      if (p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("fault probability not in [0,1]");
+      }
+    }
+    if (fault_transient_prob + fault_timeout_prob + fault_slow_prob >
+        1.0) {
+      return Status::InvalidArgument(
+          "transient + timeout + slow probabilities exceed 1");
+    }
+    for (double d :
+         {fault_timeout_latency_days, fault_slow_latency_days,
+          fault_outage_rate_per_day, fault_outage_duration_days,
+          fault_site_death_mean_day, fault_flash_crowd_window_days}) {
+      if (d < 0.0) {
+        return Status::InvalidArgument("negative fault parameter");
+      }
+    }
+    if (fault_outage_rate_per_day > 0.0 &&
+        fault_outage_duration_days <= 0.0) {
+      return Status::InvalidArgument(
+          "outage windows need a positive duration");
+    }
+    if (fault_flash_crowd_threshold > 0 &&
+        fault_flash_crowd_window_days <= 0.0) {
+      return Status::InvalidArgument(
+          "flash-crowd throttling needs a positive window");
+    }
     return Status::Ok();
   }
 };
+
+/// Applies one of the named fault scenarios used by
+/// bench_fault_scenarios and `webevo_sim --faults=...`. The scenario
+/// names are the bench's scenario matrix; "none"/"baseline" clears
+/// every fault knob.
+inline Status ApplyFaultScenario(const std::string& scenario,
+                                 WebConfig* config) {
+  WebConfig clean = *config;
+  clean.fault_transient_prob = 0.0;
+  clean.fault_timeout_prob = 0.0;
+  clean.fault_slow_prob = 0.0;
+  clean.fault_outage_rate_per_day = 0.0;
+  clean.fault_site_death_prob = 0.0;
+  clean.fault_flash_crowd_threshold = 0;
+  clean.fault_flash_crowd_error_prob = 0.0;
+  *config = clean;
+  if (scenario == "none" || scenario == "baseline") return Status::Ok();
+  if (scenario == "transient10") {
+    config->fault_transient_prob = 0.08;
+    config->fault_timeout_prob = 0.02;
+    return Status::Ok();
+  }
+  if (scenario == "outage-storm") {
+    config->fault_outage_rate_per_day = 0.25;
+    config->fault_outage_duration_days = 0.5;
+    config->fault_transient_prob = 0.02;
+    return Status::Ok();
+  }
+  if (scenario == "site-death") {
+    config->fault_site_death_prob = 0.2;
+    config->fault_site_death_mean_day = 6.0;
+    config->fault_transient_prob = 0.02;
+    return Status::Ok();
+  }
+  if (scenario == "flash-crowd") {
+    config->fault_flash_crowd_threshold = 8;
+    config->fault_flash_crowd_window_days = 0.25;
+    config->fault_flash_crowd_error_prob = 0.5;
+    config->fault_slow_prob = 0.1;
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown fault scenario '" + scenario +
+                                 "'");
+}
 
 }  // namespace webevo::simweb
 

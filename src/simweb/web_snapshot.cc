@@ -2,10 +2,14 @@
 // state, declared in simweb/simulated_web.h.
 //
 // Format (trailer-framed text, see util/text_snapshot.h):
-//   webevo-web 1 <num_sites> <nrecords> <nfetchsites> <now>
-//              <fetch_count> <not_found_count>
+//   webevo-web 2 <num_sites> <nrecords> <nfetchsites> <now>
+//              <fetch_count> <not_found_count> <nfaults>
 //   A <site> <site_fetch_count>          (nfetchsites records, nonzero
 //                                         counters only, ascending)
+//   X <site> <d0..d3> <o0..o3> <outage_start> <outage_end> <death|inf>
+//     <flash_bucket> <flash_count>       (nfaults records, initialized
+//                                         per-site fault lanes only,
+//                                         ascending site)
 //   I <site> <slot> <incarnation> <version> <change_rate> <birth>
 //     <death|inf> <state_time> <last_change> <r0> <r1> <r2> <r3>
 //     <nlinks> [<target_site> <target_slot>]*
@@ -14,10 +18,13 @@
 //                                         order)
 //   webevo-checksum <fnv64>
 //
-// Every field of every PageRecord round-trips exactly (doubles at
-// precision 17, RNG lanes raw), so a restored web serves bit-identical
-// fetches — including the lazy Poisson increments that depend on the
-// *observation history*, not just on absolute time.
+// Version 2 added the per-site fault-injection lanes (`X` records and
+// the <nfaults> header field); version-1 snapshots are still accepted
+// and restore with no fault state. Every field of every PageRecord
+// round-trips exactly (doubles at precision 17, RNG lanes raw), so a
+// restored web serves bit-identical fetches — including the lazy
+// Poisson increments that depend on the *observation history*, not
+// just on absolute time.
 
 #include <algorithm>
 #include <array>
@@ -34,7 +41,7 @@ namespace webevo::simweb {
 namespace {
 
 constexpr const char* kWebMagic = "webevo-web";
-constexpr int kWebFormatVersion = 1;
+constexpr int kWebFormatVersion = 2;
 // Range guard for per-record link counts parsed before the trailer has
 // been verified.
 constexpr std::size_t kMaxLinksPerPage = 1 << 16;
@@ -84,6 +91,10 @@ Status SaveWeb(const SimulatedWeb& web, std::ostream& out) {
     uint64_t count = web.site_fetches_[s].load(std::memory_order_relaxed);
     if (count > 0) fetch_sites.emplace_back(s, count);
   }
+  std::vector<uint32_t> fault_sites;
+  for (uint32_t s = 0; s < web.site_faults_.size(); ++s) {
+    if (web.site_faults_[s].init) fault_sites.push_back(s);
+  }
 
   TrailerWriter writer(out);
   {
@@ -92,12 +103,25 @@ Status SaveWeb(const SimulatedWeb& web, std::ostream& out) {
     header << kWebMagic << ' ' << kWebFormatVersion << ' '
            << web.num_sites() << ' ' << nrecords << ' '
            << fetch_sites.size() << ' ' << web.now() << ' '
-           << web.fetch_count() << ' ' << web.not_found_count();
+           << web.fetch_count() << ' ' << web.not_found_count() << ' '
+           << fault_sites.size();
     writer.Line(header.str());
   }
   for (const auto& [site, count] : fetch_sites) {
     std::ostringstream os;
     os << "A " << site << ' ' << count;
+    writer.Line(os.str());
+  }
+  for (uint32_t s : fault_sites) {
+    const SimulatedWeb::SiteFaultState& f = web.site_faults_[s];
+    std::ostringstream os;
+    os.precision(17);
+    os << "X " << s;
+    for (uint64_t lane : f.draw.State()) os << ' ' << lane;
+    for (uint64_t lane : f.outage.State()) os << ' ' << lane;
+    os << ' ' << f.outage_start << ' ' << f.outage_end << ' '
+       << DeathToken(f.death_day) << ' ' << f.flash_bucket << ' '
+       << f.flash_count;
     writer.Line(os.str());
   }
   for (uint32_t s = 0; s < web.num_sites(); ++s) {
@@ -139,15 +163,23 @@ Status RestoreWeb(std::istream& in, SimulatedWeb* web) {
   int version = 0;
   uint32_t num_sites = 0;
   uint64_t nrecords = 0, fetch_count = 0, not_found = 0;
-  std::size_t nfetchsites = 0;
+  std::size_t nfetchsites = 0, nfaults = 0;
   double now = 0.0;
   hs >> magic >> version >> num_sites >> nrecords >> nfetchsites >>
       now >> fetch_count >> not_found;
   if (hs.fail() || magic != kWebMagic) {
     return Status::InvalidArgument("not a web snapshot");
   }
-  if (version != kWebFormatVersion) {
+  // Version 1 predates fault injection: no <nfaults> field and no X
+  // records. It restores into a fault-free state.
+  if (version != 1 && version != kWebFormatVersion) {
     return Status::InvalidArgument("unsupported web snapshot version");
+  }
+  if (version >= 2) {
+    hs >> nfaults;
+    if (hs.fail()) {
+      return Status::InvalidArgument("malformed web header");
+    }
   }
   Status line_end = ExpectLineEnd(hs, "web header");
   if (!line_end.ok()) return line_end;
@@ -179,6 +211,45 @@ Status RestoreWeb(std::istream& in, SimulatedWeb* web) {
     Status end = ExpectLineEnd(is, "web fetch");
     if (!end.ok()) return end;
     fetch_sites.emplace_back(site, count);
+  }
+
+  std::vector<std::pair<uint32_t, SimulatedWeb::SiteFaultState>>
+      staged_faults;
+  staged_faults.reserve(std::min<std::size_t>(nfaults, 1 << 20));
+  for (std::size_t i = 0; i < nfaults; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("web snapshot fault count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    SimulatedWeb::SiteFaultState f;
+    f.init = true;
+    std::array<uint64_t, 4> draw{}, outage{};
+    is >> tag >> site >> draw[0] >> draw[1] >> draw[2] >> draw[3] >>
+        outage[0] >> outage[1] >> outage[2] >> outage[3] >>
+        f.outage_start >> f.outage_end;
+    if (is.fail() || tag != "X" || site >= num_sites) {
+      return Status::InvalidArgument("malformed web fault record");
+    }
+    auto death = ParseDeath(is);
+    if (!death.ok()) return death.status();
+    f.death_day = *death;
+    is >> f.flash_bucket >> f.flash_count;
+    if (is.fail()) {
+      return Status::InvalidArgument("malformed web fault record");
+    }
+    Status end = ExpectLineEnd(is, "web fault");
+    if (!end.ok()) return end;
+    f.draw.SetState(draw);
+    f.outage.SetState(outage);
+    if (web->site_faults_.empty()) {
+      return Status::InvalidArgument(
+          "web snapshot carries fault state but this web's "
+          "configuration has fault injection disabled");
+    }
+    staged_faults.emplace_back(site, f);
   }
 
   struct StagedPage {
@@ -285,6 +356,8 @@ Status RestoreWeb(std::istream& in, SimulatedWeb* web) {
   for (const auto& [site, count] : fetch_sites) {
     web->site_fetches_[site].store(count, std::memory_order_relaxed);
   }
+  for (auto& f : web->site_faults_) f = SimulatedWeb::SiteFaultState{};
+  for (auto& [site, f] : staged_faults) web->site_faults_[site] = f;
   return Status::Ok();
 }
 

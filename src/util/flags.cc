@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 namespace webevo {
@@ -54,6 +55,10 @@ double FlagParser::GetDouble(const std::string& name,
   char* end = nullptr;
   double v = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0') return fallback;
+  // strtod happily parses "nan", "inf", and overflowing exponents;
+  // none of those is an acceptable rate/probability/latency, so treat
+  // non-finite values exactly like unparsable ones.
+  if (!std::isfinite(v)) return fallback;
   return v;
 }
 

@@ -21,6 +21,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  /// Transient failure: the target is temporarily unreachable (fault
+  /// injection's transient errors, outages, overload). Safe to retry.
+  kUnavailable,
+  /// The operation ran out of time (fault injection's timeouts). The
+  /// caller paid the configured latency before the failure surfaced.
+  kDeadlineExceeded,
 };
 
 /// Result of an operation that can fail.
@@ -58,6 +64,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

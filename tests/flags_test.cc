@@ -85,5 +85,32 @@ TEST(FlagParserTest, NegativeNumbers) {
   EXPECT_DOUBLE_EQ(flags.GetDouble("temp", 0.0), -1.5);
 }
 
+TEST(FlagParserTest, NonFiniteDoublesFallBack) {
+  // nan/inf parse as valid doubles but would poison every downstream
+  // rate/probability computation; GetDouble rejects them.
+  FlagParser flags = Parse({"--a=nan", "--b=inf", "--c=-inf",
+                            "--d=NaN", "--e=INFINITY"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("a", 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("b", 2.5), 2.5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("c", 3.5), 3.5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 4.5), 4.5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("e", 5.5), 5.5);
+}
+
+TEST(FlagParserTest, OverflowingDoubleFallsBack) {
+  // 1e999 overflows to +inf inside strtod; the isfinite guard treats
+  // that the same as a literal "inf".
+  FlagParser flags = Parse({"--big=1e999", "--small=-1e999"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("big", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("small", 0.75), 0.75);
+}
+
+TEST(FlagParserTest, TrailingGarbageDoubleFallsBack) {
+  FlagParser flags = Parse({"--a=1.5abc", "--b=0.5 0.6", "--c="});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("a", 9.0), 9.0);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("b", 9.0), 9.0);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("c", 9.0), 9.0);
+}
+
 }  // namespace
 }  // namespace webevo

@@ -72,6 +72,8 @@ exactly as for webevo_sim crawl --resume):
   --no-shadowing      periodic crawler updates in place
   --policy=optimal|uniform|proportional         (incremental only)
   --estimator=EB|EP|ratio|naive|EL              (incremental only)
+  --faults=<name>     fault scenario: none|transient10|outage-storm|
+                      site-death|flash-crowd    (default none)
 )";
 
 std::string FmtReal(double v) {
@@ -371,6 +373,15 @@ int Run(const FlagParser& flags) {
   web_config.seed =
       static_cast<uint64_t>(flags.GetInt("seed", 19990217));
   web_config.max_site_size = 250;
+  // A checkpoint written under a fault scenario carries per-site fault
+  // lanes; restoring them into a faultless web is rejected, so the
+  // scenario is a shape flag like --capacity.
+  Status fault_st = simweb::ApplyFaultScenario(
+      flags.GetString("faults", "none"), &web_config);
+  if (!fault_st.ok()) {
+    std::printf("%s\n", fault_st.ToString().c_str());
+    return 2;
+  }
   simweb::SimulatedWeb web(web_config);
   const auto capacity =
       static_cast<std::size_t>(flags.GetInt("capacity", 2000));
@@ -469,7 +480,7 @@ int main(int argc, char** argv) {
   Status valid = flags.Validate(
       {"from", "where", "columns", "format", "limit", "crawler", "seed",
        "scale", "capacity", "cycle", "window", "no-shadowing", "policy",
-       "estimator", "help"});
+       "estimator", "faults", "help"});
   if (!valid.ok()) {
     std::printf("%s\n%s", valid.ToString().c_str(), kUsage);
     return 2;

@@ -17,6 +17,7 @@
 // All runs are deterministic for a given --seed.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -47,6 +48,8 @@ common flags:
   --days=<n>        simulated days            (default 120)
   --capacity=<n>    collection capacity       (default 2000)
   --csv=<path>      also write the freshness series as CSV
+  --faults=<name>   fault scenario: none|transient10|outage-storm|
+                    site-death|flash-crowd    (default none)
 
 study flags:
   --window=<n>      page window per site      (default 300)
@@ -77,6 +80,12 @@ simweb::WebConfig WebFromFlags(const FlagParser& flags) {
       simweb::WebConfig().Scaled(flags.GetDouble("scale", 0.15));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 19990217));
   config.max_site_size = 250;
+  const std::string scenario = flags.GetString("faults", "none");
+  Status st = simweb::ApplyFaultScenario(scenario, &config);
+  if (!st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    std::exit(2);
+  }
   return config;
 }
 
@@ -300,9 +309,9 @@ int RunCompare(const FlagParser& flags) {
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   Status valid = flags.Validate(
-      {"seed", "scale", "days", "capacity", "csv", "window", "crawler",
-       "policy", "estimator", "cycle", "no-shadowing", "checkpoint",
-       "checkpoint-every", "resume", "help"});
+      {"seed", "scale", "days", "capacity", "csv", "faults", "window",
+       "crawler", "policy", "estimator", "cycle", "no-shadowing",
+       "checkpoint", "checkpoint-every", "resume", "help"});
   if (!valid.ok()) {
     std::printf("%s\n%s", valid.ToString().c_str(), kUsage);
     return 2;
