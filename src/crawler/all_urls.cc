@@ -1,44 +1,97 @@
 #include "crawler/all_urls.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "crawler/store_codecs.h"
+#include "storage/paged_record_store.h"
 
 namespace webevo::crawler {
 
-AllUrls::AllUrls(int num_shards)
-    : shards_(static_cast<std::size_t>(std::max(1, num_shards))) {}
+AllUrls::AllUrls(int num_shards, const storage::StoreOptions& options,
+                 const std::string& name) {
+  const std::size_t n = static_cast<std::size_t>(std::max(1, num_shards));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (options.backend == storage::StoreOptions::Backend::kPaged) {
+      shards_.push_back(
+          std::make_unique<
+              storage::PagedRecordStore<UrlInfo, UrlInfoCodec>>(
+              options, name + "-shard" + std::to_string(i)));
+    } else {
+      shards_.push_back(
+          std::make_unique<storage::MapRecordStore<UrlInfo>>());
+    }
+  }
+}
 
 bool AllUrls::Add(const simweb::Url& url, double time) {
-  auto [it, inserted] = shards_[ShardOf(url.site)].try_emplace(url);
-  if (inserted) it->second.first_seen = time;
-  return inserted;
+  auto& shard = *shards_[ShardOf(url.site)];
+  if (shard.Contains(url)) return false;
+  UrlInfo info;
+  info.first_seen = time;
+  shard.Put(url, std::move(info));
+  return true;
 }
 
 const AllUrls::UrlInfo& AllUrls::NoteInLink(const simweb::Url& url,
                                             double time) {
-  auto [it, inserted] = shards_[ShardOf(url.site)].try_emplace(url);
-  if (inserted) it->second.first_seen = time;
-  ++it->second.in_links;
-  return it->second;
+  auto& shard = *shards_[ShardOf(url.site)];
+  UrlInfo* info = shard.FindMutable(url);
+  if (info == nullptr) {
+    UrlInfo fresh;
+    fresh.first_seen = time;
+    fresh.in_links = 1;
+    return *shard.Put(url, std::move(fresh));
+  }
+  ++info->in_links;
+  return *info;
 }
 
 Status AllUrls::MarkDead(const simweb::Url& url) {
-  auto& shard = shards_[ShardOf(url.site)];
-  auto it = shard.find(url);
-  if (it == shard.end()) return Status::NotFound("unknown url");
-  it->second.dead = true;
+  UrlInfo* info = shards_[ShardOf(url.site)]->FindMutable(url);
+  if (info == nullptr) return Status::NotFound("unknown url");
+  info->dead = true;
   return Status::Ok();
 }
 
 const AllUrls::UrlInfo* AllUrls::Find(const simweb::Url& url) const {
-  const auto& shard = shards_[ShardOf(url.site)];
-  auto it = shard.find(url);
-  return it == shard.end() ? nullptr : &it->second;
+  return shards_[ShardOf(url.site)]->Find(url);
 }
 
 std::size_t AllUrls::size() const {
   std::size_t total = 0;
-  for (const auto& shard : shards_) total += shard.size();
+  for (const auto& shard : shards_) total += shard->size();
   return total;
+}
+
+void AllUrls::Restore(const simweb::Url& url, const UrlInfo& info) {
+  shards_[ShardOf(url.site)]->Put(url, UrlInfo(info));
+}
+
+void AllUrls::ReplaceEntriesFrom(const AllUrls& other) {
+  for (auto& shard : shards_) shard->Clear();
+  other.ForEach([this](const simweb::Url& url, const UrlInfo& info) {
+    shards_[ShardOf(url.site)]->Put(url, UrlInfo(info));
+  });
+}
+
+void AllUrls::Flush() {
+  for (auto& shard : shards_) shard->Flush();
+}
+
+void AllUrls::EnableDirtyTracking() {
+  for (auto& shard : shards_) shard->EnableDirtyTracking();
+}
+
+void AllUrls::AppendDirty(DirtySet* out) const {
+  for (const auto& shard : shards_) {
+    out->insert(shard->dirty().begin(), shard->dirty().end());
+  }
+}
+
+void AllUrls::ClearDirty() {
+  for (auto& shard : shards_) shard->ClearDirty();
 }
 
 }  // namespace webevo::crawler

@@ -2,10 +2,13 @@
 #define WEBEVO_CRAWLER_ALL_URLS_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "simweb/url.h"
+#include "storage/record_store.h"
 #include "util/status.h"
 
 namespace webevo::crawler {
@@ -17,13 +20,14 @@ namespace webevo::crawler {
 /// RankingModule can estimate PageRank of p based on how many pages in
 /// the Collection have a link to p".
 ///
-/// Internally partitioned into `num_shards` stores, sites owned by
-/// shard `site % N` (the engine's ownership rule). Concurrent mutation
-/// is safe exactly when callers partition their work by `ShardOf` —
-/// the incremental crawler's parallel link-noting pass does — since
-/// every operation touches only the owning shard's map. The results
-/// are identical at every shard count; only the (unspecified) ForEach
-/// visit order differs.
+/// Internally partitioned into `num_shards` record stores (memory or
+/// paged — see storage::StoreOptions), sites owned by shard `site % N`
+/// (the engine's ownership rule). Concurrent mutation is safe exactly
+/// when callers partition their work by `ShardOf` — the incremental
+/// crawler's parallel link-noting pass does — since every operation
+/// touches only the owning shard's store. The results are identical at
+/// every shard count; only the (unspecified) ForEach visit order
+/// differs.
 class AllUrls {
  public:
   struct UrlInfo {
@@ -32,8 +36,17 @@ class AllUrls {
     bool dead = false;         ///< a crawl of it returned NotFound
   };
 
-  /// Creates `num_shards` shard maps (>= 1; clamped).
-  explicit AllUrls(int num_shards = 1);
+  using DirtySet = std::set<simweb::Url, simweb::UrlIdentityLess>;
+
+  /// Creates `num_shards` shard stores (>= 1; clamped) on the memory
+  /// backend.
+  explicit AllUrls(int num_shards = 1)
+      : AllUrls(num_shards, storage::StoreOptions{}, "allurls") {}
+
+  /// Backend-selecting constructor; `name` seeds the paged backend's
+  /// scratch-file names (one per shard).
+  AllUrls(int num_shards, const storage::StoreOptions& options,
+          const std::string& name);
 
   /// Registers a URL discovered at `time`. Returns true if it was new.
   bool Add(const simweb::Url& url, double time);
@@ -51,7 +64,7 @@ class AllUrls {
   Status MarkDead(const simweb::Url& url);
 
   bool Contains(const simweb::Url& url) const {
-    return shards_[ShardOf(url.site)].count(url) > 0;
+    return shards_[ShardOf(url.site)]->Contains(url);
   }
   const UrlInfo* Find(const simweb::Url& url) const;
 
@@ -66,13 +79,33 @@ class AllUrls {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const auto& shard : shards_) {
-      for (const auto& [url, info] : shard) fn(url, info);
+      shard->ForEach(
+          [&fn](const simweb::Url& url, const UrlInfo& info) {
+            fn(url, info);
+          });
     }
   }
 
+  /// Overwrites (or creates) a record verbatim — incremental-checkpoint
+  /// replay.
+  void Restore(const simweb::Url& url, const UrlInfo& info);
+
+  /// Replaces all contents with a copy of `other`'s, keeping *this's
+  /// backend — the checkpoint-load commit step.
+  void ReplaceEntriesFrom(const AllUrls& other);
+
+  /// Barrier hook (paged backend compaction; no-op on memory).
+  void Flush();
+
+  /// Dirty-key tracking for incremental checkpoints: enables tracking
+  /// on every shard store; AppendDirty merges the per-shard dirty sets
+  /// into `out` (already canonical — std::set union).
+  void EnableDirtyTracking();
+  void AppendDirty(DirtySet* out) const;
+  void ClearDirty();
+
  private:
-  std::vector<std::unordered_map<simweb::Url, UrlInfo, simweb::UrlHash>>
-      shards_;
+  std::vector<std::unique_ptr<storage::RecordStore<UrlInfo>>> shards_;
 };
 
 }  // namespace webevo::crawler

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <queue>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -99,6 +100,26 @@ class CollUrls {
 
   bool Contains(const simweb::Url& url) const {
     return live_.count(url) > 0;
+  }
+
+  /// The live (when, seq) entry of `url`, without disturbing the heap;
+  /// nullopt if absent. Incremental checkpoints record frontier
+  /// positions through this.
+  std::optional<Entry> LookupEntry(const simweb::Url& url) const {
+    auto it = live_.find(url);
+    if (it == live_.end()) return std::nullopt;
+    return Entry{it->second.when, it->second.seq, url};
+  }
+
+  /// Inserts every live URL of `site` into `out` — the quarantine walk
+  /// of the incremental checkpoint's dirty marking (a site-wide
+  /// reschedule touches entries no per-effect record names).
+  void AppendSiteUrls(uint32_t site,
+                      std::set<simweb::Url, simweb::UrlIdentityLess>* out)
+      const {
+    for (const auto& [url, ref] : live_) {
+      if (url.site == site) out->insert(url);
+    }
   }
 
   /// Number of live (non-superseded) entries.

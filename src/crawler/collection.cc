@@ -3,52 +3,71 @@
 #include <algorithm>
 #include <utility>
 
+#include "crawler/store_codecs.h"
+#include "storage/paged_record_store.h"
+
 namespace webevo::crawler {
 
+Collection::Collection(std::size_t capacity,
+                       const storage::StoreOptions& options,
+                       const std::string& name)
+    : capacity_(capacity) {
+  if (options.backend == storage::StoreOptions::Backend::kPaged) {
+    store_ = std::make_unique<
+        storage::PagedRecordStore<CollectionEntry, CollectionEntryCodec>>(
+        options, name);
+  } else {
+    store_ = std::make_unique<storage::MapRecordStore<CollectionEntry>>();
+  }
+}
+
 Status Collection::Upsert(CollectionEntry entry) {
-  auto it = entries_.find(entry.url);
-  if (it != entries_.end()) {
-    it->second = std::move(entry);
-    return Status::Ok();
+  const simweb::Url url = entry.url;
+  if (!store_->Contains(url)) {
+    if (full()) {
+      return Status::ResourceExhausted("collection at capacity");
+    }
   }
-  if (full()) {
-    return Status::ResourceExhausted("collection at capacity");
-  }
-  simweb::Url url = entry.url;
-  entries_.emplace(url, std::move(entry));
+  store_->Put(url, std::move(entry));
   return Status::Ok();
 }
 
 void Collection::UpsertUnchecked(CollectionEntry entry) {
-  auto it = entries_.find(entry.url);
-  if (it != entries_.end()) {
-    it->second = std::move(entry);
-    return;
-  }
-  simweb::Url url = entry.url;
-  entries_.emplace(url, std::move(entry));
+  const simweb::Url url = entry.url;
+  store_->Put(url, std::move(entry));
 }
 
 Status Collection::Remove(const simweb::Url& url) {
-  if (entries_.erase(url) == 0) {
+  if (!store_->Erase(url)) {
     return Status::NotFound("url not in collection");
   }
   return Status::Ok();
 }
 
 const CollectionEntry* Collection::Find(const simweb::Url& url) const {
-  auto it = entries_.find(url);
-  return it == entries_.end() ? nullptr : &it->second;
+  return store_->Find(url);
 }
 
 CollectionEntry* Collection::FindMutable(const simweb::Url& url) {
-  auto it = entries_.find(url);
-  return it == entries_.end() ? nullptr : &it->second;
+  return store_->FindMutable(url);
 }
 
 void Collection::ForEach(
     const std::function<void(const CollectionEntry&)>& fn) const {
-  for (const auto& [url, entry] : entries_) fn(entry);
+  store_->ForEach(
+      [&fn](const simweb::Url& url, const CollectionEntry& entry) {
+        (void)url;
+        fn(entry);
+      });
+}
+
+void Collection::ForEachCanonical(
+    const std::function<void(const CollectionEntry&)>& fn) const {
+  store_->ForEachCanonical(
+      [&fn](const simweb::Url& url, const CollectionEntry& entry) {
+        (void)url;
+        fn(entry);
+      });
 }
 
 bool BetterEvictionVictim(const CollectionEntry& a,
@@ -59,11 +78,11 @@ bool BetterEvictionVictim(const CollectionEntry& a,
 
 const CollectionEntry* Collection::LowestImportance() const {
   const CollectionEntry* lowest = nullptr;
-  for (const auto& [url, entry] : entries_) {
+  ForEach([&lowest](const CollectionEntry& entry) {
     if (lowest == nullptr || BetterEvictionVictim(entry, *lowest)) {
       lowest = &entry;
     }
-  }
+  });
   return lowest;
 }
 
@@ -77,18 +96,18 @@ void Collection::LowestImportanceK(
   };
   std::vector<const CollectionEntry*> best;
   best.reserve(k + 1);
-  for (const auto& [url, entry] : entries_) {
+  ForEach([&](const CollectionEntry& entry) {
     if (best.size() < k) {
       best.push_back(&entry);
       std::push_heap(best.begin(), best.end(), worse);
-      continue;
+      return;
     }
     if (BetterEvictionVictim(entry, *best.front())) {
       std::pop_heap(best.begin(), best.end(), worse);
       best.back() = &entry;
       std::push_heap(best.begin(), best.end(), worse);
     }
-  }
+  });
   std::sort(best.begin(), best.end(),
             [](const CollectionEntry* a, const CollectionEntry* b) {
               return BetterEvictionVictim(*a, *b);
@@ -100,11 +119,18 @@ Status Collection::AbsorbAll(Collection& other) {
   if (capacity_ < other.size()) {
     return Status::ResourceExhausted("absorb exceeds capacity");
   }
-  for (auto& [url, entry] : other.entries_) {
-    entries_[url] = std::move(entry);
-  }
-  other.entries_.clear();
+  other.ForEach([this](const CollectionEntry& entry) {
+    store_->Put(entry.url, CollectionEntry(entry));
+  });
+  other.Clear();
   return Status::Ok();
+}
+
+void Collection::ReplaceEntriesFrom(const Collection& other) {
+  store_->Clear();
+  other.ForEach([this](const CollectionEntry& entry) {
+    store_->Put(entry.url, CollectionEntry(entry));
+  });
 }
 
 void ShadowedCollection::Swap() {

@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <functional>
-#include <unordered_map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "simweb/page.h"
 #include "simweb/url.h"
+#include "storage/record_store.h"
 #include "util/hash.h"
 #include "util/status.h"
 
@@ -43,9 +45,22 @@ bool BetterEvictionVictim(const CollectionEntry& a,
 /// collection (Section 5.2, Algorithm 5.1): inserting a new page into a
 /// full collection fails, forcing the caller to make a refinement
 /// decision (discard something) first.
+///
+/// Since the storage-layer refactor the entries live behind a
+/// storage::RecordStore — the in-memory map backend by default
+/// (behaviour-preserving) or the paged disk backend when constructed
+/// with StoreOptions{kPaged}. All pointer-returning lookups keep the
+/// historical contract: results stay valid until the next mutating
+/// call (Upsert/Remove/Clear/Flush).
 class Collection {
  public:
-  explicit Collection(std::size_t capacity) : capacity_(capacity) {}
+  explicit Collection(std::size_t capacity)
+      : Collection(capacity, storage::StoreOptions{}, "collection") {}
+
+  /// Backend-selecting constructor; `name` seeds the paged backend's
+  /// scratch-file name.
+  Collection(std::size_t capacity, const storage::StoreOptions& options,
+             const std::string& name);
 
   /// Inserts a new entry or updates the existing one in place.
   /// Returns ResourceExhausted if the entry is new and the collection
@@ -63,43 +78,70 @@ class Collection {
   Status Remove(const simweb::Url& url);
 
   /// Looks up an entry; nullptr if absent. The pointer is invalidated
-  /// by Upsert/Remove/Clear.
+  /// by the next mutating call.
   const CollectionEntry* Find(const simweb::Url& url) const;
   CollectionEntry* FindMutable(const simweb::Url& url);
 
   bool Contains(const simweb::Url& url) const {
-    return entries_.count(url) > 0;
+    return store_->Contains(url);
   }
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return store_->size(); }
   std::size_t capacity() const { return capacity_; }
-  bool full() const { return entries_.size() >= capacity_; }
+  bool full() const { return size() >= capacity_; }
 
   /// Applies `fn` to every entry (unspecified order).
   void ForEach(const std::function<void(const CollectionEntry&)>& fn) const;
 
+  /// Applies `fn` to every entry in ascending URL identity order.
+  void ForEachCanonical(
+      const std::function<void(const CollectionEntry&)>& fn) const;
+
   /// Entry with the lowest importance, ties broken by smallest URL
   /// identity (nullptr if empty) — the default victim of the refinement
-  /// decision, deterministic regardless of hash-map layout.
+  /// decision, deterministic regardless of backend layout.
   const CollectionEntry* LowestImportance() const;
 
   /// Appends this store's `k` best eviction victims to `out` in
   /// BetterEvictionVictim order (fewer if the store is smaller) — one
   /// shard's nomination list for the sharded collection's canonical
-  /// cross-shard eviction settle. Deterministic regardless of hash-map
+  /// cross-shard eviction settle. Deterministic regardless of backend
   /// layout (the victim order is total).
   void LowestImportanceK(std::size_t k,
                          std::vector<const CollectionEntry*>* out) const;
 
-  void Clear() { entries_.clear(); }
+  void Clear() { store_->Clear(); }
+
+  /// Barrier hook: compacts mutated records into pages and trims the
+  /// paged backend's decoded-record overlay (no-op on the memory
+  /// backend). Invalidates outstanding entry pointers.
+  void Flush() { store_->Flush(); }
 
   /// Moves all entries out of `other` into *this (used by shadow swap);
   /// requires *this to have enough capacity for other's size.
   Status AbsorbAll(Collection& other);
 
+  /// Replaces this collection's contents with a copy of `other`'s,
+  /// keeping *this's backend — the checkpoint-load commit step, so a
+  /// paged collection stays paged across a resume.
+  void ReplaceEntriesFrom(const Collection& other);
+
+  /// Dirty-key tracking for incremental checkpoints (delegates to the
+  /// store; see storage::RecordStore).
+  void EnableDirtyTracking() { store_->EnableDirtyTracking(); }
+  const storage::RecordStore<CollectionEntry>::DirtySet& dirty() const {
+    return store_->dirty();
+  }
+  bool cleared_while_tracking() const {
+    return store_->cleared_while_tracking();
+  }
+  void ClearDirty() { store_->ClearDirty(); }
+
+  storage::StoreStats store_stats() const { return store_->stats(); }
+
  private:
   std::size_t capacity_;
-  std::unordered_map<simweb::Url, CollectionEntry, simweb::UrlHash> entries_;
+  std::unique_ptr<storage::RecordStore<CollectionEntry>> store_;
 };
 
 /// A shadowed page store (Section 4, choice 2): the crawler writes into
@@ -110,6 +152,11 @@ class ShadowedCollection {
  public:
   explicit ShadowedCollection(std::size_t capacity)
       : current_(capacity), shadow_(capacity) {}
+
+  ShadowedCollection(std::size_t capacity,
+                     const storage::StoreOptions& options)
+      : current_(capacity, options, "shadowed-current"),
+        shadow_(capacity, options, "shadowed-shadow") {}
 
   Collection& shadow() { return shadow_; }
   const Collection& shadow() const { return shadow_; }

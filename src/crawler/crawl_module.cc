@@ -27,8 +27,9 @@ StatusOr<simweb::FetchResult> CrawlModule::Crawl(const simweb::Url& url,
     any_fetch_ = true;
   }
   last_fetch_time_ = std::max(last_fetch_time_, t);
-  auto day = static_cast<std::size_t>(
-      std::max(0.0, std::floor(t - first_fetch_time_)));
+  // Absolute-day bucket: floor(t), so histograms from different
+  // modules (and from a checkpoint baseline) sum exactly.
+  auto day = static_cast<std::size_t>(std::max(0.0, std::floor(t)));
   if (day >= fetches_per_day_.size()) fetches_per_day_.resize(day + 1, 0);
   ++fetches_per_day_[day];
 
@@ -79,6 +80,16 @@ double CrawlModule::AverageDailyRate() const {
   if (!any_fetch_) return 0.0;
   double span = std::max(1.0, last_fetch_time_ - first_fetch_time_);
   return static_cast<double>(fetch_count_) / span;
+}
+
+void CrawlModule::ResetTraffic() {
+  fetch_count_ = 0;
+  failure_count_ = 0;
+  politeness_rejections_ = 0;
+  fetches_per_day_.clear();
+  first_fetch_time_ = 0.0;
+  last_fetch_time_ = 0.0;
+  any_fetch_ = false;
 }
 
 }  // namespace webevo::crawler

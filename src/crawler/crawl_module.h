@@ -67,10 +67,27 @@ class CrawlModule {
   uint64_t failure_count() const { return failure_count_; }
   uint64_t politeness_rejections() const { return politeness_rejections_; }
 
-  /// Peak fetches within any single day-long window so far, and the
-  /// all-time average rate — the load numbers Figure 10 contrasts.
+  /// Peak fetches within any single day so far, and the all-time
+  /// average rate — the load numbers Figure 10 contrasts.
   double PeakDailyRate() const;
   double AverageDailyRate() const;
+
+  /// The raw traffic ledger, for the pool's canonical aggregate (see
+  /// CrawlModulePool::AggregateTraffic). Buckets are *absolute*
+  /// simulation days — bucket d counts fetches with floor(t) == d — so
+  /// summing histograms across modules is a pure function of the fetch
+  /// stream, independent of the site-to-module split.
+  const std::vector<uint64_t>& fetches_per_day() const {
+    return fetches_per_day_;
+  }
+  double first_fetch_time() const { return first_fetch_time_; }
+  double last_fetch_time() const { return last_fetch_time_; }
+  bool any_fetch() const { return any_fetch_; }
+
+  /// Zeroes the traffic ledger (counters and histogram; politeness
+  /// state is untouched). Used when a checkpoint restore replaces the
+  /// pool's accounting with the carried-over aggregate baseline.
+  void ResetTraffic();
 
  private:
   simweb::SimulatedWeb* web_;  // not owned
@@ -79,7 +96,7 @@ class CrawlModule {
   uint64_t fetch_count_ = 0;
   uint64_t failure_count_ = 0;
   uint64_t politeness_rejections_ = 0;
-  // Daily histogram of fetch counts for peak-rate reporting.
+  // Histogram of fetch counts per absolute simulation day.
   std::vector<uint64_t> fetches_per_day_;
   double first_fetch_time_ = 0.0;
   double last_fetch_time_ = 0.0;

@@ -16,8 +16,9 @@ IncrementalCrawler::IncrementalCrawler(
     simweb::SimulatedWeb* web, const IncrementalCrawlerConfig& config)
     : web_(web),
       config_(config),
-      collection_(config.collection_capacity, config.crawl_parallelism),
-      all_urls_(config.crawl_parallelism),
+      collection_(config.collection_capacity, config.crawl_parallelism,
+                  config.store),
+      all_urls_(config.crawl_parallelism, config.store, "allurls"),
       coll_urls_(config.crawl_parallelism),
       engine_(web, config.crawl, config.crawl_parallelism,
               config.retained_views),
@@ -37,6 +38,15 @@ IncrementalCrawler::IncrementalCrawler(
       static_cast<std::size_t>(collection_.num_shards()));
   url_failure_shards_.resize(
       static_cast<std::size_t>(collection_.num_shards()));
+  if (config_.checkpoint_incremental) EnableDeltaTracking();
+}
+
+void IncrementalCrawler::EnableDeltaTracking() {
+  delta_tracking_ = true;
+  collection_.EnableDirtyTracking();
+  all_urls_.EnableDirtyTracking();
+  update_module_.EnableDirtyTracking();
+  if (web_ != nullptr) web_->EnableDirtyTracking();
 }
 
 Status IncrementalCrawler::Bootstrap(double t) {
@@ -54,6 +64,7 @@ Status IncrementalCrawler::Bootstrap(double t) {
     simweb::Url root = web_->RootUrl(s);
     all_urls_.Add(root, t);
     coll_urls_.Schedule(root, t);
+    MarkFrontierDirty(root);
   }
   bootstrapped_ = true;
   return Status::Ok();
@@ -78,6 +89,7 @@ void IncrementalCrawler::RunRefinement() {
     if (!coll_urls_.Contains(url)) {
       coll_urls_.ScheduleFront(url);
       PendingInsert(url);
+      MarkFrontierDirty(url);
       ++pending;
     }
   }
@@ -88,6 +100,8 @@ void IncrementalCrawler::RunRefinement() {
       (void)unqueue;  // may already be popped
       update_module_.Forget(r.discard);
       coll_urls_.ScheduleFront(r.crawl);
+      MarkFrontierDirty(r.discard);
+      MarkFrontierDirty(r.crawl);
       ++stats_.replacements_executed;
     }
   }
@@ -503,7 +517,45 @@ void IncrementalCrawler::ApplyBatch(
       update_module_.Forget(victim);
       Status removed = collection_.Remove(victim);
       (void)removed;
+      MarkFrontierDirty(victim);
       ++stats_.pages_evicted;
+    }
+  }
+
+  // Incremental-checkpoint frontier ledger: record, at the serial
+  // barrier, every URL whose frontier position this batch may have
+  // moved. The marked *set* must be a pure function of the simulation
+  // (segments are byte-compared across shard counts), so the rules
+  // are: (1) every effect's URL — its entry was popped by the plan and
+  // possibly rescheduled; (2) admissions that *stood* — revoked ones
+  // are N-layout artifacts the serial reference never made, and their
+  // post-settle frontier state needs no record unless another rule
+  // already names them; (3) the whole current frontier of a
+  // quarantined site — the floor walk moves entries no effect names,
+  // and the post-settle site content is shard-count independent;
+  // (4) eviction victims (marked in the loop above).
+  if (delta_tracking_) {
+    for (const ApplyEffect* pe : ordered) {
+      frontier_dirty_.insert(pe->url);
+    }
+    std::vector<std::vector<uint8_t>> revoked_mask(shards);
+    for (std::size_t t = 0; t < shards; ++t) {
+      revoked_mask[t].assign(admits[t].admitted_urls.size(), 0);
+    }
+    for (const RevokedAdmission& r : revoked) {
+      revoked_mask[r.shard][r.index] = 1;
+    }
+    for (std::size_t t = 0; t < shards; ++t) {
+      for (std::size_t i = 0; i < admits[t].admitted_urls.size(); ++i) {
+        if (revoked_mask[t][i] == 0) {
+          frontier_dirty_.insert(*admits[t].admitted_urls[i]);
+        }
+      }
+    }
+    for (const ApplyEffect* pe : ordered) {
+      if (pe->quarantine) {
+        coll_urls_.AppendSiteUrls(pe->url.site, &frontier_dirty_);
+      }
     }
   }
 
@@ -697,6 +749,7 @@ Status IncrementalCrawler::RunUntil(double until) {
           // The spaced slot lands past the window: hand the URL to the
           // next batch at that (estimated) earliest polite time.
           coll_urls_.Schedule(r.url, at);
+          MarkFrontierDirty(r.url);
           continue;
         }
         ++k;
@@ -723,6 +776,11 @@ Status IncrementalCrawler::RunUntil(double until) {
     // time the uninterrupted run never used.
     now_ = slot_plan.end_time;
     if (!plan.empty()) {
+      // Store barrier: per-shard compaction of the paged backends
+      // (no-op on memory), at the quiesced boundary where no entry
+      // pointers are outstanding.
+      collection_.Flush();
+      all_urls_.Flush();
       // One ledger sample per planned batch: how many retry rounds it
       // took to retire the batch's politeness rejections.
       engine_.RecordRetryRounds(static_cast<double>(retry_rounds));
@@ -739,8 +797,13 @@ Status IncrementalCrawler::RunUntil(double until) {
         // quiesced here by construction).
         CrawlerCheckpointOptions options;
         options.include_web = config_.checkpoint_include_web;
+        options.module_traffic = config_.checkpoint_module_traffic;
         Status saved =
-            SaveCrawlerToFile(*this, config_.checkpoint_path, options);
+            config_.checkpoint_incremental
+                ? CheckpointIncremental(this, config_.checkpoint_path,
+                                        options)
+                : SaveCrawlerToFile(*this, config_.checkpoint_path,
+                                    options);
         if (!saved.ok()) return saved;
       }
     }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,6 +20,7 @@
 #include "crawler/update_module.h"
 #include "freshness/freshness_tracker.h"
 #include "simweb/simulated_web.h"
+#include "storage/record_store.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -27,9 +29,15 @@ namespace webevo::crawler {
 
 class IncrementalCrawler;
 struct CrawlerCheckpointOptions;
+struct CheckpointIo;
 Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
                    const CrawlerCheckpointOptions& options);
 Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler);
+Status CheckpointIncremental(IncrementalCrawler* crawler,
+                             const std::string& path,
+                             const CrawlerCheckpointOptions& options);
+Status LoadCrawlerWithDeltasFromFile(const std::string& path,
+                                     IncrementalCrawler* crawler);
 
 /// Configuration of the incremental crawler.
 struct IncrementalCrawlerConfig {
@@ -67,6 +75,23 @@ struct IncrementalCrawlerConfig {
   /// (see snapshot.h); skip it only when the resuming crawler shares
   /// this process's live web object.
   bool checkpoint_include_web = true;
+
+  /// Incremental checkpointing (docs/STORAGE.md): the first
+  /// auto-checkpoint writes a full base image to `checkpoint_path` and
+  /// truncates `checkpoint_path + ".deltas"`; every later one appends
+  /// an O(dirty) delta segment to the delta log instead of rewriting
+  /// the base. Resume with LoadCrawlerWithDeltasFromFile.
+  bool checkpoint_incremental = false;
+
+  /// Whether checkpoints carry the per-module politeness/traffic
+  /// accounting (the "traffic" section) so a resumed run's traffic
+  /// report covers the whole crawl, not just the post-resume tail.
+  bool checkpoint_module_traffic = false;
+
+  /// Record-store backend of the Collection and AllUrls (memory map by
+  /// default; the paged backend spills records to per-shard page
+  /// files). Scheduling behaviour is identical either way.
+  storage::StoreOptions store;
 
   /// Serving layer: when > 0, RunUntil publishes an immutable MVCC
   /// BatchView into the engine's ViewRegistry every this many
@@ -262,6 +287,17 @@ class IncrementalCrawler {
                             const CrawlerCheckpointOptions& options);
   friend Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler);
 
+  /// Incremental checkpoint entry points (snapshot.cc): base image +
+  /// O(dirty) delta segments, and the resume that replays them.
+  friend Status CheckpointIncremental(IncrementalCrawler* crawler,
+                                      const std::string& path,
+                                      const CrawlerCheckpointOptions& options);
+  friend Status LoadCrawlerWithDeltasFromFile(const std::string& path,
+                                              IncrementalCrawler* crawler);
+  /// The shared section builders/appliers behind all of the above
+  /// (snapshot.cc) — one implementation of each checkpoint section.
+  friend struct CheckpointIo;
+
  private:
   /// One admission-stream effect queued by the outcome pass, consumed
   /// by the owning shard's admission pass in ascending `slot` order.
@@ -389,6 +425,17 @@ class IncrementalCrawler {
     pending_shards_[collection_.ShardOf(url.site)].insert(url);
   }
 
+  /// Switches on dirty tracking across the stores, the web, and the
+  /// frontier marking ledger — called when incremental checkpointing
+  /// is configured (construction and checkpoint load).
+  void EnableDeltaTracking();
+
+  /// Ledger mark: `url`'s frontier position (or absence) must be
+  /// recorded in the next delta segment.
+  void MarkFrontierDirty(const simweb::Url& url) {
+    if (delta_tracking_) frontier_dirty_.insert(url);
+  }
+
   simweb::SimulatedWeb* web_;  // not owned
   IncrementalCrawlerConfig config_;
   ShardedCollection collection_;
@@ -424,6 +471,18 @@ class IncrementalCrawler {
       url_failure_shards_;
   bool reached_capacity_once_ = false;
   double steady_since_ = 0.0;
+  /// Incremental-checkpoint state. `frontier_dirty_` is the serial
+  /// marking ledger of URLs whose frontier position may have moved
+  /// since the last checkpoint — maintained only at the settle and on
+  /// the other serial mutation paths (refinement, spaced retries), in
+  /// rules chosen so the marked set is a pure function of the
+  /// simulation (identical at every shard count; see docs/STORAGE.md).
+  /// `base_written_` is deliberately *not* checkpointed: a restarted
+  /// process rebases (writes a fresh full image) on its first
+  /// checkpoint instead of appending to a chain it has not verified.
+  bool delta_tracking_ = false;
+  bool base_written_ = false;
+  std::set<simweb::Url, simweb::UrlIdentityLess> frontier_dirty_;
 };
 
 }  // namespace webevo::crawler

@@ -15,8 +15,8 @@ PeriodicCrawler::PeriodicCrawler(simweb::SimulatedWeb* web,
                                  const PeriodicCrawlerConfig& config)
     : web_(web),
       config_(config),
-      store_(config.collection_capacity),
-      inplace_(config.collection_capacity),
+      store_(config.collection_capacity, config.store),
+      inplace_(config.collection_capacity, config.store, "periodic-inplace"),
       engine_(web, config.crawl, config.crawl_parallelism,
               config.retained_views) {
   seen_shards_.resize(static_cast<std::size_t>(engine_.num_shards()));
@@ -327,6 +327,10 @@ Status PeriodicCrawler::RunUntil(double until) {
           // slot even when the store is refused, e.g. a full in-place
           // collection, exactly like the serial crawler did).
           now_ = batch_start + static_cast<double>(successes) * step;
+          // Barrier hook for the paged backend: compact mutated
+          // records into pages (no-op on memory) while no entry
+          // pointers are outstanding.
+          target_collection().Flush();
           ++batches_completed_;
           if (config_.publish_view_every_batches > 0 &&
               batches_completed_ % config_.publish_view_every_batches ==
@@ -341,6 +345,7 @@ Status PeriodicCrawler::RunUntil(double until) {
             // Auto-checkpoint at the batch boundary (engine quiesced).
             CrawlerCheckpointOptions options;
             options.include_web = config_.checkpoint_include_web;
+            options.module_traffic = config_.checkpoint_module_traffic;
             Status saved = SaveCrawlerToFile(
                 *this, config_.checkpoint_path, options);
             if (!saved.ok()) return saved;

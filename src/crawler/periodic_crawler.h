@@ -59,6 +59,17 @@ struct PeriodicCrawlerConfig {
   uint64_t checkpoint_every_batches = 0;
   std::string checkpoint_path;
   bool checkpoint_include_web = true;
+  /// Whether checkpoints carry the pool's traffic aggregate (the
+  /// "traffic" section), as on the incremental crawler. Note the
+  /// periodic crawler has no *incremental* checkpoint mode: every
+  /// cycle rewrites the whole collection, so an O(dirty) delta
+  /// degenerates to O(everything) — see snapshot.h.
+  bool checkpoint_module_traffic = false;
+
+  /// Record-store backend of the collections (memory map by default;
+  /// the paged backend spills records to page files). Behaviour is
+  /// identical either way.
+  storage::StoreOptions store;
 
   /// Serving layer, as on the incremental crawler: when > 0, RunUntil
   /// publishes an immutable MVCC BatchView every this many completed

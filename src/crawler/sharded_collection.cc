@@ -10,7 +10,8 @@ constexpr simweb::UrlIdentityLess IdentityLess;
 
 }  // namespace
 
-ShardedCollection::ShardedCollection(std::size_t capacity, int num_shards)
+ShardedCollection::ShardedCollection(std::size_t capacity, int num_shards,
+                                     const storage::StoreOptions& options)
     : capacity_(capacity) {
   const auto shards =
       static_cast<std::size_t>(std::max(1, num_shards));
@@ -18,7 +19,10 @@ ShardedCollection::ShardedCollection(std::size_t capacity, int num_shards)
   // arbitrarily, so the per-shard bound must never bind. The global
   // bound is enforced here in Upsert.
   shards_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) shards_.emplace_back(capacity);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.emplace_back(capacity, options,
+                         "collection-shard" + std::to_string(s));
+  }
 }
 
 Status ShardedCollection::Upsert(CollectionEntry entry) {
@@ -126,6 +130,40 @@ const CollectionEntry* ShardedCollection::LowestImportance() const {
 void ShardedCollection::Clear() {
   for (Collection& shard : shards_) shard.Clear();
   size_ = 0;
+}
+
+void ShardedCollection::ReplaceEntriesFrom(const ShardedCollection& other) {
+  for (Collection& shard : shards_) shard.Clear();
+  other.ForEach([this](const CollectionEntry& e) {
+    shards_[ShardOf(e.url.site)].UpsertUnchecked(CollectionEntry(e));
+  });
+  ReconcileSize();
+}
+
+void ShardedCollection::Flush() {
+  for (Collection& shard : shards_) shard.Flush();
+}
+
+void ShardedCollection::EnableDirtyTracking() {
+  for (Collection& shard : shards_) shard.EnableDirtyTracking();
+}
+
+void ShardedCollection::AppendDirty(
+    storage::RecordStore<CollectionEntry>::DirtySet* out) const {
+  for (const Collection& shard : shards_) {
+    out->insert(shard.dirty().begin(), shard.dirty().end());
+  }
+}
+
+bool ShardedCollection::cleared_while_tracking() const {
+  for (const Collection& shard : shards_) {
+    if (shard.cleared_while_tracking()) return true;
+  }
+  return false;
+}
+
+void ShardedCollection::ClearDirty() {
+  for (Collection& shard : shards_) shard.ClearDirty();
 }
 
 }  // namespace webevo::crawler

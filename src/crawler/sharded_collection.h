@@ -30,8 +30,14 @@ namespace webevo::crawler {
 class ShardedCollection {
  public:
   /// Creates `num_shards` shard stores (>= 1; clamped) sharing one
-  /// global `capacity`.
-  ShardedCollection(std::size_t capacity, int num_shards);
+  /// global `capacity`, on the default memory backend.
+  ShardedCollection(std::size_t capacity, int num_shards)
+      : ShardedCollection(capacity, num_shards, storage::StoreOptions{}) {}
+
+  /// Backend-selecting constructor (see storage::StoreOptions): every
+  /// shard store uses `options`' backend.
+  ShardedCollection(std::size_t capacity, int num_shards,
+                    const storage::StoreOptions& options);
 
   /// Inserts a new entry or updates the existing one in place. Returns
   /// ResourceExhausted if the entry is new and the *global* size is at
@@ -106,6 +112,24 @@ class ShardedCollection {
   /// the global capacity and belong to the barrier).
   Collection& shard(std::size_t i) { return shards_[i]; }
   const Collection& shard(std::size_t i) const { return shards_[i]; }
+
+  /// Replaces all contents with a copy of `other`'s, keeping *this's
+  /// backend — the checkpoint-load commit step, so a paged collection
+  /// stays paged across a resume.
+  void ReplaceEntriesFrom(const ShardedCollection& other);
+
+  /// Barrier hook: per-shard store compaction (paged backend; no-op on
+  /// memory). Invalidates outstanding entry pointers.
+  void Flush();
+
+  /// Dirty-key tracking for incremental checkpoints: per-shard sets,
+  /// merged canonically by AppendDirty. The merged set is a pure
+  /// function of the logical mutations and thus identical at every N.
+  void EnableDirtyTracking();
+  void AppendDirty(storage::RecordStore<CollectionEntry>::DirtySet* out)
+      const;
+  bool cleared_while_tracking() const;
+  void ClearDirty();
 
  private:
   std::size_t capacity_;

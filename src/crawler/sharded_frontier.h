@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "crawler/coll_urls.h"
@@ -109,6 +110,32 @@ class ShardedFrontier {
 
   bool Contains(const simweb::Url& url) const {
     return shards_[ShardOf(url.site)].Contains(url);
+  }
+
+  /// The live global (when, seq) entry of `url`; nullopt if absent.
+  std::optional<CollUrls::Entry> LookupEntry(const simweb::Url& url) const {
+    return shards_[ShardOf(url.site)].LookupEntry(url);
+  }
+
+  /// Inserts every live URL of `site` into `out` (see
+  /// CollUrls::AppendSiteUrls).
+  void AppendSiteUrls(uint32_t site,
+                      std::set<simweb::Url, simweb::UrlIdentityLess>* out)
+      const {
+    shards_[ShardOf(site)].AppendSiteUrls(site, out);
+  }
+
+  /// The global front-of-queue key offset, paired with next_seq() in
+  /// incremental checkpoint segments.
+  double front_when() const { return front_when_; }
+
+  /// Restores both global counters from a checkpoint segment. The
+  /// shard-local CollUrls counters are untouched — in sharded mode
+  /// every insert routes through ScheduleAt with globally assigned
+  /// keys, so the per-shard counters are never consulted.
+  void RestoreCounters(uint64_t next_seq, double front_when) {
+    next_seq_ = next_seq;
+    front_when_ = front_when;
   }
 
   std::size_t size() const;

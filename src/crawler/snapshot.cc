@@ -4,15 +4,19 @@
 #include <array>
 #include <fstream>
 #include <limits>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "crawler/crawl_module_pool.h"
 #include "crawler/incremental_crawler.h"
 #include "crawler/periodic_crawler.h"
 #include "estimator/change_estimator.h"
 #include "simweb/simulated_web.h"
+#include "storage/delta_log.h"
 #include "util/hash.h"
 #include "util/text_snapshot.h"
 
@@ -611,6 +615,14 @@ constexpr const char* kFailureMagic = "webevo-failure";
 constexpr const char* kPoliteMagic = "webevo-polite";
 constexpr const char* kTrackerMagic = "webevo-tracker";
 constexpr const char* kUrlsMagic = "webevo-urls";
+// The optional pool-level traffic aggregate (absolute-day fetch
+// histogram + global counters); see CrawlModulePool::Traffic.
+constexpr const char* kTrafficMagic = "webevo-traffic";
+// Delta-section magics of the incremental checkpoint mode.
+constexpr const char* kCollDeltaMagic = "webevo-dcoll";
+constexpr const char* kAllUrlsDeltaMagic = "webevo-dallurls";
+constexpr const char* kUpdateDeltaMagic = "webevo-dupdate";
+constexpr const char* kFrontierDeltaMagic = "webevo-dfrontier";
 // Range guard on the section table, parsed before its checksum covers
 // an allocation decision.
 constexpr std::size_t kMaxSections = 16;
@@ -1046,16 +1058,115 @@ StatusOr<FailureSnapshot> ReadFailure(std::istream& in) {
   return snap;
 }
 
+// The pool-level traffic aggregate (CrawlModulePool::Traffic): one `G`
+// record with the global counters and time bounds, then one `D` record
+// per *non-empty* absolute day bucket, ascending — canonical because
+// the aggregate is a pure function of the fetch stream.
+void WriteTraffic(const CrawlModulePool::Traffic& traffic,
+                  std::ostream& out) {
+  std::size_t ndays = 0;
+  for (uint64_t count : traffic.fetches_per_day) {
+    if (count != 0) ++ndays;
+  }
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kTrafficMagic << ' ' << kFormatVersion << ' ' << ndays;
+  writer.Line(header.str());
+  {
+    std::ostringstream os;
+    os.precision(17);
+    os << "G " << traffic.fetch_count << ' ' << traffic.failure_count
+       << ' ' << traffic.politeness_rejections << ' '
+       << (traffic.any_fetch ? 1 : 0) << ' ' << traffic.first_fetch_time
+       << ' ' << traffic.last_fetch_time;
+    writer.Line(os.str());
+  }
+  for (std::size_t day = 0; day < traffic.fetches_per_day.size(); ++day) {
+    if (traffic.fetches_per_day[day] == 0) continue;
+    std::ostringstream os;
+    os << "D " << day << ' ' << traffic.fetches_per_day[day];
+    writer.Line(os.str());
+  }
+  writer.Finish();
+}
+
+StatusOr<CrawlModulePool::Traffic> ReadTraffic(std::istream& in) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  std::size_t ndays = 0;
+  hs >> magic >> version >> ndays;
+  if (hs.fail() || magic != kTrafficMagic || version != kFormatVersion) {
+    return Status::InvalidArgument("not a traffic snapshot");
+  }
+  Status header_end = ExpectLineEnd(hs, "traffic header");
+  if (!header_end.ok()) return header_end;
+  CrawlModulePool::Traffic traffic;
+  auto g_line = reader.Next();
+  if (!g_line.ok()) return Status::InvalidArgument("missing traffic G record");
+  {
+    std::istringstream is(*g_line);
+    std::string tag;
+    int any = 0;
+    is >> tag >> traffic.fetch_count >> traffic.failure_count >>
+        traffic.politeness_rejections >> any >> traffic.first_fetch_time >>
+        traffic.last_fetch_time;
+    if (is.fail() || tag != "G") {
+      return Status::InvalidArgument("malformed traffic G record");
+    }
+    Status record_end = ExpectLineEnd(is, "traffic G");
+    if (!record_end.ok()) return record_end;
+    traffic.any_fetch = any != 0;
+  }
+  // Range guard before sizing the histogram off parsed day indices.
+  constexpr std::size_t kMaxTrafficDays = 1 << 24;
+  for (std::size_t i = 0; i < ndays; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("traffic day count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    std::size_t day = 0;
+    uint64_t count = 0;
+    is >> tag >> day >> count;
+    if (is.fail() || tag != "D" || day >= kMaxTrafficDays) {
+      return Status::InvalidArgument("malformed traffic day record");
+    }
+    Status record_end = ExpectLineEnd(is, "traffic day");
+    if (!record_end.ok()) return record_end;
+    if (day >= traffic.fetches_per_day.size()) {
+      traffic.fetches_per_day.resize(day + 1, 0);
+    }
+    traffic.fetches_per_day[day] = count;
+  }
+  Status end = FinishFramedStream(reader, in, "traffic snapshot");
+  if (!end.ok()) return end;
+  return traffic;
+}
+
 }  // namespace
 
-Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
-                   const CrawlerCheckpointOptions& options) {
-  if (!crawler.engine_.quiescent()) {
-    return Status::FailedPrecondition(
-        "checkpoint requires a quiesced engine (batch boundary)");
-  }
-  std::vector<Section> sections;
-  {
+/// Shared plumbing of the full and incremental whole-crawler
+/// checkpoints — the private-state section builders, their parsers,
+/// and the delta-segment apply. Befriended by IncrementalCrawler so
+/// SaveCrawler / LoadCrawler / CheckpointIncremental share one
+/// implementation of each section instead of three.
+struct CheckpointIo {
+  /// Parsed "meta" section of an incremental-crawler checkpoint.
+  struct IncMetaState {
+    double now = 0.0, next_refine = 0.0, next_rebalance = 0.0,
+           next_sample = 0.0, steady_since = 0.0;
+    uint64_t batches_completed = 0;
+    int reached_capacity = 0;
+    int64_t refinements = 0;
+    IncrementalCrawler::Stats stats;
+  };
+
+  static std::string IncMeta(const IncrementalCrawler& crawler) {
     std::ostringstream os;
     TrailerWriter writer(os);
     {
@@ -1095,8 +1206,577 @@ Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
     writer.Line(RunningStatLine(crawler.stats_.new_page_latency_days));
     writer.Line(RunningStatLine(crawler.stats_.backoff_days));
     writer.Finish();
-    sections.push_back(Section{"meta", os.str()});
+    return os.str();
   }
+
+  static StatusOr<IncMetaState> ParseIncMeta(const std::string& bytes) {
+    IncMetaState meta;
+    int meta_version = 0;
+    std::istringstream ms(bytes);
+    TrailerReader reader(ms);
+    auto header = reader.Next();
+    if (!header.ok()) return header.status();
+    {
+      std::istringstream hs(*header);
+      std::string magic;
+      hs >> magic >> meta_version;
+      if (hs.fail() || magic != kIncMetaMagic) {
+        return Status::InvalidArgument("malformed checkpoint meta header");
+      }
+      // Older metas stay loadable: a version-1 C record lacks the
+      // lease ledger, versions 1-2 lack the failure ledger — those
+      // counters simply restart at zero.
+      if (meta_version < 1 || meta_version > kIncMetaVersion) {
+        return Status::InvalidArgument(
+            "unsupported checkpoint meta version");
+      }
+      Status end = ExpectLineEnd(hs, "meta header");
+      if (!end.ok()) return end;
+    }
+    auto t_line = reader.Next();
+    if (!t_line.ok()) return t_line.status();
+    {
+      std::istringstream is(*t_line);
+      std::string tag;
+      is >> tag >> meta.now >> meta.next_refine >> meta.next_rebalance >>
+          meta.next_sample >> meta.steady_since;
+      if (is.fail() || tag != "T") {
+        return Status::InvalidArgument("malformed checkpoint T record");
+      }
+      Status end = ExpectLineEnd(is, "T");
+      if (!end.ok()) return end;
+    }
+    auto b_line = reader.Next();
+    if (!b_line.ok()) return b_line.status();
+    {
+      std::istringstream is(*b_line);
+      std::string tag;
+      is >> tag >> meta.batches_completed >> meta.reached_capacity;
+      if (is.fail() || tag != "B") {
+        return Status::InvalidArgument("malformed checkpoint B record");
+      }
+      Status end = ExpectLineEnd(is, "B");
+      if (!end.ok()) return end;
+    }
+    auto c_line = reader.Next();
+    if (!c_line.ok()) return c_line.status();
+    {
+      std::istringstream is(*c_line);
+      std::string tag;
+      IncrementalCrawler::Stats& stats = meta.stats;
+      is >> tag >> stats.crawls >> stats.in_place_updates >>
+          stats.pages_added >> stats.pages_evicted >>
+          stats.replacements_executed >> stats.dead_pages_removed >>
+          stats.changes_detected >> stats.politeness_retries >>
+          stats.in_batch_retries;
+      if (meta_version >= 2) {
+        is >> stats.lease_budget_granted >> stats.lease_admissions;
+      }
+      if (meta_version >= 3) {
+        is >> stats.fetch_failures >> stats.transient_errors >>
+            stats.timeout_errors >> stats.failure_retries >>
+            stats.sites_quarantined >> stats.urls_retired;
+      }
+      is >> meta.refinements;
+      if (is.fail() || tag != "C") {
+        return Status::InvalidArgument("malformed checkpoint C record");
+      }
+      Status end = ExpectLineEnd(is, "C");
+      if (!end.ok()) return end;
+    }
+    auto l_line = reader.Next();
+    if (!l_line.ok()) return l_line.status();
+    auto latency = ParseRunningStatLine(*l_line);
+    if (!latency.ok()) return latency.status();
+    meta.stats.new_page_latency_days.RestoreState(*latency);
+    if (meta_version >= 3) {
+      auto backoff_line = reader.Next();
+      if (!backoff_line.ok()) return backoff_line.status();
+      auto backoff = ParseRunningStatLine(*backoff_line);
+      if (!backoff.ok()) return backoff.status();
+      meta.stats.backoff_days.RestoreState(*backoff);
+    }
+    Status end = FinishFramedStream(reader, ms, "checkpoint meta");
+    if (!end.ok()) return end;
+    return meta;
+  }
+
+  /// Installs a parsed meta section's scalars (everything but the
+  /// sections with their own appliers).
+  static void ApplyIncMeta(const IncMetaState& meta,
+                           IncrementalCrawler* crawler) {
+    crawler->stats_ = meta.stats;
+    crawler->ranking_module_.RestoreRefinementCount(meta.refinements);
+    crawler->now_ = meta.now;
+    crawler->next_refine_ = meta.next_refine;
+    crawler->next_rebalance_ = meta.next_rebalance;
+    crawler->next_sample_ = meta.next_sample;
+    crawler->steady_since_ = meta.steady_since;
+    crawler->reached_capacity_once_ = meta.reached_capacity != 0;
+    crawler->batches_completed_ = meta.batches_completed;
+    crawler->bootstrapped_ = true;
+  }
+
+  static std::string Pending(const IncrementalCrawler& crawler) {
+    // The sharded pending-admission sets merge into one canonical URL
+    // list (the split is re-derived on load from the loading crawler's
+    // shard count).
+    std::vector<simweb::Url> pending;
+    for (const auto& shard : crawler.pending_shards_) {
+      pending.insert(pending.end(), shard.begin(), shard.end());
+    }
+    std::sort(pending.begin(), pending.end(), IdentityLess);
+    std::ostringstream os;
+    WriteUrlList(pending, os);
+    return os.str();
+  }
+
+  static void ApplyPending(const std::vector<simweb::Url>& pending,
+                           IncrementalCrawler* crawler) {
+    for (auto& shard : crawler->pending_shards_) shard.clear();
+    for (const simweb::Url& url : pending) crawler->PendingInsert(url);
+  }
+
+  static std::string Failure(const IncrementalCrawler& crawler) {
+    // Circuit breakers (with their backoff RNG lane positions) and
+    // retirement counts, in canonical order, so a resume mid-backoff
+    // or mid-quarantine replays the same schedule.
+    FailureSnapshot snap;
+    for (const auto& shard : crawler.site_failure_shards_) {
+      for (const auto& [site, state] : shard) {
+        SiteFailureRecord r;
+        r.site = site;
+        r.consecutive = state.consecutive;
+        r.quarantined_until = state.quarantined_until;
+        r.rng_init = state.rng_init ? 1 : 0;
+        if (state.rng_init) r.lane = state.backoff.State();
+        snap.sites.push_back(r);
+      }
+    }
+    std::sort(snap.sites.begin(), snap.sites.end(),
+              [](const SiteFailureRecord& a, const SiteFailureRecord& b) {
+                return a.site < b.site;
+              });
+    for (const auto& shard : crawler.url_failure_shards_) {
+      for (const auto& [url, fails] : shard) {
+        snap.urls.push_back(UrlFailureRecord{url, fails});
+      }
+    }
+    std::sort(snap.urls.begin(), snap.urls.end(),
+              [](const UrlFailureRecord& a, const UrlFailureRecord& b) {
+                return IdentityLess(a.url, b.url);
+              });
+    std::ostringstream os;
+    WriteFailure(snap, os);
+    return os.str();
+  }
+
+  static void ApplyFailure(const FailureSnapshot& failure,
+                           IncrementalCrawler* crawler) {
+    // Failure state re-shards by the same site % N ownership rule the
+    // live pipeline uses, so a resume at any shard count lands each
+    // site's backoff lane (mid-sequence RNG position included) and
+    // each URL's fail count in the shard that will consult it.
+    const auto shards =
+        static_cast<uint32_t>(crawler->site_failure_shards_.size());
+    for (auto& shard : crawler->site_failure_shards_) shard.clear();
+    for (const SiteFailureRecord& r : failure.sites) {
+      IncrementalCrawler::SiteFailureState state;
+      state.consecutive = r.consecutive;
+      state.quarantined_until = r.quarantined_until;
+      state.rng_init = r.rng_init != 0;
+      if (state.rng_init) state.backoff.SetState(r.lane);
+      crawler->site_failure_shards_[r.site % shards].emplace(r.site,
+                                                            state);
+    }
+    for (auto& shard : crawler->url_failure_shards_) shard.clear();
+    for (const UrlFailureRecord& r : failure.urls) {
+      crawler->url_failure_shards_[r.url.site % shards].emplace(r.url,
+                                                               r.count);
+    }
+  }
+
+  // ---- Delta sections (incremental checkpoint segments). Records are
+  // listed in canonical URL-identity / ascending-site order over dirty
+  // sets that are pure functions of the simulation, so a segment is
+  // byte-identical at every shard count.
+
+  static std::string CollDelta(const IncrementalCrawler& crawler) {
+    storage::RecordStore<CollectionEntry>::DirtySet dirty;
+    crawler.collection_.AppendDirty(&dirty);
+    std::vector<std::string> upserts;
+    std::vector<simweb::Url> tombstones;
+    for (const simweb::Url& url : dirty) {
+      const CollectionEntry* entry = crawler.collection_.Find(url);
+      if (entry != nullptr) {
+        upserts.push_back(EntryLine(*entry));
+      } else {
+        tombstones.push_back(url);
+      }
+    }
+    std::ostringstream os;
+    TrailerWriter writer(os);
+    std::ostringstream header;
+    header << kCollDeltaMagic << ' ' << kFormatVersion << ' '
+           << upserts.size() << ' ' << tombstones.size();
+    writer.Line(header.str());
+    for (const std::string& line : upserts) writer.Line(line);
+    for (const simweb::Url& url : tombstones) {
+      std::ostringstream t;
+      t << "D " << url.site << ' ' << url.slot << ' ' << url.incarnation;
+      writer.Line(t.str());
+    }
+    writer.Finish();
+    return os.str();
+  }
+
+  static Status ApplyCollDelta(const std::string& bytes,
+                               IncrementalCrawler* crawler) {
+    std::istringstream in(bytes);
+    TrailerReader reader(in);
+    auto header = reader.Next();
+    if (!header.ok()) return header.status();
+    std::istringstream hs(*header);
+    std::string magic;
+    int version = 0;
+    std::size_t nupserts = 0, ntombstones = 0;
+    hs >> magic >> version >> nupserts >> ntombstones;
+    if (hs.fail() || magic != kCollDeltaMagic ||
+        version != kFormatVersion) {
+      return Status::InvalidArgument("not a collection delta");
+    }
+    Status header_end = ExpectLineEnd(hs, "dcoll header");
+    if (!header_end.ok()) return header_end;
+    std::vector<CollectionEntry> upserts;
+    upserts.reserve(std::min<std::size_t>(nupserts, 1 << 20));
+    for (std::size_t i = 0; i < nupserts; ++i) {
+      auto line = reader.Next();
+      if (!line.ok()) {
+        return Status::InvalidArgument("dcoll upsert count mismatch");
+      }
+      auto entry = ParseEntry(*line);
+      if (!entry.ok()) return entry.status();
+      upserts.push_back(std::move(entry).value());
+    }
+    std::vector<simweb::Url> tombstones;
+    tombstones.reserve(std::min<std::size_t>(ntombstones, 1 << 20));
+    for (std::size_t i = 0; i < ntombstones; ++i) {
+      auto line = reader.Next();
+      if (!line.ok()) {
+        return Status::InvalidArgument("dcoll tombstone count mismatch");
+      }
+      std::istringstream is(*line);
+      std::string tag;
+      simweb::Url url;
+      is >> tag >> url.site >> url.slot >> url.incarnation;
+      if (is.fail() || tag != "D") {
+        return Status::InvalidArgument("malformed dcoll tombstone");
+      }
+      Status record_end = ExpectLineEnd(is, "dcoll tombstone");
+      if (!record_end.ok()) return record_end;
+      tombstones.push_back(url);
+    }
+    Status end = FinishFramedStream(reader, in, "collection delta");
+    if (!end.ok()) return end;
+    // Tombstones first so upserts never transiently breach capacity: a
+    // segment's end state satisfies size <= capacity, and erase-then-
+    // insert approaches it monotonically from below.
+    for (const simweb::Url& url : tombstones) {
+      (void)crawler->collection_.Remove(url);  // absent is fine
+    }
+    for (CollectionEntry& entry : upserts) {
+      Status st = crawler->collection_.Upsert(std::move(entry));
+      if (!st.ok()) return st;
+    }
+    return Status::Ok();
+  }
+
+  static std::string AllUrlsDelta(const IncrementalCrawler& crawler) {
+    AllUrls::DirtySet dirty;
+    crawler.all_urls_.AppendDirty(&dirty);
+    std::ostringstream os;
+    TrailerWriter writer(os);
+    // AllUrls records are never erased (dead URLs keep their record as
+    // a logical tombstone), so the delta is upserts only.
+    std::vector<std::string> upserts;
+    for (const simweb::Url& url : dirty) {
+      const AllUrls::UrlInfo* info = crawler.all_urls_.Find(url);
+      if (info == nullptr) continue;
+      std::ostringstream rec;
+      rec.precision(17);
+      rec << "U " << url.site << ' ' << url.slot << ' '
+          << url.incarnation << ' ' << info->first_seen << ' '
+          << info->in_links << ' ' << (info->dead ? 1 : 0);
+      upserts.push_back(rec.str());
+    }
+    std::ostringstream header;
+    header << kAllUrlsDeltaMagic << ' ' << kFormatVersion << ' '
+           << upserts.size();
+    writer.Line(header.str());
+    for (const std::string& line : upserts) writer.Line(line);
+    writer.Finish();
+    return os.str();
+  }
+
+  static Status ApplyAllUrlsDelta(const std::string& bytes,
+                                  IncrementalCrawler* crawler) {
+    std::istringstream in(bytes);
+    TrailerReader reader(in);
+    auto header = reader.Next();
+    if (!header.ok()) return header.status();
+    std::istringstream hs(*header);
+    std::string magic;
+    int version = 0;
+    std::size_t count = 0;
+    hs >> magic >> version >> count;
+    if (hs.fail() || magic != kAllUrlsDeltaMagic ||
+        version != kFormatVersion) {
+      return Status::InvalidArgument("not an AllUrls delta");
+    }
+    Status header_end = ExpectLineEnd(hs, "dallurls header");
+    if (!header_end.ok()) return header_end;
+    std::vector<std::pair<simweb::Url, AllUrls::UrlInfo>> upserts;
+    upserts.reserve(std::min<std::size_t>(count, 1 << 20));
+    for (std::size_t i = 0; i < count; ++i) {
+      auto line = reader.Next();
+      if (!line.ok()) {
+        return Status::InvalidArgument("dallurls record count mismatch");
+      }
+      std::istringstream is(*line);
+      std::string tag;
+      simweb::Url url;
+      AllUrls::UrlInfo info;
+      int dead = 0;
+      is >> tag >> url.site >> url.slot >> url.incarnation >>
+          info.first_seen >> info.in_links >> dead;
+      if (is.fail() || tag != "U") {
+        return Status::InvalidArgument("malformed dallurls record");
+      }
+      Status record_end = ExpectLineEnd(is, "dallurls record");
+      if (!record_end.ok()) return record_end;
+      info.dead = dead != 0;
+      upserts.emplace_back(url, info);
+    }
+    Status end = FinishFramedStream(reader, in, "allurls delta");
+    if (!end.ok()) return end;
+    for (const auto& [url, info] : upserts) {
+      crawler->all_urls_.Restore(url, info);
+    }
+    return Status::Ok();
+  }
+
+  static std::string FrontierDelta(const IncrementalCrawler& crawler) {
+    std::ostringstream os;
+    TrailerWriter writer(os);
+    // The frontier marking ledger: for each URL whose queue position
+    // may have moved since the last checkpoint, either its exact live
+    // (when, seq) key or a tombstone. Unlike the full frontier section
+    // (ordered by seq), delta records follow the ledger's canonical
+    // URL-identity order.
+    std::vector<std::string> upserts;
+    std::vector<simweb::Url> tombstones;
+    for (const simweb::Url& url : crawler.frontier_dirty_) {
+      auto entry = crawler.coll_urls_.LookupEntry(url);
+      if (entry.has_value()) {
+        std::ostringstream rec;
+        rec.precision(17);
+        rec << "F " << url.site << ' ' << url.slot << ' '
+            << url.incarnation << ' ' << entry->when << ' ' << entry->seq;
+        upserts.push_back(rec.str());
+      } else {
+        tombstones.push_back(url);
+      }
+    }
+    std::ostringstream header;
+    header.precision(17);
+    header << kFrontierDeltaMagic << ' ' << kFormatVersion << ' '
+           << upserts.size() << ' ' << tombstones.size() << ' '
+           << crawler.coll_urls_.next_seq() << ' '
+           << crawler.coll_urls_.front_when();
+    writer.Line(header.str());
+    for (const std::string& line : upserts) writer.Line(line);
+    for (const simweb::Url& url : tombstones) {
+      std::ostringstream t;
+      t << "D " << url.site << ' ' << url.slot << ' ' << url.incarnation;
+      writer.Line(t.str());
+    }
+    writer.Finish();
+    return os.str();
+  }
+
+  static Status ApplyFrontierDelta(const std::string& bytes,
+                                   IncrementalCrawler* crawler) {
+    std::istringstream in(bytes);
+    TrailerReader reader(in);
+    auto header = reader.Next();
+    if (!header.ok()) return header.status();
+    std::istringstream hs(*header);
+    std::string magic;
+    int version = 0;
+    std::size_t nupserts = 0, ntombstones = 0;
+    uint64_t next_seq = 0;
+    double front_when = 0.0;
+    hs >> magic >> version >> nupserts >> ntombstones >> next_seq >>
+        front_when;
+    if (hs.fail() || magic != kFrontierDeltaMagic ||
+        version != kFormatVersion) {
+      return Status::InvalidArgument("not a frontier delta");
+    }
+    Status header_end = ExpectLineEnd(hs, "dfrontier header");
+    if (!header_end.ok()) return header_end;
+    struct Upsert {
+      simweb::Url url;
+      double when = 0.0;
+      uint64_t seq = 0;
+    };
+    std::vector<Upsert> upserts;
+    upserts.reserve(std::min<std::size_t>(nupserts, 1 << 20));
+    for (std::size_t i = 0; i < nupserts; ++i) {
+      auto line = reader.Next();
+      if (!line.ok()) {
+        return Status::InvalidArgument("dfrontier upsert count mismatch");
+      }
+      std::istringstream is(*line);
+      std::string tag;
+      Upsert u;
+      is >> tag >> u.url.site >> u.url.slot >> u.url.incarnation >>
+          u.when >> u.seq;
+      if (is.fail() || tag != "F") {
+        return Status::InvalidArgument("malformed dfrontier record");
+      }
+      Status record_end = ExpectLineEnd(is, "dfrontier record");
+      if (!record_end.ok()) return record_end;
+      upserts.push_back(u);
+    }
+    std::vector<simweb::Url> tombstones;
+    tombstones.reserve(std::min<std::size_t>(ntombstones, 1 << 20));
+    for (std::size_t i = 0; i < ntombstones; ++i) {
+      auto line = reader.Next();
+      if (!line.ok()) {
+        return Status::InvalidArgument(
+            "dfrontier tombstone count mismatch");
+      }
+      std::istringstream is(*line);
+      std::string tag;
+      simweb::Url url;
+      is >> tag >> url.site >> url.slot >> url.incarnation;
+      if (is.fail() || tag != "D") {
+        return Status::InvalidArgument("malformed dfrontier tombstone");
+      }
+      Status record_end = ExpectLineEnd(is, "dfrontier tombstone");
+      if (!record_end.ok()) return record_end;
+      tombstones.push_back(url);
+    }
+    Status end = FinishFramedStream(reader, in, "frontier delta");
+    if (!end.ok()) return end;
+    for (const simweb::Url& url : tombstones) {
+      (void)crawler->coll_urls_.Remove(url);  // absent is fine
+    }
+    for (const Upsert& u : upserts) {
+      // ScheduleLane replaces any live entry of the URL, and replay is
+      // serial, so this reproduces LoadFrontier's end state exactly.
+      crawler->coll_urls_.ScheduleLane(
+          crawler->coll_urls_.ShardOf(u.url.site), u.url, u.when, u.seq);
+    }
+    crawler->coll_urls_.RestoreCounters(next_seq, front_when);
+    return Status::Ok();
+  }
+
+  /// Replays one sealed delta segment onto `crawler`. The segment's
+  /// integrity was already verified by ReadDeltaLog (header and
+  /// payload checksums); a parse failure here still aborts mid-apply,
+  /// so callers treat any error as "restore from the base again".
+  static Status ApplySegment(const storage::DeltaSegment& segment,
+                             IncrementalCrawler* crawler) {
+    auto section = [&](const char* name) -> const std::string* {
+      const storage::DeltaSection* s = segment.FindSection(name);
+      return s == nullptr ? nullptr : &s->bytes;
+    };
+    for (const char* name : {"meta", "dcoll", "dallurls", "dupdate",
+                             "dfrontier", "polite", "tracker", "pending",
+                             "failure"}) {
+      if (section(name) == nullptr) {
+        return Status::InvalidArgument(
+            "delta segment missing section '" + std::string(name) + "'");
+      }
+    }
+    auto meta = ParseIncMeta(*section("meta"));
+    if (!meta.ok()) return meta.status();
+    Status st = ApplyCollDelta(*section("dcoll"), crawler);
+    if (!st.ok()) return st;
+    st = ApplyAllUrlsDelta(*section("dallurls"), crawler);
+    if (!st.ok()) return st;
+    {
+      std::istringstream in(*section("dupdate"));
+      st = ApplyUpdateModuleDelta(in, &crawler->update_module_);
+      if (!st.ok()) return st;
+    }
+    st = ApplyFrontierDelta(*section("dfrontier"), crawler);
+    if (!st.ok()) return st;
+    {
+      std::istringstream in(*section("polite"));
+      auto polite = ReadPolite(in);
+      if (!polite.ok()) return polite.status();
+      crawler->engine_.pool().RestorePoliteness(*polite);
+    }
+    {
+      std::istringstream in(*section("tracker"));
+      auto tracker = ReadTracker(in);
+      if (!tracker.ok()) return tracker.status();
+      crawler->tracker_.Clear();
+      for (std::size_t i = 0; i < tracker->times.size(); ++i) {
+        crawler->tracker_.AddSample(tracker->times[i],
+                                    tracker->values[i]);
+      }
+    }
+    {
+      std::istringstream in(*section("pending"));
+      auto pending = ReadUrlList(in);
+      if (!pending.ok()) return pending.status();
+      ApplyPending(*pending, crawler);
+    }
+    {
+      std::istringstream in(*section("failure"));
+      auto failure = ReadFailure(in);
+      if (!failure.ok()) return failure.status();
+      ApplyFailure(*failure, crawler);
+    }
+    if (const std::string* traffic_bytes = section("traffic")) {
+      std::istringstream in(*traffic_bytes);
+      auto traffic = ReadTraffic(in);
+      if (!traffic.ok()) return traffic.status();
+      crawler->engine_.pool().RestoreTraffic(*traffic);
+    }
+    if (const std::string* web_bytes = section("dweb")) {
+      std::istringstream in(*web_bytes);
+      st = simweb::ApplyWebDelta(in, crawler->web_);
+      if (!st.ok()) return st;
+    }
+    ApplyIncMeta(*meta, crawler);
+    return Status::Ok();
+  }
+
+  /// Drops every dirty mark — the post-checkpoint (and post-replay)
+  /// reset that starts the next delta's ledger from empty.
+  static void ClearDirty(IncrementalCrawler* crawler) {
+    crawler->collection_.ClearDirty();
+    crawler->all_urls_.ClearDirty();
+    crawler->update_module_.ClearDirty();
+    crawler->frontier_dirty_.clear();
+    if (crawler->web_ != nullptr && crawler->web_->dirty_tracking()) {
+      crawler->web_->ClearDirtySites();
+    }
+  }
+};
+
+Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
+                   const CrawlerCheckpointOptions& options) {
+  if (!crawler.engine_.quiescent()) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a quiesced engine (batch boundary)");
+  }
+  std::vector<Section> sections;
+  sections.push_back(Section{"meta", CheckpointIo::IncMeta(crawler)});
   {
     std::ostringstream os;
     Status st = SaveCollection(crawler.collection_, os);
@@ -1131,51 +1811,12 @@ Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
     WriteTracker(crawler.tracker_, os);
     sections.push_back(Section{"tracker", os.str()});
   }
-  {
-    // In-flight lease state: the sharded pending-admission sets merge
-    // into one canonical URL list (the split is re-derived on load
-    // from the loading crawler's shard count).
-    std::vector<simweb::Url> pending;
-    for (const auto& shard : crawler.pending_shards_) {
-      pending.insert(pending.end(), shard.begin(), shard.end());
-    }
-    std::sort(pending.begin(), pending.end(), IdentityLess);
+  sections.push_back(Section{"pending", CheckpointIo::Pending(crawler)});
+  sections.push_back(Section{"failure", CheckpointIo::Failure(crawler)});
+  if (options.module_traffic) {
     std::ostringstream os;
-    WriteUrlList(pending, os);
-    sections.push_back(Section{"pending", os.str()});
-  }
-  {
-    // Failure-pipeline state: circuit breakers (with their backoff RNG
-    // lane positions) and retirement counts, in canonical order, so a
-    // resume mid-backoff or mid-quarantine replays the same schedule.
-    FailureSnapshot snap;
-    for (const auto& shard : crawler.site_failure_shards_) {
-      for (const auto& [site, state] : shard) {
-        SiteFailureRecord r;
-        r.site = site;
-        r.consecutive = state.consecutive;
-        r.quarantined_until = state.quarantined_until;
-        r.rng_init = state.rng_init ? 1 : 0;
-        if (state.rng_init) r.lane = state.backoff.State();
-        snap.sites.push_back(r);
-      }
-    }
-    std::sort(snap.sites.begin(), snap.sites.end(),
-              [](const SiteFailureRecord& a, const SiteFailureRecord& b) {
-                return a.site < b.site;
-              });
-    for (const auto& shard : crawler.url_failure_shards_) {
-      for (const auto& [url, fails] : shard) {
-        snap.urls.push_back(UrlFailureRecord{url, fails});
-      }
-    }
-    std::sort(snap.urls.begin(), snap.urls.end(),
-              [](const UrlFailureRecord& a, const UrlFailureRecord& b) {
-                return IdentityLess(a.url, b.url);
-              });
-    std::ostringstream os;
-    WriteFailure(snap, os);
-    sections.push_back(Section{"failure", os.str()});
+    WriteTraffic(crawler.engine_.pool().AggregateTraffic(), os);
+    sections.push_back(Section{"traffic", os.str()});
   }
   if (options.include_web) {
     std::ostringstream os;
@@ -1199,100 +1840,8 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
 
   // --- Parse every section into staging state; nothing in `crawler`
   // (or its web) is touched until the whole checkpoint has verified.
-  double now = 0.0, next_refine = 0.0, next_rebalance = 0.0,
-         next_sample = 0.0, steady_since = 0.0;
-  uint64_t batches_completed = 0;
-  int reached_capacity = 0;
-  int64_t refinements = 0;
-  int meta_version = 0;
-  IncrementalCrawler::Stats stats;
-  {
-    std::istringstream ms(*FindSection(*sections, "meta"));
-    TrailerReader reader(ms);
-    auto header = reader.Next();
-    if (!header.ok()) return header.status();
-    {
-      std::istringstream hs(*header);
-      std::string magic;
-      hs >> magic >> meta_version;
-      if (hs.fail() || magic != kIncMetaMagic) {
-        return Status::InvalidArgument("malformed checkpoint meta header");
-      }
-      // Older metas stay loadable: a version-1 C record lacks the
-      // lease ledger, versions 1-2 lack the failure ledger — those
-      // counters simply restart at zero.
-      if (meta_version < 1 || meta_version > kIncMetaVersion) {
-        return Status::InvalidArgument(
-            "unsupported checkpoint meta version");
-      }
-      Status end = ExpectLineEnd(hs, "meta header");
-      if (!end.ok()) return end;
-    }
-    auto t_line = reader.Next();
-    if (!t_line.ok()) return t_line.status();
-    {
-      std::istringstream is(*t_line);
-      std::string tag;
-      is >> tag >> now >> next_refine >> next_rebalance >> next_sample >>
-          steady_since;
-      if (is.fail() || tag != "T") {
-        return Status::InvalidArgument("malformed checkpoint T record");
-      }
-      Status end = ExpectLineEnd(is, "T");
-      if (!end.ok()) return end;
-    }
-    auto b_line = reader.Next();
-    if (!b_line.ok()) return b_line.status();
-    {
-      std::istringstream is(*b_line);
-      std::string tag;
-      is >> tag >> batches_completed >> reached_capacity;
-      if (is.fail() || tag != "B") {
-        return Status::InvalidArgument("malformed checkpoint B record");
-      }
-      Status end = ExpectLineEnd(is, "B");
-      if (!end.ok()) return end;
-    }
-    auto c_line = reader.Next();
-    if (!c_line.ok()) return c_line.status();
-    {
-      std::istringstream is(*c_line);
-      std::string tag;
-      is >> tag >> stats.crawls >> stats.in_place_updates >>
-          stats.pages_added >> stats.pages_evicted >>
-          stats.replacements_executed >> stats.dead_pages_removed >>
-          stats.changes_detected >> stats.politeness_retries >>
-          stats.in_batch_retries;
-      if (meta_version >= 2) {
-        is >> stats.lease_budget_granted >> stats.lease_admissions;
-      }
-      if (meta_version >= 3) {
-        is >> stats.fetch_failures >> stats.transient_errors >>
-            stats.timeout_errors >> stats.failure_retries >>
-            stats.sites_quarantined >> stats.urls_retired;
-      }
-      is >> refinements;
-      if (is.fail() || tag != "C") {
-        return Status::InvalidArgument("malformed checkpoint C record");
-      }
-      Status end = ExpectLineEnd(is, "C");
-      if (!end.ok()) return end;
-    }
-    auto l_line = reader.Next();
-    if (!l_line.ok()) return l_line.status();
-    auto latency = ParseRunningStatLine(*l_line);
-    if (!latency.ok()) return latency.status();
-    stats.new_page_latency_days.RestoreState(*latency);
-    if (meta_version >= 3) {
-      auto backoff_line = reader.Next();
-      if (!backoff_line.ok()) return backoff_line.status();
-      auto backoff = ParseRunningStatLine(*backoff_line);
-      if (!backoff.ok()) return backoff.status();
-      stats.backoff_days.RestoreState(*backoff);
-    }
-    Status end = FinishFramedStream(reader, ms, "checkpoint meta");
-    if (!end.ok()) return end;
-  }
+  auto meta = CheckpointIo::ParseIncMeta(*FindSection(*sections, "meta"));
+  if (!meta.ok()) return meta.status();
 
   const int shards = crawler->engine_.num_shards();
   std::istringstream coll_in(*FindSection(*sections, "collection"));
@@ -1334,6 +1883,16 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
     if (!snap.ok()) return snap.status();
     failure = std::move(snap).value();
   }
+  // Traffic is optional-on-load too: checkpoints written without
+  // module_traffic (and every pre-traffic checkpoint) restore with the
+  // historical semantics — accounting restarts from zero.
+  std::optional<CrawlModulePool::Traffic> traffic;
+  if (const std::string* t = FindSection(*sections, "traffic")) {
+    std::istringstream traffic_in(*t);
+    auto parsed = ReadTraffic(traffic_in);
+    if (!parsed.ok()) return parsed.status();
+    traffic = std::move(parsed).value();
+  }
 
   // The web restore stages and validates internally, so a bad web
   // section fails here with the crawler still untouched.
@@ -1343,9 +1902,12 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
     if (!st.ok()) return st;
   }
 
-  // --- Commit. Nothing below can fail.
-  crawler->collection_ = std::move(collection).value();
-  crawler->all_urls_ = std::move(all_urls).value();
+  // --- Commit. Nothing below can fail. The collection and AllUrls
+  // copy *into* the crawler's live stores (ReplaceEntriesFrom) instead
+  // of move-assigning the staging objects, so a paged backend keeps
+  // its page files and cache.
+  crawler->collection_.ReplaceEntriesFrom(*collection);
+  crawler->all_urls_.ReplaceEntriesFrom(*all_urls);
   crawler->update_module_ = std::move(update);
   crawler->coll_urls_ = std::move(frontier).value();
   crawler->engine_.pool().RestorePoliteness(*polite);
@@ -1353,41 +1915,21 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
   for (std::size_t i = 0; i < tracker->times.size(); ++i) {
     crawler->tracker_.AddSample(tracker->times[i], tracker->values[i]);
   }
-  crawler->stats_ = std::move(stats);
-  crawler->ranking_module_.RestoreRefinementCount(refinements);
-  for (auto& shard : crawler->pending_shards_) shard.clear();
-  for (const simweb::Url& url : *pending) {
-    crawler->PendingInsert(url);
+  CheckpointIo::ApplyPending(*pending, crawler);
+  CheckpointIo::ApplyFailure(failure, crawler);
+  if (traffic.has_value()) {
+    crawler->engine_.pool().RestoreTraffic(*traffic);
   }
-  // Failure state re-shards by the same site % N ownership rule the
-  // live pipeline uses, so a resume at any shard count lands each
-  // site's backoff lane (mid-sequence RNG position included) and each
-  // URL's fail count in the shard that will consult it.
-  for (auto& shard : crawler->site_failure_shards_) shard.clear();
-  for (const SiteFailureRecord& r : failure.sites) {
-    IncrementalCrawler::SiteFailureState state;
-    state.consecutive = r.consecutive;
-    state.quarantined_until = r.quarantined_until;
-    state.rng_init = r.rng_init != 0;
-    if (state.rng_init) state.backoff.SetState(r.lane);
-    crawler->site_failure_shards_[r.site %
-                                  static_cast<uint32_t>(shards)]
-        .emplace(r.site, state);
+  CheckpointIo::ApplyIncMeta(*meta, crawler);
+  if (crawler->delta_tracking_) {
+    // The move-assignments above wiped the staging objects' (absent)
+    // tracking state into the live ones; re-arm it, then drop the
+    // marks the wholesale replace just made — the restored state *is*
+    // the new baseline, and the next checkpoint rebases anyway.
+    crawler->EnableDeltaTracking();
+    CheckpointIo::ClearDirty(crawler);
+    crawler->base_written_ = false;
   }
-  for (auto& shard : crawler->url_failure_shards_) shard.clear();
-  for (const UrlFailureRecord& r : failure.urls) {
-    crawler->url_failure_shards_[r.url.site %
-                                 static_cast<uint32_t>(shards)]
-        .emplace(r.url, r.count);
-  }
-  crawler->now_ = now;
-  crawler->next_refine_ = next_refine;
-  crawler->next_rebalance_ = next_rebalance;
-  crawler->next_sample_ = next_sample;
-  crawler->steady_since_ = steady_since;
-  crawler->reached_capacity_once_ = reached_capacity != 0;
-  crawler->batches_completed_ = batches_completed;
-  crawler->bootstrapped_ = true;
   // The published-view history describes the *pre-restore* state:
   // retire it (readers' held references stay valid) and republish a
   // view of the restored state so Acquire never serves stale rows.
@@ -1500,6 +2042,11 @@ Status SaveCrawler(const PeriodicCrawler& crawler, std::ostream& out,
     std::ostringstream os;
     WriteFailure(snap, os);
     sections.push_back(Section{"failure", os.str()});
+  }
+  if (options.module_traffic) {
+    std::ostringstream os;
+    WriteTraffic(crawler.engine_.pool().AggregateTraffic(), os);
+    sections.push_back(Section{"traffic", os.str()});
   }
   if (options.include_web) {
     std::ostringstream os;
@@ -1635,19 +2182,29 @@ Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler) {
     if (!snap.ok()) return snap.status();
     failure = std::move(snap).value();
   }
+  // Optional traffic aggregate, as on the incremental crawler.
+  std::optional<CrawlModulePool::Traffic> traffic;
+  if (const std::string* t = FindSection(*sections, "traffic")) {
+    std::istringstream traffic_in(*t);
+    auto parsed = ReadTraffic(traffic_in);
+    if (!parsed.ok()) return parsed.status();
+    traffic = std::move(parsed).value();
+  }
   if (const std::string* web = FindSection(*sections, "web")) {
     std::istringstream web_in(*web);
     Status st = simweb::RestoreWeb(web_in, crawler->web_);
     if (!st.ok()) return st;
   }
 
-  // --- Commit. Nothing below can fail.
+  // --- Commit. Nothing below can fail. Contents copy *into* the live
+  // collections (ReplaceEntriesFrom) so a paged backend keeps its page
+  // files across the restore.
   if (crawler->config_.shadowing) {
-    crawler->store_.current_mutable() = std::move(current).value();
-    crawler->store_.shadow() = std::move(shadow).value();
+    crawler->store_.current_mutable().ReplaceEntriesFrom(*current);
+    crawler->store_.shadow().ReplaceEntriesFrom(*shadow);
     crawler->store_.RestoreSwapCount(swap_count);
   } else {
-    crawler->inplace_ = std::move(current).value();
+    crawler->inplace_.ReplaceEntriesFrom(*current);
   }
   crawler->frontier_.assign(bfs->begin(), bfs->end());
   for (auto& shard : crawler->seen_shards_) shard.clear();
@@ -1656,6 +2213,9 @@ Status LoadCrawler(std::istream& in, PeriodicCrawler* crawler) {
         .insert(url);
   }
   crawler->engine_.pool().RestorePoliteness(*polite);
+  if (traffic.has_value()) {
+    crawler->engine_.pool().RestoreTraffic(*traffic);
+  }
   crawler->tracker_.Clear();
   for (std::size_t i = 0; i < tracker->times.size(); ++i) {
     crawler->tracker_.AddSample(tracker->times[i], tracker->values[i]);
@@ -1716,6 +2276,390 @@ Status LoadCrawlerFromFile(const std::string& path,
     return Status::NotFound("cannot open " + path);
   }
   return LoadCrawler(in, crawler);
+}
+
+Status SaveUpdateModuleDelta(const UpdateModule& module,
+                             std::ostream& out) {
+  if (!module.dirty_tracking_) {
+    return Status::FailedPrecondition(
+        "update-module delta requires dirty tracking");
+  }
+  std::set<simweb::Url, simweb::UrlIdentityLess> dirty_pages;
+  std::set<uint32_t> dirty_sites, dirty_rngs;
+  module.AppendDirty(&dirty_pages, &dirty_sites, &dirty_rngs);
+
+  // Partition the dirty pages: still tracked -> full P record, gone
+  // (Forget) -> X tombstone. The std::sets are already in canonical
+  // order.
+  std::vector<std::string> page_lines;
+  std::vector<simweb::Url> tombstones;
+  for (const simweb::Url& url : dirty_pages) {
+    const auto& shard = module.page_shards_[module.ShardOf(url.site)];
+    auto it = shard.find(url);
+    if (it == shard.end()) {
+      tombstones.push_back(url);
+      continue;
+    }
+    const UpdateModule::PageState& state = it->second;
+    std::ostringstream os;
+    os.precision(17);
+    std::vector<double> est_state;
+    if (state.estimator != nullptr) {
+      est_state = state.estimator->SaveState();
+    }
+    os << "P " << url.site << ' ' << url.slot << ' ' << url.incarnation
+       << ' ' << state.last_visit << ' ' << (state.visited ? 1 : 0)
+       << ' ' << state.importance << ' '
+       << (state.probing_abandonment ? 1 : 0) << ' ' << est_state.size();
+    for (double v : est_state) os << ' ' << v;
+    page_lines.push_back(os.str());
+  }
+  // Site aggregates and probe RNG streams are never erased, so their
+  // deltas are upserts only (a dirty key that vanished — impossible
+  // today — would simply be skipped).
+  std::vector<std::string> site_lines;
+  for (uint32_t site : dirty_sites) {
+    const auto& shard = module.site_shards_[module.ShardOf(site)];
+    auto it = shard.find(site);
+    if (it == shard.end()) continue;
+    std::ostringstream os;
+    os.precision(17);
+    std::vector<double> est_state = it->second->SaveState();
+    os << "S " << site << ' ' << est_state.size();
+    for (double v : est_state) os << ' ' << v;
+    site_lines.push_back(os.str());
+  }
+  std::vector<std::string> rng_lines;
+  for (uint32_t site : dirty_rngs) {
+    const auto& shard = module.rng_shards_[module.ShardOf(site)];
+    auto it = shard.find(site);
+    if (it == shard.end()) continue;
+    std::ostringstream os;
+    os << "R " << site;
+    for (uint64_t lane : it->second.State()) os << ' ' << lane;
+    rng_lines.push_back(os.str());
+  }
+
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kUpdateDeltaMagic << ' ' << kFormatVersion << ' '
+         << estimator::EstimatorKindName(module.config_.estimator_kind)
+         << ' ' << page_lines.size() << ' ' << tombstones.size() << ' '
+         << site_lines.size() << ' ' << rng_lines.size();
+  writer.Line(header.str());
+  {
+    // The scheduling globals are cheap scalars; the delta carries them
+    // absolutely (they change on every rebalance).
+    std::ostringstream os;
+    os.precision(17);
+    os << "G " << module.multiplier_ << ' ' << module.total_rate_ << ' '
+       << module.mean_importance_ << ' ' << module.rebalance_count_
+       << ' ' << module.frozen_page_count_;
+    writer.Line(os.str());
+  }
+  for (const std::string& line : page_lines) writer.Line(line);
+  for (const simweb::Url& url : tombstones) {
+    std::ostringstream os;
+    os << "X " << url.site << ' ' << url.slot << ' ' << url.incarnation;
+    writer.Line(os.str());
+  }
+  for (const std::string& line : site_lines) writer.Line(line);
+  for (const std::string& line : rng_lines) writer.Line(line);
+  writer.Finish();
+  if (!out.good()) return Status::Internal("snapshot write failed");
+  return Status::Ok();
+}
+
+Status ApplyUpdateModuleDelta(std::istream& in, UpdateModule* module) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic, kind;
+  int version = 0;
+  std::size_t npages = 0, ntombstones = 0, nsites = 0, nrngs = 0;
+  hs >> magic >> version >> kind >> npages >> ntombstones >> nsites >>
+      nrngs;
+  if (hs.fail() || magic != kUpdateDeltaMagic ||
+      version != kFormatVersion) {
+    return Status::InvalidArgument("not an UpdateModule delta");
+  }
+  Status header_end = ExpectLineEnd(hs, "dupdate header");
+  if (!header_end.ok()) return header_end;
+  if (kind !=
+      estimator::EstimatorKindName(module->config_.estimator_kind)) {
+    return Status::InvalidArgument(
+        "delta estimator kind '" + kind +
+        "' does not match the module's configuration");
+  }
+
+  // Stage everything — including estimator reconstruction, which can
+  // fail — before the first mutation, so a malformed delta leaves the
+  // module untouched.
+  double multiplier = 0.0, total_rate = 0.0, mean_importance = 0.0;
+  int64_t rebalance_count = 0;
+  std::size_t frozen_pages = 0;
+  {
+    auto g_line = reader.Next();
+    if (!g_line.ok()) return Status::InvalidArgument("missing G record");
+    std::istringstream is(*g_line);
+    std::string tag;
+    is >> tag >> multiplier >> total_rate >> mean_importance >>
+        rebalance_count >> frozen_pages;
+    if (is.fail() || tag != "G") {
+      return Status::InvalidArgument("malformed G record");
+    }
+    Status record_end = ExpectLineEnd(is, "G");
+    if (!record_end.ok()) return record_end;
+  }
+  std::vector<std::pair<simweb::Url, UpdateModule::PageState>> pages;
+  pages.reserve(std::min<std::size_t>(npages, 1 << 20));
+  for (std::size_t i = 0; i < npages; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("dupdate page count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    simweb::Url url;
+    double last_visit = 0.0, importance = 0.0;
+    int visited = 0, probing = 0;
+    std::size_t nstate = 0;
+    is >> tag >> url.site >> url.slot >> url.incarnation >> last_visit >>
+        visited >> importance >> probing >> nstate;
+    if (is.fail() || tag != "P" || nstate > kMaxEstimatorState) {
+      return Status::InvalidArgument("malformed page record");
+    }
+    std::vector<double> est_state(nstate);
+    for (double& v : est_state) is >> v;
+    if (is.fail()) {
+      return Status::InvalidArgument("malformed page estimator state");
+    }
+    Status record_end = ExpectLineEnd(is, "page");
+    if (!record_end.ok()) return record_end;
+    UpdateModule::PageState state;
+    state.last_visit = last_visit;
+    state.visited = visited != 0;
+    state.importance = importance;
+    state.probing_abandonment = probing != 0;
+    if (!est_state.empty()) {
+      state.estimator =
+          estimator::MakeEstimator(module->config_.estimator_kind);
+      Status st = state.estimator->RestoreState(est_state);
+      if (!st.ok()) return st;
+    }
+    pages.emplace_back(url, std::move(state));
+  }
+  std::vector<simweb::Url> tombstones;
+  tombstones.reserve(std::min<std::size_t>(ntombstones, 1 << 20));
+  for (std::size_t i = 0; i < ntombstones; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("dupdate tombstone count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    simweb::Url url;
+    is >> tag >> url.site >> url.slot >> url.incarnation;
+    if (is.fail() || tag != "X") {
+      return Status::InvalidArgument("malformed dupdate tombstone");
+    }
+    Status record_end = ExpectLineEnd(is, "dupdate tombstone");
+    if (!record_end.ok()) return record_end;
+    tombstones.push_back(url);
+  }
+  std::vector<
+      std::pair<uint32_t, std::unique_ptr<estimator::ChangeEstimator>>>
+      site_estimators;
+  site_estimators.reserve(std::min<std::size_t>(nsites, 1 << 20));
+  for (std::size_t i = 0; i < nsites; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("dupdate site count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    std::size_t nstate = 0;
+    is >> tag >> site >> nstate;
+    if (is.fail() || tag != "S" || nstate > kMaxEstimatorState) {
+      return Status::InvalidArgument("malformed site record");
+    }
+    std::vector<double> est_state(nstate);
+    for (double& v : est_state) is >> v;
+    if (is.fail()) {
+      return Status::InvalidArgument("malformed site estimator state");
+    }
+    Status record_end = ExpectLineEnd(is, "site");
+    if (!record_end.ok()) return record_end;
+    auto est = estimator::MakeEstimator(module->config_.estimator_kind);
+    Status st = est->RestoreState(est_state);
+    if (!st.ok()) return st;
+    site_estimators.emplace_back(site, std::move(est));
+  }
+  std::vector<std::pair<uint32_t, Rng>> rngs;
+  rngs.reserve(std::min<std::size_t>(nrngs, 1 << 20));
+  for (std::size_t i = 0; i < nrngs; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("dupdate rng count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    std::array<uint64_t, 4> lanes{};
+    is >> tag >> site >> lanes[0] >> lanes[1] >> lanes[2] >> lanes[3];
+    if (is.fail() || tag != "R") {
+      return Status::InvalidArgument("malformed rng record");
+    }
+    Status record_end = ExpectLineEnd(is, "rng");
+    if (!record_end.ok()) return record_end;
+    Rng rng(0);
+    rng.SetState(lanes);
+    rngs.emplace_back(site, rng);
+  }
+  Status end = FinishFramedStream(reader, in, "update delta");
+  if (!end.ok()) return end;
+
+  // --- Commit.
+  module->multiplier_ = multiplier;
+  module->total_rate_ = total_rate;
+  module->mean_importance_ = mean_importance;
+  module->rebalance_count_ = rebalance_count;
+  module->frozen_page_count_ = frozen_pages;
+  for (const simweb::Url& url : tombstones) {
+    module->page_shards_[module->ShardOf(url.site)].erase(url);
+  }
+  for (auto& [url, state] : pages) {
+    module->page_shards_[module->ShardOf(url.site)][url] =
+        std::move(state);
+  }
+  for (auto& [site, est] : site_estimators) {
+    module->site_shards_[module->ShardOf(site)][site] = std::move(est);
+  }
+  for (const auto& [site, rng] : rngs) {
+    module->rng_shards_[module->ShardOf(site)].insert_or_assign(site,
+                                                                rng);
+  }
+  return Status::Ok();
+}
+
+Status CheckpointIncremental(IncrementalCrawler* crawler,
+                             const std::string& path,
+                             const CrawlerCheckpointOptions& options) {
+  if (!crawler->delta_tracking_) {
+    return Status::FailedPrecondition(
+        "incremental checkpointing requires delta tracking (set "
+        "config.checkpoint_incremental)");
+  }
+  if (!crawler->engine_.quiescent()) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a quiesced engine (batch boundary)");
+  }
+  const std::string delta_path = path + ".deltas";
+  // Rebase when there is no verified base to append to — first
+  // checkpoint of this process — or when a wholesale clear happened
+  // (a record delta cannot express "everything vanished").
+  if (!crawler->base_written_ ||
+      crawler->collection_.cleared_while_tracking()) {
+    Status st = SaveCrawlerToFile(*crawler, path, options);
+    if (!st.ok()) return st;
+    st = storage::TruncateDeltaLog(delta_path);
+    if (!st.ok()) return st;
+    crawler->base_written_ = true;
+    CheckpointIo::ClearDirty(crawler);
+    return Status::Ok();
+  }
+
+  storage::DeltaSegment segment;
+  segment.kind = kIncrementalKind;
+  segment.batch = crawler->batches_completed_;
+  segment.sections.push_back(
+      storage::DeltaSection{"meta", CheckpointIo::IncMeta(*crawler)});
+  segment.sections.push_back(
+      storage::DeltaSection{"dcoll", CheckpointIo::CollDelta(*crawler)});
+  segment.sections.push_back(storage::DeltaSection{
+      "dallurls", CheckpointIo::AllUrlsDelta(*crawler)});
+  {
+    std::ostringstream os;
+    Status st = SaveUpdateModuleDelta(crawler->update_module_, os);
+    if (!st.ok()) return st;
+    segment.sections.push_back(storage::DeltaSection{"dupdate", os.str()});
+  }
+  segment.sections.push_back(storage::DeltaSection{
+      "dfrontier", CheckpointIo::FrontierDelta(*crawler)});
+  {
+    std::ostringstream os;
+    WritePolite(crawler->engine_.pool().ExportPoliteness(), os);
+    segment.sections.push_back(storage::DeltaSection{"polite", os.str()});
+  }
+  {
+    std::ostringstream os;
+    WriteTracker(crawler->tracker_, os);
+    segment.sections.push_back(storage::DeltaSection{"tracker", os.str()});
+  }
+  segment.sections.push_back(
+      storage::DeltaSection{"pending", CheckpointIo::Pending(*crawler)});
+  segment.sections.push_back(
+      storage::DeltaSection{"failure", CheckpointIo::Failure(*crawler)});
+  if (options.module_traffic) {
+    std::ostringstream os;
+    WriteTraffic(crawler->engine_.pool().AggregateTraffic(), os);
+    segment.sections.push_back(storage::DeltaSection{"traffic", os.str()});
+  }
+  if (options.include_web) {
+    std::ostringstream os;
+    Status st = simweb::SaveWebDelta(*crawler->web_, os);
+    if (!st.ok()) return st;
+    segment.sections.push_back(storage::DeltaSection{"dweb", os.str()});
+  }
+
+  Status st = storage::AppendDeltaSegment(delta_path, segment);
+  if (!st.ok()) return st;
+  CheckpointIo::ClearDirty(crawler);
+  return Status::Ok();
+}
+
+Status LoadCrawlerWithDeltasFromFile(const std::string& path,
+                                     IncrementalCrawler* crawler) {
+  Status st = LoadCrawlerFromFile(path, crawler);
+  if (!st.ok()) return st;
+  auto log = storage::ReadDeltaLog(path + ".deltas");
+  if (!log.ok()) return log.status();
+  bool applied = false;
+  for (const storage::DeltaSegment& segment : log->segments) {
+    if (segment.kind != kIncrementalKind) {
+      return Status::InvalidArgument(
+          "delta segment kind '" + segment.kind +
+          "' does not match the base checkpoint");
+    }
+    // Idempotent replay: a segment at or before the restored batch
+    // counter is already reflected in the base image (the rebase wrote
+    // the base *after* sealing it) — skip it.
+    if (segment.batch <= crawler->batches_completed_) continue;
+    st = CheckpointIo::ApplySegment(segment, crawler);
+    if (!st.ok()) {
+      // ApplySegment mutates as it goes; a failure mid-segment leaves
+      // the crawler unspecified. The inputs are double-checksummed
+      // (the log's seal and each section's trailer), so reaching this
+      // is a format bug, not routine corruption — surface it.
+      return st;
+    }
+    applied = true;
+  }
+  if (applied) {
+    if (crawler->delta_tracking_) {
+      CheckpointIo::ClearDirty(crawler);
+      crawler->base_written_ = false;
+    }
+    // Replays changed rows after LoadCrawler's republish: retire that
+    // view and publish the final state.
+    crawler->engine_.views().Clear();
+    if (crawler->config_.publish_view_every_batches > 0) {
+      crawler->PublishViewNow();
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace webevo::crawler

@@ -131,17 +131,23 @@ StatusOr<Collection> LoadCollectionFromFile(const std::string& path);
 /// lease state: URLs admitted toward collection slots but not yet
 /// crawled, merged canonically across the owner shards and re-split
 /// on load), and — with include_web — web (the simulated web's
-/// evolution state; see simweb/simulated_web.h). Periodic sections: meta, collection-current
+/// evolution state; see simweb/simulated_web.h). Periodic sections:
+/// meta, collection-current
 /// [, collection-shadow], bfs (BFS frontier in queue order), seen
 /// (cycle seen-set), polite, tracker [, web].
 ///
 /// Every section is canonical — equal logical state produces equal
 /// bytes at every shard count — so a checkpoint saved at N = 8 loads
 /// at N = 1 (and vice versa), and two runs in the same state write
-/// byte-identical files. Wall-clock engine phase timings and per-module
-/// traffic accounting are deliberately *not* checkpointed: the former
-/// are not reproducible, the latter are shard-layout dependent; both
-/// restart at zero after a restore.
+/// byte-identical files. Wall-clock engine phase timings are
+/// deliberately *not* checkpointed (they are not reproducible) and
+/// restart at zero after a restore. Traffic accounting is optional
+/// (options.module_traffic): the per-*module* split is shard-layout
+/// dependent, so the "traffic" section carries the pool-level
+/// *aggregate* — absolute-day fetch histogram plus global counters, a
+/// pure function of the fetch stream and therefore canonical — and a
+/// restore folds it in as a carried-over baseline (the live modules
+/// restart their own ledgers at zero).
 ///
 /// Restores are staged: LoadCrawler validates the container and every
 /// section before touching `crawler`, so a corrupt checkpoint never
@@ -154,6 +160,10 @@ struct CrawlerCheckpointOptions {
   /// bit-identical resume in a fresh process; skip only when the
   /// resuming crawler shares the saving process's live web object.
   bool include_web = true;
+  /// Bundle the crawl-module pool's aggregate traffic accounting (the
+  /// "traffic" section) so a resumed run's traffic report covers the
+  /// whole crawl, not just the post-resume tail.
+  bool module_traffic = false;
 };
 
 /// Writes a whole-crawler checkpoint. Fails with FailedPrecondition if
@@ -183,6 +193,62 @@ Status LoadCrawlerFromFile(const std::string& path,
                            IncrementalCrawler* crawler);
 Status LoadCrawlerFromFile(const std::string& path,
                            PeriodicCrawler* crawler);
+
+/// --- Incremental checkpoints ----------------------------------------
+///
+/// The O(dirty) checkpoint mode behind
+/// IncrementalCrawlerConfig::checkpoint_incremental (docs/STORAGE.md):
+/// a full base image at `path` plus a write-ahead delta log of sealed
+/// per-batch segments at `path + ".deltas"` (storage/delta_log.h).
+///
+/// The first CheckpointIncremental of a process writes the base with
+/// SaveCrawlerToFile and truncates the delta log (rebase); every later
+/// call appends one sealed segment whose cost is proportional to what
+/// actually changed since the previous checkpoint. A segment carries
+/// the cheap whole-state sections verbatim (meta, polite, pending,
+/// failure, tracker and — with options.module_traffic — traffic) and
+/// *delta* sections for the big state:
+///   dcoll      E upserts + `D site slot inc` tombstones for the
+///              collection's dirty keys (store-level dirty tracking)
+///   dallurls   U upserts for AllUrls' dirty keys (never erased)
+///   dupdate    the UpdateModule's G globals, dirty P records /
+///              X page-tombstones, dirty S aggregates, dirty R streams
+///   dfrontier  F upserts with exact (when, seq) + D tombstones for
+///              the frontier marking ledger, plus the global counters
+///   dweb       the simulated web's dirty-site delta (web_snapshot.h),
+///              when options.include_web
+/// Every delta section lists records in canonical URL-identity / site
+/// order over dirty sets that are pure functions of the simulation, so
+/// segments — like full checkpoints — are byte-identical at every
+/// shard count.
+///
+/// LoadCrawlerWithDeltasFromFile restores the base, then replays every
+/// sealed segment whose batch counter exceeds the base's (apply is
+/// idempotent: globals are absolute, upserts replace, tombstones
+/// tolerate absence). A torn tail after the last seal — the
+/// crash-between-append-and-seal case — is ignored, exactly as
+/// ReadDeltaLog reports it. The restored crawler is byte-identical to
+/// one restored from a full checkpoint taken at the same batch.
+///
+/// Only the incremental crawler has this mode: its workload is
+/// in-place-update dominated, so dirty sets are small between
+/// checkpoints. The periodic crawler rewrites its whole collection
+/// every cycle — its "delta" is the collection — so it keeps full
+/// checkpoints.
+Status CheckpointIncremental(IncrementalCrawler* crawler,
+                             const std::string& path,
+                             const CrawlerCheckpointOptions& options = {});
+Status LoadCrawlerWithDeltasFromFile(const std::string& path,
+                                     IncrementalCrawler* crawler);
+
+/// Delta snapshot of the UpdateModule's learned state: the dirty
+/// page / site-aggregate / probe-stream records only, plus the cheap
+/// scheduling globals. Exposed for the property tests; Apply mutates
+/// `module` in place (globals absolute, records upserted, tombstones
+/// erased) only after the whole stream verifies.
+Status SaveUpdateModuleDelta(const UpdateModule& module,
+                             std::ostream& out);
+Status ApplyUpdateModuleDelta(std::istream& in, UpdateModule* module);
 
 }  // namespace webevo::crawler
 

@@ -1,0 +1,75 @@
+#ifndef WEBEVO_CRAWLER_STORE_CODECS_H_
+#define WEBEVO_CRAWLER_STORE_CODECS_H_
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "crawler/all_urls.h"
+#include "crawler/collection.h"
+
+namespace webevo::crawler {
+
+/// Record codecs for the paged RecordStore backend: each record type
+/// round-trips through a compact text form (precision 17 doubles, the
+/// same convention as the checkpoint formats, so the paged store's
+/// record bytes carry exactly the state the checkpoint would).
+///
+/// These encodings are a private storage detail — the checkpoint wire
+/// formats in snapshot.cc remain the sole durable contract.
+
+struct CollectionEntryCodec {
+  static std::string Encode(const CollectionEntry& e) {
+    std::ostringstream os;
+    os << std::setprecision(17);
+    os << e.url.site << ' ' << e.url.slot << ' ' << e.url.incarnation
+       << ' ' << e.page << ' ' << e.version << ' ' << e.checksum.lo
+       << ' ' << e.checksum.hi << ' ' << e.crawled_at << ' '
+       << e.importance << ' ' << e.links.size();
+    for (const simweb::Url& link : e.links) {
+      os << ' ' << link.site << ' ' << link.slot << ' '
+         << link.incarnation;
+    }
+    return os.str();
+  }
+
+  static CollectionEntry Decode(const std::string& bytes) {
+    std::istringstream is(bytes);
+    CollectionEntry e;
+    std::size_t nlinks = 0;
+    is >> e.url.site >> e.url.slot >> e.url.incarnation >> e.page >>
+        e.version >> e.checksum.lo >> e.checksum.hi >> e.crawled_at >>
+        e.importance >> nlinks;
+    e.links.resize(nlinks);
+    for (std::size_t i = 0; i < nlinks; ++i) {
+      is >> e.links[i].site >> e.links[i].slot >> e.links[i].incarnation;
+    }
+    assert(!is.fail() && "corrupt paged CollectionEntry record");
+    return e;
+  }
+};
+
+struct UrlInfoCodec {
+  static std::string Encode(const AllUrls::UrlInfo& info) {
+    std::ostringstream os;
+    os << std::setprecision(17);
+    os << info.first_seen << ' ' << info.in_links << ' '
+       << (info.dead ? 1 : 0);
+    return os.str();
+  }
+
+  static AllUrls::UrlInfo Decode(const std::string& bytes) {
+    std::istringstream is(bytes);
+    AllUrls::UrlInfo info;
+    int dead = 0;
+    is >> info.first_seen >> info.in_links >> dead;
+    info.dead = dead != 0;
+    assert(!is.fail() && "corrupt paged UrlInfo record");
+    return info;
+  }
+};
+
+}  // namespace webevo::crawler
+
+#endif  // WEBEVO_CRAWLER_STORE_CODECS_H_

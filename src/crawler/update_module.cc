@@ -137,8 +137,16 @@ double UpdateModule::FrequencyFor(double rate, double importance) const {
 double UpdateModule::OnCrawled(const simweb::Url& url, double now,
                                bool changed, bool first_visit,
                                double quiet_days) {
-  ++visit_counts_[ShardOf(url.site)];
-  PageState& state = page_shards_[ShardOf(url.site)][url];
+  const std::size_t shard = ShardOf(url.site);
+  ++visit_counts_[shard];
+  if (dirty_tracking_) {
+    dirty_page_shards_[shard].insert(url);
+    // With site-level stats the visit record lands in the site
+    // aggregate (created on first touch), so the site record moves
+    // whenever the page record does.
+    if (config_.site_level_stats) dirty_site_shards_[shard].insert(url.site);
+  }
+  PageState& state = page_shards_[shard][url];
   estimator::ChangeEstimator* est = EstimatorFor(url, state);
   if (!first_visit && state.visited && now > state.last_visit) {
     double interval = now - state.last_visit;
@@ -197,6 +205,11 @@ double UpdateModule::OnCrawled(const simweb::Url& url, double now,
       }
     } else {
       state.probing_abandonment = false;
+      // The coin flip advances the site's probe stream whichever way
+      // it lands — the stream position is checkpointed state.
+      if (dirty_tracking_) {
+        dirty_rng_shards_[ShardOf(url.site)].insert(url.site);
+      }
       if (ProbeRng(url.site).Bernoulli(config_.probe_probability)) {
         interval = std::min(interval, probe);
       }
@@ -230,11 +243,20 @@ void UpdateModule::SetImportance(const simweb::Url& url,
                                  double importance) {
   PageMap& pages = page_shards_[ShardOf(url.site)];
   auto it = pages.find(url);
-  if (it != pages.end()) it->second.importance = importance;
+  if (it == pages.end()) return;
+  if (it->second.importance == importance) return;
+  // Change-detected mark: refinement sweeps *every* entry's hint, and
+  // an unchanged value must not drag the whole collection into the
+  // next delta segment.
+  if (dirty_tracking_) dirty_page_shards_[ShardOf(url.site)].insert(url);
+  it->second.importance = importance;
 }
 
 void UpdateModule::Forget(const simweb::Url& url) {
-  page_shards_[ShardOf(url.site)].erase(url);
+  const std::size_t shard = ShardOf(url.site);
+  if (page_shards_[shard].erase(url) > 0 && dirty_tracking_) {
+    dirty_page_shards_[shard].insert(url);
+  }
 }
 
 double UpdateModule::EstimatedRate(const simweb::Url& url) const {
@@ -253,6 +275,33 @@ std::size_t UpdateModule::tracked_pages() const {
 
 void UpdateModule::RefreshSchedulingPageCount() {
   frozen_page_count_ = tracked_pages();
+}
+
+void UpdateModule::EnableDirtyTracking() {
+  dirty_tracking_ = true;
+  dirty_page_shards_.resize(page_shards_.size());
+  dirty_site_shards_.resize(site_shards_.size());
+  dirty_rng_shards_.resize(rng_shards_.size());
+}
+
+void UpdateModule::AppendDirty(
+    std::set<simweb::Url, simweb::UrlIdentityLess>* pages,
+    std::set<uint32_t>* sites, std::set<uint32_t>* rngs) const {
+  for (const auto& shard : dirty_page_shards_) {
+    pages->insert(shard.begin(), shard.end());
+  }
+  for (const auto& shard : dirty_site_shards_) {
+    sites->insert(shard.begin(), shard.end());
+  }
+  for (const auto& shard : dirty_rng_shards_) {
+    rngs->insert(shard.begin(), shard.end());
+  }
+}
+
+void UpdateModule::ClearDirty() {
+  for (auto& shard : dirty_page_shards_) shard.clear();
+  for (auto& shard : dirty_site_shards_) shard.clear();
+  for (auto& shard : dirty_rng_shards_) shard.clear();
 }
 
 std::vector<std::pair<simweb::Url, const UpdateModule::PageState*>>

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -187,6 +188,27 @@ class UpdateModule {
   friend Status SaveUpdateModule(const UpdateModule& module,
                                  std::ostream& out);
   friend Status LoadUpdateModule(std::istream& in, UpdateModule* module);
+
+  /// Incremental-checkpoint delta of the learned state: the records of
+  /// the dirty pages / site aggregates / probe streams only, plus the
+  /// (cheap) scheduling globals — also in crawler/snapshot.cc.
+  friend Status SaveUpdateModuleDelta(const UpdateModule& module,
+                                      std::ostream& out);
+  friend Status ApplyUpdateModuleDelta(std::istream& in,
+                                       UpdateModule* module);
+
+  /// Dirty-key tracking for incremental checkpoints. Marks are
+  /// per-shard (the apply pass's workers each touch only their own
+  /// shard's sets, like every other per-shard structure) and recorded
+  /// only for *logical* mutations — SetImportance marks only on a
+  /// value change, failed fetches mark nothing — so the merged sets
+  /// are pure functions of the simulation, identical at every N.
+  void EnableDirtyTracking();
+  bool dirty_tracking() const { return dirty_tracking_; }
+  void AppendDirty(std::set<simweb::Url, simweb::UrlIdentityLess>* pages,
+                   std::set<uint32_t>* sites,
+                   std::set<uint32_t>* rngs) const;
+  void ClearDirty();
   int64_t rebalance_count() const { return rebalance_count_; }
   /// Last solved Lagrange multiplier (0 before the first optimal
   /// rebalance); exposed for observability and tests.
@@ -254,6 +276,15 @@ class UpdateModule {
   /// on the serial path (Rebalance / RefreshSchedulingPageCount).
   std::size_t frozen_page_count_ = 0;
   int64_t rebalance_count_ = 0;
+  /// Incremental-checkpoint marking (see EnableDirtyTracking): URLs
+  /// whose PageState changed, sites whose site-level estimator
+  /// changed, sites whose probe RNG drew — each in the owning shard's
+  /// slot.
+  bool dirty_tracking_ = false;
+  std::vector<std::set<simweb::Url, simweb::UrlIdentityLess>>
+      dirty_page_shards_;
+  std::vector<std::set<uint32_t>> dirty_site_shards_;
+  std::vector<std::set<uint32_t>> dirty_rng_shards_;
 };
 
 }  // namespace webevo::crawler

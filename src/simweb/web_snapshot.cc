@@ -30,6 +30,7 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,6 +43,10 @@ namespace {
 
 constexpr const char* kWebMagic = "webevo-web";
 constexpr int kWebFormatVersion = 2;
+// Site-delta stream: the full state of only the dirty sites, plus the
+// absolute global counters (see SaveWebDelta).
+constexpr const char* kWebDeltaMagic = "webevo-webdelta";
+constexpr int kWebDeltaFormatVersion = 1;
 // Range guard for per-record link counts parsed before the trailer has
 // been verified.
 constexpr std::size_t kMaxLinksPerPage = 1 << 16;
@@ -357,6 +362,325 @@ Status RestoreWeb(std::istream& in, SimulatedWeb* web) {
     web->site_fetches_[site].store(count, std::memory_order_relaxed);
   }
   for (auto& f : web->site_faults_) f = SimulatedWeb::SiteFaultState{};
+  for (auto& [site, f] : staged_faults) web->site_faults_[site] = f;
+  return Status::Ok();
+}
+
+// Delta format (trailer-framed like the full snapshot):
+//   webevo-webdelta 1 <num_sites> <ndirty> <nrecords> <nfetchsites>
+//                   <nfaults> <now> <fetch_count> <not_found_count>
+//                   <pages_created>
+//   D <site>                           (ndirty, ascending: the sites
+//                                       whose full state follows)
+//   A <site> <site_fetch_count>        (dirty sites, nonzero only)
+//   X <site> ...                       (dirty sites, initialized only;
+//                                       same fields as the full format)
+//   I <site> <slot> <incarnation> ...  (all records of the dirty
+//                                       sites, canonical order)
+//   webevo-checksum <fnv64>
+// Globals are absolute, never increments, so applying a segment is
+// idempotent and segments need no exact pairing with reads.
+Status SaveWebDelta(const SimulatedWeb& web, std::ostream& out) {
+  if (web.concurrent_batch_) {
+    return Status::FailedPrecondition(
+        "cannot snapshot a web inside a concurrent batch");
+  }
+  if (web.site_dirty_ == nullptr) {
+    return Status::FailedPrecondition(
+        "web delta requires EnableDirtyTracking");
+  }
+  std::set<uint32_t> dirty;
+  web.AppendDirtySites(&dirty);
+  uint64_t nrecords = 0;
+  std::vector<std::pair<uint32_t, uint64_t>> fetch_sites;
+  std::vector<uint32_t> fault_sites;
+  for (uint32_t s : dirty) {
+    for (const auto& slot : web.sites_[s].slots) {
+      nrecords += slot.history.size();
+    }
+    uint64_t count = web.site_fetches_[s].load(std::memory_order_relaxed);
+    if (count > 0) fetch_sites.emplace_back(s, count);
+    if (s < web.site_faults_.size() && web.site_faults_[s].init) {
+      fault_sites.push_back(s);
+    }
+  }
+
+  TrailerWriter writer(out);
+  {
+    std::ostringstream header;
+    header.precision(17);
+    header << kWebDeltaMagic << ' ' << kWebDeltaFormatVersion << ' '
+           << web.num_sites() << ' ' << dirty.size() << ' ' << nrecords
+           << ' ' << fetch_sites.size() << ' ' << fault_sites.size()
+           << ' ' << web.now() << ' ' << web.fetch_count() << ' '
+           << web.not_found_count() << ' '
+           << web.OracleTotalPagesCreated();
+    writer.Line(header.str());
+  }
+  for (uint32_t s : dirty) {
+    std::ostringstream os;
+    os << "D " << s;
+    writer.Line(os.str());
+  }
+  for (const auto& [site, count] : fetch_sites) {
+    std::ostringstream os;
+    os << "A " << site << ' ' << count;
+    writer.Line(os.str());
+  }
+  for (uint32_t s : fault_sites) {
+    const SimulatedWeb::SiteFaultState& f = web.site_faults_[s];
+    std::ostringstream os;
+    os.precision(17);
+    os << "X " << s;
+    for (uint64_t lane : f.draw.State()) os << ' ' << lane;
+    for (uint64_t lane : f.outage.State()) os << ' ' << lane;
+    os << ' ' << f.outage_start << ' ' << f.outage_end << ' '
+       << DeathToken(f.death_day) << ' ' << f.flash_bucket << ' '
+       << f.flash_count;
+    writer.Line(os.str());
+  }
+  for (uint32_t s : dirty) {
+    const SimulatedWeb::SiteState& site = web.sites_[s];
+    for (uint32_t j = 0; j < site.slots.size(); ++j) {
+      const auto& history = site.slots[j].history;
+      for (uint32_t inc = 0; inc < history.size(); ++inc) {
+        const SimulatedWeb::PageRecord& page = history[inc];
+        std::ostringstream os;
+        os.precision(17);
+        os << "I " << s << ' ' << j << ' ' << inc << ' ' << page.version
+           << ' ' << page.change_rate << ' ' << page.birth_time << ' '
+           << DeathToken(page.death_time) << ' ' << page.state_time
+           << ' ' << page.last_change_time;
+        for (uint64_t lane : page.rng.State()) os << ' ' << lane;
+        os << ' ' << page.cross_links.size();
+        for (const auto& [ts, tslot] : page.cross_links) {
+          os << ' ' << ts << ' ' << tslot;
+        }
+        writer.Line(os.str());
+      }
+    }
+  }
+  writer.Finish();
+  if (!out.good()) return Status::Internal("web delta write failed");
+  return Status::Ok();
+}
+
+Status ApplyWebDelta(std::istream& in, SimulatedWeb* web) {
+  if (web->concurrent_batch_) {
+    return Status::FailedPrecondition(
+        "cannot restore a web inside a concurrent batch");
+  }
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  uint32_t num_sites = 0;
+  uint64_t ndirty = 0, nrecords = 0;
+  std::size_t nfetchsites = 0, nfaults = 0;
+  uint64_t fetch_count = 0, not_found = 0, pages_created = 0;
+  double now = 0.0;
+  hs >> magic >> version >> num_sites >> ndirty >> nrecords >>
+      nfetchsites >> nfaults >> now >> fetch_count >> not_found >>
+      pages_created;
+  if (hs.fail() || magic != kWebDeltaMagic) {
+    return Status::InvalidArgument("not a web delta");
+  }
+  if (version != kWebDeltaFormatVersion) {
+    return Status::InvalidArgument("unsupported web delta version");
+  }
+  Status line_end = ExpectLineEnd(hs, "web delta header");
+  if (!line_end.ok()) return line_end;
+  if (num_sites != web->num_sites()) {
+    return Status::InvalidArgument(
+        "web delta site count does not match this web's configuration");
+  }
+
+  std::vector<uint32_t> dirty;
+  dirty.reserve(std::min<std::size_t>(ndirty, 1 << 20));
+  for (uint64_t i = 0; i < ndirty; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("web delta dirty count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    is >> tag >> site;
+    if (is.fail() || tag != "D" || site >= num_sites ||
+        (!dirty.empty() && site <= dirty.back())) {
+      return Status::InvalidArgument("malformed web delta site record");
+    }
+    Status end = ExpectLineEnd(is, "web delta site");
+    if (!end.ok()) return end;
+    dirty.push_back(site);
+  }
+  std::set<uint32_t> dirty_set(dirty.begin(), dirty.end());
+
+  std::vector<std::pair<uint32_t, uint64_t>> fetch_sites;
+  fetch_sites.reserve(std::min<std::size_t>(nfetchsites, 1 << 20));
+  for (std::size_t i = 0; i < nfetchsites; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("web delta fetch count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    uint64_t count = 0;
+    is >> tag >> site >> count;
+    if (is.fail() || tag != "A" || dirty_set.count(site) == 0) {
+      return Status::InvalidArgument("malformed web delta fetch record");
+    }
+    Status end = ExpectLineEnd(is, "web delta fetch");
+    if (!end.ok()) return end;
+    fetch_sites.emplace_back(site, count);
+  }
+
+  std::vector<std::pair<uint32_t, SimulatedWeb::SiteFaultState>>
+      staged_faults;
+  staged_faults.reserve(std::min<std::size_t>(nfaults, 1 << 20));
+  for (std::size_t i = 0; i < nfaults; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("web delta fault count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    SimulatedWeb::SiteFaultState f;
+    f.init = true;
+    std::array<uint64_t, 4> draw{}, outage{};
+    is >> tag >> site >> draw[0] >> draw[1] >> draw[2] >> draw[3] >>
+        outage[0] >> outage[1] >> outage[2] >> outage[3] >>
+        f.outage_start >> f.outage_end;
+    if (is.fail() || tag != "X" || dirty_set.count(site) == 0) {
+      return Status::InvalidArgument("malformed web delta fault record");
+    }
+    auto death = ParseDeath(is);
+    if (!death.ok()) return death.status();
+    f.death_day = *death;
+    is >> f.flash_bucket >> f.flash_count;
+    if (is.fail()) {
+      return Status::InvalidArgument("malformed web delta fault record");
+    }
+    Status end = ExpectLineEnd(is, "web delta fault");
+    if (!end.ok()) return end;
+    f.draw.SetState(draw);
+    f.outage.SetState(outage);
+    if (web->site_faults_.empty()) {
+      return Status::InvalidArgument(
+          "web delta carries fault state but this web's configuration "
+          "has fault injection disabled");
+    }
+    staged_faults.emplace_back(site, f);
+  }
+
+  struct StagedPage {
+    Url url;
+    SimulatedWeb::PageRecord record;
+  };
+  std::vector<StagedPage> staged;
+  staged.reserve(static_cast<std::size_t>(
+      std::min<uint64_t>(nrecords, 1 << 20)));
+  for (uint64_t i = 0; i < nrecords; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("web delta record count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    StagedPage page;
+    is >> tag >> page.url.site >> page.url.slot >>
+        page.url.incarnation >> page.record.version >>
+        page.record.change_rate >> page.record.birth_time;
+    if (is.fail() || tag != "I") {
+      return Status::InvalidArgument("malformed web delta page record");
+    }
+    auto death = ParseDeath(is);
+    if (!death.ok()) return death.status();
+    page.record.death_time = *death;
+    std::array<uint64_t, 4> lanes{};
+    std::size_t nlinks = 0;
+    is >> page.record.state_time >> page.record.last_change_time >>
+        lanes[0] >> lanes[1] >> lanes[2] >> lanes[3] >> nlinks;
+    if (is.fail() || nlinks > kMaxLinksPerPage) {
+      return Status::InvalidArgument("malformed web delta page record");
+    }
+    page.record.rng.SetState(lanes);
+    page.record.cross_links.reserve(nlinks);
+    for (std::size_t k = 0; k < nlinks; ++k) {
+      uint32_t ts = 0, tslot = 0;
+      is >> ts >> tslot;
+      if (is.fail()) {
+        return Status::InvalidArgument("malformed web delta link list");
+      }
+      page.record.cross_links.emplace_back(ts, tslot);
+    }
+    Status end = ExpectLineEnd(is, "web delta page");
+    if (!end.ok()) return end;
+    if (dirty_set.count(page.url.site) == 0 ||
+        page.url.slot >= web->sites_[page.url.site].slots.size()) {
+      return Status::InvalidArgument(
+          "web delta slot layout does not match this web's "
+          "configuration");
+    }
+    page.record.url = page.url;
+    staged.push_back(std::move(page));
+  }
+  Status stream_end = FinishFramedStream(reader, in, "web delta");
+  if (!stream_end.ok()) return stream_end;
+
+  // Same canonical-contiguity validation as the full restore, over the
+  // dirty sites only; everything staged before the web is touched.
+  std::vector<std::vector<std::vector<SimulatedWeb::PageRecord>>>
+      histories(dirty.size());
+  uint64_t index = 0;
+  for (std::size_t d = 0; d < dirty.size(); ++d) {
+    const uint32_t s = dirty[d];
+    const auto& slots = web->sites_[s].slots;
+    histories[d].resize(slots.size());
+    for (uint32_t j = 0; j < slots.size(); ++j) {
+      std::vector<SimulatedWeb::PageRecord>& history = histories[d][j];
+      while (index < staged.size() && staged[index].url.site == s &&
+             staged[index].url.slot == j) {
+        if (staged[index].url.incarnation != history.size()) {
+          return Status::InvalidArgument(
+              "web delta incarnations out of order");
+        }
+        history.push_back(std::move(staged[index].record));
+        ++index;
+      }
+      if (history.empty()) {
+        return Status::InvalidArgument(
+            "web delta missing a dirty slot's page history");
+      }
+    }
+  }
+  if (index != staged.size()) {
+    return Status::InvalidArgument("web delta records out of order");
+  }
+  for (std::size_t d = 0; d < dirty.size(); ++d) {
+    auto& slots = web->sites_[dirty[d]].slots;
+    for (uint32_t j = 0; j < slots.size(); ++j) {
+      slots[j].history = std::move(histories[d][j]);
+    }
+  }
+
+  web->now_.store(now, std::memory_order_relaxed);
+  web->fetch_count_.store(fetch_count, std::memory_order_relaxed);
+  web->not_found_count_.store(not_found, std::memory_order_relaxed);
+  web->pages_created_.store(pages_created, std::memory_order_relaxed);
+  for (const uint32_t s : dirty) {
+    web->site_fetches_[s].store(0, std::memory_order_relaxed);
+    if (!web->site_faults_.empty()) {
+      web->site_faults_[s] = SimulatedWeb::SiteFaultState{};
+    }
+  }
+  for (const auto& [site, count] : fetch_sites) {
+    web->site_fetches_[site].store(count, std::memory_order_relaxed);
+  }
   for (auto& [site, f] : staged_faults) web->site_faults_[site] = f;
   return Status::Ok();
 }

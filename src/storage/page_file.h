@@ -1,0 +1,128 @@
+#ifndef WEBEVO_STORAGE_PAGE_FILE_H_
+#define WEBEVO_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace webevo::storage {
+
+/// A scratch file of fixed-size slotted pages with an LRU write-back
+/// page cache.
+///
+/// Page layout (within a page_bytes buffer):
+///
+///     [u16 nslots][u16 off, u16 len] * nslots ... gap ... [cells]
+///
+/// Cells are packed from the page's end downward; the slot directory
+/// grows from the front. Erasing a record tombstones its directory
+/// entry (off = 0xFFFF); the slot index is reused by a later insert,
+/// and the page is compacted in place when the gap is too small for a
+/// fit that the page's total free bytes allow.
+///
+/// The file is *scratch* storage: the slot directories and free-space
+/// accounting live in memory for the file's lifetime, records are
+/// durable only through checkpoints, and the file is removed by the
+/// destructor. There is deliberately no reopen path — recovery is the
+/// checkpoint layer's job (docs/STORAGE.md).
+///
+/// Not thread-safe; callers serialise access (each crawler shard owns
+/// its stores, and cross-shard use happens only in serial phases).
+class PageFile {
+ public:
+  /// A record's address: page number + slot index within the page.
+  struct Loc {
+    uint64_t page = 0;
+    uint16_t slot = 0;
+  };
+
+  struct Stats {
+    std::size_t pages = 0;
+    std::size_t cached_pages = 0;
+    std::size_t page_evictions = 0;
+    std::size_t page_reads = 0;
+    std::size_t live_records = 0;
+    std::size_t live_bytes = 0;
+  };
+
+  /// Creates (truncates) the backing file. `cache_pages` is clamped to
+  /// at least 1.
+  PageFile(std::string path, std::size_t page_bytes,
+           std::size_t cache_pages);
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Largest record a page of `page_bytes` can hold.
+  static std::size_t MaxRecordBytes(std::size_t page_bytes);
+
+  /// Stores `bytes` in the first page that fits (first-fit over page
+  /// numbers, allocating a new page at the end when none fits). The
+  /// record must satisfy bytes.size() <= MaxRecordBytes(page_bytes).
+  Loc Insert(const std::string& bytes);
+
+  /// Reads the record at `loc` (which must be live).
+  std::string Read(const Loc& loc);
+
+  /// Tombstones the record at `loc` (which must be live).
+  void Erase(const Loc& loc);
+
+  /// Drops every page and truncates the file.
+  void Clear();
+
+  const std::string& path() const { return path_; }
+  std::size_t page_bytes() const { return page_bytes_; }
+  Stats stats() const;
+
+  /// A collision-free scratch-file path under `dir` (or "." when
+  /// empty): name + process-wide counter suffix.
+  static std::string UniquePath(const std::string& dir,
+                                const std::string& name);
+
+ private:
+  struct Slot {
+    uint16_t off = 0xFFFF;  // 0xFFFF = tombstone / never used
+    uint16_t len = 0;
+  };
+  struct PageMeta {
+    std::vector<Slot> slots;
+    uint16_t cell_floor = 0;   // lowest cell offset (cells end at page_bytes)
+    uint32_t live_bytes = 0;   // sum of live cell lengths
+    uint16_t live_slots = 0;
+  };
+
+  // Free bytes available to a *new* record on the page (accounts for
+  // the directory entry a fresh slot would need).
+  std::size_t FreeBytes(const PageMeta& meta) const;
+  // Contiguous gap between the directory and the lowest cell.
+  std::size_t Gap(const PageMeta& meta) const;
+
+  std::vector<char>& PageBuffer(uint64_t page);  // faults in + pins via LRU
+  void TouchLru(uint64_t page);
+  void EvictIfNeeded(uint64_t except_page);
+  void WriteBack(uint64_t page, const std::vector<char>& buf);
+  void CompactPage(uint64_t page, PageMeta& meta, std::vector<char>& buf);
+
+  std::string path_;
+  std::size_t page_bytes_;
+  std::size_t cache_cap_;
+  int fd_ = -1;
+
+  std::vector<PageMeta> pages_;
+  struct CacheEntry {
+    std::vector<char> buf;
+    bool dirty = false;
+    std::list<uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<uint64_t, CacheEntry> cache_;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::size_t page_evictions_ = 0;
+  std::size_t page_reads_ = 0;
+};
+
+}  // namespace webevo::storage
+
+#endif  // WEBEVO_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,214 @@
+#ifndef WEBEVO_STORAGE_PAGED_RECORD_STORE_H_
+#define WEBEVO_STORAGE_PAGED_RECORD_STORE_H_
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/page_file.h"
+#include "storage/record_store.h"
+
+namespace webevo::storage {
+
+/// The disk-backed RecordStore: encoded records live in a PageFile, an
+/// in-memory canonical index maps every key to its page location, and
+/// a decoded-record *overlay* (an unordered_map, so node-stable)
+/// materialises records on access, giving callers the same
+/// reference-stability contract as the memory backend.
+///
+/// Mutations (Put, FindMutable writes) land in the overlay and are
+/// compacted into pages at Flush() — the barrier hook — in canonical
+/// key order, so page contents are deterministic for a deterministic
+/// mutation stream. Full-table walks (ForEach*) materialise every
+/// record into the overlay for the duration of the walk; the overlay
+/// is trimmed back to `overlay_entries` clean records at the next
+/// Flush(). Oversized records (beyond a page's cell capacity) are kept
+/// pinned in the overlay rather than paged.
+///
+/// `Codec` must provide:
+///     static std::string Encode(const Record&);
+///     static Record Decode(const std::string& bytes);
+template <typename Record, typename Codec>
+class PagedRecordStore final : public RecordStore<Record> {
+ public:
+  using typename RecordStore<Record>::ForEachFn;
+
+  PagedRecordStore(const StoreOptions& options, const std::string& name)
+      : file_(PageFile::UniquePath(options.dir, name),
+              options.page_bytes, options.cache_pages),
+        clean_cap_(options.overlay_entries) {}
+
+  Record* Put(const simweb::Url& url, Record&& record) override {
+    this->MarkDirty(url);
+    IndexEntry& ie = index_[url];  // Placement::kUnplaced when new
+    OverlayEntry& oe = overlay_[url];
+    oe.record = std::move(record);
+    oe.dirty = true;
+    oe.last_use = ++use_clock_;
+    (void)ie;
+    return &oe.record;
+  }
+
+  bool Erase(const simweb::Url& url) override {
+    auto it = index_.find(url);
+    if (it == index_.end()) return false;
+    if (it->second.placement == Placement::kPaged) {
+      file_.Erase(it->second.loc);
+    }
+    index_.erase(it);
+    overlay_.erase(url);
+    this->MarkDirty(url);
+    return true;
+  }
+
+  const Record* Find(const simweb::Url& url) const override {
+    return Materialise(url, /*mark_dirty=*/false);
+  }
+
+  Record* FindMutable(const simweb::Url& url) override {
+    Record* r = Materialise(url, /*mark_dirty=*/true);
+    if (r != nullptr) this->MarkDirty(url);
+    return r;
+  }
+
+  bool Contains(const simweb::Url& url) const override {
+    return index_.count(url) > 0;
+  }
+
+  std::size_t size() const override { return index_.size(); }
+
+  void Clear() override {
+    index_.clear();
+    overlay_.clear();
+    file_.Clear();
+    this->MarkCleared();
+  }
+
+  /// Compacts dirty records into pages in canonical key order, then
+  /// trims the clean overlay down to `overlay_entries` records
+  /// (least-recently-used first).
+  void Flush() override {
+    for (auto& [url, ie] : index_) {
+      auto oit = overlay_.find(url);
+      if (oit == overlay_.end() || !oit->second.dirty) continue;
+      OverlayEntry& oe = oit->second;
+      std::string bytes = Codec::Encode(oe.record);
+      if (ie.placement == Placement::kPaged) {
+        file_.Erase(ie.loc);
+        ie.placement = Placement::kUnplaced;
+      }
+      if (bytes.size() > PageFile::MaxRecordBytes(file_.page_bytes())) {
+        ie.placement = Placement::kOversize;  // stays pinned in overlay
+        oe.dirty = true;
+        continue;
+      }
+      ie.loc = file_.Insert(bytes);
+      ie.placement = Placement::kPaged;
+      oe.dirty = false;
+    }
+    TrimOverlay();
+  }
+
+  void ForEach(const ForEachFn& fn) const override {
+    MaterialiseAll();
+    for (const auto& [url, oe] : overlay_) fn(url, oe.record);
+  }
+
+  void ForEachCanonical(const ForEachFn& fn) const override {
+    MaterialiseAll();
+    for (const auto& [url, ie] : index_) {
+      (void)ie;
+      fn(url, overlay_.find(url)->second.record);
+    }
+  }
+
+  StoreStats stats() const override {
+    StoreStats s;
+    const PageFile::Stats fs = file_.stats();
+    s.pages = fs.pages;
+    s.cached_pages = fs.cached_pages;
+    s.page_evictions = fs.page_evictions;
+    s.page_reads = fs.page_reads;
+    s.overlay_records = overlay_.size();
+    for (const auto& [url, oe] : overlay_) {
+      (void)url;
+      if (oe.dirty) ++s.dirty_records;
+    }
+    return s;
+  }
+
+ private:
+  enum class Placement { kUnplaced, kPaged, kOversize };
+  struct IndexEntry {
+    PageFile::Loc loc;
+    Placement placement = Placement::kUnplaced;
+  };
+  struct OverlayEntry {
+    Record record;
+    bool dirty = false;
+    uint64_t last_use = 0;
+  };
+
+  Record* Materialise(const simweb::Url& url, bool mark_dirty) const {
+    auto oit = overlay_.find(url);
+    if (oit != overlay_.end()) {
+      oit->second.last_use = ++use_clock_;
+      if (mark_dirty) oit->second.dirty = true;
+      return &oit->second.record;
+    }
+    auto it = index_.find(url);
+    if (it == index_.end()) return nullptr;
+    // kUnplaced / kOversize entries always have an overlay record, so
+    // reaching here means the record is paged.
+    OverlayEntry oe;
+    oe.record = Codec::Decode(file_.Read(it->second.loc));
+    oe.dirty = mark_dirty;
+    oe.last_use = ++use_clock_;
+    auto [nit, ok] = overlay_.emplace(url, std::move(oe));
+    (void)ok;
+    return &nit->second.record;
+  }
+
+  void MaterialiseAll() const {
+    for (const auto& [url, ie] : index_) {
+      (void)ie;
+      Materialise(url, /*mark_dirty=*/false);
+    }
+  }
+
+  void TrimOverlay() {
+    if (overlay_.size() <= clean_cap_) return;
+    std::vector<std::pair<uint64_t, const simweb::Url*>> clean;
+    clean.reserve(overlay_.size());
+    for (const auto& [url, oe] : overlay_) {
+      if (!oe.dirty) clean.emplace_back(oe.last_use, &url);
+    }
+    if (overlay_.size() - clean.size() >= clean_cap_) {
+      // All clean records must go (dirty/pinned alone exceed the cap).
+      for (const auto& [use, url] : clean) {
+        (void)use;
+        overlay_.erase(*url);
+      }
+      return;
+    }
+    std::size_t excess = overlay_.size() - clean_cap_;
+    if (excess > clean.size()) excess = clean.size();
+    std::sort(clean.begin(), clean.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < excess; ++i) overlay_.erase(*clean[i].second);
+  }
+
+  std::map<simweb::Url, IndexEntry, simweb::UrlIdentityLess> index_;
+  mutable std::unordered_map<simweb::Url, OverlayEntry, simweb::UrlHash>
+      overlay_;
+  mutable uint64_t use_clock_ = 0;
+  mutable PageFile file_;
+  std::size_t clean_cap_;
+};
+
+}  // namespace webevo::storage
+
+#endif  // WEBEVO_STORAGE_PAGED_RECORD_STORE_H_

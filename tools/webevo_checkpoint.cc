@@ -1,0 +1,275 @@
+// webevo_checkpoint — offline inspection of SaveCrawler checkpoint
+// containers and their incremental delta logs (docs/STORAGE.md).
+//
+// `inspect` never reconstructs a crawler: it parses and verifies the
+// container framing only (header trailer, per-section length + FNV-64),
+// so it works on any checkpoint regardless of the shape flags the run
+// was produced with, and is the first tool to reach for when a resume
+// refuses a file.
+//
+// Examples:
+//   webevo_checkpoint inspect run.ckpt
+//   webevo_checkpoint inspect run.ckpt --sections
+//   webevo_checkpoint inspect run.ckpt --deltas=elsewhere.deltas
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "storage/delta_log.h"
+#include "util/flags.h"
+#include "util/hash.h"
+#include "util/status.h"
+#include "util/text_snapshot.h"
+
+namespace {
+
+using namespace webevo;
+
+// Printed verbatim by --help; CI diffs it against
+// docs/webevo_checkpoint_help.txt, so any edit here must regenerate
+// that file (cmake --build build --target webevo_checkpoint &&
+// ./build/webevo_checkpoint --help > docs/webevo_checkpoint_help.txt).
+constexpr const char* kUsage =
+    R"(usage: webevo_checkpoint inspect <checkpoint> [flags]
+
+Verifies and prints a SaveCrawler checkpoint container without
+reconstructing the crawler: the header trailer, then every section
+against its table length and FNV-64 checksum. Each table row shows the
+section's name, byte length, checksum, and the magic + format version
+from the section's own header line.
+
+When an incremental delta log exists next to the checkpoint (the
+<checkpoint>.deltas write-ahead log of CheckpointIncremental), the
+base/delta chain is printed too: one row per sealed segment with its
+kind, batch counter, section count and payload bytes. A torn
+(unsealed) tail — the crash-between-append-and-seal case that resume
+ignores — is reported, not an error.
+
+flags:
+  --deltas=<path>     delta log to chain-inspect
+                      (default: <checkpoint>.deltas, when it exists)
+  --sections          also print each delta segment's section table
+  --help              this text
+
+exit status: 0 on a fully verified container (a torn delta tail is
+still 0), 1 on corruption or I/O failure, 2 on usage errors.
+)";
+
+struct SectionRow {
+  std::string name;
+  std::size_t bytes = 0;
+  uint64_t fnv = 0;
+  std::string magic;
+  std::string version;
+};
+
+// First two whitespace-separated tokens of the section's first line —
+// every webevo snapshot stream opens with `<magic> <version> ...`.
+void ParseSectionHeader(const std::string& bytes, SectionRow* row) {
+  std::istringstream is(bytes);
+  std::string line;
+  std::getline(is, line);
+  std::istringstream ls(line);
+  if (!(ls >> row->magic >> row->version)) {
+    row->magic = "?";
+    row->version = "?";
+  }
+}
+
+void PrintSectionTable(const std::vector<SectionRow>& rows,
+                       const char* indent) {
+  std::size_t name_w = 7;
+  std::size_t magic_w = 5;
+  for (const SectionRow& r : rows) {
+    if (r.name.size() > name_w) name_w = r.name.size();
+    if (r.magic.size() > magic_w) magic_w = r.magic.size();
+  }
+  std::printf("%s%-*s %10s %20s  %-*s %s\n", indent,
+              static_cast<int>(name_w), "section", "bytes", "fnv64",
+              static_cast<int>(magic_w), "magic", "ver");
+  for (const SectionRow& r : rows) {
+    std::printf("%s%-*s %10zu %20llu  %-*s %s\n", indent,
+                static_cast<int>(name_w), r.name.c_str(), r.bytes,
+                static_cast<unsigned long long>(r.fnv),
+                static_cast<int>(magic_w), r.magic.c_str(),
+                r.version.c_str());
+  }
+}
+
+// Parses and verifies the container exactly as snapshot.cc's reader
+// does — header trailer first, then each section against its declared
+// length and checksum, then end-of-stream — but keeps the sections as
+// opaque bytes instead of restoring a crawler from them.
+Status InspectContainer(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic, kind;
+  int version = 0;
+  std::size_t nsections = 0;
+  hs >> magic >> version >> kind >> nsections;
+  if (hs.fail() || magic != "webevo-crawler") {
+    return Status::InvalidArgument("not a webevo-crawler container: " +
+                                   path);
+  }
+  Status end = ExpectLineEnd(hs, "container header");
+  if (!end.ok()) return end;
+
+  std::vector<SectionRow> rows;
+  for (std::size_t i = 0; i < nsections; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) return line.status();
+    std::istringstream ls(*line);
+    std::string tag;
+    SectionRow row;
+    ls >> tag >> row.name >> row.bytes >> row.fnv;
+    if (ls.fail() || tag != "S") {
+      return Status::InvalidArgument("malformed section-table line");
+    }
+    end = ExpectLineEnd(ls, "section-table line");
+    if (!end.ok()) return end;
+    rows.push_back(std::move(row));
+  }
+  // End of the header block: Next() past the table must consume and
+  // verify the trailer (NotFound), leaving the section bytes in `in`.
+  auto past = reader.Next();
+  if (past.ok() || !reader.done()) {
+    return past.ok()
+               ? Status::InvalidArgument("trailing data in header")
+               : past.status();
+  }
+
+  for (SectionRow& row : rows) {
+    // Chunked reads, as in the container loader: a crafted
+    // table-claimed length must surface as a truncation error, not a
+    // giant allocation.
+    std::string bytes;
+    bytes.reserve(std::min<std::size_t>(row.bytes, 1 << 20));
+    std::size_t remaining = row.bytes;
+    char buf[1 << 16];
+    while (remaining > 0) {
+      const std::size_t want = std::min(remaining, sizeof(buf));
+      in.read(buf, static_cast<std::streamsize>(want));
+      const auto got = static_cast<std::size_t>(in.gcount());
+      bytes.append(buf, got);
+      if (got < want) {
+        return Status::InvalidArgument("section " + row.name +
+                                       " truncated");
+      }
+      remaining -= got;
+    }
+    if (Fnv1a64(bytes) != row.fnv) {
+      return Status::InvalidArgument("section " + row.name +
+                                     " checksum mismatch");
+    }
+    ParseSectionHeader(bytes, &row);
+  }
+  Status stream_end = ExpectStreamEnd(in, "checkpoint container");
+  if (!stream_end.ok()) return stream_end;
+
+  std::printf("%s: kind=%s format=v%d sections=%zu  [verified]\n",
+              path.c_str(), kind.c_str(), version, nsections);
+  PrintSectionTable(rows, "  ");
+  return Status::Ok();
+}
+
+Status InspectDeltaChain(const std::string& base_path,
+                         const std::string& deltas_path,
+                         bool show_sections) {
+  auto log = storage::ReadDeltaLog(deltas_path);
+  if (!log.ok()) return log.status();
+  if (log->segments.empty() && log->torn_tail_bytes == 0) {
+    std::printf("\n%s: empty delta log\n", deltas_path.c_str());
+    return Status::Ok();
+  }
+  std::printf("\nchain: base %s + %zu sealed segment%s (%s)\n",
+              base_path.c_str(), log->segments.size(),
+              log->segments.size() == 1 ? "" : "s",
+              deltas_path.c_str());
+  std::size_t index = 0;
+  for (const storage::DeltaSegment& segment : log->segments) {
+    std::size_t payload = 0;
+    for (const storage::DeltaSection& s : segment.sections) {
+      payload += s.bytes.size();
+    }
+    std::printf(
+        "  segment %zu: kind=%s batch=%llu sections=%zu payload=%zuB\n",
+        index++, segment.kind.c_str(),
+        static_cast<unsigned long long>(segment.batch),
+        segment.sections.size(), payload);
+    if (show_sections) {
+      std::vector<SectionRow> rows;
+      for (const storage::DeltaSection& s : segment.sections) {
+        SectionRow row;
+        row.name = s.name;
+        row.bytes = s.bytes.size();
+        row.fnv = Fnv1a64(s.bytes);
+        ParseSectionHeader(s.bytes, &row);
+        rows.push_back(std::move(row));
+      }
+      PrintSectionTable(rows, "    ");
+    }
+  }
+  if (log->torn_tail_bytes > 0) {
+    std::printf(
+        "  torn tail: %llu unsealed byte%s after the last seal "
+        "(ignored on resume)\n",
+        static_cast<unsigned long long>(log->torn_tail_bytes),
+        log->torn_tail_bytes == 1 ? "" : "s");
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  Status valid = flags.Validate({"help", "deltas", "sections"});
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", valid.ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const std::vector<std::string>& args = flags.positional();
+  if (args.size() != 2 || args[0] != "inspect") {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string& path = args[1];
+
+  Status st = InspectContainer(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const std::string deltas =
+      flags.GetString("deltas", path + ".deltas");
+  if (flags.Has("deltas") || FileExists(deltas)) {
+    st = InspectDeltaChain(path, deltas,
+                           flags.GetBool("sections", false));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <fstream>
 #include <string>
 
+#include "crawler/crawl_module_pool.h"
 #include "crawler/incremental_crawler.h"
 #include "crawler/periodic_crawler.h"
 #include "crawler/snapshot.h"
@@ -72,7 +73,25 @@ checkpoint flags (crawl mode):
                             continue to --days; with the same seed and
                             flags the result is bit-identical to an
                             uninterrupted run (--days on the freshness
-                            sample grid)
+                            sample grid); a <path>.deltas log written
+                            by --checkpoint-incremental is detected and
+                            replayed automatically
+  --checkpoint-incremental  O(dirty) checkpoints (incremental crawler
+                            only): the first save writes a full base
+                            image, every later one appends a sealed
+                            delta segment to <path>.deltas instead of
+                            rewriting the base (docs/STORAGE.md)
+  --checkpoint-traffic      carry the pool's aggregate traffic ledger
+                            in checkpoints, so a resumed run's load
+                            numbers cover the whole crawl
+
+storage flags (crawl mode):
+  --store=map|paged         record-store backend for the collection
+                            state (default map; paged spills records
+                            to slotted page files — behaviour and
+                            checkpoints are bit-identical either way)
+  --store-dir=<dir>         scratch directory for --store=paged page
+                            files                     (default ".")
 )";
 
 simweb::WebConfig WebFromFlags(const FlagParser& flags) {
@@ -155,9 +174,34 @@ int RunCrawl(const FlagParser& flags) {
     std::printf("--checkpoint-every requires --checkpoint=<path>\n");
     return 2;
   }
+  const bool checkpoint_incremental =
+      flags.GetBool("checkpoint-incremental", false);
+  const bool checkpoint_traffic = flags.GetBool("checkpoint-traffic", false);
+  if (checkpoint_incremental && kind == "periodic") {
+    std::printf("--checkpoint-incremental is incremental-crawler only "
+                "(the periodic crawler rewrites its whole collection "
+                "every cycle; see snapshot.h)\n");
+    return 2;
+  }
+  if (checkpoint_incremental && checkpoint.empty()) {
+    std::printf("--checkpoint-incremental requires --checkpoint=<path>\n");
+    return 2;
+  }
+  storage::StoreOptions store_options;
+  const std::string store_kind = flags.GetString("store", "map");
+  if (store_kind == "paged") {
+    store_options.backend = storage::StoreOptions::Backend::kPaged;
+    store_options.dir = flags.GetString("store-dir", ".");
+  } else if (store_kind != "map") {
+    std::printf("unknown --store backend '%s' (map|paged)\n",
+                store_kind.c_str());
+    return 2;
+  }
+  crawler::CrawlerCheckpointOptions save_options;
+  save_options.module_traffic = checkpoint_traffic;
 
   const freshness::FreshnessTracker* tracker = nullptr;
-  const crawler::CrawlModule* module = nullptr;
+  const crawler::CrawlModulePool* pool = nullptr;
   crawler::IncrementalCrawler incremental(
       &web, [&] {
         crawler::IncrementalCrawlerConfig c;
@@ -165,6 +209,9 @@ int RunCrawl(const FlagParser& flags) {
         c.crawl_rate_pages_per_day = static_cast<double>(capacity) / cycle;
         c.checkpoint_every_batches = checkpoint_every;
         c.checkpoint_path = checkpoint;
+        c.checkpoint_incremental = checkpoint_incremental;
+        c.checkpoint_module_traffic = checkpoint_traffic;
+        c.store = store_options;
         std::string policy = flags.GetString("policy", "optimal");
         c.update.policy = policy == "uniform"
                               ? crawler::RevisitPolicy::kUniform
@@ -188,6 +235,8 @@ int RunCrawl(const FlagParser& flags) {
     c.shadowing = !flags.GetBool("no-shadowing", false);
     c.checkpoint_every_batches = checkpoint_every;
     c.checkpoint_path = checkpoint;
+    c.checkpoint_module_traffic = checkpoint_traffic;
+    c.store = store_options;
     return c;
   }());
 
@@ -204,34 +253,47 @@ int RunCrawl(const FlagParser& flags) {
     }
     if (st.ok()) st = periodic.RunUntil(days);
     if (st.ok() && !checkpoint.empty()) {
-      st = crawler::SaveCrawlerToFile(periodic, checkpoint);
+      st = crawler::SaveCrawlerToFile(periodic, checkpoint, save_options);
       if (st.ok()) {
         std::printf("checkpointed periodic crawler to %s\n",
                     checkpoint.c_str());
       }
     }
     tracker = &periodic.tracker();
-    module = &periodic.crawl_module();
+    pool = &periodic.crawl_pool();
   } else {
     if (!resume.empty()) {
-      st = crawler::LoadCrawlerFromFile(resume, &incremental);
+      // An adjacent .deltas log means the checkpoint was written by
+      // --checkpoint-incremental: restore the base, replay the chain.
+      const bool with_deltas =
+          static_cast<bool>(std::ifstream(resume + ".deltas"));
+      st = with_deltas
+               ? crawler::LoadCrawlerWithDeltasFromFile(resume,
+                                                        &incremental)
+               : crawler::LoadCrawlerFromFile(resume, &incremental);
       if (st.ok()) {
-        std::printf("resumed incremental crawler from %s at day %.2f\n",
-                    resume.c_str(), incremental.now());
+        std::printf("resumed incremental crawler from %s%s at day %.2f\n",
+                    resume.c_str(), with_deltas ? " (+deltas)" : "",
+                    incremental.now());
       }
     } else {
       st = incremental.Bootstrap(0.0);
     }
     if (st.ok()) st = incremental.RunUntil(days);
     if (st.ok() && !checkpoint.empty()) {
-      st = crawler::SaveCrawlerToFile(incremental, checkpoint);
+      st = checkpoint_incremental
+               ? crawler::CheckpointIncremental(&incremental, checkpoint,
+                                                save_options)
+               : crawler::SaveCrawlerToFile(incremental, checkpoint,
+                                            save_options);
       if (st.ok()) {
-        std::printf("checkpointed incremental crawler to %s\n",
-                    checkpoint.c_str());
+        std::printf("checkpointed incremental crawler to %s%s\n",
+                    checkpoint.c_str(),
+                    checkpoint_incremental ? " (incremental)" : "");
       }
     }
     tracker = &incremental.tracker();
-    module = &incremental.crawl_module();
+    pool = &incremental.crawl_pool();
   }
   if (!st.ok()) {
     std::printf("failed: %s\n", st.ToString().c_str());
@@ -249,12 +311,17 @@ int RunCrawl(const FlagParser& flags) {
   TablePrinter table({"metric", "value"});
   table.AddRow({"time-avg freshness (2nd half)",
                 TablePrinter::Fmt(tracker->TimeAverage(days / 2, days))});
+  // Pool-level aggregate, not module 0's ledger: correct at any
+  // parallelism, and — after a --checkpoint-traffic resume — covering
+  // the whole crawl, not just the post-resume tail.
+  const crawler::CrawlModulePool::Traffic traffic =
+      pool->AggregateTraffic();
   table.AddRow({"peak load (pages/day)",
-                TablePrinter::Fmt(module->PeakDailyRate(), 0)});
+                TablePrinter::Fmt(traffic.PeakDailyRate(), 0)});
   table.AddRow({"avg load (pages/day)",
-                TablePrinter::Fmt(module->AverageDailyRate(), 0)});
+                TablePrinter::Fmt(traffic.AverageDailyRate(), 0)});
   table.AddRow({"fetches", TablePrinter::Fmt(static_cast<int64_t>(
-                               module->fetch_count()))});
+                               traffic.fetch_count))});
   std::printf("%s", table.ToString().c_str());
   MaybeWriteCsv(flags, *tracker, kind);
   return 0;
@@ -311,7 +378,8 @@ int main(int argc, char** argv) {
   Status valid = flags.Validate(
       {"seed", "scale", "days", "capacity", "csv", "faults", "window",
        "crawler", "policy", "estimator", "cycle", "no-shadowing",
-       "checkpoint", "checkpoint-every", "resume", "help"});
+       "checkpoint", "checkpoint-every", "checkpoint-incremental",
+       "checkpoint-traffic", "resume", "store", "store-dir", "help"});
   if (!valid.ok()) {
     std::printf("%s\n%s", valid.ToString().c_str(), kUsage);
     return 2;
