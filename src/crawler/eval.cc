@@ -7,19 +7,9 @@
 namespace webevo::crawler {
 namespace {
 
-/// Per-site accumulator; doubles are summed in (slot, incarnation)
-/// order within the site, so a site's partial is a pure function of its
-/// entries regardless of threading.
-struct SitePartial {
-  std::size_t fresh = 0;
-  std::size_t dead = 0;
-  std::size_t stale_with_age = 0;
-  double stale_age_sum = 0.0;
-};
-
 void MeasureSite(simweb::SimulatedWeb& web,
                  std::vector<const CollectionEntry*>& entries, double t,
-                 SitePartial& partial) {
+                 StagedMeasure::SitePartial& partial) {
   std::sort(entries.begin(), entries.end(),
             [](const CollectionEntry* a, const CollectionEntry* b) {
               if (a->url.slot != b->url.slot) return a->url.slot < b->url.slot;
@@ -45,69 +35,105 @@ void MeasureSite(simweb::SimulatedWeb& web,
 
 // Works for Collection and ShardedCollection alike: only size() and an
 // (order-insensitive) ForEach are needed, since entries are re-bucketed
-// by site before any order-dependent accumulation happens.
+// by site before any order-dependent accumulation happens. One code
+// path for the serial, pool-parallel, and pipelined (StagedMeasure
+// driven externally) measurements, so they can never drift apart.
 template <typename CollectionT>
 CollectionQuality MeasureImpl(simweb::SimulatedWeb& web,
                               const CollectionT& collection, double t,
                               ThreadPool* threads, int num_shards) {
-  CollectionQuality q;
-  q.size = collection.size();
-  if (q.size == 0) return q;
-
-  // Bucket entries by site (cheap pointer shuffling; the oracle walks
-  // below are the expensive part).
-  std::vector<std::vector<const CollectionEntry*>> by_site(web.num_sites());
-  std::size_t foreign = 0;  // entries from outside this web: never fresh
-  collection.ForEach([&](const CollectionEntry& entry) {
-    if (entry.url.site < by_site.size()) {
-      by_site[entry.url.site].push_back(&entry);
-    } else {
-      ++foreign;
-    }
-  });
-
-  const auto shards =
-      static_cast<std::size_t>(std::max(1, num_shards));
-  std::vector<SitePartial> partials(by_site.size());
-  auto measure_shard = [&](std::size_t shard) {
-    for (std::size_t site = shard; site < by_site.size(); site += shards) {
-      if (by_site[site].empty()) continue;
-      MeasureSite(web, by_site[site], t, partials[site]);
-    }
-  };
+  StagedMeasure staged;
+  staged.Prepare(web, collection, t, num_shards);
+  const auto shards = static_cast<std::size_t>(std::max(1, num_shards));
   if (threads != nullptr && shards > 1) {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(shards);
     for (std::size_t shard = 0; shard < shards; ++shard) {
-      tasks.push_back([&measure_shard, shard] { measure_shard(shard); });
+      tasks.push_back([&staged, shard] { staged.RunShard(shard); });
     }
     threads->RunAndWait(std::move(tasks));
-  } else {
-    for (std::size_t shard = 0; shard < shards; ++shard) {
-      measure_shard(shard);
-    }
   }
+  return staged.Finish();
+}
+
+}  // namespace
+
+template <typename CollectionT>
+void StagedMeasure::PrepareImpl(simweb::SimulatedWeb& web,
+                                const CollectionT& collection, double t,
+                                int num_shards) {
+  web_ = &web;
+  t_ = t;
+  shards_ = static_cast<std::size_t>(std::max(1, num_shards));
+  size_ = collection.size();
+  foreign_ = 0;
+  prepared_ = true;
+  by_site_.assign(web.num_sites(), {});
+  partials_.assign(by_site_.size(), SitePartial{});
+  shard_done_.assign(shards_, 0);
+  // Bucket entries by site (cheap pointer shuffling; the oracle walks
+  // in RunShard are the expensive part).
+  collection.ForEach([&](const CollectionEntry& entry) {
+    if (entry.url.site < by_site_.size()) {
+      by_site_[entry.url.site].push_back(&entry);
+    } else {
+      ++foreign_;
+    }
+  });
+}
+
+void StagedMeasure::Prepare(simweb::SimulatedWeb& web,
+                            const Collection& collection, double t,
+                            int num_shards) {
+  PrepareImpl(web, collection, t, num_shards);
+}
+
+void StagedMeasure::Prepare(simweb::SimulatedWeb& web,
+                            const ShardedCollection& collection, double t,
+                            int num_shards) {
+  PrepareImpl(web, collection, t, num_shards);
+}
+
+void StagedMeasure::RunShard(std::size_t shard) {
+  if (!prepared_ || shard >= shards_ || shard_done_[shard]) return;
+  shard_done_[shard] = 1;
+  for (std::size_t site = shard; site < by_site_.size(); site += shards_) {
+    if (by_site_[site].empty()) continue;
+    MeasureSite(*web_, by_site_[site], t_, partials_[site]);
+  }
+}
+
+CollectionQuality StagedMeasure::Finish() {
+  CollectionQuality q;
+  q.size = size_;
+  if (!prepared_) return q;
+  for (std::size_t shard = 0; shard < shards_; ++shard) RunShard(shard);
 
   // Canonical reduction: ascending site order, independent of the
   // site -> shard mapping, so every shard count sums in the same order.
   double stale_age_sum = 0.0;
   std::size_t stale_with_age = 0;
-  q.dead += foreign;
-  for (const SitePartial& partial : partials) {
+  q.dead += foreign_;
+  for (const SitePartial& partial : partials_) {
     q.fresh += partial.fresh;
     q.dead += partial.dead;
     stale_age_sum += partial.stale_age_sum;
     stale_with_age += partial.stale_with_age;
   }
-  q.freshness = static_cast<double>(q.fresh) / static_cast<double>(q.size);
+  if (q.size > 0) {
+    q.freshness = static_cast<double>(q.fresh) / static_cast<double>(q.size);
+  }
   if (stale_with_age > 0) {
     q.mean_stale_age_days =
         stale_age_sum / static_cast<double>(stale_with_age);
   }
+  prepared_ = false;
+  by_site_.clear();
+  partials_.clear();
+  shard_done_.clear();
+  web_ = nullptr;
   return q;
 }
-
-}  // namespace
 
 CollectionQuality MeasureCollection(simweb::SimulatedWeb& web,
                                     const Collection& collection,

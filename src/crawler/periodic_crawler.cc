@@ -77,17 +77,45 @@ void PeriodicCrawler::StartCycle(double t) {
     // a checkpoint-restored collection does not share with the live
     // one, and the BFS seed order is observable in every fetch time
     // that follows.
-    std::vector<simweb::Url> members;
-    members.reserve(inplace_.size());
+    // Seeding is sharded over the engine pool: bucket members by
+    // owning shard (site % N), then sort and seen-filter each bucket
+    // on its own worker — each worker touches only its shard's
+    // seen-set, and the site roots above already claimed their slots
+    // serially. A canonical N-way merge then appends in exactly the
+    // single globally sorted order (identity order never ties across
+    // shards: same site -> same shard, and a collection holds each
+    // URL at most once).
+    const std::size_t shards = seen_shards_.size();
+    std::vector<std::vector<simweb::Url>> members(shards);
     inplace_.ForEach([&](const CollectionEntry& entry) {
-      members.push_back(entry.url);
+      members[entry.url.site % shards].push_back(entry.url);
     });
-    std::sort(members.begin(), members.end(),
-              simweb::UrlIdentityLess{});
-    for (const simweb::Url& url : members) {
-      if (SeenInsert(url)) {
-        frontier_.push_back(url);
+    std::vector<std::size_t> targets;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (!members[s].empty()) targets.push_back(s);
+    }
+    engine_.threads().RunForIndices(targets, [&](std::size_t s) {
+      std::vector<simweb::Url>& urls = members[s];
+      std::sort(urls.begin(), urls.end(), simweb::UrlIdentityLess{});
+      std::size_t kept = 0;
+      for (const simweb::Url& url : urls) {
+        if (SeenInsert(url)) urls[kept++] = url;
       }
+      urls.resize(kept);
+    });
+    std::vector<std::size_t> cursor(shards, 0);
+    for (;;) {
+      std::size_t best = shards;
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (cursor[s] >= members[s].size()) continue;
+        if (best == shards ||
+            simweb::UrlIdentityLess{}(members[s][cursor[s]],
+                                      members[best][cursor[best]])) {
+          best = s;
+        }
+      }
+      if (best == shards) break;
+      frontier_.push_back(members[best][cursor[best]++]);
     }
   }
 }
@@ -183,12 +211,40 @@ Status PeriodicCrawler::RunUntil(double until) {
                       config_.crawl_window_days;
   const double step = 1.0 / rate;
   while (now_ < until) {
+    // Pipelined measure stage: when a sample is due, bucket the
+    // current collection now (cheap, serial) but defer the oracle
+    // walks — if a batch follows this iteration they fuse into its
+    // fetch workers; every other path settles them inline below.
+    // The walk reads `current_collection()` through entry pointers, so
+    // settlement always happens before any ApplyOutcome mutation and
+    // before FinishCycle's swap.
+    StagedMeasure staged_measure;
+    double sample_time = 0.0;
+    double measure_serial_seconds = 0.0;
     if (now_ >= next_sample_) {
-      tracker_.AddSample(now_, MeasureNow().freshness);
+      if (config_.pipeline) {
+        auto measure_begin = std::chrono::steady_clock::now();
+        sample_time = now_;
+        staged_measure.Prepare(*web_, current_collection(), sample_time,
+                               engine_.num_shards());
+        measure_serial_seconds = SecondsSince(measure_begin);
+      } else {
+        tracker_.AddSample(now_, MeasureNow().freshness);
+      }
       while (next_sample_ <= now_) {
         next_sample_ += config_.freshness_sample_interval_days;
       }
     }
+    // Settles a deferred sample: runs whatever shards the fused hooks
+    // did not cover (all of them on the non-batch paths) and records
+    // the sample at its due time. No-op once settled.
+    auto settle_measure = [&] {
+      if (!staged_measure.prepared()) return;
+      auto finish_begin = std::chrono::steady_clock::now();
+      tracker_.AddSample(sample_time, staged_measure.Finish().freshness);
+      engine_.RecordMeasureSeconds(measure_serial_seconds +
+                                   SecondsSince(finish_begin));
+    };
 
     double cycle_end = cycle_start_ + config_.cycle_days;
     double window_end = cycle_start_ + config_.crawl_window_days;
@@ -196,6 +252,7 @@ Status PeriodicCrawler::RunUntil(double until) {
     if (cycle_active_) {
       if (stored_this_cycle_ >= config_.collection_capacity ||
           now_ >= window_end) {
+        settle_measure();
         FinishCycle();
       } else {
         // Plan one engine batch: one frontier URL per crawl slot, at
@@ -221,10 +278,32 @@ Status PeriodicCrawler::RunUntil(double until) {
           engine_.RecordPlanSeconds(SecondsSince(plan_begin));
         }
         if (plan.empty()) {
+          settle_measure();
           FinishCycle();  // frontier exhausted before the window closed
         } else {
+          ShardedCrawlEngine::StageHooks hooks;
+          bool use_hooks = false;
+          if (staged_measure.prepared()) {
+            // Fuse the deferred measure into the fetch stage: each
+            // shard walks its own sites' oracles before its fetches
+            // (same shard -> same worker, so per-page observation
+            // times stay non-decreasing), and shards with nothing to
+            // fetch still get a visit for their measure walk.
+            hooks.before_fetch = [&staged_measure](std::size_t s) {
+              staged_measure.RunShard(s);
+            };
+            hooks.shards.resize(static_cast<std::size_t>(shards));
+            for (std::size_t s = 0; s < hooks.shards.size(); ++s) {
+              hooks.shards[s] = s;
+            }
+            use_hooks = true;
+          }
           std::vector<StatusOr<simweb::FetchResult>> outcomes =
-              engine_.ExecuteBatch(plan);
+              engine_.ExecuteBatch(plan, nullptr,
+                                   use_hooks ? &hooks : nullptr);
+          // Settle batch B-1's sample before the apply stage touches
+          // the collection the walk's entry pointers reference.
+          settle_measure();
           auto apply_begin = std::chrono::steady_clock::now();
 
           // The shared capacity-lease admission pass: each shard
@@ -355,6 +434,7 @@ Status PeriodicCrawler::RunUntil(double until) {
       }
     }
     // Idle until the next cycle or housekeeping, whichever is earlier.
+    settle_measure();  // no batch this iteration: run the walk inline
     double target = std::min(next_sample_, cycle_end);
     if (now_ >= cycle_end) {
       StartCycle(cycle_end);

@@ -51,6 +51,12 @@ common flags:
   --csv=<path>      also write the freshness series as CSV
   --faults=<name>   fault scenario: none|transient10|outage-storm|
                     site-death|flash-crowd    (default none)
+  --parallelism=<n> engine shards / worker threads (default 1;
+                    results are bit-identical at any value)
+  --pipeline=on|off staged batch pipeline: overlap batch B's fetches
+                    with batch B+1's speculative plan extraction and
+                    batch B-1's deferred freshness measure (default
+                    on; results are bit-identical either way)
 
 study flags:
   --window=<n>      page window per site      (default 300)
@@ -93,6 +99,23 @@ storage flags (crawl mode):
   --store-dir=<dir>         scratch directory for --store=paged page
                             files                     (default ".")
 )";
+
+bool PipelineFromFlags(const FlagParser& flags) {
+  const std::string v = flags.GetString("pipeline", "on");
+  if (v == "on") return true;
+  if (v == "off") return false;
+  std::printf("unknown --pipeline value '%s' (on|off)\n", v.c_str());
+  std::exit(2);
+}
+
+int ParallelismFromFlags(const FlagParser& flags) {
+  const auto n = static_cast<int>(flags.GetInt("parallelism", 1));
+  if (n < 1) {
+    std::printf("--parallelism must be >= 1\n");
+    std::exit(2);
+  }
+  return n;
+}
 
 simweb::WebConfig WebFromFlags(const FlagParser& flags) {
   simweb::WebConfig config =
@@ -212,6 +235,8 @@ int RunCrawl(const FlagParser& flags) {
         c.checkpoint_incremental = checkpoint_incremental;
         c.checkpoint_module_traffic = checkpoint_traffic;
         c.store = store_options;
+        c.crawl_parallelism = ParallelismFromFlags(flags);
+        c.pipeline = PipelineFromFlags(flags);
         std::string policy = flags.GetString("policy", "optimal");
         c.update.policy = policy == "uniform"
                               ? crawler::RevisitPolicy::kUniform
@@ -237,6 +262,8 @@ int RunCrawl(const FlagParser& flags) {
     c.checkpoint_path = checkpoint;
     c.checkpoint_module_traffic = checkpoint_traffic;
     c.store = store_options;
+    c.crawl_parallelism = ParallelismFromFlags(flags);
+    c.pipeline = PipelineFromFlags(flags);
     return c;
   }());
 
@@ -338,6 +365,8 @@ int RunCompare(const FlagParser& flags) {
   inc_config.collection_capacity = capacity;
   inc_config.crawl_rate_pages_per_day =
       static_cast<double>(capacity) / cycle;
+  inc_config.crawl_parallelism = ParallelismFromFlags(flags);
+  inc_config.pipeline = PipelineFromFlags(flags);
   crawler::IncrementalCrawler inc(&web_a, inc_config);
 
   simweb::SimulatedWeb web_b(WebFromFlags(flags));
@@ -345,6 +374,8 @@ int RunCompare(const FlagParser& flags) {
   per_config.collection_capacity = capacity;
   per_config.cycle_days = cycle;
   per_config.crawl_window_days = flags.GetDouble("window", 7.0);
+  per_config.crawl_parallelism = ParallelismFromFlags(flags);
+  per_config.pipeline = PipelineFromFlags(flags);
   crawler::PeriodicCrawler per(&web_b, per_config);
 
   if (!inc.Bootstrap(0.0).ok() || !inc.RunUntil(days).ok() ||
@@ -379,14 +410,19 @@ int main(int argc, char** argv) {
       {"seed", "scale", "days", "capacity", "csv", "faults", "window",
        "crawler", "policy", "estimator", "cycle", "no-shadowing",
        "checkpoint", "checkpoint-every", "checkpoint-incremental",
-       "checkpoint-traffic", "resume", "store", "store-dir", "help"});
+       "checkpoint-traffic", "resume", "store", "store-dir",
+       "parallelism", "pipeline", "help"});
   if (!valid.ok()) {
     std::printf("%s\n%s", valid.ToString().c_str(), kUsage);
     return 2;
   }
-  if (flags.GetBool("help", false) || flags.positional().empty()) {
+  if (flags.GetBool("help", false)) {
     std::printf("%s", kUsage);
-    return flags.positional().empty() ? 2 : 0;
+    return 0;
+  }
+  if (flags.positional().empty()) {
+    std::printf("%s", kUsage);
+    return 2;
   }
   const std::string& mode = flags.positional().front();
   if (mode == "study") return RunStudy(flags);
