@@ -65,6 +65,34 @@ std::size_t AllUrls::size() const {
   return total;
 }
 
+const simweb::Url* AllUrls::FingerprintOwner(const Checksum128& fp) const {
+  auto it = fingerprints_.find(fp);
+  return it == fingerprints_.end() ? nullptr : &it->second;
+}
+
+bool AllUrls::ClaimFingerprint(const Checksum128& fp,
+                               const simweb::Url& url) {
+  return fingerprints_.emplace(fp, url).second;
+}
+
+void AllUrls::ReassignFingerprint(const Checksum128& fp,
+                                  const simweb::Url& url) {
+  fingerprints_[fp] = url;
+}
+
+std::vector<std::pair<Checksum128, simweb::Url>>
+AllUrls::SortedFingerprints() const {
+  std::vector<std::pair<Checksum128, simweb::Url>> out(
+      fingerprints_.begin(), fingerprints_.end());
+  std::sort(out.begin(), out.end(),
+            [](const std::pair<Checksum128, simweb::Url>& a,
+               const std::pair<Checksum128, simweb::Url>& b) {
+              if (a.first.hi != b.first.hi) return a.first.hi < b.first.hi;
+              return a.first.lo < b.first.lo;
+            });
+  return out;
+}
+
 void AllUrls::Restore(const simweb::Url& url, const UrlInfo& info) {
   shards_[ShardOf(url.site)]->Put(url, UrlInfo(info));
 }
@@ -74,6 +102,7 @@ void AllUrls::ReplaceEntriesFrom(const AllUrls& other) {
   other.ForEach([this](const simweb::Url& url, const UrlInfo& info) {
     shards_[ShardOf(url.site)]->Put(url, UrlInfo(info));
   });
+  fingerprints_ = other.fingerprints_;
 }
 
 void AllUrls::Flush() {

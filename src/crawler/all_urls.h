@@ -5,10 +5,13 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "simweb/url.h"
 #include "storage/record_store.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace webevo::crawler {
@@ -86,6 +89,28 @@ class AllUrls {
     }
   }
 
+  /// Content-fingerprint registry (mirror detection): the canonical URL
+  /// that first served each page checksum. Mutated ONLY on the
+  /// crawler's serial settle path, in global slot order, so the
+  /// canonical winner is a pure function of the simulation — identical
+  /// at every shard count. The registry is an observation ledger, not a
+  /// policy: it fills whether or not the defense layer acts on it.
+  ///
+  /// Returns the canonical owner of `fp`, or nullptr when unclaimed.
+  const simweb::Url* FingerprintOwner(const Checksum128& fp) const;
+  /// Claims `fp` for `url` if unclaimed; returns true when `url` became
+  /// the canonical owner (false leaves the standing owner in place).
+  bool ClaimFingerprint(const Checksum128& fp, const simweb::Url& url);
+  /// Re-homes `fp` onto `url` unconditionally (migration-following and
+  /// checkpoint replay).
+  void ReassignFingerprint(const Checksum128& fp, const simweb::Url& url);
+  std::size_t fingerprint_count() const { return fingerprints_.size(); }
+  /// All (fingerprint, owner) pairs sorted by (hi, lo) — the canonical
+  /// checkpoint order.
+  std::vector<std::pair<Checksum128, simweb::Url>> SortedFingerprints()
+      const;
+  void ClearFingerprints() { fingerprints_.clear(); }
+
   /// Overwrites (or creates) a record verbatim — incremental-checkpoint
   /// replay.
   void Restore(const simweb::Url& url, const UrlInfo& info);
@@ -106,6 +131,12 @@ class AllUrls {
 
  private:
   std::vector<std::unique_ptr<storage::RecordStore<UrlInfo>>> shards_;
+  /// The fingerprint registry is a single cross-site map precisely
+  /// because mirrors span sites (and therefore shards); keeping it off
+  /// the shard stores is safe because only the serial settle touches
+  /// it.
+  std::unordered_map<Checksum128, simweb::Url, Checksum128Hash>
+      fingerprints_;
 };
 
 }  // namespace webevo::crawler

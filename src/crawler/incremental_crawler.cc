@@ -38,6 +38,8 @@ IncrementalCrawler::IncrementalCrawler(
       static_cast<std::size_t>(collection_.num_shards()));
   url_failure_shards_.resize(
       static_cast<std::size_t>(collection_.num_shards()));
+  site_defense_shards_.resize(
+      static_cast<std::size_t>(collection_.num_shards()));
   if (config_.checkpoint_incremental) EnableDeltaTracking();
 }
 
@@ -432,6 +434,24 @@ void IncrementalCrawler::ApplyBatch(
       const AllUrls::UrlInfo& info =
           all_urls_.NoteInLink(*item.url, item.at);
       if (admitted_count >= admit_budget || info.dead) continue;
+      if (config_.defense_enabled) {
+        // Diminishing-returns gate: links into a throttled or
+        // quarantined site are noted (the in-link count above) but
+        // never admitted — a collapsed-yield site does not get to
+        // grow the frontier (that is exactly a spider trap's attack),
+        // until a healthy window resets its throttle level. The
+        // defense state is owned by this shard and mutated only at
+        // the serial settle, so the read sees the previous batch's
+        // verdicts — frozen, race-free, shard-count independent.
+        auto defense_it = site_defense_shards_[t].find(item.url->site);
+        if (defense_it != site_defense_shards_[t].end() &&
+            (defense_it->second.quarantined ||
+             defense_it->second.throttle_level > 0 ||
+             defense_it->second.suppressed_total >=
+                 config_.defense_link_spam_threshold)) {
+          continue;
+        }
+      }
       if (coll.Contains(*item.url) || coll_urls_.Contains(*item.url)) {
         continue;
       }
@@ -522,6 +542,173 @@ void IncrementalCrawler::ApplyBatch(
     }
   }
 
+  // ---- Defense settle (serial): the adversarial-web layer. Walk the
+  // batch's successful fetches in slot order, claiming each content
+  // fingerprint in the AllUrls registry — the first fetch of a body in
+  // global slot order is its canonical URL, a pure function of the
+  // simulation, so N=1 and N=8 crown the same winner. A fetch whose
+  // fingerprint another URL already owns is a wasted fetch (counted
+  // with the defense on or off); with the defense on it is also acted
+  // upon: re-homed when the owner is a retained page on a presumed-dead
+  // site (migration-following, estimator carried over), suppressed
+  // otherwise (mirror dedup — duplicate content indexed at most once).
+  // Then the per-site diminishing-returns windows are evaluated in
+  // ascending site order: a site whose fetches are almost all
+  // duplicate content is frontier-throttled with an exponential floor
+  // and eventually trap-quarantined (sticky; its links stop being
+  // admitted). Sites serving their own content — changed or not —
+  // never trip the throttle; spacing unchanged revisits is the revisit
+  // scheduler's job, not the defense's.
+  {
+    const double batch_time = ordered.back()->at;
+    std::set<uint32_t> defense_touched;
+    // Cuts a convicted site's flood backlog: every queued URL of the
+    // site that is not a retained collection entry was admitted on the
+    // trap's own say-so and would only ever fetch duplicate content —
+    // drop it now rather than paying one wasted fetch apiece to find
+    // out. Serial settle, canonical order: shard-count free.
+    auto purge_unretained = [&](uint32_t site) {
+      std::set<simweb::Url, simweb::UrlIdentityLess> site_urls;
+      coll_urls_.AppendSiteUrls(site, &site_urls);
+      auto& site_pending = pending_shards_[collection_.ShardOf(site)];
+      for (const simweb::Url& u : site_urls) {
+        if (collection_.Contains(u)) continue;
+        Status dropped = coll_urls_.Remove(u);
+        (void)dropped;
+        site_pending.erase(u);
+        MarkFrontierDirty(u);
+      }
+    };
+    for (ApplyEffect* pe : ordered) {
+      const ApplyEffect& e = *pe;
+      if (e.kind != ApplyEffect::Kind::kReschedule &&
+          e.kind != ApplyEffect::Kind::kInsert) {
+        continue;
+      }
+      all_urls_.ClaimFingerprint(e.checksum, e.url);
+      const simweb::Url owner = *all_urls_.FingerprintOwner(e.checksum);
+      // Fresh = the fetched content is this URL's own (it owns the
+      // fingerprint). Unchanged revisits still count as fresh: the
+      // yield window measures the duplicate-content share, so honest
+      // sites never trip the throttle no matter how static they are.
+      bool fresh = owner == e.url;
+      if (!fresh) {
+        ++stats_.wasted_fetches;
+        if (config_.defense_enabled) {
+          // Presumed-dead test, from the failure pipeline's own state:
+          // the owner's site tripped its circuit breaker and has not
+          // re-established contact (still quarantined, or failing
+          // again since). Pure observation of PR 7 state — never the
+          // web's oracle.
+          const auto& fail_shard =
+              site_failure_shards_[collection_.ShardOf(owner.site)];
+          auto fit = fail_shard.find(owner.site);
+          const bool presumed_dead =
+              fit != fail_shard.end() &&
+              fit->second.quarantined_until > 0.0 &&
+              (fit->second.quarantined_until >= e.at ||
+               fit->second.consecutive > 0);
+          if (presumed_dead && collection_.Contains(owner)) {
+            // Migration-following: the content moved here; re-home the
+            // retained entry instead of relearning its change rate.
+            Status removed = collection_.Remove(owner);
+            (void)removed;
+            Status unqueue = coll_urls_.Remove(owner);
+            (void)unqueue;
+            update_module_.CarryEstimator(owner, e.url);
+            Status tomb = all_urls_.MarkDead(owner);
+            (void)tomb;
+            all_urls_.ReassignFingerprint(e.checksum, e.url);
+            MarkFrontierDirty(owner);
+            ++stats_.pages_migrated;
+            fresh = true;
+          } else if (presumed_dead) {
+            // The dead site's copy was already retired: adopt the new
+            // home without a move.
+            all_urls_.ReassignFingerprint(e.checksum, e.url);
+            fresh = true;
+          } else {
+            // Mirror dedup: the canonical copy is alive elsewhere;
+            // suppress this URL (tombstoned so stale links cannot
+            // resurrect it).
+            Status removed = collection_.Remove(e.url);
+            (void)removed;
+            Status unqueue = coll_urls_.Remove(e.url);
+            (void)unqueue;
+            update_module_.Forget(e.url);
+            Status tomb = all_urls_.MarkDead(e.url);
+            (void)tomb;
+            MarkFrontierDirty(e.url);
+            ++stats_.duplicate_urls_suppressed;
+            SiteDefenseState& sd =
+                site_defense_shards_[collection_.ShardOf(e.url.site)]
+                                    [e.url.site];
+            ++sd.suppressed_total;
+            // Crossing the link-spam bar is a throttle event in the
+            // ledger (the site just lost admission for good) and also
+            // forfeits the flood already in the queue. suppressed_total
+            // only ever grows, so the crossing fires exactly once.
+            if (sd.suppressed_total ==
+                config_.defense_link_spam_threshold) {
+              ++stats_.trap_sites_throttled;
+              purge_unretained(e.url.site);
+            }
+          }
+        }
+      }
+      if (config_.defense_enabled) {
+        SiteDefenseState& d =
+            site_defense_shards_[collection_.ShardOf(e.url.site)]
+                                [e.url.site];
+        ++d.window_fetches;
+        if (fresh) ++d.window_fresh;
+        defense_touched.insert(e.url.site);
+      }
+    }
+    for (uint32_t site : defense_touched) {
+      SiteDefenseState& d =
+          site_defense_shards_[collection_.ShardOf(site)][site];
+      if (d.window_fetches <
+          static_cast<uint64_t>(config_.defense_yield_window)) {
+        continue;
+      }
+      const double yield = static_cast<double>(d.window_fresh) /
+                           static_cast<double>(d.window_fetches);
+      d.window_fetches = 0;
+      d.window_fresh = 0;
+      if (yield >= config_.defense_min_yield) {
+        // Healthy windows decay the level one step rather than
+        // resetting it: a trap that alternates flooding with draining
+        // its backlog ratchets up to quarantine instead of oscillating
+        // (each reset would re-open link admission for another flood).
+        if (d.throttle_level > 0) --d.throttle_level;
+        continue;
+      }
+      ++d.throttle_level;
+      if (d.throttle_level == 1) ++stats_.trap_sites_throttled;
+      const uint32_t exponent = std::min(d.throttle_level, 16u) - 1;
+      double floor = batch_time +
+                     config_.defense_throttle_base_days *
+                         static_cast<double>(uint64_t{1} << exponent);
+      if (!d.quarantined &&
+          d.throttle_level >= config_.defense_quarantine_level) {
+        d.quarantined = true;
+        d.quarantined_until = batch_time + config_.defense_quarantine_days;
+        purge_unretained(site);
+      }
+      if (d.quarantined && d.quarantined_until > floor) {
+        floor = d.quarantined_until;
+      }
+      coll_urls_.RescheduleSiteNotBefore(site, floor);
+      // The floor walk moves entries no effect names; the post-settle
+      // site content is shard-count independent, so record it whole
+      // (frontier-ledger rule (5)).
+      if (delta_tracking_) {
+        coll_urls_.AppendSiteUrls(site, &frontier_dirty_);
+      }
+    }
+  }
+
   // Incremental-checkpoint frontier ledger: record, at the serial
   // barrier, every URL whose frontier position this batch may have
   // moved. The marked *set* must be a pure function of the simulation
@@ -533,7 +720,9 @@ void IncrementalCrawler::ApplyBatch(
   // already names them; (3) the whole current frontier of a
   // quarantined site — the floor walk moves entries no effect names,
   // and the post-settle site content is shard-count independent;
-  // (4) eviction victims (marked in the loop above).
+  // (4) eviction victims (marked in the loop above); (5) URLs the
+  // defense settle suppressed or re-homed, and the whole frontier of a
+  // defense-throttled site (marked in the defense settle above).
   if (delta_tracking_) {
     for (const ApplyEffect* pe : ordered) {
       frontier_dirty_.insert(pe->url);

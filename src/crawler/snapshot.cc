@@ -602,7 +602,9 @@ constexpr const char* kIncMetaMagic = "webevo-incmeta";
 // Version 3: the C record grew the failure ledger (classified fetch
 // failures, retries, quarantines, retirements) and a second L record
 // carries the backoff-days RunningStat.
-constexpr int kIncMetaVersion = 3;
+// Version 4: the C record grew the defense ledger (wasted fetches,
+// throttled trap sites, suppressed duplicate URLs, migrated pages).
+constexpr int kIncMetaVersion = 4;
 constexpr const char* kPerMetaMagic = "webevo-permeta";
 // Periodic meta version 2: the C record grew the failure ledger
 // (classified fetch failures, bounded re-queues, per-cycle drops).
@@ -615,6 +617,12 @@ constexpr const char* kFailureMagic = "webevo-failure";
 constexpr const char* kPoliteMagic = "webevo-polite";
 constexpr const char* kTrackerMagic = "webevo-tracker";
 constexpr const char* kUrlsMagic = "webevo-urls";
+// The adversarial-defense section (incremental crawler only): per-site
+// diminishing-returns state machines and the content-fingerprint
+// registry's canonical owners. Optional on load — checkpoints written
+// before the defense layer existed restart it (and the registry) from
+// scratch.
+constexpr const char* kDefenseMagic = "webevo-defense";
 // The optional pool-level traffic aggregate (absolute-day fetch
 // histogram + global counters); see CrawlModulePool::Traffic.
 constexpr const char* kTrafficMagic = "webevo-traffic";
@@ -1058,6 +1066,113 @@ StatusOr<FailureSnapshot> ReadFailure(std::istream& in) {
   return snap;
 }
 
+// The defense-layer state the incremental crawler checkpoints: the
+// per-site diminishing-returns machines (`D` records, sites ascending)
+// and the fingerprint registry's canonical owners (`F` records, sorted
+// by (hi, lo)) — both canonical orders, so equal state yields equal
+// bytes at every shard count.
+struct DefenseSiteRecord {
+  uint32_t site = 0;
+  uint64_t window_fetches = 0;
+  uint64_t window_fresh = 0;
+  uint32_t throttle_level = 0;
+  int quarantined = 0;
+  double quarantined_until = 0.0;
+  uint64_t suppressed_total = 0;
+};
+
+struct DefenseFingerprintRecord {
+  Checksum128 checksum;
+  simweb::Url url;
+};
+
+struct DefenseSnapshot {
+  std::vector<DefenseSiteRecord> sites;
+  std::vector<DefenseFingerprintRecord> fingerprints;
+};
+
+void WriteDefense(const DefenseSnapshot& snap, std::ostream& out) {
+  TrailerWriter writer(out);
+  std::ostringstream header;
+  header << kDefenseMagic << ' ' << kFormatVersion << ' '
+         << snap.sites.size() << ' ' << snap.fingerprints.size();
+  writer.Line(header.str());
+  for (const DefenseSiteRecord& r : snap.sites) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "D " << r.site << ' ' << r.window_fetches << ' '
+       << r.window_fresh << ' ' << r.throttle_level << ' '
+       << r.quarantined << ' ' << r.quarantined_until << ' '
+       << r.suppressed_total;
+    writer.Line(os.str());
+  }
+  for (const DefenseFingerprintRecord& r : snap.fingerprints) {
+    std::ostringstream os;
+    os << "F " << r.checksum.hi << ' ' << r.checksum.lo << ' '
+       << r.url.site << ' ' << r.url.slot << ' ' << r.url.incarnation;
+    writer.Line(os.str());
+  }
+  writer.Finish();
+}
+
+StatusOr<DefenseSnapshot> ReadDefense(std::istream& in) {
+  TrailerReader reader(in);
+  auto header = reader.Next();
+  if (!header.ok()) return header.status();
+  std::istringstream hs(*header);
+  std::string magic;
+  int version = 0;
+  std::size_t nsites = 0, nfps = 0;
+  hs >> magic >> version >> nsites >> nfps;
+  if (hs.fail() || magic != kDefenseMagic || version != kFormatVersion) {
+    return Status::InvalidArgument("not a defense-state snapshot");
+  }
+  Status header_end = ExpectLineEnd(hs, "defense header");
+  if (!header_end.ok()) return header_end;
+  DefenseSnapshot snap;
+  snap.sites.reserve(std::min<std::size_t>(nsites, 1 << 20));
+  snap.fingerprints.reserve(std::min<std::size_t>(nfps, 1 << 20));
+  for (std::size_t i = 0; i < nsites; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("defense site count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    DefenseSiteRecord r;
+    is >> tag >> r.site >> r.window_fetches >> r.window_fresh >>
+        r.throttle_level >> r.quarantined >> r.quarantined_until >>
+        r.suppressed_total;
+    if (is.fail() || tag != "D") {
+      return Status::InvalidArgument("malformed defense site record");
+    }
+    Status record_end = ExpectLineEnd(is, "defense site");
+    if (!record_end.ok()) return record_end;
+    snap.sites.push_back(r);
+  }
+  for (std::size_t i = 0; i < nfps; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument("defense fingerprint count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    DefenseFingerprintRecord r;
+    is >> tag >> r.checksum.hi >> r.checksum.lo >> r.url.site >>
+        r.url.slot >> r.url.incarnation;
+    if (is.fail() || tag != "F") {
+      return Status::InvalidArgument(
+          "malformed defense fingerprint record");
+    }
+    Status record_end = ExpectLineEnd(is, "defense fingerprint");
+    if (!record_end.ok()) return record_end;
+    snap.fingerprints.push_back(r);
+  }
+  Status end = FinishFramedStream(reader, in, "defense snapshot");
+  if (!end.ok()) return end;
+  return snap;
+}
+
 // The pool-level traffic aggregate (CrawlModulePool::Traffic): one `G`
 // record with the global counters and time bounds, then one `D` record
 // per *non-empty* absolute day bucket, ascending — canonical because
@@ -1199,7 +1314,9 @@ struct CheckpointIo {
         << s.lease_admissions << ' ' << s.fetch_failures << ' '
         << s.transient_errors << ' ' << s.timeout_errors << ' '
         << s.failure_retries << ' ' << s.sites_quarantined << ' '
-        << s.urls_retired << ' '
+        << s.urls_retired << ' ' << s.wasted_fetches << ' '
+        << s.trap_sites_throttled << ' ' << s.duplicate_urls_suppressed
+        << ' ' << s.pages_migrated << ' '
         << crawler.ranking_module_.refinement_count();
       writer.Line(c.str());
     }
@@ -1224,8 +1341,9 @@ struct CheckpointIo {
         return Status::InvalidArgument("malformed checkpoint meta header");
       }
       // Older metas stay loadable: a version-1 C record lacks the
-      // lease ledger, versions 1-2 lack the failure ledger — those
-      // counters simply restart at zero.
+      // lease ledger, versions 1-2 lack the failure ledger, versions
+      // 1-3 lack the defense ledger — those counters simply restart
+      // at zero.
       if (meta_version < 1 || meta_version > kIncMetaVersion) {
         return Status::InvalidArgument(
             "unsupported checkpoint meta version");
@@ -1276,6 +1394,10 @@ struct CheckpointIo {
         is >> stats.fetch_failures >> stats.transient_errors >>
             stats.timeout_errors >> stats.failure_retries >>
             stats.sites_quarantined >> stats.urls_retired;
+      }
+      if (meta_version >= 4) {
+        is >> stats.wasted_fetches >> stats.trap_sites_throttled >>
+            stats.duplicate_urls_suppressed >> stats.pages_migrated;
       }
       is >> meta.refinements;
       if (is.fail() || tag != "C") {
@@ -1393,6 +1515,62 @@ struct CheckpointIo {
     for (const UrlFailureRecord& r : failure.urls) {
       crawler->url_failure_shards_[r.url.site % shards].emplace(r.url,
                                                                r.count);
+    }
+  }
+
+  static std::string Defense(const IncrementalCrawler& crawler) {
+    // Per-site diminishing-returns machines and the fingerprint
+    // registry, in canonical order, so a run killed mid-throttle
+    // resumes byte-identically at any shard count.
+    DefenseSnapshot snap;
+    for (const auto& shard : crawler.site_defense_shards_) {
+      for (const auto& [site, state] : shard) {
+        DefenseSiteRecord r;
+        r.site = site;
+        r.window_fetches = state.window_fetches;
+        r.window_fresh = state.window_fresh;
+        r.throttle_level = state.throttle_level;
+        r.quarantined = state.quarantined ? 1 : 0;
+        r.quarantined_until = state.quarantined_until;
+        r.suppressed_total = state.suppressed_total;
+        snap.sites.push_back(r);
+      }
+    }
+    std::sort(snap.sites.begin(), snap.sites.end(),
+              [](const DefenseSiteRecord& a, const DefenseSiteRecord& b) {
+                return a.site < b.site;
+              });
+    for (const auto& [checksum, url] :
+         crawler.all_urls_.SortedFingerprints()) {
+      snap.fingerprints.push_back(DefenseFingerprintRecord{checksum, url});
+    }
+    std::ostringstream os;
+    WriteDefense(snap, os);
+    return os.str();
+  }
+
+  static void ApplyDefense(const DefenseSnapshot& defense,
+                           IncrementalCrawler* crawler) {
+    // Re-shards by the same site % N ownership rule as the live layer.
+    // Must run after the AllUrls commit (ReplaceEntriesFrom), which
+    // installs the staged — registry-free — URL table.
+    const auto shards =
+        static_cast<uint32_t>(crawler->site_defense_shards_.size());
+    for (auto& shard : crawler->site_defense_shards_) shard.clear();
+    for (const DefenseSiteRecord& r : defense.sites) {
+      IncrementalCrawler::SiteDefenseState state;
+      state.window_fetches = r.window_fetches;
+      state.window_fresh = r.window_fresh;
+      state.throttle_level = r.throttle_level;
+      state.quarantined = r.quarantined != 0;
+      state.quarantined_until = r.quarantined_until;
+      state.suppressed_total = r.suppressed_total;
+      crawler->site_defense_shards_[r.site % shards].emplace(r.site,
+                                                             state);
+    }
+    crawler->all_urls_.ClearFingerprints();
+    for (const DefenseFingerprintRecord& r : defense.fingerprints) {
+      crawler->all_urls_.ReassignFingerprint(r.checksum, r.url);
     }
   }
 
@@ -1741,6 +1919,14 @@ struct CheckpointIo {
       if (!failure.ok()) return failure.status();
       ApplyFailure(*failure, crawler);
     }
+    // Optional like "traffic": delta logs sealed before the defense
+    // layer replay without it (the layer restarts from scratch).
+    if (const std::string* defense_bytes = section("defense")) {
+      std::istringstream in(*defense_bytes);
+      auto defense = ReadDefense(in);
+      if (!defense.ok()) return defense.status();
+      ApplyDefense(*defense, crawler);
+    }
     if (const std::string* traffic_bytes = section("traffic")) {
       std::istringstream in(*traffic_bytes);
       auto traffic = ReadTraffic(in);
@@ -1813,6 +1999,7 @@ Status SaveCrawler(const IncrementalCrawler& crawler, std::ostream& out,
   }
   sections.push_back(Section{"pending", CheckpointIo::Pending(crawler)});
   sections.push_back(Section{"failure", CheckpointIo::Failure(crawler)});
+  sections.push_back(Section{"defense", CheckpointIo::Defense(crawler)});
   if (options.module_traffic) {
     std::ostringstream os;
     WriteTraffic(crawler.engine_.pool().AggregateTraffic(), os);
@@ -1883,6 +2070,16 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
     if (!snap.ok()) return snap.status();
     failure = std::move(snap).value();
   }
+  // Defense state is optional-on-load for the same reason: pre-defense
+  // checkpoints restart the throttle machines and the fingerprint
+  // registry from scratch.
+  DefenseSnapshot defense;
+  if (const std::string* d = FindSection(*sections, "defense")) {
+    std::istringstream defense_in(*d);
+    auto snap = ReadDefense(defense_in);
+    if (!snap.ok()) return snap.status();
+    defense = std::move(snap).value();
+  }
   // Traffic is optional-on-load too: checkpoints written without
   // module_traffic (and every pre-traffic checkpoint) restore with the
   // historical semantics — accounting restarts from zero.
@@ -1917,6 +2114,7 @@ Status LoadCrawler(std::istream& in, IncrementalCrawler* crawler) {
   }
   CheckpointIo::ApplyPending(*pending, crawler);
   CheckpointIo::ApplyFailure(failure, crawler);
+  CheckpointIo::ApplyDefense(defense, crawler);
   if (traffic.has_value()) {
     crawler->engine_.pool().RestoreTraffic(*traffic);
   }
@@ -2602,6 +2800,11 @@ Status CheckpointIncremental(IncrementalCrawler* crawler,
       storage::DeltaSection{"pending", CheckpointIo::Pending(*crawler)});
   segment.sections.push_back(
       storage::DeltaSection{"failure", CheckpointIo::Failure(*crawler)});
+  // The defense section rides every segment whole (like "failure"):
+  // the throttle machines are tiny and the fingerprint registry grows
+  // with *distinct content*, a small multiple of the collection.
+  segment.sections.push_back(
+      storage::DeltaSection{"defense", CheckpointIo::Defense(*crawler)});
   if (options.module_traffic) {
     std::ostringstream os;
     WriteTraffic(crawler->engine_.pool().AggregateTraffic(), os);

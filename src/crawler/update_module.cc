@@ -259,6 +259,22 @@ void UpdateModule::Forget(const simweb::Url& url) {
   }
 }
 
+void UpdateModule::CarryEstimator(const simweb::Url& from,
+                                  const simweb::Url& to) {
+  const std::size_t from_shard = ShardOf(from.site);
+  PageMap& from_pages = page_shards_[from_shard];
+  auto it = from_pages.find(from);
+  if (it == from_pages.end()) return;
+  const std::size_t to_shard = ShardOf(to.site);
+  if (dirty_tracking_) {
+    dirty_page_shards_[from_shard].insert(from);
+    dirty_page_shards_[to_shard].insert(to);
+  }
+  PageState carried = std::move(it->second);
+  from_pages.erase(it);
+  page_shards_[to_shard][to] = std::move(carried);
+}
+
 double UpdateModule::EstimatedRate(const simweb::Url& url) const {
   const PageMap& pages = page_shards_[ShardOf(url.site)];
   auto it = pages.find(url);

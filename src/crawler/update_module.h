@@ -158,6 +158,16 @@ class UpdateModule {
   /// site-level statistics the site aggregate is retained.
   void Forget(const simweb::Url& url);
 
+  /// Migration-following: moves `from`'s learned page state (estimator
+  /// statistics, visit history, importance) onto `to`, so content
+  /// re-homed under a new URL keeps its change-rate knowledge instead
+  /// of relearning it from scratch. Overwrites whatever state `to` had;
+  /// no-op when `from` is untracked. With site-level statistics the
+  /// source site's aggregate stays put (the new site accumulates its
+  /// own). Serial-path only — the crawler's settle — like every
+  /// cross-shard mutation.
+  void CarryEstimator(const simweb::Url& from, const simweb::Url& to);
+
   /// Estimated change rate for a page (0 if unknown).
   double EstimatedRate(const simweb::Url& url) const;
 

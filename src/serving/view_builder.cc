@@ -146,6 +146,16 @@ std::unique_ptr<const BatchView> BuildBatchView(
   view->summary.emplace_back(
       "backoff_days_total",
       FmtReal(s.backoff_days.count() > 0 ? s.backoff_days.sum() : 0.0));
+  // Defense ledger (docs/QUERY_API.md): wasted_fetches accrues with
+  // the defense layer on or off; the action counters stay 0 when off.
+  view->summary.emplace_back("wasted_fetches",
+                             FmtCount(s.wasted_fetches));
+  view->summary.emplace_back("trap_sites_throttled",
+                             FmtCount(s.trap_sites_throttled));
+  view->summary.emplace_back("duplicate_urls_suppressed",
+                             FmtCount(s.duplicate_urls_suppressed));
+  view->summary.emplace_back("pages_migrated",
+                             FmtCount(s.pages_migrated));
   AppendFreshnessSummary(crawler.tracker(), view.get());
   return view;
 }

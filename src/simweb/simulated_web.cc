@@ -23,6 +23,19 @@ constexpr uint64_t kPageStreamSalt = 0x9E3779B97F4A7C15ull;
 constexpr uint64_t kFaultDrawSalt = 0xC2B2AE3D27D4EB4Full;
 constexpr uint64_t kFaultOutageSalt = 0x165667B19E3779F9ull;
 constexpr uint64_t kSiteDeathSalt = 0x27D4EB2F165667C5ull;
+// Salts separating the adversarial classification draws (pure per-site
+// hash draws, never advanced by observation) from everything above.
+constexpr uint64_t kTrapSalt = 0x94D049BB133111EBull;
+constexpr uint64_t kMigrationSalt = 0xBF58476D1CE4E5B9ull;
+
+// The shared low-value body every minted trap URL of `site` serves:
+// distinct from any real page body, identical within the site, so a
+// trap yields exactly one content fingerprint no matter how many URLs
+// it mints.
+std::string TrapBody(uint32_t site) {
+  return "<html><body>webevo-trap-site " + std::to_string(site) +
+         "</body></html>";
+}
 
 }  // namespace
 
@@ -45,21 +58,43 @@ SimulatedWeb::SimulatedWeb(const WebConfig& config)
 
   sites_.resize(domains.size());
   if (config_.HasFaults()) site_faults_.resize(domains.size());
+  if (config_.HasAdvState()) site_adv_.resize(domains.size());
   site_mu_ = std::make_unique<std::mutex[]>(domains.size());
   site_fetches_ =
       std::make_unique<std::atomic<uint64_t>[]>(domains.size());
   for (std::size_t s = 0; s < domains.size(); ++s) site_fetches_[s] = 0;
   const double log_lo = std::log(static_cast<double>(config_.min_site_size));
   const double log_hi = std::log(static_cast<double>(config_.max_site_size));
+  std::vector<uint32_t> sizes(sites_.size());
   for (uint32_t s = 0; s < sites_.size(); ++s) {
     sites_[s].domain = domains[s];
-    auto size =
-        static_cast<uint32_t>(std::lround(std::exp(rng_.Uniform(log_lo,
-                                                                log_hi))));
+    uint32_t size;
+    if (config_.adv_heavy_tail_zipf > 0.0) {
+      // Heavy-tailed sizes: a Zipf law over the configured range,
+      // rank-ordered by site index (site 0 is the giant).
+      const double span = static_cast<double>(config_.max_site_size -
+                                              config_.min_site_size);
+      size = config_.min_site_size +
+             static_cast<uint32_t>(std::lround(
+                 span * std::pow(static_cast<double>(s) + 1.0,
+                                 -config_.adv_heavy_tail_zipf)));
+    } else {
+      size = static_cast<uint32_t>(
+          std::lround(std::exp(rng_.Uniform(log_lo, log_hi))));
+    }
     if (size < config_.min_site_size) size = config_.min_site_size;
     if (size > config_.max_site_size) size = config_.max_site_size;
-    sites_[s].slots.resize(size);
-    total_slots_ += size;
+    sizes[s] = size;
+  }
+  // Mirror followers copy their leader's size so the groups' slot
+  // spaces align URL for URL.
+  for (uint32_t s = 0; s < sites_.size(); ++s) {
+    const uint32_t leader = MirrorLeaderOf(s);
+    if (leader != s) sizes[s] = sizes[leader];
+  }
+  for (uint32_t s = 0; s < sites_.size(); ++s) {
+    sites_[s].slots.resize(sizes[s]);
+    total_slots_ += sizes[s];
   }
   // Populate every slot with a stationary-age initial page. Serial, so
   // no locking; every draw comes from the slot's own incarnation-0
@@ -73,6 +108,77 @@ SimulatedWeb::SimulatedWeb(const WebConfig& config)
 
 Rng SimulatedWeb::PageStream(PageId id) const {
   return Rng(HashCombine(config_.seed ^ kPageStreamSalt, id));
+}
+
+bool SimulatedWeb::IsTrapSite(uint32_t site) const {
+  if (config_.adv_trap_site_prob <= 0.0 ||
+      config_.adv_trap_links_per_fetch == 0) {
+    return false;
+  }
+  // A migration twin's virtual slots belong to its resurrected source;
+  // it can't double as a trap.
+  if (TwinSourceOf(site) < num_sites()) return false;
+  Rng draw(HashCombine(config_.seed ^ kTrapSalt, site));
+  return draw.Bernoulli(config_.adv_trap_site_prob);
+}
+
+bool SimulatedWeb::IsMirroredSite(uint32_t site) const {
+  if (config_.adv_mirror_group_size < 2 || config_.adv_mirror_groups < 1) {
+    return false;
+  }
+  const uint64_t span = static_cast<uint64_t>(config_.adv_mirror_group_size) *
+                        config_.adv_mirror_groups;
+  return site < span && site < sites_.size();
+}
+
+uint32_t SimulatedWeb::MirrorLeaderOf(uint32_t site) const {
+  if (!IsMirroredSite(site)) return site;
+  return site - site % config_.adv_mirror_group_size;
+}
+
+double SimulatedWeb::MigrationDayOf(uint32_t site) const {
+  if (config_.adv_migration_prob <= 0.0) return kInfinity;
+  // Only even sites migrate; the odd neighbor is the twin that
+  // resurrects them (so a source is never itself a twin).
+  if (site % 2 != 0 || site + 1 >= sites_.size()) return kInfinity;
+  Rng draw(HashCombine(config_.seed ^ kMigrationSalt, site));
+  if (!draw.Bernoulli(config_.adv_migration_prob)) return kInfinity;
+  return draw.NextDouble() * 2.0 * config_.adv_migration_mean_day;
+}
+
+uint32_t SimulatedWeb::TwinSourceOf(uint32_t site) const {
+  if (config_.adv_migration_prob <= 0.0 || site % 2 != 1) {
+    return num_sites();
+  }
+  const uint32_t source = site - 1;
+  return MigrationDayOf(source) < kInfinity ? source : num_sites();
+}
+
+void SimulatedWeb::MintTrapLinksLocked(uint32_t site,
+                                       std::vector<Url>* links) {
+  SiteAdvState& adv = site_adv_[site];
+  const auto real = static_cast<uint64_t>(sites_[site].slots.size());
+  const uint64_t span = kMaxSlotsPerSite - real;
+  for (uint32_t k = 0; k < config_.adv_trap_links_per_fetch; ++k) {
+    const auto slot = static_cast<uint32_t>(real + adv.trap_minted % span);
+    ++adv.trap_minted;
+    links->push_back(Url{site, slot, 0});
+  }
+}
+
+void SimulatedWeb::EmitTwinLinksLocked(uint32_t site, uint32_t source,
+                                       std::vector<Url>* links) {
+  SiteAdvState& adv = site_adv_[site];
+  const auto real = static_cast<uint64_t>(sites_[site].slots.size());
+  const auto source_size =
+      static_cast<uint64_t>(sites_[source].slots.size());
+  for (uint32_t k = 0; k < config_.adv_migration_links_per_fetch &&
+                       adv.twin_emitted < source_size;
+       ++k) {
+    links->push_back(
+        Url{site, static_cast<uint32_t>(real + adv.twin_emitted), 0});
+    ++adv.twin_emitted;
+  }
 }
 
 SimulatedWeb::PageRecord& SimulatedWeb::CreatePageLocked(uint32_t site,
@@ -113,6 +219,14 @@ SimulatedWeb::PageRecord& SimulatedWeb::CreatePageLocked(uint32_t site,
                   config_.custom_change_interval_mix, page.rng.NextDouble());
   } else {
     page.change_rate = 1.0 / draw.change_interval_days;
+  }
+  if (IsMirroredSite(site) || MigrationDayOf(site) < kInfinity) {
+    // Mirror members and migration sources are static (version stays
+    // 0): their checksums alias across sites and incarnations (see
+    // Fetch), and aliased *live* content would couple one page's
+    // observation times to another's — breaking the per-page-stream
+    // independence the shard-count invariant rests on.
+    page.change_rate = 0.0;
   }
   double lifespan = config_.uniform_lifespan_days > 0.0
                         ? config_.uniform_lifespan_days
@@ -333,11 +447,24 @@ SimulatedWeb::FaultOutcome SimulatedWeb::EvalFaultLocked(
 StatusOr<FetchResult> SimulatedWeb::Fetch(const Url& url, double t,
                                           double* latency_days) {
   if (latency_days != nullptr) *latency_days = 0.0;
-  if (url.site >= sites_.size() ||
-      url.slot >= sites_[url.site].slots.size()) {
+  bool virtual_slot = false;
+  if (url.site >= sites_.size()) {
     fetch_count_.fetch_add(1, std::memory_order_relaxed);
     not_found_count_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("no such site/slot: " + url.ToString());
+  }
+  if (url.slot >= sites_[url.site].slots.size()) {
+    // Virtual slots (past a site's real size) exist only on spider
+    // traps — which mint them without bound — and migration twins,
+    // which use them to resurrect their source's pages.
+    virtual_slot =
+        url.incarnation == 0 &&
+        (IsTrapSite(url.site) || TwinSourceOf(url.site) < num_sites());
+    if (!virtual_slot) {
+      fetch_count_.fetch_add(1, std::memory_order_relaxed);
+      not_found_count_.fetch_add(1, std::memory_order_relaxed);
+      return Status::NotFound("no such site/slot: " + url.ToString());
+    }
   }
   if (t + kTimeSlack < TimeFloor()) {
     return Status::InvalidArgument("fetch time moved backwards");
@@ -348,6 +475,13 @@ StatusOr<FetchResult> SimulatedWeb::Fetch(const Url& url, double t,
   MarkSiteDirty(url.site);
 
   FetchResult result;
+  // What body the checksum digests: usually the fetched page itself,
+  // but mirror members and resurrected pages alias to their canonical
+  // original, and trap URLs share one low-value body per site. Computed
+  // outside the lock (pure).
+  PageId checksum_page = 0;
+  uint64_t checksum_version = 0;
+  bool trap_body = false;
   // Cross-site link targets resolve after our own site's lock is
   // dropped: lock acquisition stays one-at-a-time (no nesting), so
   // shards can never deadlock on each other. Own-site targets — all
@@ -376,59 +510,117 @@ StatusOr<FetchResult> SimulatedWeb::Fetch(const Url& url, double t,
         *latency_days = latency;
       }
     }
-    EnsureCoverageLocked(url.site, url.slot, t);
-    SlotState& slot_state = sites_[url.site].slots[url.slot];
-    if (url.incarnation >= slot_state.history.size()) {
-      // Requested incarnation was never born by time t.
-      not_found_count_.fetch_add(1, std::memory_order_relaxed);
-      return Status::NotFound("page gone: " + url.ToString());
+    if (t >= MigrationDayOf(url.site)) {
+      // The source site of a domain migration answers kUnavailable
+      // forever after its migration day — like a site death, and pure
+      // in (site, t). Its twin resurrects the content.
+      return Status::Unavailable("site migrated away: " + url.ToString());
     }
-    PageRecord& page = slot_state.history[url.incarnation];
-    if (page.death_time <= t || page.birth_time > t) {
-      // The requested incarnation is dead (or unborn) — a real crawler
-      // would see 404.
-      not_found_count_.fetch_add(1, std::memory_order_relaxed);
-      return Status::NotFound("page gone: " + url.ToString());
-    }
-    AdvancePage(page, t);
-
-    result.url = url;
-    result.page = PageIdOf(url);
-    result.version = page.version;
-    result.fetched_at = t;
-    result.last_modified = page.version > 0
-                               ? page.last_change_time
-                               : std::max(page.birth_time, 0.0);
-
-    // Navigation-tree children of this slot (own-site), then cross
-    // links.
-    const auto site_size = static_cast<uint64_t>(
-        sites_[url.site].slots.size());
-    uint64_t first_child =
-        static_cast<uint64_t>(url.slot) *
-            static_cast<uint64_t>(config_.tree_branching) +
-        1;
-    result.links.reserve(static_cast<std::size_t>(config_.tree_branching) +
-                         page.cross_links.size());
-    for (int b = 0; b < config_.tree_branching; ++b) {
-      uint64_t child = first_child + static_cast<uint64_t>(b);
-      if (child >= site_size) break;
-      auto child_slot = static_cast<uint32_t>(child);
-      EnsureCoverageLocked(url.site, child_slot, t);
-      result.links.push_back(OccupantAtLocked(url.site, child_slot, t).url);
-    }
-    // Resolving an own-site target can grow that slot's history, but
-    // never this slot's (`page` is alive at t, so its slot already
-    // covers t) — the `page` reference stays valid throughout.
-    for (const auto& [target_site, target_slot] : page.cross_links) {
-      if (target_site == url.site) {
-        EnsureCoverageLocked(url.site, target_slot, t);
-        result.links.push_back(
-            OccupantAtLocked(url.site, target_slot, t).url);
+    if (virtual_slot) {
+      result.url = url;
+      result.page = MakePageId(url.site, url.slot, 0);
+      result.version = 0;
+      result.fetched_at = t;
+      const uint32_t source = TwinSourceOf(url.site);
+      if (source < num_sites()) {
+        // Twin-hosted resurrection of source slot j = slot - real size.
+        const uint64_t j = url.slot - sites_[url.site].slots.size();
+        if (j >= sites_[source].slots.size() ||
+            t < MigrationDayOf(source)) {
+          not_found_count_.fetch_add(1, std::memory_order_relaxed);
+          return Status::NotFound("page gone: " + url.ToString());
+        }
+        result.last_modified = MigrationDayOf(source);
+        checksum_page = MakePageId(source, static_cast<uint32_t>(j), 0);
+        checksum_version = 0;
+        EmitTwinLinksLocked(url.site, source, &result.links);
       } else {
-        remote.emplace_back(result.links.size(),
-                            std::make_pair(target_site, target_slot));
-        result.links.push_back(Url{});  // placeholder, filled below
+        // A minted trap URL: fetches successfully, serves the site's
+        // shared low-value body, and mints more.
+        result.last_modified = 0.0;
+        trap_body = true;
+        MintTrapLinksLocked(url.site, &result.links);
+      }
+    } else {
+      EnsureCoverageLocked(url.site, url.slot, t);
+      SlotState& slot_state = sites_[url.site].slots[url.slot];
+      if (url.incarnation >= slot_state.history.size()) {
+        // Requested incarnation was never born by time t.
+        not_found_count_.fetch_add(1, std::memory_order_relaxed);
+        return Status::NotFound("page gone: " + url.ToString());
+      }
+      PageRecord& page = slot_state.history[url.incarnation];
+      if (page.death_time <= t || page.birth_time > t) {
+        // The requested incarnation is dead (or unborn) — a real
+        // crawler would see 404.
+        not_found_count_.fetch_add(1, std::memory_order_relaxed);
+        return Status::NotFound("page gone: " + url.ToString());
+      }
+      AdvancePage(page, t);
+
+      result.url = url;
+      result.page = PageIdOf(url);
+      result.version = page.version;
+      result.fetched_at = t;
+      result.last_modified = page.version > 0
+                                 ? page.last_change_time
+                                 : std::max(page.birth_time, 0.0);
+      // Checksum aliasing: every mirror member serves its group
+      // leader's bytes, and a migration source's pages keep one
+      // fingerprint across incarnation churn (what the twin's
+      // resurrections match). Both site classes are static, so the
+      // alias never lies about a change.
+      if (IsMirroredSite(url.site)) {
+        checksum_page = MakePageId(MirrorLeaderOf(url.site), url.slot, 0);
+      } else if (MigrationDayOf(url.site) < kInfinity) {
+        checksum_page = MakePageId(url.site, url.slot, 0);
+      } else {
+        checksum_page = result.page;
+        checksum_version = result.version;
+      }
+
+      // Navigation-tree children of this slot (own-site), then cross
+      // links.
+      const auto site_size = static_cast<uint64_t>(
+          sites_[url.site].slots.size());
+      uint64_t first_child =
+          static_cast<uint64_t>(url.slot) *
+              static_cast<uint64_t>(config_.tree_branching) +
+          1;
+      result.links.reserve(
+          static_cast<std::size_t>(config_.tree_branching) +
+          page.cross_links.size());
+      for (int b = 0; b < config_.tree_branching; ++b) {
+        uint64_t child = first_child + static_cast<uint64_t>(b);
+        if (child >= site_size) break;
+        auto child_slot = static_cast<uint32_t>(child);
+        EnsureCoverageLocked(url.site, child_slot, t);
+        result.links.push_back(
+            OccupantAtLocked(url.site, child_slot, t).url);
+      }
+      // Resolving an own-site target can grow that slot's history, but
+      // never this slot's (`page` is alive at t, so its slot already
+      // covers t) — the `page` reference stays valid throughout.
+      for (const auto& [target_site, target_slot] : page.cross_links) {
+        if (target_site == url.site) {
+          EnsureCoverageLocked(url.site, target_slot, t);
+          result.links.push_back(
+              OccupantAtLocked(url.site, target_slot, t).url);
+        } else {
+          remote.emplace_back(result.links.size(),
+                              std::make_pair(target_site, target_slot));
+          result.links.push_back(Url{});  // placeholder, filled below
+        }
+      }
+      // A successful fetch on a trap site mints fresh URLs; a
+      // successful post-migration fetch on a twin announces the next
+      // resurrected source pages.
+      if (IsTrapSite(url.site)) {
+        MintTrapLinksLocked(url.site, &result.links);
+      }
+      const uint32_t source = TwinSourceOf(url.site);
+      if (source < num_sites() && t >= MigrationDayOf(source)) {
+        EmitTwinLinksLocked(url.site, source, &result.links);
       }
     }
   }
@@ -437,7 +629,10 @@ StatusOr<FetchResult> SimulatedWeb::Fetch(const Url& url, double t,
     result.links[index] = ResolveOccupantUrl(target.first, target.second, t);
   }
   // Body synthesis + checksum are pure; do them outside the lock.
-  result.checksum = ChecksumOf(PageBody(result.page, result.version));
+  result.checksum = trap_body
+                        ? ChecksumOf(TrapBody(url.site))
+                        : ChecksumOf(PageBody(checksum_page,
+                                              checksum_version));
   return result;
 }
 
@@ -487,9 +682,26 @@ StatusOr<PageId> SimulatedWeb::OracleLookup(const Url& url) const {
 }
 
 StatusOr<uint64_t> SimulatedWeb::OracleVersion(const Url& url, double t) {
-  if (url.site >= sites_.size() ||
-      url.slot >= sites_[url.site].slots.size()) {
+  if (url.site >= sites_.size()) {
     return Status::NotFound("no such site/slot");
+  }
+  if (url.slot >= sites_[url.site].slots.size()) {
+    // Virtual URLs: a twin's resurrected pages are truly alive at
+    // version 0 from the migration day on; minted trap URLs are never
+    // real content (a stored copy of one is permanently unfresh).
+    const uint32_t source = TwinSourceOf(url.site);
+    if (source < num_sites() && url.incarnation == 0) {
+      const uint64_t j = url.slot - sites_[url.site].slots.size();
+      if (j < sites_[source].slots.size() && t >= MigrationDayOf(source)) {
+        BumpNow(t);
+        return uint64_t{0};
+      }
+    }
+    return Status::NotFound("no such site/slot");
+  }
+  if (t >= MigrationDayOf(url.site)) {
+    // The page moved to the twin; the copy under this URL is gone.
+    return Status::NotFound("page migrated away");
   }
   MarkSiteDirty(url.site);  // AdvancePage below moves the change process
   BumpNow(t);
@@ -507,10 +719,17 @@ StatusOr<uint64_t> SimulatedWeb::OracleVersion(const Url& url, double t) {
 }
 
 bool SimulatedWeb::OracleAlive(const Url& url, double t) const {
-  if (url.site >= sites_.size() ||
-      url.slot >= sites_[url.site].slots.size()) {
+  if (url.site >= sites_.size()) return false;
+  if (url.slot >= sites_[url.site].slots.size()) {
+    const uint32_t source = TwinSourceOf(url.site);
+    if (source < num_sites() && url.incarnation == 0) {
+      const uint64_t j = url.slot - sites_[url.site].slots.size();
+      return j < sites_[source].slots.size() &&
+             t >= MigrationDayOf(source);
+    }
     return false;
   }
+  if (t >= MigrationDayOf(url.site)) return false;
   std::lock_guard<std::mutex> lock(site_mu_[url.site]);
   const auto& history = sites_[url.site].slots[url.slot].history;
   if (url.incarnation >= history.size()) return false;
@@ -534,7 +753,20 @@ StatusOr<double> SimulatedWeb::OracleLastChangeTime(const Url& url,
                                                     double t) {
   if (url.site >= sites_.size() ||
       url.slot >= sites_[url.site].slots.size()) {
+    // Twin-virtual pages never change after their resurrection.
+    const uint32_t source =
+        url.site < sites_.size() ? TwinSourceOf(url.site) : num_sites();
+    if (source < num_sites() && url.incarnation == 0 &&
+        url.slot >= sites_[url.site].slots.size()) {
+      const uint64_t j = url.slot - sites_[url.site].slots.size();
+      if (j < sites_[source].slots.size() && t >= MigrationDayOf(source)) {
+        return MigrationDayOf(source);
+      }
+    }
     return Status::NotFound("no such site/slot");
+  }
+  if (t >= MigrationDayOf(url.site)) {
+    return Status::NotFound("page migrated away");
   }
   MarkSiteDirty(url.site);
   BumpNow(t);

@@ -194,6 +194,35 @@ class SimulatedWeb {
     return pages_created_.load(std::memory_order_relaxed);
   }
 
+  /// --- Adversarial classification (pure in (config, site)) -----------
+  /// Which sites are traps / mirrors / migrators is a pure hash draw of
+  /// (seed, site), never advanced by observation — the adversarial
+  /// *shape* is identical at every shard count. These are oracle-grade
+  /// facts: the crawler's defense layer must not consult them (it
+  /// detects traps by yield and mirrors by fingerprint), but tests and
+  /// benches may.
+
+  /// Whether `site` is a spider trap: every successful fetch on it
+  /// mints fresh never-before-seen same-site URLs (virtual slots past
+  /// the site's real size) that fetch successfully and mint more.
+  bool IsTrapSite(uint32_t site) const;
+
+  /// Whether `site` belongs to a mirror farm (its content is
+  /// byte-identical to its group leader's, under distinct URLs).
+  bool IsMirroredSite(uint32_t site) const;
+
+  /// Mirror-group leader of `site`; `site` itself when not mirrored.
+  uint32_t MirrorLeaderOf(uint32_t site) const;
+
+  /// The day source `site` migrates away (+infinity when it never
+  /// does). From that day the site answers kUnavailable forever while
+  /// its twin (site + 1) resurrects its pages under new URLs.
+  double MigrationDayOf(uint32_t site) const;
+
+  /// The source site that `site` resurrects as a migration twin, or
+  /// num_sites() when `site` is no one's twin.
+  uint32_t TwinSourceOf(uint32_t site) const;
+
   /// One directed site-to-site link with multiplicity.
   struct SiteLink {
     uint32_t from = 0;
@@ -280,6 +309,27 @@ class SimulatedWeb {
   FaultOutcome EvalFaultLocked(uint32_t site, double t,
                                double* latency_days);
 
+  /// Per-site adversarial state: the only *evolving* adversarial state
+  /// (classification is pure). Counters advance under the site's mutex
+  /// in per-site fetch order, which the engine's shard ownership makes
+  /// deterministic at every shard count.
+  struct SiteAdvState {
+    /// Fresh trap URLs minted so far by this (trap) site.
+    uint64_t trap_minted = 0;
+    /// Resurrected source slots announced so far by this (twin) site.
+    uint64_t twin_emitted = 0;
+  };
+
+  /// Appends `adv_trap_links_per_fetch` freshly minted trap URLs for a
+  /// successful fetch on trap site `site`. Caller holds the site mutex.
+  void MintTrapLinksLocked(uint32_t site, std::vector<Url>* links);
+
+  /// Appends the next unannounced resurrected-source URLs for a
+  /// successful post-migration fetch on twin `site`. Caller holds the
+  /// site mutex.
+  void EmitTwinLinksLocked(uint32_t site, uint32_t source,
+                           std::vector<Url>* links);
+
   /// Fresh deterministic RNG stream for one page identity.
   Rng PageStream(PageId id) const;
 
@@ -332,6 +382,8 @@ class SimulatedWeb {
   std::vector<SiteState> sites_;
   // Sized to num_sites when config_.HasFaults(); empty otherwise.
   std::vector<SiteFaultState> site_faults_;
+  // Sized to num_sites when config_.HasAdvState(); empty otherwise.
+  std::vector<SiteAdvState> site_adv_;
   // One mutex per site, guarding that site's slot histories.
   std::unique_ptr<std::mutex[]> site_mu_;
   uint64_t total_slots_ = 0;

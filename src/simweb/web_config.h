@@ -120,6 +120,49 @@ struct WebConfig {
   double fault_flash_crowd_window_days = 0.25;
   double fault_flash_crowd_error_prob = 0.0;
 
+  // ------------------------------------------------ adversarial model
+  // All off by default, like the fault model: every knob at zero leaves
+  // the web's content exactly as before and carries no adversarial
+  // state. Which sites are traps / mirrors / migrators is a pure
+  // per-site hash draw of (seed, site) — no RNG stream is consumed — so
+  // the adversarial shape is identical at every shard count; the only
+  // evolving state (per-site mint counters) advances under the site
+  // mutex in per-site fetch order, which is itself deterministic.
+
+  /// Spider traps: each site becomes a trap with this probability.
+  /// Every successful fetch on a trap site mints
+  /// `adv_trap_links_per_fetch` fresh never-before-seen same-site URLs
+  /// (virtual slots past the site's real size), each of which fetches
+  /// successfully — serving one shared low-value body per trap site —
+  /// and mints more. An undefended crawler's frontier grows without
+  /// bound inside the trap.
+  double adv_trap_site_prob = 0.0;
+  uint32_t adv_trap_links_per_fetch = 0;
+
+  /// Mirror farms: the first `adv_mirror_group_size * adv_mirror_groups`
+  /// sites are partitioned into groups of `adv_mirror_group_size`; every
+  /// member serves byte-identical content (the group leader's checksums)
+  /// under its own distinct URLs. Active when group size >= 2 and
+  /// groups >= 1.
+  uint32_t adv_mirror_group_size = 0;
+  uint32_t adv_mirror_groups = 0;
+
+  /// Domain migrations: each even-numbered site migrates with this
+  /// probability at a day drawn uniformly in
+  /// [0, 2 * adv_migration_mean_day]. After the migration day the
+  /// source site answers kUnavailable forever while its twin (site+1)
+  /// resurrects the source's pages under new URLs — twin fetches emit
+  /// up to `adv_migration_links_per_fetch` fresh twin-hosted links per
+  /// fetch until the whole source collection has been re-announced.
+  double adv_migration_prob = 0.0;
+  double adv_migration_mean_day = 30.0;
+  uint32_t adv_migration_links_per_fetch = 4;
+
+  /// Heavy-tailed site sizes: when > 0, site page counts follow a Zipf
+  /// law with this exponent over [min_site_size, max_site_size]
+  /// (rank-ordered by site index) instead of the log-uniform draw.
+  double adv_heavy_tail_zipf = 0.0;
+
   /// True when any fault knob is active; the web keeps per-site fault
   /// state (and emits fault records into its snapshot) only then.
   bool HasFaults() const {
@@ -128,6 +171,21 @@ struct WebConfig {
            fault_site_death_prob > 0.0 ||
            (fault_flash_crowd_threshold > 0 &&
             fault_flash_crowd_error_prob > 0.0);
+  }
+
+  /// True when any adversarial knob is active.
+  bool HasAdversarial() const {
+    return (adv_trap_site_prob > 0.0 && adv_trap_links_per_fetch > 0) ||
+           (adv_mirror_group_size >= 2 && adv_mirror_groups >= 1) ||
+           adv_migration_prob > 0.0 || adv_heavy_tail_zipf > 0.0;
+  }
+
+  /// True when the web must keep evolving per-site adversarial state
+  /// (trap/twin mint counters) — and emit Y records into its snapshot.
+  /// Mirror farms and heavy-tail sizes are stateless shape changes.
+  bool HasAdvState() const {
+    return (adv_trap_site_prob > 0.0 && adv_trap_links_per_fetch > 0) ||
+           adv_migration_prob > 0.0;
   }
 
   /// Returns a copy with sites_per_domain scaled by `factor` (minimum
@@ -204,6 +262,27 @@ struct WebConfig {
       return Status::InvalidArgument(
           "flash-crowd throttling needs a positive window");
     }
+    for (double p : {adv_trap_site_prob, adv_migration_prob}) {
+      if (p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument(
+            "adversarial probability not in [0,1]");
+      }
+    }
+    if (adv_trap_site_prob > 0.0 && adv_trap_links_per_fetch == 0) {
+      return Status::InvalidArgument(
+          "spider traps need adv_trap_links_per_fetch >= 1");
+    }
+    if (adv_mirror_group_size == 1) {
+      return Status::InvalidArgument(
+          "mirror groups need adv_mirror_group_size >= 2");
+    }
+    if (adv_migration_mean_day < 0.0 || adv_heavy_tail_zipf < 0.0) {
+      return Status::InvalidArgument("negative adversarial parameter");
+    }
+    if (adv_migration_prob > 0.0 && adv_migration_links_per_fetch == 0) {
+      return Status::InvalidArgument(
+          "migrations need adv_migration_links_per_fetch >= 1");
+    }
     return Status::Ok();
   }
 };
@@ -248,8 +327,48 @@ inline Status ApplyFaultScenario(const std::string& scenario,
     config->fault_slow_prob = 0.1;
     return Status::Ok();
   }
-  return Status::InvalidArgument("unknown fault scenario '" + scenario +
-                                 "'");
+  return Status::InvalidArgument(
+      "unknown fault scenario '" + scenario +
+      "' (valid: none, baseline, transient10, outage-storm, site-death, "
+      "flash-crowd)");
+}
+
+/// Applies one of the named adversarial scenarios used by
+/// bench_adversarial_scenarios and `webevo_sim --adversarial=...`.
+/// "none"/"baseline" clears every adversarial knob.
+inline Status ApplyAdversarialScenario(const std::string& scenario,
+                                       WebConfig* config) {
+  config->adv_trap_site_prob = 0.0;
+  config->adv_trap_links_per_fetch = 0;
+  config->adv_mirror_group_size = 0;
+  config->adv_mirror_groups = 0;
+  config->adv_migration_prob = 0.0;
+  config->adv_heavy_tail_zipf = 0.0;
+  if (scenario == "none" || scenario == "baseline") return Status::Ok();
+  if (scenario == "spider-trap") {
+    config->adv_trap_site_prob = 0.3;
+    config->adv_trap_links_per_fetch = 3;
+    return Status::Ok();
+  }
+  if (scenario == "mirror-farm") {
+    config->adv_mirror_group_size = 4;
+    config->adv_mirror_groups = 64;
+    return Status::Ok();
+  }
+  if (scenario == "domain-migration") {
+    config->adv_migration_prob = 0.5;
+    config->adv_migration_mean_day = 4.0;
+    config->adv_migration_links_per_fetch = 6;
+    return Status::Ok();
+  }
+  if (scenario == "heavy-tail") {
+    config->adv_heavy_tail_zipf = 1.3;
+    return Status::Ok();
+  }
+  return Status::InvalidArgument(
+      "unknown adversarial scenario '" + scenario +
+      "' (valid: none, baseline, spider-trap, mirror-farm, "
+      "domain-migration, heavy-tail)");
 }
 
 }  // namespace webevo::simweb

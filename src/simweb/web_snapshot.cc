@@ -2,14 +2,18 @@
 // state, declared in simweb/simulated_web.h.
 //
 // Format (trailer-framed text, see util/text_snapshot.h):
-//   webevo-web 2 <num_sites> <nrecords> <nfetchsites> <now>
-//              <fetch_count> <not_found_count> <nfaults>
+//   webevo-web 3 <num_sites> <nrecords> <nfetchsites> <now>
+//              <fetch_count> <not_found_count> <nfaults> <nadv>
 //   A <site> <site_fetch_count>          (nfetchsites records, nonzero
 //                                         counters only, ascending)
 //   X <site> <d0..d3> <o0..o3> <outage_start> <outage_end> <death|inf>
 //     <flash_bucket> <flash_count>       (nfaults records, initialized
 //                                         per-site fault lanes only,
 //                                         ascending site)
+//   Y <site> <trap_minted> <twin_emitted>
+//                                        (nadv records, sites with
+//                                         nonzero adversarial counters
+//                                         only, ascending)
 //   I <site> <slot> <incarnation> <version> <change_rate> <birth>
 //     <death|inf> <state_time> <last_change> <r0> <r1> <r2> <r3>
 //     <nlinks> [<target_site> <target_slot>]*
@@ -19,8 +23,10 @@
 //   webevo-checksum <fnv64>
 //
 // Version 2 added the per-site fault-injection lanes (`X` records and
-// the <nfaults> header field); version-1 snapshots are still accepted
-// and restore with no fault state. Every field of every PageRecord
+// the <nfaults> header field); version 3 added the per-site adversarial
+// counters (`Y` records and <nadv>). Version 1/2 snapshots are still
+// accepted and restore with no fault/adversarial state. Every field of
+// every PageRecord
 // round-trips exactly (doubles at precision 17, RNG lanes raw), so a
 // restored web serves bit-identical fetches — including the lazy
 // Poisson increments that depend on the *observation history*, not
@@ -42,11 +48,12 @@ namespace webevo::simweb {
 namespace {
 
 constexpr const char* kWebMagic = "webevo-web";
-constexpr int kWebFormatVersion = 2;
+constexpr int kWebFormatVersion = 3;
 // Site-delta stream: the full state of only the dirty sites, plus the
-// absolute global counters (see SaveWebDelta).
+// absolute global counters (see SaveWebDelta). Version 2 added the
+// <nadv> header field and Y records.
 constexpr const char* kWebDeltaMagic = "webevo-webdelta";
-constexpr int kWebDeltaFormatVersion = 1;
+constexpr int kWebDeltaFormatVersion = 2;
 // Range guard for per-record link counts parsed before the trailer has
 // been verified.
 constexpr std::size_t kMaxLinksPerPage = 1 << 16;
@@ -100,6 +107,13 @@ Status SaveWeb(const SimulatedWeb& web, std::ostream& out) {
   for (uint32_t s = 0; s < web.site_faults_.size(); ++s) {
     if (web.site_faults_[s].init) fault_sites.push_back(s);
   }
+  std::vector<uint32_t> adv_sites;
+  for (uint32_t s = 0; s < web.site_adv_.size(); ++s) {
+    if (web.site_adv_[s].trap_minted > 0 ||
+        web.site_adv_[s].twin_emitted > 0) {
+      adv_sites.push_back(s);
+    }
+  }
 
   TrailerWriter writer(out);
   {
@@ -109,7 +123,7 @@ Status SaveWeb(const SimulatedWeb& web, std::ostream& out) {
            << web.num_sites() << ' ' << nrecords << ' '
            << fetch_sites.size() << ' ' << web.now() << ' '
            << web.fetch_count() << ' ' << web.not_found_count() << ' '
-           << fault_sites.size();
+           << fault_sites.size() << ' ' << adv_sites.size();
     writer.Line(header.str());
   }
   for (const auto& [site, count] : fetch_sites) {
@@ -127,6 +141,12 @@ Status SaveWeb(const SimulatedWeb& web, std::ostream& out) {
     os << ' ' << f.outage_start << ' ' << f.outage_end << ' '
        << DeathToken(f.death_day) << ' ' << f.flash_bucket << ' '
        << f.flash_count;
+    writer.Line(os.str());
+  }
+  for (uint32_t s : adv_sites) {
+    const SimulatedWeb::SiteAdvState& a = web.site_adv_[s];
+    std::ostringstream os;
+    os << "Y " << s << ' ' << a.trap_minted << ' ' << a.twin_emitted;
     writer.Line(os.str());
   }
   for (uint32_t s = 0; s < web.num_sites(); ++s) {
@@ -168,20 +188,27 @@ Status RestoreWeb(std::istream& in, SimulatedWeb* web) {
   int version = 0;
   uint32_t num_sites = 0;
   uint64_t nrecords = 0, fetch_count = 0, not_found = 0;
-  std::size_t nfetchsites = 0, nfaults = 0;
+  std::size_t nfetchsites = 0, nfaults = 0, nadv = 0;
   double now = 0.0;
   hs >> magic >> version >> num_sites >> nrecords >> nfetchsites >>
       now >> fetch_count >> not_found;
   if (hs.fail() || magic != kWebMagic) {
     return Status::InvalidArgument("not a web snapshot");
   }
-  // Version 1 predates fault injection: no <nfaults> field and no X
-  // records. It restores into a fault-free state.
-  if (version != 1 && version != kWebFormatVersion) {
+  // Version 1 predates fault injection (no <nfaults> / X records),
+  // version 2 predates the adversarial lane (no <nadv> / Y records);
+  // both restore with those lanes empty.
+  if (version < 1 || version > kWebFormatVersion) {
     return Status::InvalidArgument("unsupported web snapshot version");
   }
   if (version >= 2) {
     hs >> nfaults;
+    if (hs.fail()) {
+      return Status::InvalidArgument("malformed web header");
+    }
+  }
+  if (version >= 3) {
+    hs >> nadv;
     if (hs.fail()) {
       return Status::InvalidArgument("malformed web header");
     }
@@ -255,6 +282,33 @@ Status RestoreWeb(std::istream& in, SimulatedWeb* web) {
           "configuration has fault injection disabled");
     }
     staged_faults.emplace_back(site, f);
+  }
+
+  std::vector<std::pair<uint32_t, SimulatedWeb::SiteAdvState>> staged_adv;
+  staged_adv.reserve(std::min<std::size_t>(nadv, 1 << 20));
+  for (std::size_t i = 0; i < nadv; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument(
+          "web snapshot adversarial count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    SimulatedWeb::SiteAdvState a;
+    is >> tag >> site >> a.trap_minted >> a.twin_emitted;
+    if (is.fail() || tag != "Y" || site >= num_sites) {
+      return Status::InvalidArgument(
+          "malformed web adversarial record");
+    }
+    Status end = ExpectLineEnd(is, "web adversarial");
+    if (!end.ok()) return end;
+    if (web->site_adv_.empty()) {
+      return Status::InvalidArgument(
+          "web snapshot carries adversarial state but this web's "
+          "configuration has the adversarial lane disabled");
+    }
+    staged_adv.emplace_back(site, a);
   }
 
   struct StagedPage {
@@ -363,18 +417,22 @@ Status RestoreWeb(std::istream& in, SimulatedWeb* web) {
   }
   for (auto& f : web->site_faults_) f = SimulatedWeb::SiteFaultState{};
   for (auto& [site, f] : staged_faults) web->site_faults_[site] = f;
+  for (auto& a : web->site_adv_) a = SimulatedWeb::SiteAdvState{};
+  for (auto& [site, a] : staged_adv) web->site_adv_[site] = a;
   return Status::Ok();
 }
 
 // Delta format (trailer-framed like the full snapshot):
-//   webevo-webdelta 1 <num_sites> <ndirty> <nrecords> <nfetchsites>
+//   webevo-webdelta 2 <num_sites> <ndirty> <nrecords> <nfetchsites>
 //                   <nfaults> <now> <fetch_count> <not_found_count>
-//                   <pages_created>
+//                   <pages_created> <nadv>
 //   D <site>                           (ndirty, ascending: the sites
 //                                       whose full state follows)
 //   A <site> <site_fetch_count>        (dirty sites, nonzero only)
 //   X <site> ...                       (dirty sites, initialized only;
 //                                       same fields as the full format)
+//   Y <site> <trap_minted> <twin_emitted>
+//                                      (dirty sites, nonzero only)
 //   I <site> <slot> <incarnation> ...  (all records of the dirty
 //                                       sites, canonical order)
 //   webevo-checksum <fnv64>
@@ -394,6 +452,7 @@ Status SaveWebDelta(const SimulatedWeb& web, std::ostream& out) {
   uint64_t nrecords = 0;
   std::vector<std::pair<uint32_t, uint64_t>> fetch_sites;
   std::vector<uint32_t> fault_sites;
+  std::vector<uint32_t> adv_sites;
   for (uint32_t s : dirty) {
     for (const auto& slot : web.sites_[s].slots) {
       nrecords += slot.history.size();
@@ -402,6 +461,10 @@ Status SaveWebDelta(const SimulatedWeb& web, std::ostream& out) {
     if (count > 0) fetch_sites.emplace_back(s, count);
     if (s < web.site_faults_.size() && web.site_faults_[s].init) {
       fault_sites.push_back(s);
+    }
+    if (s < web.site_adv_.size() && (web.site_adv_[s].trap_minted > 0 ||
+                                     web.site_adv_[s].twin_emitted > 0)) {
+      adv_sites.push_back(s);
     }
   }
 
@@ -414,7 +477,7 @@ Status SaveWebDelta(const SimulatedWeb& web, std::ostream& out) {
            << ' ' << fetch_sites.size() << ' ' << fault_sites.size()
            << ' ' << web.now() << ' ' << web.fetch_count() << ' '
            << web.not_found_count() << ' '
-           << web.OracleTotalPagesCreated();
+           << web.OracleTotalPagesCreated() << ' ' << adv_sites.size();
     writer.Line(header.str());
   }
   for (uint32_t s : dirty) {
@@ -437,6 +500,12 @@ Status SaveWebDelta(const SimulatedWeb& web, std::ostream& out) {
     os << ' ' << f.outage_start << ' ' << f.outage_end << ' '
        << DeathToken(f.death_day) << ' ' << f.flash_bucket << ' '
        << f.flash_count;
+    writer.Line(os.str());
+  }
+  for (uint32_t s : adv_sites) {
+    const SimulatedWeb::SiteAdvState& a = web.site_adv_[s];
+    std::ostringstream os;
+    os << "Y " << s << ' ' << a.trap_minted << ' ' << a.twin_emitted;
     writer.Line(os.str());
   }
   for (uint32_t s : dirty) {
@@ -478,7 +547,7 @@ Status ApplyWebDelta(std::istream& in, SimulatedWeb* web) {
   int version = 0;
   uint32_t num_sites = 0;
   uint64_t ndirty = 0, nrecords = 0;
-  std::size_t nfetchsites = 0, nfaults = 0;
+  std::size_t nfetchsites = 0, nfaults = 0, nadv = 0;
   uint64_t fetch_count = 0, not_found = 0, pages_created = 0;
   double now = 0.0;
   hs >> magic >> version >> num_sites >> ndirty >> nrecords >>
@@ -487,8 +556,15 @@ Status ApplyWebDelta(std::istream& in, SimulatedWeb* web) {
   if (hs.fail() || magic != kWebDeltaMagic) {
     return Status::InvalidArgument("not a web delta");
   }
-  if (version != kWebDeltaFormatVersion) {
+  // Version 1 predates the adversarial lane: no <nadv> / Y records.
+  if (version < 1 || version > kWebDeltaFormatVersion) {
     return Status::InvalidArgument("unsupported web delta version");
+  }
+  if (version >= 2) {
+    hs >> nadv;
+    if (hs.fail()) {
+      return Status::InvalidArgument("malformed web delta header");
+    }
   }
   Status line_end = ExpectLineEnd(hs, "web delta header");
   if (!line_end.ok()) return line_end;
@@ -575,6 +651,33 @@ Status ApplyWebDelta(std::istream& in, SimulatedWeb* web) {
           "has fault injection disabled");
     }
     staged_faults.emplace_back(site, f);
+  }
+
+  std::vector<std::pair<uint32_t, SimulatedWeb::SiteAdvState>> staged_adv;
+  staged_adv.reserve(std::min<std::size_t>(nadv, 1 << 20));
+  for (std::size_t i = 0; i < nadv; ++i) {
+    auto line = reader.Next();
+    if (!line.ok()) {
+      return Status::InvalidArgument(
+          "web delta adversarial count mismatch");
+    }
+    std::istringstream is(*line);
+    std::string tag;
+    uint32_t site = 0;
+    SimulatedWeb::SiteAdvState a;
+    is >> tag >> site >> a.trap_minted >> a.twin_emitted;
+    if (is.fail() || tag != "Y" || dirty_set.count(site) == 0) {
+      return Status::InvalidArgument(
+          "malformed web delta adversarial record");
+    }
+    Status end = ExpectLineEnd(is, "web delta adversarial");
+    if (!end.ok()) return end;
+    if (web->site_adv_.empty()) {
+      return Status::InvalidArgument(
+          "web delta carries adversarial state but this web's "
+          "configuration has the adversarial lane disabled");
+    }
+    staged_adv.emplace_back(site, a);
   }
 
   struct StagedPage {
@@ -677,11 +780,15 @@ Status ApplyWebDelta(std::istream& in, SimulatedWeb* web) {
     if (!web->site_faults_.empty()) {
       web->site_faults_[s] = SimulatedWeb::SiteFaultState{};
     }
+    if (!web->site_adv_.empty()) {
+      web->site_adv_[s] = SimulatedWeb::SiteAdvState{};
+    }
   }
   for (const auto& [site, count] : fetch_sites) {
     web->site_fetches_[site].store(count, std::memory_order_relaxed);
   }
   for (auto& [site, f] : staged_faults) web->site_faults_[site] = f;
+  for (auto& [site, a] : staged_adv) web->site_adv_[site] = a;
   return Status::Ok();
 }
 

@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
@@ -43,8 +44,13 @@ int64_t FlagParser::GetInt(const std::string& name,
   auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   long long v = std::strtoll(it->second.c_str(), &end, 10);
   if (end == it->second.c_str() || *end != '\0') return fallback;
+  // strtoll clamps out-of-range input to LLONG_MIN/LLONG_MAX and only
+  // reports it through errno; a silently saturated value is as wrong
+  // as an unparsable one (mirrors GetDouble's non-finite rejection).
+  if (errno == ERANGE) return fallback;
   return v;
 }
 

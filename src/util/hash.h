@@ -30,6 +30,15 @@ struct Checksum128 {
 /// Computes the checksum of a page body.
 Checksum128 ChecksumOf(std::string_view data);
 
+/// Hash functor for checksum-keyed containers (the crawler's content-
+/// fingerprint registry). The two halves are already independent hash
+/// streams; one extra mix spreads them over the bucket space.
+struct Checksum128Hash {
+  std::size_t operator()(const Checksum128& c) const {
+    return static_cast<std::size_t>(HashCombine(c.hi, c.lo));
+  }
+};
+
 }  // namespace webevo
 
 #endif  // WEBEVO_UTIL_HASH_H_

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "util/flags.h"
 
 namespace webevo {
@@ -103,6 +105,34 @@ TEST(FlagParserTest, OverflowingDoubleFallsBack) {
   FlagParser flags = Parse({"--big=1e999", "--small=-1e999"});
   EXPECT_DOUBLE_EQ(flags.GetDouble("big", 0.25), 0.25);
   EXPECT_DOUBLE_EQ(flags.GetDouble("small", 0.75), 0.75);
+}
+
+TEST(FlagParserTest, OverflowingIntFallsBack) {
+  // strtoll clamps out-of-range input to LLONG_MAX/LLONG_MIN and only
+  // reports the overflow via errno; a silently saturated value must
+  // fall back exactly like an unparsable one.
+  FlagParser flags = Parse({"--big=9223372036854775808",
+                            "--huge=999999999999999999999999"});
+  EXPECT_EQ(flags.GetInt("big", 13), 13);
+  EXPECT_EQ(flags.GetInt("huge", 17), 17);
+}
+
+TEST(FlagParserTest, UnderflowingIntFallsBack) {
+  FlagParser flags = Parse({"--small=-9223372036854775809"});
+  EXPECT_EQ(flags.GetInt("small", -13), -13);
+  // The exact representable bounds still parse.
+  FlagParser bounds = Parse({"--min=-9223372036854775808",
+                             "--max=9223372036854775807"});
+  EXPECT_EQ(bounds.GetInt("min", 0), INT64_MIN);
+  EXPECT_EQ(bounds.GetInt("max", 0), INT64_MAX);
+}
+
+TEST(FlagParserTest, PartialIntParseFallsBack) {
+  FlagParser flags = Parse({"--a=12abc", "--b=1 2", "--c=", "--d=0x10"});
+  EXPECT_EQ(flags.GetInt("a", 5), 5);
+  EXPECT_EQ(flags.GetInt("b", 5), 5);
+  EXPECT_EQ(flags.GetInt("c", 5), 5);
+  EXPECT_EQ(flags.GetInt("d", 5), 5);  // base-10 parser: "x10" trails
 }
 
 TEST(FlagParserTest, TrailingGarbageDoubleFallsBack) {

@@ -74,6 +74,9 @@ exactly as for webevo_sim crawl --resume):
   --estimator=EB|EP|ratio|naive|EL              (incremental only)
   --faults=<name>     fault scenario: none|transient10|outage-storm|
                       site-death|flash-crowd    (default none)
+  --adversarial=<name> adversarial scenario: none|spider-trap|
+                      mirror-farm|domain-migration|heavy-tail
+                      (default none; composes with --faults)
 )";
 
 std::string FmtReal(double v) {
@@ -382,6 +385,14 @@ int Run(const FlagParser& flags) {
     std::printf("%s\n", fault_st.ToString().c_str());
     return 2;
   }
+  // Same story for the adversarial lane: a checkpoint written against
+  // a spider-trap web must be read against one.
+  Status adv_st = simweb::ApplyAdversarialScenario(
+      flags.GetString("adversarial", "none"), &web_config);
+  if (!adv_st.ok()) {
+    std::printf("%s\n", adv_st.ToString().c_str());
+    return 2;
+  }
   simweb::SimulatedWeb web(web_config);
   const auto capacity =
       static_cast<std::size_t>(flags.GetInt("capacity", 2000));
@@ -480,7 +491,7 @@ int main(int argc, char** argv) {
   Status valid = flags.Validate(
       {"from", "where", "columns", "format", "limit", "crawler", "seed",
        "scale", "capacity", "cycle", "window", "no-shadowing", "policy",
-       "estimator", "faults", "help"});
+       "estimator", "faults", "adversarial", "help"});
   if (!valid.ok()) {
     std::printf("%s\n%s", valid.ToString().c_str(), kUsage);
     return 2;

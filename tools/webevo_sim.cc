@@ -51,6 +51,13 @@ common flags:
   --csv=<path>      also write the freshness series as CSV
   --faults=<name>   fault scenario: none|transient10|outage-storm|
                     site-death|flash-crowd    (default none)
+  --adversarial=<name> adversarial-web scenario: none|spider-trap|
+                    mirror-farm|domain-migration|heavy-tail
+                    (default none; composes with --faults)
+  --defense=on|off  crawler defense layer: diminishing-returns trap
+                    throttling, mirror dedup, migration-following
+                    (default off; off is byte-identical to a build
+                    without the defense layer)
   --parallelism=<n> engine shards / worker threads (default 1;
                     results are bit-identical at any value)
   --pipeline=on|off staged batch pipeline: overlap batch B's fetches
@@ -128,7 +135,21 @@ simweb::WebConfig WebFromFlags(const FlagParser& flags) {
     std::printf("%s\n", st.ToString().c_str());
     std::exit(2);
   }
+  const std::string adversarial = flags.GetString("adversarial", "none");
+  st = simweb::ApplyAdversarialScenario(adversarial, &config);
+  if (!st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    std::exit(2);
+  }
   return config;
+}
+
+bool DefenseFromFlags(const FlagParser& flags) {
+  const std::string v = flags.GetString("defense", "off");
+  if (v == "on") return true;
+  if (v == "off") return false;
+  std::printf("unknown --defense value '%s' (on|off)\n", v.c_str());
+  std::exit(2);
 }
 
 void MaybeWriteCsv(const FlagParser& flags,
@@ -206,6 +227,12 @@ int RunCrawl(const FlagParser& flags) {
                 "every cycle; see snapshot.h)\n");
     return 2;
   }
+  const bool defense = DefenseFromFlags(flags);
+  if (defense && kind == "periodic") {
+    std::printf("--defense=on is incremental-crawler only (the defense "
+                "layer lives in the incremental settle path)\n");
+    return 2;
+  }
   if (checkpoint_incremental && checkpoint.empty()) {
     std::printf("--checkpoint-incremental requires --checkpoint=<path>\n");
     return 2;
@@ -237,6 +264,7 @@ int RunCrawl(const FlagParser& flags) {
         c.store = store_options;
         c.crawl_parallelism = ParallelismFromFlags(flags);
         c.pipeline = PipelineFromFlags(flags);
+        c.defense_enabled = defense;
         std::string policy = flags.GetString("policy", "optimal");
         c.update.policy = policy == "uniform"
                               ? crawler::RevisitPolicy::kUniform
@@ -367,6 +395,9 @@ int RunCompare(const FlagParser& flags) {
       static_cast<double>(capacity) / cycle;
   inc_config.crawl_parallelism = ParallelismFromFlags(flags);
   inc_config.pipeline = PipelineFromFlags(flags);
+  // Compare mode only wires the defense into the incremental side;
+  // the periodic crawler has no defense layer to switch on.
+  inc_config.defense_enabled = DefenseFromFlags(flags);
   crawler::IncrementalCrawler inc(&web_a, inc_config);
 
   simweb::SimulatedWeb web_b(WebFromFlags(flags));
@@ -407,7 +438,8 @@ int RunCompare(const FlagParser& flags) {
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   Status valid = flags.Validate(
-      {"seed", "scale", "days", "capacity", "csv", "faults", "window",
+      {"seed", "scale", "days", "capacity", "csv", "faults",
+       "adversarial", "defense", "window",
        "crawler", "policy", "estimator", "cycle", "no-shadowing",
        "checkpoint", "checkpoint-every", "checkpoint-incremental",
        "checkpoint-traffic", "resume", "store", "store-dir",
